@@ -1,0 +1,357 @@
+package hyperprov
+
+// One testing.B benchmark per table/figure of the paper's evaluation
+// (Section 6), plus the Proposition 5.1 adversary and the design
+// ablations. Each benchmark runs a fixed, scaled-down instance of the
+// corresponding experiment and reports the paper's headline metrics via
+// b.ReportMetric:
+//
+//	prov_naive / prov_nf    provenance size (expression tree nodes)
+//	ns_naive / ns_nf / …    runtime per configuration
+//	use_* metrics           provenance-usage (deletion propagation) time
+//
+// `go test -bench=. -benchmem` regenerates every series point at the
+// default scale; `cmd/experiments` prints the full paper-style tables
+// and accepts larger scales.
+
+import (
+	"bytes"
+	"testing"
+
+	"hyperprov/internal/benchutil"
+	"hyperprov/internal/core"
+	"hyperprov/internal/db"
+	"hyperprov/internal/engine"
+	"hyperprov/internal/provstore"
+	"hyperprov/internal/tpcc"
+	"hyperprov/internal/workload"
+)
+
+// benchScale keeps every benchmark in CI time; cmd/experiments runs the
+// full-scale versions.
+const benchScale = 0.02
+
+func tpccWorkload(b *testing.B, queries int) (*db.Database, []db.Transaction) {
+	b.Helper()
+	g := tpcc.NewGenerator(tpcc.Scaled(benchScale))
+	initial, err := g.InitialDatabase()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return initial, g.TransactionsForQueries(queries)
+}
+
+func syntheticWorkload(b *testing.B, cfg workload.Config) (*db.Database, []db.Transaction) {
+	b.Helper()
+	initial, txns, err := workload.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return initial, txns
+}
+
+func runEngines(b *testing.B, initial *db.Database, txns []db.Transaction) {
+	b.Helper()
+	var lastNaive, lastNF int64
+	for i := 0; i < b.N; i++ {
+		o, _, _, err := benchutil.RunOverhead(initial, txns)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastNaive, lastNF = o.NaiveProv, o.NFProv
+		b.ReportMetric(float64(o.NaiveTime.Nanoseconds()), "ns_naive")
+		b.ReportMetric(float64(o.NFTime.Nanoseconds()), "ns_nf")
+		b.ReportMetric(float64(o.PlainTime.Nanoseconds()), "ns_noprov")
+	}
+	b.ReportMetric(float64(lastNaive), "prov_naive")
+	b.ReportMetric(float64(lastNF), "prov_nf")
+}
+
+// BenchmarkFig7_TPCC regenerates Figures 7a/7b: time and memory overhead
+// of provenance tracking over a TPC-C log.
+func BenchmarkFig7_TPCC(b *testing.B) {
+	initial, txns := tpccWorkload(b, 40)
+	runEngines(b, initial, txns)
+}
+
+// BenchmarkFig7c_TPCCUsage regenerates Figure 7c: deletion propagation
+// by valuation versus re-execution on TPC-C.
+func BenchmarkFig7c_TPCCUsage(b *testing.B) {
+	initial, txns := tpccWorkload(b, 40)
+	o, naive, nf, err := benchutil.RunOverhead(initial, txns)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = o
+	victim, ok := benchutil.PickVictim(initial, txns, tpcc.Customer)
+	if !ok {
+		b.Fatal("no victim")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, err := benchutil.RunUsage(initial, txns, naive, nf, tpcc.Customer, victim)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(u.RerunTime.Nanoseconds()), "ns_use_rerun")
+		b.ReportMetric(float64(u.NaiveUse.Nanoseconds()), "ns_use_naive")
+		b.ReportMetric(float64(u.NFUse.Nanoseconds()), "ns_use_nf")
+	}
+}
+
+// BenchmarkFig8_Synthetic regenerates Figures 8a/8b on the synthetic
+// dataset.
+func BenchmarkFig8_Synthetic(b *testing.B) {
+	cfg := workload.Default(benchScale)
+	initial, txns := syntheticWorkload(b, cfg)
+	runEngines(b, initial, txns)
+}
+
+// BenchmarkFig8c_SyntheticUsage regenerates Figure 8c.
+func BenchmarkFig8c_SyntheticUsage(b *testing.B) {
+	cfg := workload.Default(benchScale)
+	initial, txns := syntheticWorkload(b, cfg)
+	_, naive, nf, err := benchutil.RunOverhead(initial, txns)
+	if err != nil {
+		b.Fatal(err)
+	}
+	victim, ok := benchutil.PickVictim(initial, txns, "R")
+	if !ok {
+		b.Fatal("no victim")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, err := benchutil.RunUsage(initial, txns, naive, nf, "R", victim)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(u.RerunTime.Nanoseconds()), "ns_use_rerun")
+		b.ReportMetric(float64(u.NaiveUse.Nanoseconds()), "ns_use_naive")
+		b.ReportMetric(float64(u.NFUse.Nanoseconds()), "ns_use_nf")
+	}
+}
+
+// BenchmarkFig9a_AffectedTotal regenerates Figure 9a: fixed transaction
+// length, growing pool of affected tuples (updates-per-tuple falls, the
+// naive/normal-form gap narrows).
+func BenchmarkFig9a_AffectedTotal(b *testing.B) {
+	for _, mult := range []int{1, 3, 5} {
+		cfg := workload.Default(benchScale)
+		cfg.Pool *= mult
+		initial, txns := syntheticWorkload(b, cfg)
+		b.Run(multName("pool", cfg.Pool), func(b *testing.B) {
+			runEngines(b, initial, txns)
+		})
+	}
+}
+
+// BenchmarkFig9b_AffectedPerQuery regenerates Figure 9b: 5 update
+// queries, growing per-query selectivity.
+func BenchmarkFig9b_AffectedPerQuery(b *testing.B) {
+	for _, mult := range []int{1, 3, 5} {
+		cfg := workload.Default(benchScale)
+		cfg.Updates = 5
+		cfg.Group = cfg.Pool * mult
+		cfg.Pool = cfg.Group
+		initial, txns := syntheticWorkload(b, cfg)
+		b.Run(multName("group", cfg.Group), func(b *testing.B) {
+			runEngines(b, initial, txns)
+		})
+	}
+}
+
+// BenchmarkFig10_MVSemiring regenerates Figures 10a/10b: the comparison
+// with the MV-semiring model (tree and string implementations).
+func BenchmarkFig10_MVSemiring(b *testing.B) {
+	cfg := workload.Default(benchScale)
+	initial, txns := syntheticWorkload(b, cfg)
+	var lastTree, lastString int64
+	for i := 0; i < b.N; i++ {
+		m, err := benchutil.RunMV(initial, txns)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastTree, lastString = m.TreeProv, m.StringProv
+		b.ReportMetric(float64(m.TreeTime.Nanoseconds()), "ns_mv_tree")
+		b.ReportMetric(float64(m.StringTime.Nanoseconds()), "ns_mv_string")
+	}
+	b.ReportMetric(float64(lastTree), "prov_mv_tree")
+	b.ReportMetric(float64(lastString), "prov_mv_string")
+}
+
+// BenchmarkProp51_Blowup regenerates the Proposition 5.1 adversary: the
+// naive provenance grows exponentially with alternating modifications
+// while the normal form stays linear.
+func BenchmarkProp51_Blowup(b *testing.B) {
+	schema := db.MustSchema(db.MustRelationSchema("R", db.Attribute{Name: "k", Kind: db.KindString}))
+	initial := db.NewDatabase(schema)
+	if err := initial.InsertTuple("R", db.Tuple{db.S("a")}); err != nil {
+		b.Fatal(err)
+	}
+	if err := initial.InsertTuple("R", db.Tuple{db.S("b")}); err != nil {
+		b.Fatal(err)
+	}
+	txn := db.Transaction{Label: "p"}
+	for i := 0; i < 20; i++ {
+		from, to := "a", "b"
+		if i%2 == 1 {
+			from, to = "b", "a"
+		}
+		txn.Updates = append(txn.Updates,
+			db.Modify("R", db.Pattern{db.Const(db.S(from))}, []db.SetClause{db.SetTo(db.S(to))}))
+	}
+	var naiveProv, nfProv int64
+	for i := 0; i < b.N; i++ {
+		naive := engine.New(engine.ModeNaive, initial, engine.WithCopyOnWrite(false))
+		if err := naive.ApplyTransaction(&txn); err != nil {
+			b.Fatal(err)
+		}
+		nf := engine.New(engine.ModeNormalForm, initial)
+		if err := nf.ApplyTransaction(&txn); err != nil {
+			b.Fatal(err)
+		}
+		naiveProv, nfProv = naive.ProvSize(), nf.ProvSize()
+	}
+	b.ReportMetric(float64(naiveProv), "prov_naive")
+	b.ReportMetric(float64(nfProv), "prov_nf")
+}
+
+// BenchmarkAblationCopyOnWrite compares the paper-faithful deep-copying
+// naive engine with the shared-representation ablation.
+func BenchmarkAblationCopyOnWrite(b *testing.B) {
+	cfg := workload.Default(benchScale)
+	initial, txns := syntheticWorkload(b, cfg)
+	b.Run("copy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := engine.New(engine.ModeNaive, initial)
+			if err := e.ApplyAll(txns); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("shared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := engine.New(engine.ModeNaive, initial, engine.WithCopyOnWrite(false))
+			if err := e.ApplyAll(txns); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationIndex compares the paper's full-scan execution with
+// the hash-index extension.
+func BenchmarkAblationIndex(b *testing.B) {
+	cfg := workload.Default(benchScale)
+	initial, txns := syntheticWorkload(b, cfg)
+	b.Run("fullscan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := engine.New(engine.ModeNormalForm, initial)
+			if err := e.ApplyAll(txns); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := engine.New(engine.ModeNormalForm, initial)
+			if err := e.BuildIndex("R", "grp"); err != nil {
+				b.Fatal(err)
+			}
+			if err := e.ApplyAll(txns); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationZeroMinimization measures the Proposition 5.5
+// post-processing pass.
+func BenchmarkAblationZeroMinimization(b *testing.B) {
+	cfg := workload.Default(benchScale)
+	initial, txns := syntheticWorkload(b, cfg)
+	var before, after int64
+	for i := 0; i < b.N; i++ {
+		e := engine.New(engine.ModeNormalForm, initial)
+		if err := e.ApplyAll(txns); err != nil {
+			b.Fatal(err)
+		}
+		before = e.ProvSize()
+		after = e.MinimizeAll()
+	}
+	b.ReportMetric(float64(before), "prov_nf")
+	b.ReportMetric(float64(after), "prov_nf_min")
+}
+
+func multName(prefix string, v int) string {
+	return prefix + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkAblationParallelUsage compares sequential and parallel
+// deletion-propagation valuation (the provenance-usage operation of
+// Figures 7c/8c is embarrassingly parallel, unlike re-execution).
+func BenchmarkAblationParallelUsage(b *testing.B) {
+	cfg := workload.Default(benchScale)
+	initial, txns := syntheticWorkload(b, cfg)
+	e := engine.New(engine.ModeNormalForm, initial)
+	if err := e.ApplyAll(txns); err != nil {
+		b.Fatal(err)
+	}
+	env := func(a core.Annot) bool { return a.Name != "q0" }
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = engine.BoolRestrict(e, env)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = engine.BoolRestrictParallel(e, env, 0)
+		}
+	})
+}
+
+// BenchmarkProvstoreSnapshot measures the storage layer: saving and
+// loading a whole annotated database through the deduplicating codec.
+func BenchmarkProvstoreSnapshot(b *testing.B) {
+	cfg := workload.Default(benchScale)
+	initial, txns := syntheticWorkload(b, cfg)
+	e := engine.New(engine.ModeNormalForm, initial)
+	if err := e.ApplyAll(txns); err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := provstore.SaveSnapshot(&buf, e); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(buf.Len()), "snapshot_bytes")
+	b.ReportMetric(float64(e.ProvSize()), "prov_nodes")
+	b.Run("save", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var w bytes.Buffer
+			if err := provstore.SaveSnapshot(&w, e); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("load", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := provstore.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

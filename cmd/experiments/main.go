@@ -1,0 +1,76 @@
+// Command experiments regenerates every table and figure of the paper's
+// experimental evaluation (Section 6):
+//
+//	experiments [-scale f] [-out file] fig7 fig8 fig9a fig9b fig10 prop51 ablations
+//	experiments [-scale f] [-out file] all
+//
+// scale 1.0 corresponds to the paper's setup (a ~2.1M-tuple TPC-C
+// instance, a 1M-tuple synthetic table, logs of up to 2000 update
+// queries); the default scale keeps a full run in the order of a minute.
+// Output is a set of aligned tables whose columns mirror the paper's
+// series; EXPERIMENTS.md in the repository root records a full run next
+// to the paper's reported numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hyperprov/internal/benchutil"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.05, "experiment scale (1.0 = the paper's setup)")
+	out := flag.String("out", "", "write output to this file instead of stdout")
+	prop51Steps := flag.Int("prop51-steps", 24, "maximum adversary length for prop51")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [-scale f] [-out file] {fig7|fig8|fig9a|fig9b|fig10|prop51|ablations|all}...")
+		os.Exit(2)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	run := map[string]func() error{
+		"fig7":      func() error { return benchutil.Fig7(w, *scale) },
+		"fig8":      func() error { return benchutil.Fig8(w, *scale) },
+		"fig9a":     func() error { return benchutil.Fig9a(w, *scale) },
+		"fig9b":     func() error { return benchutil.Fig9b(w, *scale) },
+		"fig10":     func() error { return benchutil.Fig10(w, *scale) },
+		"prop51":    func() error { return benchutil.Prop51(w, *prop51Steps) },
+		"ablations": func() error { return benchutil.Ablations(w, *scale) },
+	}
+	order := []string{"fig7", "fig8", "fig9a", "fig9b", "fig10", "prop51", "ablations"}
+
+	var targets []string
+	for _, a := range args {
+		if a == "all" {
+			targets = append(targets, order...)
+			continue
+		}
+		if _, ok := run[a]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", a)
+			os.Exit(2)
+		}
+		targets = append(targets, a)
+	}
+	fmt.Fprintf(w, "# hyperprov experiments (scale %g)\n\n", *scale)
+	for _, t := range targets {
+		if err := run[t](); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", t, err)
+			os.Exit(1)
+		}
+	}
+}

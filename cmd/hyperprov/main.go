@@ -1,0 +1,237 @@
+// Command hyperprov runs an annotated hyperplane transaction log over
+// CSV data with provenance tracking and prints the annotated result.
+//
+//	hyperprov -data Products=products.csv [-data Other=o.csv] -log txns.sql \
+//	          [-syntax sql|datalog] [-mode nf|naive] [-show Products] \
+//	          [-abort p1,p2] [-minimize] [-all]
+//
+// The log is either the SQL fragment of Section 2 of the paper
+// (INSERT/DELETE/UPDATE with =/<> constant predicates, grouped by
+// "BEGIN label; … COMMIT;") or the paper's datalog-like notation (one
+// annotated query per line). Initial tuples are annotated t0, t1, … in
+// deterministic (sorted-key) order.
+//
+// By default the live relation is printed with each tuple's provenance
+// annotation. -abort prints instead the hypothetical database with the
+// given transactions aborted (their annotations set to false), computed
+// from provenance without re-running the log. -all includes tombstoned
+// tuples (annotations that evaluate to an absent tuple).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"hyperprov/internal/core"
+	"hyperprov/internal/db"
+	"hyperprov/internal/engine"
+	"hyperprov/internal/parser"
+	"hyperprov/internal/provstore"
+	"hyperprov/internal/upstruct"
+)
+
+type dataFlags map[string]string
+
+func (d dataFlags) String() string { return fmt.Sprint(map[string]string(d)) }
+
+func (d dataFlags) Set(v string) error {
+	eq := strings.IndexByte(v, '=')
+	if eq <= 0 {
+		return fmt.Errorf("want Relation=file.csv, got %q", v)
+	}
+	d[v[:eq]] = v[eq+1:]
+	return nil
+}
+
+func main() {
+	data := dataFlags{}
+	flag.Var(data, "data", "relation data as Relation=file.csv (repeatable)")
+	logPath := flag.String("log", "", "transaction log file")
+	syntax := flag.String("syntax", "sql", "log syntax: sql or datalog")
+	mode := flag.String("mode", "nf", "provenance mode: nf (normal form) or naive")
+	show := flag.String("show", "", "relation to print (default: all)")
+	abort := flag.String("abort", "", "comma-separated transaction labels to abort hypothetically")
+	minimize := flag.Bool("minimize", true, "apply the zero-axiom minimization to printed annotations")
+	all := flag.Bool("all", false, "include tombstoned tuples (outside the live database)")
+	explain := flag.Bool("explain", false, "print a human-readable account of each annotation")
+	saveSnap := flag.String("save-snapshot", "", "write the annotated database to this file after the run")
+	loadSnap := flag.String("load-snapshot", "", "restore an annotated database instead of loading CSV data (-data is then ignored)")
+	flag.Parse()
+
+	if *loadSnap == "" && (len(data) == 0 || *logPath == "") {
+		fmt.Fprintln(os.Stderr, "usage: hyperprov -data Rel=file.csv -log txns.sql [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	cfg := runConfig{
+		data: data, logPath: *logPath, syntax: *syntax, mode: *mode,
+		show: *show, abort: *abort, minimize: *minimize, all: *all,
+		explain: *explain, saveSnap: *saveSnap, loadSnap: *loadSnap,
+	}
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "hyperprov:", err)
+		os.Exit(1)
+	}
+}
+
+type runConfig struct {
+	data               dataFlags
+	logPath            string
+	syntax             string
+	mode               string
+	show               string
+	abort              string
+	minimize, all      bool
+	explain            bool
+	saveSnap, loadSnap string
+}
+
+func run(cfg runConfig) error {
+	var e *engine.Engine
+	var txns []db.Transaction
+	var names []string
+
+	if cfg.loadSnap != "" {
+		f, err := os.Open(cfg.loadSnap)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		e, err = provstore.LoadSnapshot(f)
+		if err != nil {
+			return err
+		}
+		names = e.Schema().Names()
+	} else {
+		// Load relations, deriving each schema from its CSV header.
+		var rels []*db.RelationSchema
+		contents := make(map[string][]byte)
+		for rel := range cfg.data {
+			names = append(names, rel)
+		}
+		sort.Strings(names)
+		for _, rel := range names {
+			raw, err := os.ReadFile(cfg.data[rel])
+			if err != nil {
+				return err
+			}
+			contents[rel] = raw
+			header := strings.SplitN(string(raw), "\n", 2)[0]
+			rs, err := db.ReadCSVSchema(rel, strings.Split(strings.TrimSpace(header), ","))
+			if err != nil {
+				return err
+			}
+			rels = append(rels, rs)
+		}
+		schema, err := db.NewSchema(rels...)
+		if err != nil {
+			return err
+		}
+		initial := db.NewDatabase(schema)
+		for _, rel := range names {
+			if _, err := db.ReadCSV(initial, rel, strings.NewReader(string(contents[rel]))); err != nil {
+				return err
+			}
+		}
+		var m engine.Mode
+		switch cfg.mode {
+		case "nf":
+			m = engine.ModeNormalForm
+		case "naive":
+			m = engine.ModeNaive
+		default:
+			return fmt.Errorf("unknown mode %q", cfg.mode)
+		}
+		e = engine.New(m, initial)
+	}
+
+	if cfg.logPath != "" {
+		logSrc, err := os.ReadFile(cfg.logPath)
+		if err != nil {
+			return err
+		}
+		switch cfg.syntax {
+		case "sql":
+			txns, err = parser.ParseSQLLog(e.Schema(), string(logSrc))
+		case "datalog":
+			txns, err = parser.ParseDatalogLog(e.Schema(), string(logSrc))
+		default:
+			err = fmt.Errorf("unknown syntax %q", cfg.syntax)
+		}
+		if err != nil {
+			return err
+		}
+		if err := e.ApplyAll(txns); err != nil {
+			return err
+		}
+	}
+
+	env := func(core.Annot) bool { return true }
+	if cfg.abort != "" {
+		dead := make(map[core.Annot]bool)
+		for _, label := range strings.Split(cfg.abort, ",") {
+			dead[core.QueryAnnot(strings.TrimSpace(label))] = false
+		}
+		env = upstruct.MapEnv(dead, true)
+		fmt.Printf("-- hypothetical database with transactions aborted: %s\n", cfg.abort)
+	}
+
+	printRels := names
+	if cfg.show != "" {
+		printRels = []string{cfg.show}
+	}
+	for _, rel := range printRels {
+		if e.Schema().Relation(rel) == nil {
+			return fmt.Errorf("unknown relation %s", rel)
+		}
+		fmt.Printf("== %s ==\n", rel)
+		type line struct {
+			tuple string
+			live  bool
+			ann   string
+		}
+		var lines []line
+		e.EachRow(rel, func(t db.Tuple, ann *core.Expr) {
+			live := upstruct.Eval(ann, upstruct.Bool, env)
+			if !live && !cfg.all {
+				return
+			}
+			if cfg.minimize {
+				ann = core.Minimize(ann)
+			}
+			rendered := ann.String()
+			if cfg.explain {
+				rendered = "\n" + core.ExplainString(ann)
+			}
+			lines = append(lines, line{tuple: t.String(), live: live, ann: rendered})
+		})
+		sort.Slice(lines, func(i, j int) bool { return lines[i].tuple < lines[j].tuple })
+		for _, l := range lines {
+			marker := " "
+			if !l.live {
+				marker = "✗"
+			}
+			fmt.Printf("%s %-50s  %s\n", marker, l.tuple, l.ann)
+		}
+	}
+	fmt.Printf("-- %d transactions, %d update queries, provenance size %d nodes (%s)\n",
+		len(txns), db.CountQueries(txns), e.ProvSize(), e.Mode())
+	if cfg.saveSnap != "" {
+		f, err := os.Create(cfg.saveSnap)
+		if err != nil {
+			return err
+		}
+		if err := provstore.SaveSnapshot(f, e); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("-- snapshot written to %s\n", cfg.saveSnap)
+	}
+	return nil
+}

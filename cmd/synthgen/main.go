@@ -1,0 +1,83 @@
+// Command synthgen generates the synthetic dataset and update sequence
+// of the paper's Section 6.1:
+//
+//	synthgen -tuples 100000 -pool 20 -group 1 -updates 200 -outdir ./synth-data
+//
+// It writes R.csv and txns.sql (a BEGIN/COMMIT SQL log accepted by
+// cmd/hyperprov).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hyperprov/internal/db"
+	"hyperprov/internal/parser"
+	"hyperprov/internal/workload"
+)
+
+func main() {
+	tuples := flag.Int("tuples", 100000, "initial table size (the paper uses 1000000)")
+	pool := flag.Int("pool", 20, "total number of affected tuples (0.02% in the paper)")
+	group := flag.Int("group", 1, "tuples affected per query")
+	updates := flag.Int("updates", 200, "number of update queries")
+	perTxn := flag.Int("queries-per-txn", 1, "queries per transaction annotation")
+	merge := flag.Float64("merge", 0.1, "fraction of modifications collapsing a group")
+	seed := flag.Int64("seed", 1, "generator seed")
+	outdir := flag.String("outdir", "synth-data", "output directory")
+	syntax := flag.String("syntax", "sql", "log syntax to emit: sql or datalog")
+	flag.Parse()
+
+	cfg := workload.Config{
+		Tuples: *tuples, Pool: *pool, Group: *group, Updates: *updates,
+		QueriesPerTxn: *perTxn, MergeRatio: *merge, Seed: *seed,
+	}
+	if err := run(cfg, *outdir, *syntax); err != nil {
+		fmt.Fprintln(os.Stderr, "synthgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg workload.Config, outdir string, syntax string) error {
+	initial, txns, err := workload.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(outdir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(outdir, "R.csv"))
+	if err != nil {
+		return err
+	}
+	if err := db.WriteCSV(f, initial.Instance("R")); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	logName := "txns.sql"
+	var log string
+	var err2 error
+	switch syntax {
+	case "sql":
+		log, err2 = parser.FormatSQLLog(initial.Schema(), txns)
+	case "datalog":
+		logName = "txns.dl"
+		log, err2 = parser.FormatDatalogLog(initial.Schema(), txns)
+	default:
+		err2 = fmt.Errorf("unknown syntax %q", syntax)
+	}
+	if err2 != nil {
+		return err2
+	}
+	if err := os.WriteFile(filepath.Join(outdir, logName), []byte(log), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d tuples and %d transactions (%d update queries) to %s\n",
+		initial.NumTuples(), len(txns), db.CountQueries(txns), outdir)
+	return nil
+}

@@ -1,0 +1,108 @@
+// Accesscontrol demonstrates the set-based access-control semantics of
+// Section 4.1: tuples and transactions are annotated with sets of
+// country names; specializing the abstract provenance into the set
+// structure computes, for every tuple of the result, exactly the
+// countries whose users may see it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"hyperprov"
+)
+
+func main() {
+	schema := hyperprov.MustSchema(hyperprov.MustRelation("Products",
+		hyperprov.Attribute{Name: "Product", Kind: hyperprov.KindString},
+		hyperprov.Attribute{Name: "Category", Kind: hyperprov.KindString},
+		hyperprov.Attribute{Name: "Price", Kind: hyperprov.KindInt},
+	))
+	initial := hyperprov.NewDatabase(schema)
+	// Per-country catalogues: the bike ships everywhere, the racket only
+	// inside the EU, the sneakers only to IL.
+	visibility := map[string]hyperprov.Set{
+		"Kids mnt bike":     hyperprov.NewSet("IL", "FR", "DE", "US"),
+		"Tennis Racket":     hyperprov.NewSet("FR", "DE"),
+		"Children sneakers": hyperprov.NewSet("IL"),
+	}
+	for _, r := range []hyperprov.Tuple{
+		{hyperprov.S("Kids mnt bike"), hyperprov.S("Sport"), hyperprov.I(120)},
+		{hyperprov.S("Tennis Racket"), hyperprov.S("Sport"), hyperprov.I(70)},
+		{hyperprov.S("Children sneakers"), hyperprov.S("Fashion"), hyperprov.I(40)},
+	} {
+		if err := initial.InsertTuple("Products", r); err != nil {
+			log.Fatal(err)
+		}
+	}
+	annots := hyperprov.WithInitialAnnotations(func(rel string, t hyperprov.Tuple) hyperprov.Annot {
+		return hyperprov.TupleAnnot("t:" + t[0].Str())
+	})
+
+	// A summer-sale transaction that only the EU storefronts run, and a
+	// global deletion of the Fashion category.
+	txns, err := hyperprov.ParseSQLLog(schema, `
+BEGIN eu_sale;
+UPDATE Products SET Price = 50 WHERE Category = 'Sport';
+COMMIT;
+BEGIN global_cleanup;
+DELETE FROM Products WHERE Category = 'Fashion';
+COMMIT;
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := hyperprov.New(hyperprov.ModeNormalForm, initial, annots)
+	if err := eng.ApplyAll(txns); err != nil {
+		log.Fatal(err)
+	}
+
+	// The valuation: tuple annotations carry catalogue visibility;
+	// transaction annotations the countries that ran them. The
+	// global cleanup is visible everywhere.
+	everywhere := hyperprov.NewSet("IL", "FR", "DE", "US")
+	env := func(a hyperprov.Annot) hyperprov.Set {
+		switch a {
+		case hyperprov.QueryAnnot("eu_sale"):
+			return hyperprov.NewSet("FR", "DE")
+		case hyperprov.QueryAnnot("global_cleanup"):
+			return everywhere
+		default:
+			return visibility[a.Name[len("t:"):]]
+		}
+	}
+
+	result := hyperprov.AccessControl(eng, env)
+	fmt.Println("per-country visibility of the resulting catalogue:")
+	var lines []string
+	eng.EachRow("Products", func(t hyperprov.Tuple, ann *hyperprov.Expr) {
+		set := hyperprov.Eval(hyperprov.Minimize(ann), hyperprov.Sets, env)
+		if set.Len() == 0 {
+			return
+		}
+		lines = append(lines, fmt.Sprintf("  %-38s visible in %s", t, set))
+	})
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+
+	// A French user sees the sale price; a US user still sees the
+	// original price, because the sale transaction is not visible to it.
+	fr := countryView(result, "FR")
+	us := countryView(result, "US")
+	fmt.Printf("\nFR sees %d product rows, US sees %d\n", fr, us)
+}
+
+func countryView(result map[string]map[string]hyperprov.Set, country string) int {
+	n := 0
+	for _, rows := range result {
+		for _, set := range rows {
+			if set.Contains(country) {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,93 @@
+// Certification demonstrates the trust semantics of Section 4.1: tuples
+// and transactions carry trust scores in [0,1]; given a minimal trust
+// level L, specializing the provenance certifies exactly the tuples
+// that an execution involving only sufficiently trusted inputs and
+// transactions would produce.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hyperprov"
+)
+
+func main() {
+	schema := hyperprov.MustSchema(hyperprov.MustRelation("Readings",
+		hyperprov.Attribute{Name: "Sensor", Kind: hyperprov.KindString},
+		hyperprov.Attribute{Name: "Zone", Kind: hyperprov.KindString},
+		hyperprov.Attribute{Name: "Status", Kind: hyperprov.KindString},
+	))
+	initial := hyperprov.NewDatabase(schema)
+	// Sensor readings from sources of varying reliability.
+	trust := map[string]float64{
+		"s1": 0.95, // calibrated sensor
+		"s2": 0.60, // aging sensor
+		"s3": 0.20, // known-flaky sensor
+	}
+	for _, r := range []hyperprov.Tuple{
+		{hyperprov.S("s1"), hyperprov.S("north"), hyperprov.S("raw")},
+		{hyperprov.S("s2"), hyperprov.S("north"), hyperprov.S("raw")},
+		{hyperprov.S("s3"), hyperprov.S("south"), hyperprov.S("raw")},
+	} {
+		if err := initial.InsertTuple("Readings", r); err != nil {
+			log.Fatal(err)
+		}
+	}
+	annots := hyperprov.WithInitialAnnotations(func(rel string, t hyperprov.Tuple) hyperprov.Annot {
+		return hyperprov.TupleAnnot(t[0].Str())
+	})
+
+	// A well-reviewed pipeline validates the north zone; a hotfix with a
+	// low review score validates the south zone.
+	txns, err := hyperprov.ParseSQLLog(schema, `
+BEGIN reviewed_pipeline;
+UPDATE Readings SET Status = 'validated' WHERE Zone = 'north';
+COMMIT;
+BEGIN hotfix;
+UPDATE Readings SET Status = 'validated' WHERE Zone = 'south';
+COMMIT;
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	txnTrust := map[string]float64{"reviewed_pipeline": 0.9, "hotfix": 0.4}
+
+	eng := hyperprov.New(hyperprov.ModeNormalForm, initial, annots)
+	if err := eng.ApplyAll(txns); err != nil {
+		log.Fatal(err)
+	}
+
+	env := func(a hyperprov.Annot) hyperprov.Trust {
+		if v, ok := trust[a.Name]; ok {
+			return hyperprov.Score(v)
+		}
+		if v, ok := txnTrust[a.Name]; ok {
+			return hyperprov.Score(v)
+		}
+		return hyperprov.Score(1)
+	}
+
+	for _, level := range []float64{0.3, 0.5, 0.8} {
+		certified := hyperprov.Certify(eng, level, env)
+		fmt.Printf("trust level L=%.1f certifies %d validated readings:\n", level, count(certified, "validated"))
+		certified.Instance("Readings").Each(func(t hyperprov.Tuple) {
+			if t[2].Str() == "validated" {
+				fmt.Printf("  %v\n", t)
+			}
+		})
+	}
+	// At L=0.3 both pipelines pass but sensor s3 does not, so only the
+	// north readings certify; raising L to 0.8 additionally drops the
+	// aging sensor s2.
+}
+
+func count(d *hyperprov.Database, status string) int {
+	n := 0
+	d.Instance("Readings").Each(func(t hyperprov.Tuple) {
+		if t[2].Str() == status {
+			n++
+		}
+	})
+	return n
+}

@@ -1,0 +1,146 @@
+package hyperprov_test
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"hyperprov"
+)
+
+// TestFacadeSnapshotAndAnalysis drives the storage and analysis APIs
+// through the public facade.
+func TestFacadeSnapshotAndAnalysis(t *testing.T) {
+	schema := exampleSchema(t)
+	txns, err := hyperprov.ParseSQLLog(schema, `
+BEGIN p;
+UPDATE Products SET Category = 'Bicycles' WHERE Product = 'Kids mnt bike';
+COMMIT;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := hyperprov.New(hyperprov.ModeNormalForm, exampleDB(t), annotByCategory())
+	if err := eng.ApplyAll(txns); err != nil {
+		t.Fatal(err)
+	}
+
+	// Snapshot round trip.
+	var buf bytes.Buffer
+	if err := hyperprov.SaveSnapshot(&buf, eng); err != nil {
+		t.Fatal(err)
+	}
+	back, err := hyperprov.LoadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hyperprov.LiveDB(back).Equal(hyperprov.LiveDB(eng)) {
+		t.Error("snapshot round trip broke the live database")
+	}
+
+	// Dependencies of the merged bicycle tuple.
+	bic := hyperprov.Tuple{hyperprov.S("Kids mnt bike"), hyperprov.S("Bicycles"), hyperprov.I(120)}
+	tuples, labels := hyperprov.Dependencies(eng, "Products", bic)
+	if len(tuples) != 2 || len(labels) != 1 || labels[0] != hyperprov.QueryAnnot("p") {
+		t.Errorf("Dependencies = %v / %v", tuples, labels)
+	}
+
+	// Impact of the transaction.
+	im := hyperprov.BuildImpact(eng)
+	_, flipped := im.Flipped(hyperprov.QueryAnnot("p"))
+	if len(flipped) == 0 {
+		t.Error("aborting p must flip some rows")
+	}
+
+	// Explain.
+	out := hyperprov.ExplainString(eng.Annotation("Products", bic))
+	if !strings.Contains(out, "received a modification") {
+		t.Errorf("ExplainString = %q", out)
+	}
+	var w strings.Builder
+	if err := hyperprov.Explain(&w, eng.Annotation("Products", bic)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFacadeConjunctiveExtension drives Update.WithConds through the
+// facade.
+func TestFacadeConjunctiveExtension(t *testing.T) {
+	schema := hyperprov.MustSchema(hyperprov.MustRelation("R",
+		hyperprov.Attribute{Name: "a", Kind: hyperprov.KindInt},
+		hyperprov.Attribute{Name: "b", Kind: hyperprov.KindInt},
+	))
+	d := hyperprov.NewDatabase(schema)
+	_ = d.InsertTuple("R", hyperprov.Tuple{hyperprov.I(1), hyperprov.I(1)})
+	_ = d.InsertTuple("R", hyperprov.Tuple{hyperprov.I(1), hyperprov.I(2)})
+	eng := hyperprov.New(hyperprov.ModeNormalForm, d)
+	txn := hyperprov.Transaction{Label: "p", Updates: []hyperprov.Update{
+		hyperprov.Delete("R", hyperprov.AllPattern(2)).WithConds(hyperprov.AttrCond{Left: 0, Right: 1}),
+	}}
+	if err := eng.ApplyTransaction(&txn); err != nil {
+		t.Fatal(err)
+	}
+	live := hyperprov.LiveDB(eng)
+	if live.NumTuples() != 1 || !live.Instance("R").Contains(hyperprov.Tuple{hyperprov.I(1), hyperprov.I(2)}) {
+		t.Errorf("diagonal delete through facade left %d tuples", live.NumTuples())
+	}
+}
+
+// TestFacadeLiveMatchingOption smoke-tests the option through the
+// facade.
+func TestFacadeLiveMatchingOption(t *testing.T) {
+	eng := hyperprov.New(hyperprov.ModeNormalForm, exampleDB(t), hyperprov.WithLiveMatching(true))
+	txn := hyperprov.Transaction{Label: "p", Updates: []hyperprov.Update{
+		hyperprov.Delete("Products", hyperprov.AllPattern(3)),
+	}}
+	if err := eng.ApplyTransaction(&txn); err != nil {
+		t.Fatal(err)
+	}
+	if hyperprov.LiveDB(eng).NumTuples() != 0 {
+		t.Error("delete-all under live matching broken")
+	}
+}
+
+// TestFacadeParallelAndCodec drives the parallel valuation and the
+// expression codec through the facade.
+func TestFacadeParallelAndCodec(t *testing.T) {
+	eng := hyperprov.New(hyperprov.ModeNormalForm, exampleDB(t), annotByCategory())
+	txn := hyperprov.Transaction{Label: "p", Updates: []hyperprov.Update{
+		hyperprov.Delete("Products", hyperprov.AllPattern(3)),
+	}}
+	if err := eng.ApplyTransaction(&txn); err != nil {
+		t.Fatal(err)
+	}
+	env := func(a hyperprov.Annot) bool { return a != hyperprov.QueryAnnot("p") }
+	seq := hyperprov.BoolRestrict(eng, env)
+	par := hyperprov.BoolRestrictParallel(eng, env, 4)
+	if !par.Equal(seq) {
+		t.Error("parallel restrict diverges through facade")
+	}
+	n := 0
+	hyperprov.Specialize[bool](eng, hyperprov.Bool, env, func(rel string, tu hyperprov.Tuple, v bool) { n++ })
+	if n != 4 {
+		t.Errorf("Specialize visited %d rows", n)
+	}
+	m := 0
+	var mu sync.Mutex
+	hyperprov.SpecializeParallel[bool](eng, hyperprov.Bool, env, 2, func(rel string, tu hyperprov.Tuple, v bool) {
+		mu.Lock()
+		m++
+		mu.Unlock()
+	})
+	if m != 4 {
+		t.Errorf("SpecializeParallel visited %d rows", m)
+	}
+
+	e := hyperprov.MinusOp(hyperprov.ExprVar(hyperprov.TupleAnnot("p1")), hyperprov.ExprVar(hyperprov.QueryAnnot("p")))
+	var buf bytes.Buffer
+	if err := hyperprov.WriteExpr(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	back, err := hyperprov.ReadExpr(&buf)
+	if err != nil || !back.Equal(e) {
+		t.Fatalf("codec round trip through facade failed: %v", err)
+	}
+}

@@ -1,0 +1,3 @@
+module hyperprov
+
+go 1.22

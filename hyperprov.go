@@ -1,0 +1,256 @@
+package hyperprov
+
+import (
+	"io"
+
+	"hyperprov/internal/core"
+	"hyperprov/internal/db"
+	"hyperprov/internal/engine"
+	"hyperprov/internal/parser"
+	"hyperprov/internal/provstore"
+	"hyperprov/internal/upstruct"
+)
+
+// --- provenance expressions (internal/core) ----------------------------
+
+// Expr is a UP[X] provenance expression.
+type Expr = core.Expr
+
+// Annot is a basic annotation (tuple or query identifier).
+type Annot = core.Annot
+
+// AnnotKind distinguishes tuple annotations (X) from query/transaction
+// annotations (P).
+type AnnotKind = core.AnnotKind
+
+// Annotation kinds.
+const (
+	KindTuple = core.KindTuple
+	KindQuery = core.KindQuery
+)
+
+// Op enumerates UP[X] expression node kinds.
+type Op = core.Op
+
+// Expression node kinds.
+const (
+	OpZero  = core.OpZero
+	OpVar   = core.OpVar
+	OpPlusI = core.OpPlusI
+	OpMinus = core.OpMinus
+	OpPlusM = core.OpPlusM
+	OpDotM  = core.OpDotM
+	OpSum   = core.OpSum
+)
+
+// NF is a provenance expression maintained in the Theorem 5.3 normal
+// form.
+type NF = core.NF
+
+// Expression constructors and annotation helpers.
+var (
+	Zero       = core.Zero
+	ExprVar    = core.Var
+	TupleAnnot = core.TupleAnnot
+	QueryAnnot = core.QueryAnnot
+	PlusI      = core.PlusI
+	MinusOp    = core.Minus
+	PlusM      = core.PlusM
+	DotM       = core.DotM
+	SumOf      = core.Sum
+)
+
+// Rewriting: Normalize applies the Figure 6 rules exhaustively
+// (Theorem 5.3), Minimize the zero-axiom post-processing
+// (Proposition 5.5), SimplifyZero just the zero-related axioms.
+var (
+	Normalize    = core.Normalize
+	Minimize     = core.Minimize
+	SimplifyZero = core.SimplifyZero
+	ParseExpr    = core.ParseExpr
+	WriteDOT     = core.WriteDOT
+)
+
+// --- relational substrate (internal/db) --------------------------------
+
+// Kind is the type of an attribute value.
+type Kind = db.Kind
+
+// Attribute value kinds.
+const (
+	KindString = db.KindString
+	KindInt    = db.KindInt
+	KindFloat  = db.KindFloat
+)
+
+// Value is a typed attribute value; Tuple an ordered list of values.
+type (
+	Value     = db.Value
+	Tuple     = db.Tuple
+	Attribute = db.Attribute
+	Schema    = db.Schema
+	Database  = db.Database
+	Pattern   = db.Pattern
+	Term      = db.Term
+	Update    = db.Update
+	SetClause = db.SetClause
+	// AttrCond is an inter-attribute condition of the conjunctive
+	// extension beyond the hyperplane fragment (Update.WithConds).
+	AttrCond = db.AttrCond
+	// Transaction is an annotated sequence of hyperplane update queries.
+	Transaction = db.Transaction
+)
+
+// Value and schema constructors.
+var (
+	S                 = db.S
+	I                 = db.I
+	F                 = db.F
+	NewDatabase       = db.NewDatabase
+	NewSchema         = db.NewSchema
+	MustSchema        = db.MustSchema
+	NewRelationSchema = db.NewRelationSchema
+	MustRelation      = db.MustRelationSchema
+)
+
+// Pattern and update constructors.
+var (
+	Const        = db.Const
+	AnyVar       = db.AnyVar
+	VarNotEq     = db.VarNotEq
+	ConstPattern = db.ConstPattern
+	AllPattern   = db.AllPattern
+	Insert       = db.Insert
+	Delete       = db.Delete
+	Modify       = db.Modify
+	Keep         = db.Keep
+	SetTo        = db.SetTo
+)
+
+// --- provenance engines (internal/engine) ------------------------------
+
+// Engine is a provenance-tracking database.
+type Engine = engine.Engine
+
+// Option configures an Engine.
+type Option = engine.Option
+
+// Mode selects the provenance representation.
+type Mode = engine.Mode
+
+// Engine modes: the definition-following construction with no axioms,
+// and the incrementally maintained normal form.
+const (
+	ModeNaive      = engine.ModeNaive
+	ModeNormalForm = engine.ModeNormalForm
+)
+
+// Engine construction and options.
+var (
+	New                    = engine.New
+	WithCopyOnWrite        = engine.WithCopyOnWrite
+	WithEagerZeroAxioms    = engine.WithEagerZeroAxioms
+	WithInitialAnnotations = engine.WithInitialAnnotations
+	WithLiveMatching       = engine.WithLiveMatching
+)
+
+// Provenance applications (Section 4 of the paper).
+var (
+	LiveDB              = engine.LiveDB
+	BoolRestrict        = engine.BoolRestrict
+	DeletionPropagation = engine.DeletionPropagation
+	AbortTransactions   = engine.AbortTransactions
+	AccessControl       = engine.AccessControl
+	Certify             = engine.Certify
+)
+
+// Impact analysis: Dependencies extracts a tuple's input-tuple and
+// transaction dependencies; BuildImpact constructs the inverted index.
+type Impact = engine.Impact
+
+var (
+	Dependencies = engine.Dependencies
+	BuildImpact  = engine.BuildImpact
+)
+
+// Explain renders a human-readable account of a provenance expression.
+var (
+	Explain       = core.Explain
+	ExplainString = core.ExplainString
+)
+
+// Provenance storage (package provstore): SaveSnapshot persists an
+// engine's annotated database with a structurally deduplicated
+// expression table; LoadSnapshot restores it.
+func SaveSnapshot(w io.Writer, e *Engine) error { return provstore.SaveSnapshot(w, e) }
+
+// LoadSnapshot restores an annotated database saved by SaveSnapshot.
+func LoadSnapshot(r io.Reader, opts ...Option) (*Engine, error) {
+	return provstore.LoadSnapshot(r, opts...)
+}
+
+// WriteExpr and ReadExpr persist single expressions through the
+// structurally deduplicating codec.
+var (
+	WriteExpr = provstore.WriteExpr
+	ReadExpr  = provstore.ReadExpr
+)
+
+// --- Update-Structures (internal/upstruct) ------------------------------
+
+// Structure is an Update-Structure: concrete semantics for UP[X].
+type Structure[T any] interface {
+	upstruct.Structure[T]
+}
+
+// Set is the sorted string set of the access-control semantics; Trust
+// the (score, flag) pair of the certification semantics.
+type (
+	Set            = upstruct.Set
+	Trust          = upstruct.Trust
+	TrustStructure = upstruct.TrustStructure
+	BoolStructure  = upstruct.BoolStructure
+	SetStructure   = upstruct.SetStructure
+)
+
+// Shared structure instances and helpers.
+var (
+	Bool   = upstruct.Bool
+	Sets   = upstruct.Sets
+	NewSet = upstruct.NewSet
+	Score  = upstruct.Score
+)
+
+// Eval specializes an abstract provenance expression into a concrete
+// Update-Structure under a valuation (Proposition 4.2 makes this
+// sound).
+func Eval[T any](e *Expr, s upstruct.Structure[T], env func(Annot) T) T {
+	return upstruct.Eval(e, s, env)
+}
+
+// Specialize evaluates every stored annotation of the engine in the
+// given structure, streaming results to f; SpecializeParallel spreads
+// evaluation over workers goroutines (0 = GOMAXPROCS).
+func Specialize[T any](e *Engine, s upstruct.Structure[T], env func(Annot) T, f func(rel string, t Tuple, v T)) {
+	engine.Specialize(e, s, env, f)
+}
+
+// SpecializeParallel is Specialize with parallel row evaluation; f must
+// be safe for concurrent use.
+func SpecializeParallel[T any](e *Engine, s upstruct.Structure[T], env func(Annot) T, workers int, f func(rel string, t Tuple, v T)) {
+	engine.SpecializeParallel(e, s, env, workers, f)
+}
+
+// BoolRestrictParallel is BoolRestrict with parallel evaluation.
+var BoolRestrictParallel = engine.BoolRestrictParallel
+
+// --- query front ends (internal/parser) ---------------------------------
+
+// Parsers for the SQL fragment of Section 2 and the paper's
+// datalog-like notation.
+var (
+	ParseSQLStatement = parser.ParseSQLStatement
+	ParseSQLLog       = parser.ParseSQLLog
+	ParseDatalogQuery = parser.ParseDatalogQuery
+	ParseDatalogLog   = parser.ParseDatalogLog
+)

@@ -1,0 +1,200 @@
+package hyperprov_test
+
+// Tests of the public facade: everything a downstream user touches is
+// exercised through the hyperprov package itself, following the paper's
+// running example end to end.
+
+import (
+	"strings"
+	"testing"
+
+	"hyperprov"
+)
+
+func exampleSchema(t *testing.T) *hyperprov.Schema {
+	t.Helper()
+	return hyperprov.MustSchema(hyperprov.MustRelation("Products",
+		hyperprov.Attribute{Name: "Product", Kind: hyperprov.KindString},
+		hyperprov.Attribute{Name: "Category", Kind: hyperprov.KindString},
+		hyperprov.Attribute{Name: "Price", Kind: hyperprov.KindInt},
+	))
+}
+
+func exampleDB(t *testing.T) *hyperprov.Database {
+	t.Helper()
+	d := hyperprov.NewDatabase(exampleSchema(t))
+	for _, r := range []hyperprov.Tuple{
+		{hyperprov.S("Kids mnt bike"), hyperprov.S("Sport"), hyperprov.I(120)},
+		{hyperprov.S("Tennis Racket"), hyperprov.S("Sport"), hyperprov.I(70)},
+		{hyperprov.S("Kids mnt bike"), hyperprov.S("Kids"), hyperprov.I(120)},
+		{hyperprov.S("Children sneakers"), hyperprov.S("Fashion"), hyperprov.I(40)},
+	} {
+		if err := d.InsertTuple("Products", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func annotByCategory() hyperprov.Option {
+	return hyperprov.WithInitialAnnotations(func(rel string, tu hyperprov.Tuple) hyperprov.Annot {
+		if tu[0].Str() == "Tennis Racket" {
+			return hyperprov.TupleAnnot("p2")
+		}
+		switch tu[1].Str() {
+		case "Sport":
+			return hyperprov.TupleAnnot("p1")
+		case "Kids":
+			return hyperprov.TupleAnnot("p3")
+		default:
+			return hyperprov.TupleAnnot("p4")
+		}
+	})
+}
+
+func TestFacadeRunningExample(t *testing.T) {
+	schema := exampleSchema(t)
+	txns, err := hyperprov.ParseDatalogLog(schema, `
+ProductsM,p("Kids mnt bike", "Kids", c -> "Kids mnt bike", "Sport", c):-
+ProductsM,p("Kids mnt bike", "Sport", c -> "Kids mnt bike", "Bicycles", c):-
+ProductsM,pp(a, "Sport", c -> a, "Sport", 50):-
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := hyperprov.New(hyperprov.ModeNormalForm, exampleDB(t), annotByCategory())
+	if err := eng.ApplyAll(txns); err != nil {
+		t.Fatal(err)
+	}
+	bic := hyperprov.Tuple{hyperprov.S("Kids mnt bike"), hyperprov.S("Bicycles"), hyperprov.I(120)}
+	ann := hyperprov.Minimize(eng.Annotation("Products", bic))
+	if got, want := ann.String(), "(p1 + p3) *M p"; got != want {
+		t.Errorf("Bicycles annotation = %q, want %q (Example 5.7)", got, want)
+	}
+
+	// Deletion propagation (Example 4.3).
+	without := hyperprov.DeletionPropagation(eng, hyperprov.TupleAnnot("p2"))
+	racket50 := hyperprov.Tuple{hyperprov.S("Tennis Racket"), hyperprov.S("Sport"), hyperprov.I(50)}
+	if without.Instance("Products").Contains(racket50) {
+		t.Error("deleting p2 must remove the discounted racket")
+	}
+
+	// Transaction abortion (Example 4.4).
+	aborted := hyperprov.AbortTransactions(eng, "p")
+	bike50 := hyperprov.Tuple{hyperprov.S("Kids mnt bike"), hyperprov.S("Sport"), hyperprov.I(50)}
+	if !aborted.Instance("Products").Contains(bike50) {
+		t.Error("aborting p must reprice the Sport bike")
+	}
+}
+
+func TestFacadeExpressionAPI(t *testing.T) {
+	e, err := hyperprov.ParseExpr("(p1 +M (p3 *M p)) - p", func(name string) hyperprov.AnnotKind {
+		if name == "p" {
+			return hyperprov.KindQuery
+		}
+		return hyperprov.KindTuple
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := hyperprov.Normalize(e)
+	if got, want := n.String(), "p1 - p"; got != want {
+		t.Errorf("Normalize = %q, want %q", got, want)
+	}
+	built := hyperprov.MinusOp(
+		hyperprov.PlusM(hyperprov.ExprVar(hyperprov.TupleAnnot("p1")),
+			hyperprov.DotM(hyperprov.ExprVar(hyperprov.TupleAnnot("p3")), hyperprov.ExprVar(hyperprov.QueryAnnot("p")))),
+		hyperprov.ExprVar(hyperprov.QueryAnnot("p")))
+	if !built.Equal(e) {
+		t.Error("constructor-built expression differs from the parsed one")
+	}
+	var b strings.Builder
+	if err := hyperprov.WriteDOT(&b, "x", e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "digraph") {
+		t.Error("DOT export broken")
+	}
+	if hyperprov.SimplifyZero(hyperprov.PlusM(hyperprov.Zero(), e)) != e {
+		t.Error("SimplifyZero broken through the facade")
+	}
+	if hyperprov.SumOf().Op() != hyperprov.OpZero {
+		t.Error("empty sum must be zero")
+	}
+}
+
+func TestFacadeEvalStructures(t *testing.T) {
+	e, err := hyperprov.ParseExpr("(a + b) *M p", func(name string) hyperprov.AnnotKind {
+		if name == "p" {
+			return hyperprov.KindQuery
+		}
+		return hyperprov.KindTuple
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bv := hyperprov.Eval(e, hyperprov.Bool, func(a hyperprov.Annot) bool {
+		return a.Name != "b"
+	})
+	if !bv {
+		t.Error("Boolean eval through facade broken")
+	}
+	sv := hyperprov.Eval(e, hyperprov.Sets, func(a hyperprov.Annot) hyperprov.Set {
+		switch a.Name {
+		case "a":
+			return hyperprov.NewSet("IL")
+		case "b":
+			return hyperprov.NewSet("FR")
+		default:
+			return hyperprov.NewSet("IL", "FR")
+		}
+	})
+	if !sv.Equal(hyperprov.NewSet("FR", "IL")) {
+		t.Errorf("set eval = %v", sv)
+	}
+	st := hyperprov.TrustStructure{L: 0.5}
+	tv := hyperprov.Eval(e, st, func(a hyperprov.Annot) hyperprov.Trust {
+		return hyperprov.Score(0.9)
+	})
+	if !st.Trusted(tv) {
+		t.Error("trust eval through facade broken")
+	}
+}
+
+func TestFacadeSQLFrontEnd(t *testing.T) {
+	schema := exampleSchema(t)
+	u, err := hyperprov.ParseSQLStatement(schema, "DELETE FROM Products WHERE Category = 'Fashion'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := exampleDB(t)
+	if err := d.Apply(u); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumTuples() != 3 {
+		t.Errorf("after delete: %d tuples, want 3", d.NumTuples())
+	}
+	if _, _, err := hyperprov.ParseDatalogQuery(schema, `Products+,p("x","y",1):-`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeEngineOptions(t *testing.T) {
+	initial := exampleDB(t)
+	for _, opt := range [][]hyperprov.Option{
+		nil,
+		{hyperprov.WithCopyOnWrite(false)},
+		{hyperprov.WithEagerZeroAxioms(true)},
+	} {
+		e := hyperprov.New(hyperprov.ModeNaive, initial, opt...)
+		txn := hyperprov.Transaction{Label: "p", Updates: []hyperprov.Update{
+			hyperprov.Delete("Products", hyperprov.AllPattern(3)),
+		}}
+		if err := e.ApplyTransaction(&txn); err != nil {
+			t.Fatal(err)
+		}
+		if live := hyperprov.LiveDB(e); live.NumTuples() != 0 {
+			t.Errorf("live DB after delete-all: %d tuples", live.NumTuples())
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import "fmt"
+
+// AnnotKind distinguishes the two sources of basic annotations in the
+// paper's model: annotations drawn from X, attached to database tuples,
+// and annotations drawn from P, attached to update queries (one per
+// transaction).
+type AnnotKind uint8
+
+const (
+	// KindTuple marks an annotation from X attached to a database tuple.
+	KindTuple AnnotKind = iota
+	// KindQuery marks an annotation from P attached to an update query or
+	// transaction.
+	KindQuery
+)
+
+// String returns "tuple" or "query".
+func (k AnnotKind) String() string {
+	switch k {
+	case KindTuple:
+		return "tuple"
+	case KindQuery:
+		return "query"
+	default:
+		return fmt.Sprintf("AnnotKind(%d)", uint8(k))
+	}
+}
+
+// Annot is a basic provenance annotation: an opaque identifier together
+// with its kind. Annotations are value types and compare with ==.
+type Annot struct {
+	Name string
+	Kind AnnotKind
+}
+
+// TupleAnnot returns a tuple annotation (an element of X) with the given
+// name.
+func TupleAnnot(name string) Annot { return Annot{Name: name, Kind: KindTuple} }
+
+// QueryAnnot returns a query/transaction annotation (an element of P)
+// with the given name.
+func QueryAnnot(name string) Annot { return Annot{Name: name, Kind: KindQuery} }
+
+// String returns the annotation name.
+func (a Annot) String() string { return a.Name }
+
+// AnnotSeq hands out fresh, uniquely named annotations. It is used by
+// the provenance engines to annotate initial database tuples and by
+// tests and generators. The zero value is ready to use.
+type AnnotSeq struct {
+	prefix string
+	kind   AnnotKind
+	n      int
+}
+
+// NewAnnotSeq returns a sequence producing annotations prefix0, prefix1, …
+// of the given kind.
+func NewAnnotSeq(prefix string, kind AnnotKind) *AnnotSeq {
+	return &AnnotSeq{prefix: prefix, kind: kind}
+}
+
+// Next returns the next fresh annotation in the sequence.
+func (s *AnnotSeq) Next() Annot {
+	a := Annot{Name: fmt.Sprintf("%s%d", s.prefix, s.n), Kind: s.kind}
+	s.n++
+	return a
+}
+
+// Count reports how many annotations have been handed out.
+func (s *AnnotSeq) Count() int { return s.n }

@@ -1,0 +1,116 @@
+package core
+
+// This file states the twelve equivalence axioms of the paper's
+// Figure 3 as first-class expression pairs, with metavariables
+// represented as tuple-annotation variables (a, b, c, d, bᵢ) and the
+// query annotation as a query variable. They serve as executable
+// documentation and as the ground truth for the law checker in package
+// upstruct: every Update-Structure must satisfy each axiom under every
+// valuation, and the rewrite rules of Figure 6 must be derivable from
+// them (both properties are verified by tests).
+
+// Axiom is one equivalence axiom: LHS ≡ RHS for all valuations of the
+// metavariables occurring in the two expressions.
+type Axiom struct {
+	// Name identifies the axiom by its Figure 3 number.
+	Name string
+	// Comment summarizes what the axiom captures.
+	Comment  string
+	LHS, RHS *Expr
+}
+
+// Axioms returns the Figure 3 axiom schemas. Axioms 3, 5 and 11, which
+// quantify over sets of expressions, are instantiated at representative
+// small sizes (the law checker additionally probes other partitions).
+func Axioms() []Axiom {
+	a, b, c, d := TupleVar("a"), TupleVar("b"), TupleVar("c"), TupleVar("d")
+	b0, b1 := TupleVar("b0"), TupleVar("b1")
+	p := QueryVar("p")
+	mod := func(base, summand, q *Expr) *Expr { return PlusM(base, DotM(summand, q)) }
+	return []Axiom{
+		{
+			Name:    "axiom 1",
+			Comment: "modification layers over the same query commute",
+			LHS:     mod(mod(a, b, p), d, p),
+			RHS:     mod(mod(a, d, p), b, p),
+		},
+		{
+			Name:    "axiom 2",
+			Comment: "a deletion overrides a pending modification",
+			LHS:     Minus(mod(a, b, p), p),
+			RHS:     Minus(a, p),
+		},
+		{
+			Name:    "axiom 3",
+			Comment: "successive modifications factorize over a partition (I = {c,d}, S1 = {c}, S2 = {d})",
+			LHS:     mod(mod(a, Sum(c, d), p), Sum(b0, b1), p),
+			RHS:     mod(a, Sum(mod(b0, c, p), mod(b1, d, p)), p),
+		},
+		{
+			Name:    "axiom 4",
+			Comment: "deletion is idempotent",
+			LHS:     Minus(Minus(a, b), b),
+			RHS:     Minus(a, b),
+		},
+		{
+			Name:    "axiom 5",
+			Comment: "a modification fed only by tuples the query deleted has no effect (two summands)",
+			LHS:     mod(a, Sum(Minus(b0, p), Minus(b1, p)), p),
+			RHS:     a,
+		},
+		{
+			Name:    "axiom 6",
+			Comment: "insertion distributes over a pending modification",
+			LHS:     PlusI(mod(a, b, p), p),
+			RHS:     mod(PlusI(a, p), b, p),
+		},
+		{
+			Name:    "axiom 7",
+			Comment: "a deletion overrides an insertion by the same query",
+			LHS:     Minus(PlusI(a, b), b),
+			RHS:     Minus(a, b),
+		},
+		{
+			Name:    "axiom 8",
+			Comment: "a modification fed by an inserted tuple equals inserting the target",
+			LHS:     mod(a, PlusI(b, p), p),
+			RHS:     mod(PlusI(a, p), b, p),
+		},
+		{
+			Name:    "axiom 9",
+			Comment: "an insertion overrides a pending modification",
+			LHS:     PlusI(mod(a, b, p), p),
+			RHS:     PlusI(a, p),
+		},
+		{
+			Name:    "axiom 10",
+			Comment: "an insertion overrides a deletion by the same query",
+			LHS:     PlusI(Minus(a, b), b),
+			RHS:     PlusI(a, b),
+		},
+		{
+			Name:    "axiom 11",
+			Comment: "a modification's summands may be split across layers",
+			LHS:     mod(a, Sum(b0, b1), p),
+			RHS:     mod(mod(a, b0, p), b1, p),
+		},
+		{
+			Name:    "axiom 12",
+			Comment: "a deleted tuple's re-received modifications pass through its deleted base",
+			LHS:     mod(Minus(a, b), c, b),
+			RHS:     mod(Minus(a, b), mod(Minus(d, b), c, b), b),
+		},
+	}
+}
+
+// Metavariables returns the distinct annotations occurring in the axiom
+// (the variables a valuation must assign).
+func (ax Axiom) Metavariables() []Annot {
+	set := ax.LHS.Annots(nil)
+	ax.RHS.Annots(set)
+	out := make([]Annot, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	return out
+}

@@ -1,0 +1,32 @@
+// Package core implements the UP[X] algebraic provenance structure for
+// hyperplane update queries, following Bourhis, Deutch and Moskovitch,
+// "Equivalence-Invariant Algebraic Provenance for Hyperplane Update
+// Queries" (SIGMOD 2020).
+//
+// The structure UP[X] is built from a set X of basic annotations
+// (identifiers attached to input tuples and to update queries) and five
+// abstract operations plus a distinguished zero element:
+//
+//   - a +I p  — provenance of inserting a tuple annotated a by a query
+//     annotated p (OpPlusI);
+//   - a − p   — provenance of deleting (or modifying away) a tuple; the
+//     paper's −D and −M coincide by axiom derivation (OpMinus);
+//   - a +M e  — provenance of a tuple that receives the result of a
+//     modification e (OpPlusM);
+//   - a ·M p  — a tuple annotated a updated by a query annotated p into a
+//     new tuple (OpDotM);
+//   - Σ / +   — the disjunction of the annotations of all tuples that a
+//     modification collapses into a single output tuple (OpSum).
+//
+// The zero element 0 (OpZero) annotates absent tuples; the zero-related
+// axioms of Section 3.1 of the paper are implemented by SimplifyZero.
+//
+// Expressions are immutable trees with cached tree size and structural
+// hash. The naive provenance construction (Section 5.1 of the paper)
+// manipulates these trees directly and may grow exponentially with the
+// transaction length; the normal form of Section 5.2 is implemented by
+// the NF type, which maintains one of the five shapes of Theorem 5.3
+// incrementally per update, using the rewrite rules of Figure 6 (see
+// rules.go). Minimize implements the unique zero-minimized representation
+// of Proposition 5.5 and is used as a canonical form.
+package core

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Explain writes a human-readable, indented account of a provenance
+// expression, describing what each operator records about the tuple's
+// history. It is aimed at end users of the CLI inspecting why a tuple
+// is (or is not) in the database; the notation-oriented String form is
+// better suited for logs and tests.
+func Explain(w io.Writer, e *Expr) error {
+	return explain(w, e, 0)
+}
+
+// ExplainString is Explain into a string.
+func ExplainString(e *Expr) string {
+	var b strings.Builder
+	_ = explain(&b, e, 0)
+	return b.String()
+}
+
+func explain(w io.Writer, e *Expr, depth int) error {
+	indent := strings.Repeat("  ", depth)
+	var err error
+	switch e.Op() {
+	case OpZero:
+		_, err = fmt.Fprintf(w, "%sabsent tuple (0)\n", indent)
+	case OpVar:
+		a := e.Annot()
+		if a.Kind == KindQuery {
+			_, err = fmt.Fprintf(w, "%stransaction %s\n", indent, a.Name)
+		} else {
+			_, err = fmt.Fprintf(w, "%sinput tuple %s\n", indent, a.Name)
+		}
+	case OpPlusI:
+		if _, err = fmt.Fprintf(w, "%sinserted by\n", indent); err != nil {
+			return err
+		}
+		if err = explain(w, e.Right(), depth+1); err != nil {
+			return err
+		}
+		if _, err = fmt.Fprintf(w, "%sover prior state\n", indent); err != nil {
+			return err
+		}
+		err = explain(w, e.Left(), depth+1)
+	case OpMinus:
+		if _, err = fmt.Fprintf(w, "%sdeleted by\n", indent); err != nil {
+			return err
+		}
+		if err = explain(w, e.Right(), depth+1); err != nil {
+			return err
+		}
+		if _, err = fmt.Fprintf(w, "%sfrom prior state\n", indent); err != nil {
+			return err
+		}
+		err = explain(w, e.Left(), depth+1)
+	case OpPlusM:
+		if _, err = fmt.Fprintf(w, "%sreceived a modification\n", indent); err != nil {
+			return err
+		}
+		if err = explain(w, e.Right(), depth+1); err != nil {
+			return err
+		}
+		if _, err = fmt.Fprintf(w, "%son top of prior state\n", indent); err != nil {
+			return err
+		}
+		err = explain(w, e.Left(), depth+1)
+	case OpDotM:
+		if _, err = fmt.Fprintf(w, "%ssource state\n", indent); err != nil {
+			return err
+		}
+		if err = explain(w, e.Left(), depth+1); err != nil {
+			return err
+		}
+		if _, err = fmt.Fprintf(w, "%supdated by\n", indent); err != nil {
+			return err
+		}
+		err = explain(w, e.Right(), depth+1)
+	case OpSum:
+		if _, err = fmt.Fprintf(w, "%sany of %d merged sources\n", indent, e.NumChildren()); err != nil {
+			return err
+		}
+		for _, k := range e.Children() {
+			if err = explain(w, k, depth+1); err != nil {
+				return err
+			}
+		}
+	default:
+		_, err = fmt.Fprintf(w, "%s?\n", indent)
+	}
+	return err
+}

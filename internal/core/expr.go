@@ -1,0 +1,303 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Op enumerates the node kinds of UP[X] expressions.
+type Op uint8
+
+const (
+	// OpZero is the distinguished 0 element (annotation of absent tuples).
+	OpZero Op = iota
+	// OpVar is a basic annotation from X ∪ P.
+	OpVar
+	// OpPlusI is the binary insertion operator a +I b.
+	OpPlusI
+	// OpMinus is the binary deletion operator a − b (the paper's −D and
+	// −M, unified by axiom derivation in Example 3.3).
+	OpMinus
+	// OpPlusM is the binary modification-receive operator a +M b.
+	OpPlusM
+	// OpDotM is the binary modification operator a ·M b.
+	OpDotM
+	// OpSum is the n-ary disjunction Σ / + over the annotations of the
+	// tuples collapsed into a single modification target.
+	OpSum
+)
+
+// String returns the operator's symbol as used by the paper.
+func (o Op) String() string {
+	switch o {
+	case OpZero:
+		return "0"
+	case OpVar:
+		return "var"
+	case OpPlusI:
+		return "+I"
+	case OpMinus:
+		return "-"
+	case OpPlusM:
+		return "+M"
+	case OpDotM:
+		return "*M"
+	case OpSum:
+		return "+"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Expr is an immutable UP[X] provenance expression. Expressions form
+// trees; sub-expressions may be shared, and the cached Size is always the
+// size of the expression *as a tree* (shared nodes counted once per
+// occurrence), which is the size measure used throughout the paper's
+// evaluation. Construct expressions only through the exported
+// constructors; the zero value of Expr is not valid.
+type Expr struct {
+	op   Op
+	ann  Annot // valid iff op == OpVar
+	kids []*Expr
+	size int64
+	hash uint64
+}
+
+// zeroExpr is the canonical 0 node; Zero always returns it, so a
+// syntactic zero test is a pointer or op comparison.
+var zeroExpr = &Expr{op: OpZero, size: 1, hash: hashNode(OpZero, Annot{}, nil)}
+
+// Zero returns the distinguished 0 expression.
+func Zero() *Expr { return zeroExpr }
+
+// Var returns the expression consisting of the single basic annotation a.
+func Var(a Annot) *Expr {
+	return &Expr{op: OpVar, ann: a, size: 1, hash: hashNode(OpVar, a, nil)}
+}
+
+// TupleVar is shorthand for Var(TupleAnnot(name)).
+func TupleVar(name string) *Expr { return Var(TupleAnnot(name)) }
+
+// QueryVar is shorthand for Var(QueryAnnot(name)).
+func QueryVar(name string) *Expr { return Var(QueryAnnot(name)) }
+
+func binary(op Op, l, r *Expr) *Expr {
+	kids := []*Expr{l, r}
+	return &Expr{
+		op:   op,
+		kids: kids,
+		size: 1 + l.size + r.size,
+		hash: hashNode(op, Annot{}, kids),
+	}
+}
+
+// PlusI returns l +I r.
+func PlusI(l, r *Expr) *Expr { return binary(OpPlusI, l, r) }
+
+// Minus returns l − r.
+func Minus(l, r *Expr) *Expr { return binary(OpMinus, l, r) }
+
+// PlusM returns l +M r.
+func PlusM(l, r *Expr) *Expr { return binary(OpPlusM, l, r) }
+
+// DotM returns l ·M r.
+func DotM(l, r *Expr) *Expr { return binary(OpDotM, l, r) }
+
+// Sum returns the disjunction Σ kids. A sum of zero children is 0 and a
+// sum of one child is that child; sums are otherwise kept n-ary and
+// nested sums are flattened one level, matching the paper's treatment of
+// Σ over a set of expressions.
+func Sum(kids ...*Expr) *Expr {
+	flat := make([]*Expr, 0, len(kids))
+	for _, k := range kids {
+		if k.op == OpSum {
+			flat = append(flat, k.kids...)
+		} else {
+			flat = append(flat, k)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return zeroExpr
+	case 1:
+		return flat[0]
+	}
+	size := int64(1)
+	for _, k := range flat {
+		size += k.size
+	}
+	return &Expr{op: OpSum, kids: flat, size: size, hash: hashNode(OpSum, Annot{}, flat)}
+}
+
+// Op reports the node kind.
+func (e *Expr) Op() Op { return e.op }
+
+// Annot returns the basic annotation of an OpVar node; it panics on any
+// other node kind.
+func (e *Expr) Annot() Annot {
+	if e.op != OpVar {
+		panic("core: Annot called on non-variable expression")
+	}
+	return e.ann
+}
+
+// NumChildren reports the number of children.
+func (e *Expr) NumChildren() int { return len(e.kids) }
+
+// Child returns the i'th child.
+func (e *Expr) Child(i int) *Expr { return e.kids[i] }
+
+// Children returns the children slice. The returned slice must not be
+// modified.
+func (e *Expr) Children() []*Expr { return e.kids }
+
+// Left returns the left operand of a binary node.
+func (e *Expr) Left() *Expr { return e.kids[0] }
+
+// Right returns the right operand of a binary node.
+func (e *Expr) Right() *Expr { return e.kids[1] }
+
+// Size returns the tree size (number of nodes, shared nodes counted per
+// occurrence) of the expression. This is the provenance-size measure of
+// the paper's Section 6.
+func (e *Expr) Size() int64 { return e.size }
+
+// Hash returns a structural hash of the expression. Equal expressions
+// have equal hashes; the converse holds with high probability only.
+func (e *Expr) Hash() uint64 { return e.hash }
+
+// IsZero reports whether the expression is the literal 0. Per Section 3.1
+// a tuple is in the support of an annotated relation iff its annotation
+// is not (syntactically) 0.
+func (e *Expr) IsZero() bool { return e.op == OpZero }
+
+// Equal reports structural equality of two expressions.
+func (e *Expr) Equal(o *Expr) bool {
+	if e == o {
+		return true
+	}
+	if e == nil || o == nil {
+		return e == o
+	}
+	if e.hash != o.hash || e.op != o.op || e.ann != o.ann || len(e.kids) != len(o.kids) {
+		return false
+	}
+	for i := range e.kids {
+		if !e.kids[i].Equal(o.kids[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// DeepCopy returns a structurally identical expression sharing no nodes
+// with e. The naive provenance engine uses it to model the copying cost
+// that the paper's Section 6.2 attributes to large naive expressions.
+func (e *Expr) DeepCopy() *Expr {
+	if e.op == OpZero {
+		return zeroExpr
+	}
+	if len(e.kids) == 0 {
+		c := *e
+		return &c
+	}
+	kids := make([]*Expr, len(e.kids))
+	for i, k := range e.kids {
+		kids[i] = k.DeepCopy()
+	}
+	c := *e
+	c.kids = kids
+	return &c
+}
+
+// Annots appends every basic annotation occurring in e (with
+// multiplicity removed) to the given map keyed by annotation. Pass nil to
+// allocate a fresh map.
+func (e *Expr) Annots(into map[Annot]struct{}) map[Annot]struct{} {
+	if into == nil {
+		into = make(map[Annot]struct{})
+	}
+	var walk func(x *Expr)
+	seen := make(map[*Expr]struct{})
+	walk = func(x *Expr) {
+		if _, ok := seen[x]; ok {
+			return
+		}
+		seen[x] = struct{}{}
+		if x.op == OpVar {
+			into[x.ann] = struct{}{}
+			return
+		}
+		for _, k := range x.kids {
+			walk(k)
+		}
+	}
+	walk(e)
+	return into
+}
+
+// Depth returns the height of the expression tree (a leaf has depth 1).
+func (e *Expr) Depth() int {
+	d := 0
+	for _, k := range e.kids {
+		if kd := k.Depth(); kd > d {
+			d = kd
+		}
+	}
+	return d + 1
+}
+
+// DAGSize returns the number of distinct nodes reachable from e, i.e. the
+// size of the expression when shared sub-expressions are stored once.
+// The naive engine with copy-on-write disabled (an ablation, see package
+// engine) produces expressions whose memory footprint is the DAG size
+// even when the tree size is exponential.
+func (e *Expr) DAGSize() int64 {
+	seen := make(map[*Expr]struct{})
+	var walk func(x *Expr)
+	walk = func(x *Expr) {
+		if _, ok := seen[x]; ok {
+			return
+		}
+		seen[x] = struct{}{}
+		for _, k := range x.kids {
+			walk(k)
+		}
+	}
+	walk(e)
+	return int64(len(seen))
+}
+
+// SortedByHash returns a copy of the given expressions sorted by
+// (hash, rendered string) — a deterministic order used to canonicalize
+// sums, justified by axiom 1 (sum elements commute under +M chains) and
+// the paper's treatment of Σ as ranging over a *set* of expressions.
+func SortedByHash(es []*Expr) []*Expr {
+	out := make([]*Expr, len(es))
+	copy(out, es)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].hash != out[j].hash {
+			return out[i].hash < out[j].hash
+		}
+		return out[i].String() < out[j].String()
+	})
+	return out
+}
+
+func hashNode(op Op, ann Annot, kids []*Expr) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	buf[0] = byte(op)
+	buf[1] = byte(ann.Kind)
+	_, _ = h.Write(buf[:2])
+	_, _ = h.Write([]byte(ann.Name))
+	for _, k := range kids {
+		v := k.hash
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		_, _ = h.Write(buf[:8])
+	}
+	return h.Sum64()
+}

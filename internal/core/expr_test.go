@@ -1,0 +1,226 @@
+package core_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hyperprov/internal/core"
+)
+
+func qv(name string) *core.Expr { return core.QueryVar(name) }
+func tv(name string) *core.Expr { return core.TupleVar(name) }
+
+// kindOf resolves parsed variable names: names starting with "p" or "q"
+// followed by nothing or digits are treated as query annotations in the
+// tests, mirroring the paper's naming (p, p', p1 are query/transaction
+// annotations, x1, t1 tuple annotations).
+func kindOf(name string) core.AnnotKind {
+	if strings.HasPrefix(name, "q") || name == "p" || name == "p'" {
+		return core.KindQuery
+	}
+	return core.KindTuple
+}
+
+func TestZeroSingleton(t *testing.T) {
+	if core.Zero() != core.Zero() {
+		t.Fatal("Zero must return the canonical node")
+	}
+	if !core.Zero().IsZero() {
+		t.Fatal("Zero().IsZero() = false")
+	}
+	if core.Zero().Size() != 1 {
+		t.Fatalf("Zero size = %d, want 1", core.Zero().Size())
+	}
+}
+
+func TestExample32String(t *testing.T) {
+	// Example 3.2: annotation of Products("Kids mnt bike", "Sport", $120)
+	// after the first query of T1 is p1 +M (p3 ·M p), and the final
+	// annotation of the Bicycles tuple is 0 +M ((p1 +M (p3 ·M p)) ·M p).
+	p := core.QueryAnnot("p")
+	e1 := core.PlusM(tv("p1"), core.DotM(tv("p3"), core.Var(p)))
+	if got, want := e1.String(), "p1 +M (p3 *M p)"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	e2 := core.PlusM(core.Zero(), core.DotM(e1, core.Var(p)))
+	if got, want := e2.String(), "0 +M ((p1 +M (p3 *M p)) *M p)"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if e2.Size() != 9 {
+		t.Errorf("Size = %d, want 9", e2.Size())
+	}
+}
+
+func TestSumFlattening(t *testing.T) {
+	s := core.Sum(tv("a"), core.Sum(tv("b"), tv("c")), tv("d"))
+	if s.Op() != core.OpSum || s.NumChildren() != 4 {
+		t.Fatalf("nested sums must flatten: got %v with %d children", s.Op(), s.NumChildren())
+	}
+	if core.Sum().Op() != core.OpZero {
+		t.Error("empty sum must be 0")
+	}
+	if one := core.Sum(tv("a")); one.Op() != core.OpVar {
+		t.Error("singleton sum must be its element")
+	}
+}
+
+func TestEqualAndHash(t *testing.T) {
+	a := core.PlusM(tv("x"), core.DotM(core.Sum(tv("y"), tv("z")), qv("p")))
+	b := core.PlusM(tv("x"), core.DotM(core.Sum(tv("y"), tv("z")), qv("p")))
+	if !a.Equal(b) || a.Hash() != b.Hash() {
+		t.Error("structurally equal expressions must be Equal with equal hashes")
+	}
+	c := core.PlusM(tv("x"), core.DotM(core.Sum(tv("z"), tv("y")), qv("p")))
+	if a.Equal(c) {
+		t.Error("sums with different order are not structurally equal")
+	}
+	// Tuple and query annotations with the same name are distinct.
+	if tv("p").Equal(qv("p")) {
+		t.Error("tuple annotation p must differ from query annotation p")
+	}
+}
+
+func TestDeepCopy(t *testing.T) {
+	e := core.PlusM(tv("x"), core.DotM(core.Sum(tv("y"), tv("z")), qv("p")))
+	c := e.DeepCopy()
+	if !e.Equal(c) {
+		t.Fatal("DeepCopy must preserve structure")
+	}
+	if e == c || e.Child(1) == c.Child(1) {
+		t.Fatal("DeepCopy must not share non-leaf nodes")
+	}
+	if e.Size() != c.Size() || e.Hash() != c.Hash() {
+		t.Fatal("DeepCopy must preserve size and hash")
+	}
+}
+
+func TestDAGSizeVersusTreeSize(t *testing.T) {
+	// A chain that doubles tree size at every step keeps DAG size linear.
+	e := tv("x")
+	for i := 0; i < 10; i++ {
+		e = core.PlusM(e, core.DotM(e, qv("p")))
+	}
+	if e.Size() < 1000 {
+		t.Fatalf("tree size = %d, want exponential growth", e.Size())
+	}
+	if ds := e.DAGSize(); ds > 40 {
+		t.Fatalf("DAG size = %d, want linear growth", ds)
+	}
+}
+
+func TestAnnots(t *testing.T) {
+	e := core.PlusM(core.Minus(tv("x"), qv("p")), core.DotM(core.Sum(tv("y"), tv("x")), qv("p")))
+	got := e.Annots(nil)
+	want := []core.Annot{core.TupleAnnot("x"), core.TupleAnnot("y"), core.QueryAnnot("p")}
+	if len(got) != len(want) {
+		t.Fatalf("Annots = %v, want %v", got, want)
+	}
+	for _, a := range want {
+		if _, ok := got[a]; !ok {
+			t.Errorf("missing annotation %v", a)
+		}
+	}
+}
+
+func TestDepth(t *testing.T) {
+	if d := tv("x").Depth(); d != 1 {
+		t.Errorf("leaf depth = %d, want 1", d)
+	}
+	e := core.PlusI(core.Minus(tv("x"), qv("p")), qv("q"))
+	if d := e.Depth(); d != 3 {
+		t.Errorf("depth = %d, want 3", d)
+	}
+}
+
+func TestParseRoundTripExamples(t *testing.T) {
+	cases := []string{
+		"0",
+		"x1",
+		"p1 +M (p3 *M p)",
+		"(p1 +M (p3 *M p)) - p",
+		"0 +M (((p1 +M (p3 *M p)) - p) *M p')",
+		"(p1 + p3) *M p",
+		"((a - p) +M ((b0 + b1 + b2) *M p)) +I q1",
+		"x1 + x2 + x3",
+	}
+	for _, s := range cases {
+		e, err := core.ParseExpr(s, kindOf)
+		if err != nil {
+			t.Fatalf("ParseExpr(%q): %v", s, err)
+		}
+		if got := e.String(); got != s {
+			t.Errorf("round trip of %q = %q", s, got)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "(a", "a +M", "a + b - c", "a )", "$x"} {
+		if _, err := core.ParseExpr(s, kindOf); err == nil {
+			t.Errorf("ParseExpr(%q) succeeded, want error", s)
+		}
+	}
+}
+
+// randExpr builds a random expression over a small pool of annotations.
+func randExpr(r *rand.Rand, depth int) *core.Expr {
+	if depth <= 0 || r.Intn(4) == 0 {
+		switch r.Intn(4) {
+		case 0:
+			return core.Zero()
+		case 1:
+			return qv([]string{"p", "q1", "q2"}[r.Intn(3)])
+		default:
+			return tv([]string{"x1", "x2", "x3", "x4"}[r.Intn(4)])
+		}
+	}
+	switch r.Intn(5) {
+	case 0:
+		return core.PlusI(randExpr(r, depth-1), randExpr(r, depth-1))
+	case 1:
+		return core.Minus(randExpr(r, depth-1), randExpr(r, depth-1))
+	case 2:
+		return core.PlusM(randExpr(r, depth-1), randExpr(r, depth-1))
+	case 3:
+		return core.DotM(randExpr(r, depth-1), randExpr(r, depth-1))
+	default:
+		n := 2 + r.Intn(3)
+		kids := make([]*core.Expr, n)
+		for i := range kids {
+			kids[i] = randExpr(r, depth-1)
+		}
+		return core.Sum(kids...)
+	}
+}
+
+func TestParseRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func() bool {
+		e := randExpr(r, 5)
+		back, err := core.ParseExpr(e.String(), kindOf)
+		if err != nil {
+			t.Logf("parse error for %q: %v", e.String(), err)
+			return false
+		}
+		return back.Equal(e)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	e := core.PlusM(tv("a"), core.DotM(core.Sum(tv("b"), tv("c")), qv("p")))
+	var b strings.Builder
+	if err := core.WriteDOT(&b, "prov", e); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{"digraph", `label="+M"`, `label="*M"`, `label="a"`, `label="p"`, "n0 -> n1"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("DOT output missing %q:\n%s", frag, out)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"hyperprov/internal/core"
+	"hyperprov/internal/upstruct"
+)
+
+// FuzzParseExpr checks that the expression parser never panics and that
+// everything it accepts round-trips through String, rewrites safely and
+// evaluates without divergence between the rewritten forms.
+func FuzzParseExpr(f *testing.F) {
+	for _, seed := range []string{
+		"0",
+		"p1 +M (p3 *M p)",
+		"(p1 +M (p3 *M p)) - p",
+		"(a + b + c) *M p",
+		"((a - p) +M ((b0 + b1) *M p)) +I q",
+		"x1 + x2",
+		"((",
+		"a +M",
+		"0 - 0",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := core.ParseExpr(src, kindOf)
+		if err != nil {
+			return
+		}
+		back, err := core.ParseExpr(e.String(), kindOf)
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q): %v", e.String(), src, err)
+		}
+		if !back.Equal(e) {
+			t.Fatalf("round trip changed %q -> %q", e, back)
+		}
+		// Rewrites must not panic and must preserve the Boolean all-true
+		// and all-false semantics.
+		n := core.Normalize(e)
+		m := core.Minimize(e)
+		z := core.SimplifyZero(e)
+		for _, val := range []bool{true, false} {
+			env := func(core.Annot) bool { return val }
+			want := upstruct.Eval(e, upstruct.Bool, env)
+			if upstruct.Eval(m, upstruct.Bool, env) != want {
+				t.Fatalf("Minimize changed semantics of %q", src)
+			}
+			if upstruct.Eval(z, upstruct.Bool, env) != want {
+				t.Fatalf("SimplifyZero changed semantics of %q", src)
+			}
+			_ = n // Normalize is only guaranteed on construction-shaped input
+		}
+		if e.Size() < 1 || e.Depth() < 1 {
+			t.Fatal("degenerate size/depth")
+		}
+	})
+}
+
+func TestExplainString(t *testing.T) {
+	e := mustParse(t, "0 +M (((p1 - p) + p2) *M q1)")
+	out := core.ExplainString(e)
+	for _, frag := range []string{
+		"received a modification",
+		"any of 2 merged sources",
+		"deleted by",
+		"transaction p",
+		"input tuple p2",
+		"absent tuple (0)",
+		"updated by",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("explanation missing %q:\n%s", frag, out)
+		}
+	}
+	ins := mustParse(t, "x1 +I q1")
+	if !strings.Contains(core.ExplainString(ins), "inserted by") {
+		t.Error("insertion explanation missing")
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+// Minimize returns the canonical zero-minimized representation of e
+// (Proposition 5.5): the zero-related axioms are applied bottom-up, and
+// every sum is flattened, deduplicated and put into a deterministic
+// order (Σ ranges over a set of expressions; reordering summands is
+// sanctioned by axiom 1). For expressions in the normal form of
+// Theorem 5.3 the result is one of
+//
+//	(1) a normal-form shape, (2) the literal 0, or (3) (Σ bi) ·M p,
+//
+// and the paper shows it is a unique minimal representative, which makes
+// Minimize usable as a canonical form when comparing provenance
+// expressions produced by different but set-equivalent transactions.
+func Minimize(e *Expr) *Expr {
+	switch e.op {
+	case OpZero, OpVar:
+		return e
+	case OpSum:
+		kids := make([]*Expr, 0, len(e.kids))
+		for _, k := range e.kids {
+			m := Minimize(k)
+			if m.IsZero() {
+				continue
+			}
+			if m.op == OpSum {
+				kids = append(kids, m.kids...)
+			} else {
+				kids = append(kids, m)
+			}
+		}
+		kids = dedupExprs(kids)
+		if len(kids) == 0 {
+			return zeroExpr
+		}
+		if len(kids) == 1 {
+			return kids[0]
+		}
+		return Sum(SortedByHash(kids)...)
+	}
+	l := Minimize(e.kids[0])
+	r := Minimize(e.kids[1])
+	switch e.op {
+	case OpMinus:
+		if l.IsZero() {
+			return zeroExpr
+		}
+		if r.IsZero() {
+			return l
+		}
+	case OpDotM:
+		if l.IsZero() || r.IsZero() {
+			return zeroExpr
+		}
+	case OpPlusI, OpPlusM:
+		if l.IsZero() {
+			return r
+		}
+		if r.IsZero() {
+			return l
+		}
+	}
+	if l == e.kids[0] && r == e.kids[1] {
+		return e
+	}
+	return binary(e.op, l, r)
+}
+
+func dedupExprs(es []*Expr) []*Expr {
+	if len(es) < 2 {
+		return es
+	}
+	seen := make(map[uint64][]*Expr, len(es))
+	out := es[:0]
+	for _, c := range es {
+		dup := false
+		for _, prev := range seen[c.hash] {
+			if prev.Equal(c) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		seen[c.hash] = append(seen[c.hash], c)
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,323 @@
+package core
+
+import "fmt"
+
+// NFKind enumerates the five shapes of Theorem 5.3. Within a transaction
+// annotated p, the provenance of every tuple can be kept in one of these
+// shapes, where the base a and the summands b0…bn are expressions fixed
+// at transaction start:
+//
+//	NFBase      a
+//	NFPlusI     a +I p
+//	NFMinus     a − p
+//	NFMod       a +M ((b0 + … + bn) ·M p)
+//	NFMinusMod  (a − p) +M ((b0 + … + bn) ·M p)
+type NFKind uint8
+
+const (
+	NFBase NFKind = iota
+	NFPlusI
+	NFMinus
+	NFMod
+	NFMinusMod
+)
+
+// String names the shape.
+func (k NFKind) String() string {
+	switch k {
+	case NFBase:
+		return "a"
+	case NFPlusI:
+		return "a +I p"
+	case NFMinus:
+		return "a - p"
+	case NFMod:
+		return "a +M (Σb *M p)"
+	case NFMinusMod:
+		return "(a - p) +M (Σb *M p)"
+	default:
+		return fmt.Sprintf("NFKind(%d)", uint8(k))
+	}
+}
+
+// NF is a provenance expression maintained in the normal form of
+// Theorem 5.3. It records the shape, the base expression a (the tuple's
+// provenance at the start of the current transaction, possibly 0), the
+// current transaction annotation p (meaningful for all shapes but
+// NFBase), and the deduplicated summands b0…bn for the modification
+// shapes.
+//
+// The per-update transitions implemented by Insert, Delete, Contribution
+// and AbsorbMod are exactly the rewrite rules of Figure 6 of the paper
+// (see the comments on each method); every transition keeps the
+// expression linear in the number of distinct contributing base
+// expressions, avoiding the exponential blowup of Proposition 5.1.
+//
+// NF values are mutable and not safe for concurrent mutation.
+type NF struct {
+	kind NFKind
+	base *Expr
+	p    Annot
+	sum  []*Expr
+	seen map[uint64][]*Expr // structural dedup of sum, keyed by hash
+}
+
+// NewNF returns a normal form in shape NFBase over the given base
+// expression (use Zero() for a tuple absent from the database).
+func NewNF(base *Expr) *NF {
+	return &NF{kind: NFBase, base: base}
+}
+
+// Kind reports the current shape.
+func (n *NF) Kind() NFKind { return n.kind }
+
+// Base returns the base expression a.
+func (n *NF) Base() *Expr { return n.base }
+
+// P returns the transaction annotation p of a non-NFBase shape.
+func (n *NF) P() Annot { return n.p }
+
+// Sum returns the summands b0…bn of a modification shape. The returned
+// slice must not be modified.
+func (n *NF) Sum() []*Expr { return n.sum }
+
+// IsZero reports whether the normal form is (syntactically) the absent
+// annotation 0, i.e. shape NFBase over the literal 0. Tuples whose
+// normal form is zero are outside the support of the annotated relation.
+func (n *NF) IsZero() bool { return n.kind == NFBase && n.base.IsZero() }
+
+// Clone returns an independent copy of n. The base and summand
+// expressions are shared (they are immutable).
+func (n *NF) Clone() *NF {
+	c := &NF{kind: n.kind, base: n.base, p: n.p}
+	if n.sum != nil {
+		c.sum = make([]*Expr, len(n.sum))
+		copy(c.sum, n.sum)
+		c.seen = make(map[uint64][]*Expr, len(n.seen))
+		for h, es := range n.seen {
+			c.seen[h] = append([]*Expr(nil), es...)
+		}
+	}
+	return c
+}
+
+func (n *NF) checkP(p Annot) {
+	if n.kind != NFBase && n.p != p {
+		panic(fmt.Sprintf("core: normal form carries transaction annotation %s but was updated under %s; call Freeze at transaction boundaries", n.p, p))
+	}
+}
+
+// Insert applies an insertion annotated p to the tuple: the provenance
+// becomes old +I p, normalized by Rule 1 (an insertion overrides every
+// earlier update of the same transaction; for the individual shapes this
+// is axiom 10 for NFMinus, axiom 9 for NFMod/NFMinusMod and idempotence
+// of +I for NFPlusI), so the shape becomes NFPlusI over the unchanged
+// base.
+func (n *NF) Insert(p Annot) {
+	n.checkP(p)
+	n.kind = NFPlusI
+	n.p = p
+	n.clearSum()
+}
+
+// Delete applies a deletion (or the −M half of a modification) annotated
+// p: the provenance becomes old − p, normalized by Rule 2 (axiom 2 drops
+// a pending modification, axiom 4 collapses repeated deletion, axiom 7
+// cancels an insertion of the same transaction), so the shape becomes
+// NFMinus over the unchanged base.
+func (n *NF) Delete(p Annot) {
+	n.checkP(p)
+	n.kind = NFMinus
+	n.p = p
+	n.clearSum()
+}
+
+// Contribution reports what this tuple contributes when it is a source
+// of a modification query of the same transaction:
+//
+//   - NFBase      → its base expression (0 contributes nothing);
+//   - NFPlusI     → inserted = true: by Rule 4 a modification fed by a
+//     tuple inserted in this transaction is equivalent to inserting the
+//     target tuple, regardless of other sources;
+//   - NFMinus     → nothing (Rules 3 and 8: a tuple already deleted in
+//     this transaction has no effect; algebraically axiom 5);
+//   - NFMod       → its base plus its summands, flattened (Rules 6/7,
+//     axiom 3: successive modifications factorize into one);
+//   - NFMinusMod  → its summands only (axiom 12: the deleted base is
+//     dropped, the re-received modifications pass through).
+func (n *NF) Contribution() (contrib []*Expr, inserted bool) {
+	switch n.kind {
+	case NFBase:
+		if n.base.IsZero() {
+			return nil, false
+		}
+		return []*Expr{n.base}, false
+	case NFPlusI:
+		return nil, true
+	case NFMinus:
+		return nil, false
+	case NFMod:
+		if n.base.IsZero() {
+			return n.sum, false
+		}
+		out := make([]*Expr, 0, len(n.sum)+1)
+		out = append(out, n.base)
+		out = append(out, n.sum...)
+		return out, false
+	case NFMinusMod:
+		return n.sum, false
+	default:
+		panic("core: invalid NF kind")
+	}
+}
+
+// AbsorbMod applies the target half of a modification annotated p: the
+// provenance becomes old +M ((Σ contrib) ·M p), where contrib is the
+// concatenation of the Contribution of every source tuple and inserted
+// reports whether any source was freshly inserted in this transaction.
+// The normalizing transitions are:
+//
+//   - any source inserted → shape NFPlusI over the unchanged base
+//     (Rule 4; combined with axiom 10 for NFMinus and axiom 9 for the
+//     modification shapes);
+//   - no contribution and no insertion → unchanged (Rule 3);
+//   - NFBase   → NFMod with the contributed summands;
+//   - NFPlusI  → unchanged (Rule 5: the tuple's existence is already
+//     guaranteed by the insertion of this transaction);
+//   - NFMinus  → NFMinusMod (the fifth shape of Theorem 5.3);
+//   - NFMod / NFMinusMod → summands merged (Rules 6/7, axioms 1 and 3).
+//
+// Duplicate summands are dropped (Σ ranges over a set of expressions).
+func (n *NF) AbsorbMod(contrib []*Expr, inserted bool, p Annot) {
+	n.checkP(p)
+	if inserted {
+		switch n.kind {
+		case NFPlusI:
+			// (a +I p) +M e = a +I p — already normalized (Rule 5).
+		default:
+			n.kind = NFPlusI
+			n.clearSum()
+		}
+		n.p = p
+		return
+	}
+	nonZero := contrib
+	for i, c := range contrib {
+		if c.IsZero() {
+			nonZero = make([]*Expr, 0, len(contrib)-1)
+			nonZero = append(nonZero, contrib[:i]...)
+			for _, c2 := range contrib[i+1:] {
+				if !c2.IsZero() {
+					nonZero = append(nonZero, c2)
+				}
+			}
+			break
+		}
+	}
+	if len(nonZero) == 0 {
+		return // Rule 3: an update based only on deleted tuples has no effect.
+	}
+	switch n.kind {
+	case NFBase:
+		n.kind = NFMod
+	case NFPlusI:
+		return // Rule 5.
+	case NFMinus:
+		n.kind = NFMinusMod
+	case NFMod, NFMinusMod:
+		// merge below
+	}
+	n.p = p
+	for _, c := range nonZero {
+		n.addSummand(c)
+	}
+}
+
+func (n *NF) addSummand(c *Expr) {
+	if c.IsZero() {
+		return
+	}
+	if c.op == OpSum {
+		// Σ is flat: a summand that is itself a sum contributes its
+		// elements (axiom 11).
+		for _, k := range c.kids {
+			n.addSummand(k)
+		}
+		return
+	}
+	h := c.Hash()
+	if n.seen == nil {
+		n.seen = make(map[uint64][]*Expr)
+	}
+	for _, prev := range n.seen[h] {
+		if prev.Equal(c) {
+			return
+		}
+	}
+	n.seen[h] = append(n.seen[h], c)
+	n.sum = append(n.sum, c)
+}
+
+func (n *NF) clearSum() {
+	n.sum = nil
+	n.seen = nil
+}
+
+// ToExpr materializes the normal form as an UP[X] expression, one of the
+// five shapes of Theorem 5.3. Summands keep their insertion order; use
+// Minimize for the canonical zero-minimized representation.
+func (n *NF) ToExpr() *Expr {
+	switch n.kind {
+	case NFBase:
+		return n.base
+	case NFPlusI:
+		return PlusI(n.base, Var(n.p))
+	case NFMinus:
+		return Minus(n.base, Var(n.p))
+	case NFMod:
+		return PlusM(n.base, DotM(Sum(n.sum...), Var(n.p)))
+	case NFMinusMod:
+		return PlusM(Minus(n.base, Var(n.p)), DotM(Sum(n.sum...), Var(n.p)))
+	default:
+		panic("core: invalid NF kind")
+	}
+}
+
+// Size returns the tree size of ToExpr() without materializing it.
+func (n *NF) Size() int64 {
+	switch n.kind {
+	case NFBase:
+		return n.base.Size()
+	case NFPlusI, NFMinus:
+		return n.base.Size() + 2
+	case NFMod, NFMinusMod:
+		s := int64(0)
+		for _, b := range n.sum {
+			s += b.Size()
+		}
+		if len(n.sum) > 1 {
+			s++ // the Σ node
+		}
+		s += 3 + n.base.Size() // +M, ·M, p
+		if n.kind == NFMinusMod {
+			s += 2 // −, p
+		}
+		return s
+	default:
+		panic("core: invalid NF kind")
+	}
+}
+
+// Freeze ends the current transaction for this tuple: the materialized
+// expression becomes the new base and the shape returns to NFBase, so
+// that a following transaction (with a different annotation) can be
+// tracked incrementally on top of it.
+func (n *NF) Freeze() {
+	if n.kind == NFBase {
+		return
+	}
+	n.base = n.ToExpr()
+	n.kind = NFBase
+	n.p = Annot{}
+	n.clearSum()
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParseExpr parses the textual notation produced by Expr.String:
+// variables are identifiers, 0 is the zero element, the binary operators
+// are "+I", "-", "+M" and "*M", and "+" denotes the disjunction Σ.
+// Operators at the same parenthesis level must either all be "+"
+// (forming one n-ary sum) or form a left-associative chain of binary
+// operators; mixed levels require parentheses, which is what String
+// emits. kindOf maps a variable name to its annotation kind; pass nil to
+// treat every variable as a tuple annotation.
+func ParseExpr(s string, kindOf func(string) AnnotKind) (*Expr, error) {
+	if kindOf == nil {
+		kindOf = func(string) AnnotKind { return KindTuple }
+	}
+	p := &exprParser{src: s, kindOf: kindOf}
+	e, err := p.parseLevel()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("core: trailing input at offset %d in %q", p.pos, s)
+	}
+	return e, nil
+}
+
+type exprParser struct {
+	src    string
+	pos    int
+	kindOf func(string) AnnotKind
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+// parseLevel parses a chain "primary (op primary)*" at one parenthesis
+// level.
+func (p *exprParser) parseLevel() (*Expr, error) {
+	left, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	var sum []*Expr
+	for {
+		p.skipSpace()
+		op, ok := p.peekOp()
+		if !ok {
+			break
+		}
+		if op == OpSum {
+			if sum == nil {
+				sum = []*Expr{left}
+			}
+			right, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			sum = append(sum, right)
+			continue
+		}
+		if sum != nil {
+			return nil, fmt.Errorf("core: cannot mix + with binary operators without parentheses at offset %d", p.pos)
+		}
+		right, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		left = binary(op, left, right)
+	}
+	if sum != nil {
+		return Sum(sum...), nil
+	}
+	return left, nil
+}
+
+// peekOp consumes and returns the next operator, if any.
+func (p *exprParser) peekOp() (Op, bool) {
+	rest := p.src[p.pos:]
+	switch {
+	case strings.HasPrefix(rest, "+I"):
+		p.pos += 2
+		return OpPlusI, true
+	case strings.HasPrefix(rest, "+M"):
+		p.pos += 2
+		return OpPlusM, true
+	case strings.HasPrefix(rest, "*M"):
+		p.pos += 2
+		return OpDotM, true
+	case strings.HasPrefix(rest, "+"):
+		p.pos++
+		return OpSum, true
+	case strings.HasPrefix(rest, "-"):
+		p.pos++
+		return OpMinus, true
+	}
+	return 0, false
+}
+
+func (p *exprParser) parsePrimary() (*Expr, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("core: unexpected end of input in %q", p.src)
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '(':
+		p.pos++
+		e, err := p.parseLevel()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return nil, fmt.Errorf("core: missing ')' at offset %d in %q", p.pos, p.src)
+		}
+		p.pos++
+		return e, nil
+	case c == '0' && (p.pos+1 == len(p.src) || !isIdent(rune(p.src[p.pos+1]))):
+		p.pos++
+		return zeroExpr, nil
+	case isIdentStart(rune(c)):
+		start := p.pos
+		for p.pos < len(p.src) && isIdent(rune(p.src[p.pos])) {
+			p.pos++
+		}
+		name := p.src[start:p.pos]
+		return Var(Annot{Name: name, Kind: p.kindOf(name)}), nil
+	default:
+		return nil, fmt.Errorf("core: unexpected character %q at offset %d in %q", c, p.pos, p.src)
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdent(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '\''
+}

@@ -1,0 +1,63 @@
+package core
+
+import "strings"
+
+// String renders the expression in the paper's notation, e.g.
+// "(p1 +M (p3 *M p)) - p". Binary operators are written infix with
+// parentheses around compound operands; sums are written infix with "+".
+func (e *Expr) String() string {
+	var b strings.Builder
+	e.write(&b, true)
+	return b.String()
+}
+
+func (e *Expr) write(b *strings.Builder, top bool) {
+	switch e.op {
+	case OpZero:
+		b.WriteByte('0')
+	case OpVar:
+		b.WriteString(e.ann.Name)
+	case OpSum:
+		if !top {
+			b.WriteByte('(')
+		}
+		for i, k := range e.kids {
+			if i > 0 {
+				b.WriteString(" + ")
+			}
+			k.write(b, false)
+		}
+		if !top {
+			b.WriteByte(')')
+		}
+	default:
+		if !top {
+			b.WriteByte('(')
+		}
+		e.kids[0].write(b, false)
+		b.WriteByte(' ')
+		b.WriteString(opSymbol(e.op))
+		b.WriteByte(' ')
+		e.kids[1].write(b, false)
+		if !top {
+			b.WriteByte(')')
+		}
+	}
+}
+
+func opSymbol(o Op) string {
+	switch o {
+	case OpPlusI:
+		return "+I"
+	case OpMinus:
+		return "-"
+	case OpPlusM:
+		return "+M"
+	case OpDotM:
+		return "*M"
+	case OpSum:
+		return "+"
+	default:
+		return o.String()
+	}
+}

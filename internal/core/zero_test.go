@@ -1,0 +1,142 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hyperprov/internal/core"
+	"hyperprov/internal/upstruct"
+)
+
+func TestSimplifyZeroCases(t *testing.T) {
+	z := core.Zero()
+	p := qv("p")
+	x := tv("x")
+	cases := []struct {
+		in   *core.Expr
+		want *core.Expr
+	}{
+		{core.Minus(z, p), z},                         // 0 − a = 0
+		{core.DotM(z, p), z},                          // 0 ·M a = 0
+		{core.DotM(x, z), z},                          // a ·M 0 = 0
+		{core.PlusM(z, x), x},                         // 0 +M a = a
+		{core.PlusI(z, p), p},                         // 0 +I a = a
+		{core.PlusI(x, z), x},                         // a +I 0 = a
+		{core.PlusM(x, z), x},                         // a +M 0 = a
+		{core.Minus(x, z), x},                         // a − 0 = a
+		{core.Sum(x, z, p), core.Sum(x, p)},           // zero summand dropped
+		{core.PlusM(z, core.DotM(core.Sum(x), z)), z}, // nested
+		{core.PlusM(z, core.DotM(core.Sum(tv("a"), tv("b")), p)),
+			core.DotM(core.Sum(tv("a"), tv("b")), p)}, // Example 3.1
+	}
+	for _, c := range cases {
+		if got := core.SimplifyZero(c.in); !got.Equal(c.want) {
+			t.Errorf("SimplifyZero(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSimplifyZeroNoChangeSharing(t *testing.T) {
+	e := core.PlusM(tv("a"), core.DotM(tv("b"), qv("p")))
+	if got := core.SimplifyZero(e); got != e {
+		t.Error("SimplifyZero must return the same node when nothing changes")
+	}
+}
+
+func TestMinimizeSortsAndDedups(t *testing.T) {
+	a, b := tv("a"), tv("b")
+	s1 := core.Minimize(core.Sum(a, b, a))
+	s2 := core.Minimize(core.Sum(b, a))
+	if !s1.Equal(s2) {
+		t.Errorf("Minimize should canonicalize sums: %v vs %v", s1, s2)
+	}
+	if s1.NumChildren() != 2 {
+		t.Errorf("duplicates must be dropped: %v", s1)
+	}
+}
+
+func TestMinimizeExample57(t *testing.T) {
+	// Example 5.7: the post-processing step turns
+	// 0 +M ((p1 + p3) ·M p) into (p1 + p3) ·M p.
+	e, err := core.ParseExpr("0 +M ((p1 + p3) *M p)", kindOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.ParseExpr("(p1 + p3) *M p", kindOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := core.Minimize(e); !got.Equal(core.Minimize(want)) {
+		t.Errorf("Minimize = %v, want %v", got, want)
+	}
+}
+
+// Both SimplifyZero and Minimize must preserve the semantics of the
+// expression in every Update-Structure.
+func TestZeroRewritesPreserveSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	f := func() bool {
+		e := randExpr(r, 5)
+		s := core.SimplifyZero(e)
+		m := core.Minimize(e)
+		for trial := 0; trial < 8; trial++ {
+			env := randBoolEnv(r)
+			want := upstruct.Eval(e, upstruct.Bool, env)
+			if upstruct.Eval(s, upstruct.Bool, env) != want {
+				t.Logf("SimplifyZero changed semantics of %v -> %v", e, s)
+				return false
+			}
+			if upstruct.Eval(m, upstruct.Bool, env) != want {
+				t.Logf("Minimize changed semantics of %v -> %v", e, m)
+				return false
+			}
+			senv := randSetEnv(r)
+			swant := upstruct.Eval(e, upstruct.Sets, senv)
+			if !upstruct.Eval(s, upstruct.Sets, senv).Equal(swant) {
+				return false
+			}
+			if !upstruct.Eval(m, upstruct.Sets, senv).Equal(swant) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randBoolEnv returns a random but consistent Boolean valuation.
+func randBoolEnv(r *rand.Rand) upstruct.Env[bool] {
+	m := make(map[core.Annot]bool)
+	return func(a core.Annot) bool {
+		v, ok := m[a]
+		if !ok {
+			v = r.Intn(2) == 0
+			m[a] = v
+		}
+		return v
+	}
+}
+
+var setUniverse = []string{"IL", "FR", "US", "DE"}
+
+// randSetEnv returns a random but consistent set valuation.
+func randSetEnv(r *rand.Rand) upstruct.Env[upstruct.Set] {
+	m := make(map[core.Annot]upstruct.Set)
+	return func(a core.Annot) upstruct.Set {
+		v, ok := m[a]
+		if !ok {
+			var elems []string
+			for _, c := range setUniverse {
+				if r.Intn(2) == 0 {
+					elems = append(elems, c)
+				}
+			}
+			v = upstruct.NewSet(elems...)
+			m[a] = v
+		}
+		return v
+	}
+}

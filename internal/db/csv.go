@@ -1,0 +1,137 @@
+package db
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteCSV writes the instance as CSV: a header of "name:kind" columns
+// followed by one row per tuple in deterministic (key) order.
+func WriteCSV(w io.Writer, in *Instance) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(in.rel.Attrs))
+	for i, a := range in.rel.Attrs {
+		header[i] = a.Name + ":" + a.Kind.String()
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, t := range in.Tuples() {
+		rec := make([]string, len(t))
+		for i, v := range t {
+			rec[i] = v.String()
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSVSchema parses the header produced by WriteCSV into a relation
+// schema with the given name, and returns the remaining reader
+// positioned at the first data row.
+func ReadCSVSchema(name string, header []string) (*RelationSchema, error) {
+	attrs := make([]Attribute, len(header))
+	for i, h := range header {
+		colon := strings.LastIndexByte(h, ':')
+		if colon < 0 {
+			return nil, fmt.Errorf("db: CSV header column %q lacks a :kind suffix", h)
+		}
+		kind, err := ParseKind(h[colon+1:])
+		if err != nil {
+			return nil, err
+		}
+		attrs[i] = Attribute{Name: h[:colon], Kind: kind}
+	}
+	return NewRelationSchema(name, attrs...)
+}
+
+// ReadCSV loads tuples in WriteCSV's format into the database, creating
+// the relation from the header. The database must have been created over
+// a schema containing a relation with this name and matching attributes;
+// LoadCSVRelation builds both in one step for callers without a schema.
+func ReadCSV(d *Database, rel string, r io.Reader) (int, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return 0, fmt.Errorf("db: reading CSV header: %w", err)
+	}
+	rs, err := ReadCSVSchema(rel, header)
+	if err != nil {
+		return 0, err
+	}
+	want := d.Schema().Relation(rel)
+	if want == nil {
+		return 0, fmt.Errorf("db: unknown relation %s", rel)
+	}
+	if len(want.Attrs) != len(rs.Attrs) {
+		return 0, fmt.Errorf("db: CSV for %s has %d columns, schema needs %d", rel, len(rs.Attrs), len(want.Attrs))
+	}
+	n := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		t := make(Tuple, len(rec))
+		for i, field := range rec {
+			v, err := ParseValue(want.Attrs[i].Kind, field)
+			if err != nil {
+				return n, fmt.Errorf("db: row %d of %s: %w", n+1, rel, err)
+			}
+			t[i] = v
+		}
+		if err := d.InsertTuple(rel, t); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// LoadCSVRelation reads a CSV stream into a fresh single-relation
+// database, deriving the schema from the header.
+func LoadCSVRelation(rel string, r io.Reader) (*Database, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("db: reading CSV header: %w", err)
+	}
+	rs, err := ReadCSVSchema(rel, header)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := NewSchema(rs)
+	if err != nil {
+		return nil, err
+	}
+	d := NewDatabase(schema)
+	n := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return d, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		t := make(Tuple, len(rec))
+		for i, field := range rec {
+			v, err := ParseValue(rs.Attrs[i].Kind, field)
+			if err != nil {
+				return nil, fmt.Errorf("db: row %d of %s: %w", n+1, rel, err)
+			}
+			t[i] = v
+		}
+		if err := d.InsertTuple(rel, t); err != nil {
+			return nil, err
+		}
+		n++
+	}
+}

@@ -1,0 +1,15 @@
+// Package db is the relational substrate of hyperprov: schemas, typed
+// tuples, hyperplane selection patterns, and the three hyperplane update
+// queries of Abiteboul and Vianu's domain-based fragment — insertion,
+// deletion and modification — together with transactions (sequences of
+// updates) and a plain, provenance-free in-memory database that defines
+// the ground-truth set semantics.
+//
+// Hyperplane queries select tuples by inspecting individual attribute
+// values only: every selection condition is AttributeName op constant
+// with op ∈ {=, ≠}, and every modification sets attributes to constants.
+// This is the SQL fragment identified in Section 2 of the paper
+// (Bourhis, Deutch, Moskovitch, SIGMOD 2020) and originally in Karabeg
+// and Vianu's axiomatization work. Pattern validation rejects anything
+// outside the fragment (repeated variables, non-constant assignments).
+package db

@@ -1,0 +1,82 @@
+package db
+
+import "fmt"
+
+// AttrCond is a selection condition comparing two attributes of the
+// same tuple — the kind of condition the hyperplane fragment explicitly
+// excludes ("hyperplane queries cannot capture comparison between
+// values inside the same tuple", Section 2 of the paper). It is the
+// building block of the beyond-the-paper conjunctive extension sketched
+// in the paper's conclusion.
+type AttrCond struct {
+	// Left and Right are attribute positions.
+	Left, Right int
+	// Neq selects tuples whose attributes differ instead of agree.
+	Neq bool
+}
+
+// Holds reports whether the tuple satisfies the condition.
+func (c AttrCond) Holds(t Tuple) bool {
+	eq := t[c.Left] == t[c.Right]
+	if c.Neq {
+		return !eq
+	}
+	return eq
+}
+
+// String renders "#i = #j" or "#i != #j".
+func (c AttrCond) String() string {
+	op := "="
+	if c.Neq {
+		op = "!="
+	}
+	return fmt.Sprintf("#%d %s #%d", c.Left, op, c.Right)
+}
+
+// validate checks the positions against a relation schema.
+func (c AttrCond) validate(r *RelationSchema) error {
+	if c.Left < 0 || c.Left >= r.Arity() || c.Right < 0 || c.Right >= r.Arity() {
+		return fmt.Errorf("db: attribute condition %v out of range for %s", c, r.Name)
+	}
+	if r.Attrs[c.Left].Kind != r.Attrs[c.Right].Kind {
+		return fmt.Errorf("db: attribute condition %v compares kinds %v and %v",
+			c, r.Attrs[c.Left].Kind, r.Attrs[c.Right].Kind)
+	}
+	return nil
+}
+
+// WithConds returns a copy of the update whose selection additionally
+// requires every attribute condition — leaving the hyperplane fragment.
+//
+// Provenance tracking through the engines continues to work (the
+// Section 3.1 construction never inspects why a tuple matched), and the
+// semantic applications remain exact: the all-true valuation still
+// reproduces set semantics and deletion propagation still coincides
+// with re-execution, both verified by tests. What is lost is the
+// paper's headline guarantee: with conditions outside the Karabeg–Vianu
+// fragment there is no known sound and complete axiomatization of set
+// equivalence, so set-equivalent transactions are no longer guaranteed
+// to yield UP[X]-equivalent provenance (the paper's Section 8 leaves
+// this fragment as future work for exactly that reason).
+func (u Update) WithConds(conds ...AttrCond) Update {
+	u.Conds = append(append([]AttrCond(nil), u.Conds...), conds...)
+	return u
+}
+
+// MatchesTuple reports whether the update's selection — pattern plus
+// attribute conditions — applies to the tuple.
+func (u Update) MatchesTuple(t Tuple) bool {
+	if !u.Sel.Matches(t) {
+		return false
+	}
+	for _, c := range u.Conds {
+		if !c.Holds(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsHyperplane reports whether the update stays inside the hyperplane
+// fragment (no attribute conditions).
+func (u Update) IsHyperplane() bool { return len(u.Conds) == 0 }

@@ -1,0 +1,109 @@
+package db_test
+
+import (
+	"strings"
+	"testing"
+
+	"hyperprov/internal/db"
+)
+
+func TestAttrCondHoldsAndString(t *testing.T) {
+	eq := db.AttrCond{Left: 0, Right: 2}
+	ne := db.AttrCond{Left: 0, Right: 2, Neq: true}
+	diag := db.Tuple{db.I(3), db.S("x"), db.I(3)}
+	off := db.Tuple{db.I(3), db.S("x"), db.I(4)}
+	if !eq.Holds(diag) || eq.Holds(off) {
+		t.Error("equality condition misbehaves")
+	}
+	if ne.Holds(diag) || !ne.Holds(off) {
+		t.Error("disequality condition misbehaves")
+	}
+	if eq.String() != "#0 = #2" || ne.String() != "#0 != #2" {
+		t.Errorf("String = %q / %q", eq.String(), ne.String())
+	}
+}
+
+func TestWithCondsDoesNotAliasAndMatches(t *testing.T) {
+	base := db.Delete("Products", db.AllPattern(3))
+	if !base.IsHyperplane() {
+		t.Error("plain update must be hyperplane")
+	}
+	schema := db.MustSchema(db.MustRelationSchema("R",
+		db.Attribute{Name: "a", Kind: db.KindInt},
+		db.Attribute{Name: "b", Kind: db.KindInt},
+	))
+	u := db.Delete("R", db.AllPattern(2))
+	c1 := u.WithConds(db.AttrCond{Left: 0, Right: 1})
+	c2 := c1.WithConds(db.AttrCond{Left: 0, Right: 1, Neq: true})
+	if len(c1.Conds) != 1 || len(c2.Conds) != 2 {
+		t.Fatalf("WithConds aliasing: %d / %d", len(c1.Conds), len(c2.Conds))
+	}
+	if err := c1.Validate(schema); err != nil {
+		t.Fatal(err)
+	}
+	diag := db.Tuple{db.I(1), db.I(1)}
+	if !c1.MatchesTuple(diag) || c2.MatchesTuple(diag) {
+		t.Error("MatchesTuple with conditions misbehaves")
+	}
+	// Pattern mismatch short-circuits.
+	sel := db.Pattern{db.Const(db.I(9)), db.AnyVar("b")}
+	u2 := db.Delete("R", sel).WithConds(db.AttrCond{Left: 0, Right: 1})
+	if u2.MatchesTuple(diag) {
+		t.Error("pattern mismatch must override conditions")
+	}
+}
+
+func TestAccessorsAndHelpers(t *testing.T) {
+	term := db.Const(db.I(7))
+	if !term.IsConst() || term.Value() != db.I(7) {
+		t.Error("Const accessors broken")
+	}
+	v := db.VarNotEq("x", db.I(1), db.I(2))
+	if v.IsConst() || v.VarName() != "x" || len(v.NotEq()) != 2 {
+		t.Error("VarNotEq accessors broken")
+	}
+	if got := v.String(); !strings.Contains(got, "x != 1") || !strings.Contains(got, "x != 2") {
+		t.Errorf("Term.String = %q", got)
+	}
+	p := db.ConstPattern(db.Tuple{db.I(1), db.I(2)})
+	if !p.Matches(db.Tuple{db.I(1), db.I(2)}) || p.Matches(db.Tuple{db.I(1), db.I(3)}) {
+		t.Error("ConstPattern broken")
+	}
+	tup := db.NewTuple(db.I(1), db.S("a"))
+	if len(tup) != 2 || !tup.Equal(db.Tuple{db.I(1), db.S("a")}) {
+		t.Error("NewTuple broken")
+	}
+	mod := db.Modify("R", db.AllPattern(2), []db.SetClause{db.Keep(), db.SetTo(db.I(5))})
+	if !mod.IsIdentityOn(db.Tuple{db.I(0), db.I(5)}) || mod.IsIdentityOn(db.Tuple{db.I(0), db.I(6)}) {
+		t.Error("IsIdentityOn broken")
+	}
+	txn := db.Transaction{Label: "p", Updates: []db.Update{mod}}
+	if txn.NumQueries() != 1 {
+		t.Error("NumQueries broken")
+	}
+}
+
+func TestInstanceEachAndDatabaseHelpers(t *testing.T) {
+	d := productsDB(t)
+	if d.Instance("Products").Schema().Name != "Products" {
+		t.Error("Instance.Schema broken")
+	}
+	n := 0
+	d.Instance("Products").Each(func(db.Tuple) { n++ })
+	if n != 4 {
+		t.Errorf("Each visited %d rows", n)
+	}
+	other := productsDB(t)
+	if err := other.ApplyAll([]db.Transaction{{Label: "p", Updates: []db.Update{
+		db.Delete("Products", db.AllPattern(3)),
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	diff := d.Diff(other)
+	if !strings.Contains(diff, "only on left") {
+		t.Errorf("Diff output: %q", diff)
+	}
+	if d.Diff(d.Clone()) != "" {
+		t.Error("Diff of equal databases must be empty")
+	}
+}

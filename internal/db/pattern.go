@@ -1,0 +1,165 @@
+package db
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Term is one position of a hyperplane selection pattern: either a
+// constant (the attribute must equal it) or a variable, optionally
+// restricted by disequalities (the attribute must differ from each
+// listed constant). This realizes the paper's u-tuples R(u) with
+// [A ≠ a] annotations.
+type Term struct {
+	isConst bool
+	value   Value
+	varName string
+	notEq   []Value
+}
+
+// Const returns a constant term.
+func Const(v Value) Term { return Term{isConst: true, value: v} }
+
+// AnyVar returns an unrestricted variable term with the given name
+// (names are informational; hyperplane patterns cannot repeat variables).
+func AnyVar(name string) Term { return Term{varName: name} }
+
+// VarNotEq returns a variable term restricted by disequalities: the
+// attribute may take any value except the listed ones.
+func VarNotEq(name string, notEq ...Value) Term {
+	return Term{varName: name, notEq: notEq}
+}
+
+// IsConst reports whether the term is a constant.
+func (t Term) IsConst() bool { return t.isConst }
+
+// Value returns the constant of a constant term.
+func (t Term) Value() Value { return t.value }
+
+// VarName returns the variable name of a variable term.
+func (t Term) VarName() string { return t.varName }
+
+// NotEq returns the disequality constants of a variable term. The
+// returned slice must not be modified.
+func (t Term) NotEq() []Value { return t.notEq }
+
+// MatchesValue reports whether the attribute value satisfies the term.
+func (t Term) MatchesValue(v Value) bool {
+	if t.isConst {
+		return t.value == v
+	}
+	for _, ne := range t.notEq {
+		if ne == v {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the term: a constant, or "x", or "[x != a, x != b]".
+func (t Term) String() string {
+	if t.isConst {
+		return t.value.String()
+	}
+	name := t.varName
+	if name == "" {
+		name = "_"
+	}
+	if len(t.notEq) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, ne := range t.notEq {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s != %s", name, ne)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Pattern is a hyperplane selection: one term per attribute. A tuple
+// satisfies the pattern iff every attribute satisfies its term
+// independently — the defining property of the domain-based fragment.
+type Pattern []Term
+
+// Matches reports whether the tuple satisfies the pattern. The tuple
+// must have the pattern's arity.
+func (p Pattern) Matches(t Tuple) bool {
+	for i, term := range p {
+		if !term.MatchesValue(t[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks that the pattern conforms to the relation schema and
+// stays inside the hyperplane fragment: correct arity, constants and
+// disequalities of the right kinds, and no repeated variable names
+// (repeating a variable would express an inter-attribute equality, which
+// hyperplane queries cannot).
+func (p Pattern) Validate(r *RelationSchema) error {
+	if len(p) != len(r.Attrs) {
+		return fmt.Errorf("db: pattern on %s has arity %d, want %d", r.Name, len(p), len(r.Attrs))
+	}
+	vars := make(map[string]struct{})
+	for i, term := range p {
+		attr := r.Attrs[i]
+		if term.isConst {
+			if term.value.Kind() != attr.Kind {
+				return fmt.Errorf("db: pattern constant %v for attribute %s has kind %v, want %v",
+					term.value, attr.Name, term.value.Kind(), attr.Kind)
+			}
+			continue
+		}
+		if term.varName != "" && term.varName != "_" {
+			if _, dup := vars[term.varName]; dup {
+				return fmt.Errorf("db: pattern on %s repeats variable %s (outside the hyperplane fragment)", r.Name, term.varName)
+			}
+			vars[term.varName] = struct{}{}
+		}
+		for _, ne := range term.notEq {
+			if ne.Kind() != attr.Kind {
+				return fmt.Errorf("db: disequality constant %v for attribute %s has kind %v, want %v",
+					ne, attr.Name, ne.Kind(), attr.Kind)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders "(t1, t2, ...)".
+func (p Pattern) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, t := range p {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// ConstPattern builds the pattern that matches exactly the given tuple.
+func ConstPattern(t Tuple) Pattern {
+	p := make(Pattern, len(t))
+	for i, v := range t {
+		p[i] = Const(v)
+	}
+	return p
+}
+
+// AllPattern builds the pattern that matches every tuple of the given
+// arity.
+func AllPattern(arity int) Pattern {
+	p := make(Pattern, arity)
+	for i := range p {
+		p[i] = AnyVar(fmt.Sprintf("x%d", i))
+	}
+	return p
+}

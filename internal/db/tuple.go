@@ -1,0 +1,73 @@
+package db
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tuple is an ordered list of attribute values conforming to a relation
+// schema. Tuples are immutable by convention: updates produce new tuples.
+type Tuple []Value
+
+// NewTuple is a convenience constructor.
+func NewTuple(vals ...Value) Tuple { return Tuple(vals) }
+
+// Key returns an unambiguous string encoding of the tuple, used as the
+// hash-map key for set semantics and annotation lookup.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		v.appendKey(&b)
+	}
+	return b.String()
+}
+
+// Equal reports value equality of two tuples.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if t[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// String renders "(v1, v2, ...)".
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Conforms checks the tuple against a relation schema (arity and kinds).
+func (t Tuple) Conforms(r *RelationSchema) error {
+	if len(t) != len(r.Attrs) {
+		return fmt.Errorf("db: tuple %v has arity %d, relation %s needs %d", t, len(t), r.Name, len(r.Attrs))
+	}
+	for i, v := range t {
+		if v.Kind() != r.Attrs[i].Kind {
+			return fmt.Errorf("db: tuple %v attribute %s has kind %v, want %v", t, r.Attrs[i].Name, v.Kind(), r.Attrs[i].Kind)
+		}
+	}
+	return nil
+}

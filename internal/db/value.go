@@ -1,0 +1,133 @@
+package db
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind is the type of an attribute value.
+type Kind uint8
+
+const (
+	// KindString is a string-valued attribute.
+	KindString Kind = iota
+	// KindInt is a 64-bit integer attribute.
+	KindInt
+	// KindFloat is a 64-bit float attribute (prices, amounts).
+	KindFloat
+)
+
+// String names the kind as used in CSV headers ("string", "int", "float").
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// ParseKind parses the names produced by Kind.String.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "string":
+		return KindString, nil
+	case "int":
+		return KindInt, nil
+	case "float":
+		return KindFloat, nil
+	default:
+		return 0, fmt.Errorf("db: unknown kind %q", s)
+	}
+}
+
+// Value is a typed attribute value. Values are comparable with == (two
+// values are the same iff they have the same kind and payload), which
+// makes hyperplane equality and disequality tests direct.
+type Value struct {
+	kind Kind
+	s    string
+	i    int64
+	f    float64
+}
+
+// S returns a string value.
+func S(v string) Value { return Value{kind: KindString, s: v} }
+
+// I returns an integer value.
+func I(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// F returns a float value.
+func F(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// Kind reports the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// Str returns the payload of a string value.
+func (v Value) Str() string { return v.s }
+
+// Int returns the payload of an integer value.
+func (v Value) Int() int64 { return v.i }
+
+// Float returns the payload of a float value.
+func (v Value) Float() float64 { return v.f }
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch v.kind {
+	case KindString:
+		return v.s
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	default:
+		return "?"
+	}
+}
+
+// ParseValue parses the representation produced by String back into a
+// value of the given kind (used by the CSV loader and the query parsers).
+func ParseValue(kind Kind, s string) (Value, error) {
+	switch kind {
+	case KindString:
+		return S(s), nil
+	case KindInt:
+		i, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("db: bad int %q: %v", s, err)
+		}
+		return I(i), nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("db: bad float %q: %v", s, err)
+		}
+		return F(f), nil
+	default:
+		return Value{}, fmt.Errorf("db: unknown kind %v", kind)
+	}
+}
+
+// appendKey appends an unambiguous encoding of the value to b, used to
+// key tuples in hash maps.
+func (v Value) appendKey(b *strings.Builder) {
+	switch v.kind {
+	case KindString:
+		b.WriteByte('s')
+		b.WriteString(strconv.Itoa(len(v.s)))
+		b.WriteByte(':')
+		b.WriteString(v.s)
+	case KindInt:
+		b.WriteByte('i')
+		b.WriteString(strconv.FormatInt(v.i, 10))
+	case KindFloat:
+		b.WriteByte('f')
+		b.WriteString(strconv.FormatFloat(v.f, 'g', -1, 64))
+	}
+}

@@ -1,0 +1,141 @@
+package engine_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"hyperprov/internal/core"
+	"hyperprov/internal/db"
+	"hyperprov/internal/engine"
+	"hyperprov/internal/upstruct"
+)
+
+func TestDependencies(t *testing.T) {
+	e := engine.New(engine.ModeNormalForm, productsDB(t), engine.WithInitialAnnotations(figure1Annots()))
+	if err := e.ApplyAll([]db.Transaction{transactionT1(), transactionT2()}); err != nil {
+		t.Fatal(err)
+	}
+	bike50 := db.Tuple{db.S("Kids mnt bike"), db.S("Sport"), db.I(50)}
+	tuples, txns := engine.Dependencies(e, "Products", bike50)
+	// The normal form already applied Rule 2 inside T1, so p3 (whose
+	// contribution a naive expression would still mention) is gone: the
+	// tuple's fate depends only on p1 and the two transactions. This is
+	// the equivalence-invariance payoff — dependencies reflect the
+	// computation's essence, not its phrasing.
+	wantTuples := []string{"p1"}
+	wantTxns := []string{"p", "p'"}
+	if len(tuples) != len(wantTuples) || len(txns) != len(wantTxns) {
+		t.Fatalf("Dependencies = %v / %v, want %v / %v", tuples, txns, wantTuples, wantTxns)
+	}
+	for i, w := range wantTuples {
+		if tuples[i].Name != w {
+			t.Errorf("tuple dep %d = %s, want %s", i, tuples[i].Name, w)
+		}
+	}
+	for i, w := range wantTxns {
+		if txns[i].Name != w {
+			t.Errorf("txn dep %d = %s, want %s", i, txns[i].Name, w)
+		}
+	}
+	if tu, tx := engine.Dependencies(e, "Products", db.Tuple{db.S("nope"), db.S("x"), db.I(1)}); tu != nil || tx != nil {
+		t.Error("missing tuple must have nil dependencies")
+	}
+}
+
+// TestImpactAgainstGlobalValuation: Flipped must coincide with the
+// difference between the all-true database and the database with the
+// annotation revoked, computed globally.
+func TestImpactAgainstGlobalValuation(t *testing.T) {
+	r := rand.New(rand.NewSource(431))
+	for trial := 0; trial < 25; trial++ {
+		initial := randDB(r, 3+r.Intn(8))
+		txns := randTxns(r, 2, 4)
+		annotOf := func(rel string, tu db.Tuple) core.Annot {
+			return core.TupleAnnot("t_" + tu.Key())
+		}
+		e := engine.New(engine.ModeNormalForm, initial, engine.WithInitialAnnotations(annotOf))
+		if err := e.ApplyAll(txns); err != nil {
+			t.Fatal(err)
+		}
+		im := engine.BuildImpact(e)
+		if im.NumAnnotations() == 0 {
+			t.Fatal("empty impact index")
+		}
+		// Pick one tuple annotation and one transaction annotation.
+		var probes []core.Annot
+		initial.Instance("R").Each(func(tu db.Tuple) {
+			if len(probes) == 0 {
+				probes = append(probes, annotOf("R", tu))
+			}
+		})
+		probes = append(probes, core.QueryAnnot(txns[0].Label))
+		for _, a := range probes {
+			before := engine.LiveDB(e)
+			after := engine.BoolRestrict(e, upstruct.MapEnv(map[core.Annot]bool{a: false}, true))
+			// Global flip set.
+			flipped := make(map[string]bool)
+			before.Instance("R").Each(func(tu db.Tuple) {
+				if !after.Instance("R").Contains(tu) {
+					flipped[tu.Key()] = true
+				}
+			})
+			after.Instance("R").Each(func(tu db.Tuple) {
+				if !before.Instance("R").Contains(tu) {
+					flipped[tu.Key()] = true
+				}
+			})
+			_, got := im.Flipped(a)
+			gotSet := make(map[string]bool, len(got))
+			for _, tu := range got {
+				gotSet[tu.Key()] = true
+			}
+			if len(gotSet) != len(flipped) {
+				t.Fatalf("trial %d, annot %v: Flipped has %d rows, global diff %d", trial, a, len(gotSet), len(flipped))
+			}
+			for k := range flipped {
+				if !gotSet[k] {
+					t.Fatalf("trial %d, annot %v: missing flipped row %q", trial, a, k)
+				}
+			}
+		}
+	}
+}
+
+func TestImpactCandidatesSuperset(t *testing.T) {
+	e := engine.New(engine.ModeNormalForm, productsDB(t), engine.WithInitialAnnotations(figure1Annots()))
+	if err := e.ApplyAll([]db.Transaction{transactionT1(), transactionT2()}); err != nil {
+		t.Fatal(err)
+	}
+	im := engine.BuildImpact(e)
+	rels, cands := im.Candidates(core.QueryAnnot("p"))
+	if len(cands) == 0 || len(rels) != len(cands) {
+		t.Fatal("no candidates for transaction p")
+	}
+	_, flipped := im.Flipped(core.QueryAnnot("p"))
+	if len(flipped) > len(cands) {
+		t.Error("flipped rows must be a subset of candidates")
+	}
+	// p4's tuple is untouched: no candidates beyond itself.
+	_, p4 := im.Candidates(core.TupleAnnot("p4"))
+	if len(p4) != 1 {
+		t.Errorf("p4 should only reach its own row, got %d", len(p4))
+	}
+}
+
+func TestParallelSpecializeMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(433))
+	initial := randDB(r, 20)
+	txns := randTxns(r, 3, 5)
+	e := engine.New(engine.ModeNormalForm, initial)
+	if err := e.ApplyAll(txns); err != nil {
+		t.Fatal(err)
+	}
+	env := func(a core.Annot) bool { return a.Name != "q1" }
+	seq := engine.BoolRestrict(e, env)
+	for _, workers := range []int{0, 1, 2, 8} {
+		par := engine.BoolRestrictParallel(e, env, workers)
+		if !par.Equal(seq) {
+			t.Errorf("workers=%d: parallel result diverges:\n%s", workers, par.Diff(seq))
+		}
+	}
+}

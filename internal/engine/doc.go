@@ -1,0 +1,33 @@
+// Package engine executes annotated hyperplane update transactions over
+// annotated databases, implementing the provenance-aware semantics of
+// Section 3.1 of Bourhis, Deutch, Moskovitch (SIGMOD 2020).
+//
+// The engine runs in one of two modes:
+//
+//   - ModeNaive follows the provenance definitions literally, building
+//     raw UP[X] expressions with no simplification (the paper's "No
+//     axioms" configuration). Sub-expressions reused by modifications
+//     are deep-copied by default, reproducing the time and memory
+//     blowup of Section 5.1 (configurable via WithCopyOnWrite for the
+//     shared-representation ablation).
+//
+//   - ModeNormalForm maintains every tuple's provenance in the normal
+//     form of Theorem 5.3, updated incrementally per query by the
+//     rewrite rules of Figure 6 and frozen at transaction boundaries
+//     (the paper's "Normal form" configuration). Provenance stays
+//     linear in the database size and transaction length.
+//
+// Following Section 3.1 and the discussion in Section 6.2, deleted and
+// modified tuples are not removed: a tuple is in the support of a
+// relation iff its annotation is not syntactically 0, and subsequent
+// queries are applied to all supported tuples — the axioms guarantee
+// that logically deleted tuples contribute nothing. The plain engine of
+// package db defines the ground-truth set semantics, which must (and,
+// per the package tests, does) coincide with the all-true Boolean
+// valuation of either provenance mode.
+//
+// Specialization helpers (Specialize, LiveDB, DeletionPropagation,
+// AbortTransactions, AccessControl, Certify) map the symbolic
+// provenance into concrete Update-Structures for the applications of
+// Section 4.
+package engine

@@ -1,0 +1,534 @@
+package engine
+
+import (
+	"fmt"
+
+	"hyperprov/internal/core"
+	"hyperprov/internal/db"
+	"hyperprov/internal/upstruct"
+)
+
+// Mode selects the provenance representation.
+type Mode uint8
+
+const (
+	// ModeNaive builds raw expressions per the Section 3.1 definitions,
+	// applying no axioms ("No axioms" in the paper's graphs).
+	ModeNaive Mode = iota
+	// ModeNormalForm maintains the Theorem 5.3 normal form
+	// incrementally ("Normal form" in the paper's graphs).
+	ModeNormalForm
+)
+
+// String names the mode as in the paper's figures.
+func (m Mode) String() string {
+	switch m {
+	case ModeNaive:
+		return "No axioms"
+	case ModeNormalForm:
+		return "Normal form"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// row is one stored tuple with its provenance. Exactly one of expr/nf is
+// used, depending on the engine mode. Rows are retained after logical
+// deletion (tombstones) so that provenance can be inspected and updates
+// can be undone by valuation.
+type row struct {
+	tuple db.Tuple
+	expr  *core.Expr // ModeNaive
+	nf    *core.NF   // ModeNormalForm
+	txn   int        // last transaction that touched the row (freeze tracking)
+	live  bool       // set-semantics membership, maintained per update
+}
+
+type table struct {
+	rel  *db.RelationSchema
+	rows map[string]*row
+	// list holds the rows in insertion order; rows are never removed
+	// (tombstones persist), so scans iterate it for determinism: the
+	// order of Σ summands must not depend on map iteration.
+	list []*row
+}
+
+func (t *table) add(key string, r *row) {
+	t.rows[key] = r
+	t.list = append(t.list, r)
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithCopyOnWrite controls whether the naive mode deep-copies
+// sub-expressions reused across tuples (the paper's implementation
+// behaviour; default true). Disabling it is the shared-representation
+// ablation: expressions become DAGs, tree sizes stay exponential but
+// memory and copying time do not.
+func WithCopyOnWrite(cow bool) Option {
+	return func(e *Engine) { e.cow = cow }
+}
+
+// WithEagerZeroAxioms makes the naive mode apply the zero-related axioms
+// after every annotation update. The paper's "No axioms" configuration
+// leaves them off (default false).
+func WithEagerZeroAxioms(on bool) Option {
+	return func(e *Engine) { e.zeroAxioms = on }
+}
+
+// WithInitialAnnotations overrides the naming of the fresh annotations
+// assigned to initial database tuples; f receives the relation name and
+// tuple and returns the annotation.
+func WithInitialAnnotations(f func(rel string, t db.Tuple) core.Annot) Option {
+	return func(e *Engine) { e.initAnnot = f }
+}
+
+// WithLiveMatching restricts update selections to semantically live
+// tuples instead of the paper's formal support (annotation ≠ 0, which
+// includes logically deleted tuples — see Figure 4, where the dead
+// Sport bike still participates in T2). Live matching reproduces what a
+// conventional reenactment implementation measures — per-tuple
+// provenance stays linear in the number of updates that actually
+// touched the tuple, comparable to an MV-semiring version chain — but
+// it trades away part of the model's hypothetical-reasoning power:
+// transaction-abortion valuations can diverge from true re-execution,
+// because the effect of a query on a tuple that was dead at the time is
+// no longer recorded (deletion propagation of input tuples remains
+// exact; see the package tests). Default off.
+func WithLiveMatching(on bool) Option {
+	return func(e *Engine) { e.liveMatch = on }
+}
+
+// Engine is a provenance-tracking database: every stored tuple carries
+// an UP[X] annotation. Construct with New, load tuples through the
+// initial database, then apply annotated transactions with
+// ApplyTransaction (or Begin/Apply/End for streaming use).
+type Engine struct {
+	mode      Mode
+	schema    *db.Schema
+	tables    map[string]*table
+	seq       *core.AnnotSeq
+	initAnnot func(rel string, t db.Tuple) core.Annot
+
+	cow        bool
+	zeroAxioms bool
+	liveMatch  bool
+
+	cur     core.Annot
+	inTxn   bool
+	txnNo   int
+	touched []*row
+
+	indexes map[string]*index
+}
+
+// New builds an engine in the given mode from an initial database. Each
+// initial tuple is annotated with a fresh tuple annotation (t0, t1, …
+// unless WithInitialAnnotations overrides the naming); the input
+// database is not modified or referenced afterwards.
+func New(mode Mode, initial *db.Database, opts ...Option) *Engine {
+	e := &Engine{
+		mode:    mode,
+		schema:  initial.Schema(),
+		tables:  make(map[string]*table),
+		seq:     core.NewAnnotSeq("t", core.KindTuple),
+		cow:     true,
+		indexes: make(map[string]*index),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	for _, name := range e.schema.Names() {
+		tbl := &table{rel: e.schema.Relation(name), rows: make(map[string]*row)}
+		e.tables[name] = tbl
+		for _, t := range initial.Instance(name).Tuples() {
+			a := e.freshAnnot(name, t)
+			r := &row{tuple: t, txn: -1, live: true}
+			if mode == ModeNaive {
+				r.expr = core.Var(a)
+			} else {
+				r.nf = core.NewNF(core.Var(a))
+			}
+			tbl.add(t.Key(), r)
+		}
+	}
+	return e
+}
+
+func (e *Engine) freshAnnot(rel string, t db.Tuple) core.Annot {
+	if e.initAnnot != nil {
+		return e.initAnnot(rel, t)
+	}
+	return e.seq.Next()
+}
+
+// NewEmpty builds an engine over a schema with no initial tuples, for
+// snapshot restoration and streaming ingestion.
+func NewEmpty(mode Mode, schema *db.Schema, opts ...Option) *Engine {
+	return New(mode, db.NewDatabase(schema), opts...)
+}
+
+// RestoreRow stores a tuple with an explicit annotation, overwriting any
+// existing row for the same tuple. It is the inverse of EachRow and is
+// used by snapshot loading (package provstore); it must not be called
+// inside a transaction.
+func (e *Engine) RestoreRow(rel string, t db.Tuple, ann *core.Expr) error {
+	if e.inTxn {
+		return fmt.Errorf("engine: RestoreRow inside a transaction")
+	}
+	tbl := e.tables[rel]
+	if tbl == nil {
+		return fmt.Errorf("engine: unknown relation %s", rel)
+	}
+	if err := t.Conforms(tbl.rel); err != nil {
+		return err
+	}
+	key := t.Key()
+	r := tbl.rows[key]
+	if r == nil {
+		r = &row{tuple: t, txn: -1}
+		tbl.add(key, r)
+		e.indexAdd(tbl, r)
+	}
+	if e.mode == ModeNaive {
+		r.expr = ann
+		r.nf = nil
+	} else {
+		r.nf = core.NewNF(ann)
+		r.expr = nil
+	}
+	r.live = upstruct.Eval(ann, upstruct.Bool, func(core.Annot) bool { return true })
+	return nil
+}
+
+// Mode reports the provenance representation in use.
+func (e *Engine) Mode() Mode { return e.mode }
+
+// Schema returns the database schema.
+func (e *Engine) Schema() *db.Schema { return e.schema }
+
+// Begin starts a transaction whose queries carry the annotation label.
+func (e *Engine) Begin(label string) {
+	if e.inTxn {
+		panic("engine: Begin inside an open transaction")
+	}
+	e.cur = core.QueryAnnot(label)
+	e.inTxn = true
+	e.touched = e.touched[:0]
+}
+
+// End closes the current transaction. In normal-form mode every touched
+// row is frozen so that the next transaction (with a different
+// annotation) layers on top.
+func (e *Engine) End() {
+	if !e.inTxn {
+		panic("engine: End without Begin")
+	}
+	if e.mode == ModeNormalForm {
+		for _, r := range e.touched {
+			r.nf.Freeze()
+		}
+	}
+	e.inTxn = false
+	e.txnNo++
+	e.touched = e.touched[:0]
+}
+
+func (e *Engine) touch(r *row) {
+	if r.txn != e.txnNo {
+		r.txn = e.txnNo
+		e.touched = append(e.touched, r)
+	}
+}
+
+// inSupport reports whether the row is in the relation per Section 3.1:
+// its annotation is not syntactically 0.
+func (r *row) inSupport(mode Mode) bool {
+	if mode == ModeNaive {
+		return !r.expr.IsZero()
+	}
+	return !r.nf.IsZero()
+}
+
+// Apply executes one update query of the current transaction.
+func (e *Engine) Apply(u db.Update) error {
+	if !e.inTxn {
+		return fmt.Errorf("engine: Apply outside a transaction")
+	}
+	tbl := e.tables[u.Rel]
+	if tbl == nil {
+		return fmt.Errorf("engine: unknown relation %s", u.Rel)
+	}
+	switch u.Kind {
+	case db.OpInsert:
+		e.applyInsert(tbl, u)
+		return nil
+	case db.OpDelete:
+		e.applyDelete(tbl, u)
+		return nil
+	case db.OpModify:
+		e.applyModify(tbl, u)
+		return nil
+	default:
+		return fmt.Errorf("engine: unknown update kind %v", u.Kind)
+	}
+}
+
+func (e *Engine) applyInsert(tbl *table, u db.Update) {
+	key := u.Row.Key()
+	r := tbl.rows[key]
+	if r == nil {
+		r = &row{tuple: u.Row, txn: -1}
+		if e.mode == ModeNaive {
+			r.expr = core.Zero()
+		} else {
+			r.nf = core.NewNF(core.Zero())
+		}
+		tbl.add(key, r)
+		e.indexAdd(tbl, r)
+	}
+	if e.mode == ModeNaive {
+		r.expr = e.simplify(core.PlusI(r.expr, core.Var(e.cur)))
+	} else {
+		r.nf.Insert(e.cur)
+	}
+	r.live = true
+	e.touch(r)
+}
+
+func (e *Engine) applyDelete(tbl *table, u db.Update) {
+	for _, r := range e.scan(tbl, u) {
+		if e.mode == ModeNaive {
+			r.expr = e.simplify(core.Minus(r.expr, core.Var(e.cur)))
+		} else {
+			r.nf.Delete(e.cur)
+		}
+		r.live = false
+		e.touch(r)
+	}
+}
+
+// modGroup accumulates, per target tuple, the provenance contributions
+// of the sources collapsing into it.
+type modGroup struct {
+	target db.Tuple
+	// naive: pre-query source annotations (copied under cow).
+	raw []*core.Expr
+	// normal form: flattened contributions and the inserted flag.
+	contrib  []*core.Expr
+	inserted bool
+}
+
+func (e *Engine) applyModify(tbl *table, u db.Update) {
+	sources := e.scan(tbl, u)
+	if len(sources) == 0 {
+		return
+	}
+	pe := core.Var(e.cur)
+	groups := make(map[string]*modGroup)
+	var order []string
+	for _, src := range sources {
+		target := u.Target(src.tuple)
+		key := target.Key()
+		g := groups[key]
+		if g == nil {
+			g = &modGroup{target: target}
+			groups[key] = g
+			order = append(order, key)
+		}
+		if e.mode == ModeNaive {
+			contrib := src.expr
+			if e.cow {
+				contrib = contrib.DeepCopy()
+			}
+			g.raw = append(g.raw, contrib)
+		} else {
+			c, ins := src.nf.Contribution()
+			g.contrib = append(g.contrib, c...)
+			g.inserted = g.inserted || ins
+		}
+	}
+	// Sources are deleted (−M p) after their pre-query annotations have
+	// been captured.
+	for _, src := range sources {
+		if e.mode == ModeNaive {
+			src.expr = e.simplify(core.Minus(src.expr, pe))
+		} else {
+			src.nf.Delete(e.cur)
+		}
+		src.live = false
+		e.touch(src)
+	}
+	// Targets receive old +M ((Σ sources) ·M p); a target that is itself
+	// a source (necessarily a self-map) uses its post-deletion
+	// annotation, yielding the paper's fifth normal-form shape.
+	for _, key := range order {
+		g := groups[key]
+		r := tbl.rows[key]
+		if r == nil {
+			r = &row{tuple: g.target, txn: -1}
+			if e.mode == ModeNaive {
+				r.expr = core.Zero()
+			} else {
+				r.nf = core.NewNF(core.Zero())
+			}
+			tbl.add(key, r)
+			e.indexAdd(tbl, r)
+		}
+		if e.mode == ModeNaive {
+			r.expr = e.simplify(core.PlusM(r.expr, core.DotM(core.Sum(g.raw...), pe)))
+		} else {
+			r.nf.AbsorbMod(g.contrib, g.inserted, e.cur)
+		}
+		r.live = true
+		e.touch(r)
+	}
+}
+
+func (e *Engine) simplify(x *core.Expr) *core.Expr {
+	if e.zeroAxioms {
+		return core.SimplifyZero(x)
+	}
+	return x
+}
+
+// ApplyTransaction runs a whole transaction (Begin, all queries, End).
+func (e *Engine) ApplyTransaction(t *db.Transaction) error {
+	e.Begin(t.Label)
+	for i := range t.Updates {
+		if err := e.Apply(t.Updates[i]); err != nil {
+			e.End()
+			return fmt.Errorf("transaction %s, query %d: %w", t.Label, i, err)
+		}
+	}
+	e.End()
+	return nil
+}
+
+// ApplyAll runs a sequence of transactions.
+func (e *Engine) ApplyAll(txns []db.Transaction) error {
+	for i := range txns {
+		if err := e.ApplyTransaction(&txns[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Annotation returns the provenance expression of the tuple, or nil if
+// the tuple was never stored. In normal-form mode the expression is
+// materialized from the NF representation.
+func (e *Engine) Annotation(rel string, t db.Tuple) *core.Expr {
+	tbl := e.tables[rel]
+	if tbl == nil {
+		return nil
+	}
+	r := tbl.rows[t.Key()]
+	if r == nil {
+		return nil
+	}
+	if e.mode == ModeNaive {
+		return r.expr
+	}
+	return r.nf.ToExpr()
+}
+
+// NF returns the normal-form value of the tuple in ModeNormalForm, or
+// nil. The returned NF must not be mutated.
+func (e *Engine) NF(rel string, t db.Tuple) *core.NF {
+	if e.mode != ModeNormalForm {
+		return nil
+	}
+	tbl := e.tables[rel]
+	if tbl == nil {
+		return nil
+	}
+	r := tbl.rows[t.Key()]
+	if r == nil {
+		return nil
+	}
+	return r.nf
+}
+
+// EachRow calls f for every stored row of the relation (including
+// tombstones outside the support) with its tuple and annotation. In
+// normal-form mode annotations are materialized per call.
+func (e *Engine) EachRow(rel string, f func(t db.Tuple, ann *core.Expr)) {
+	tbl := e.tables[rel]
+	if tbl == nil {
+		return
+	}
+	for _, r := range tbl.rows {
+		if e.mode == ModeNaive {
+			f(r.tuple, r.expr)
+		} else {
+			f(r.tuple, r.nf.ToExpr())
+		}
+	}
+}
+
+// Relations returns the relation names in schema order.
+func (e *Engine) Relations() []string { return e.schema.Names() }
+
+// NumRows reports the total number of stored rows, including tombstones
+// and tuples outside the support (the paper's "database size" under
+// provenance tracking, which exceeds the plain database by ~2% on
+// TPC-C).
+func (e *Engine) NumRows() int {
+	n := 0
+	for _, tbl := range e.tables {
+		n += len(tbl.rows)
+	}
+	return n
+}
+
+// SupportSize reports the number of rows whose annotation is not
+// syntactically zero.
+func (e *Engine) SupportSize() int {
+	n := 0
+	for _, tbl := range e.tables {
+		for _, r := range tbl.rows {
+			if r.inSupport(e.mode) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ProvSize reports the total provenance size (tree size summed over all
+// stored rows) — the size measure of the paper's Section 6.
+func (e *Engine) ProvSize() int64 {
+	var n int64
+	for _, tbl := range e.tables {
+		for _, r := range tbl.rows {
+			if e.mode == ModeNaive {
+				n += r.expr.Size()
+			} else {
+				n += r.nf.Size()
+			}
+		}
+	}
+	return n
+}
+
+// MinimizeAll applies the zero-axiom post-processing of Proposition 5.5
+// to every stored annotation (normal-form mode only; the naive mode is
+// deliberately axiom-free). It returns the provenance size after
+// minimization.
+func (e *Engine) MinimizeAll() int64 {
+	var n int64
+	for _, tbl := range e.tables {
+		for _, r := range tbl.rows {
+			if e.mode == ModeNormalForm {
+				m := core.Minimize(r.nf.ToExpr())
+				r.nf = core.NewNF(m)
+				n += m.Size()
+			} else {
+				n += r.expr.Size()
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,172 @@
+package engine_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hyperprov/internal/core"
+	"hyperprov/internal/db"
+	"hyperprov/internal/engine"
+)
+
+// These tests cover the conjunctive extension beyond the hyperplane
+// fragment (db.AttrCond / Update.WithConds — the paper's Section 8
+// future work): provenance tracking and the semantic applications stay
+// exact, even though the equivalence-invariance guarantee no longer has
+// a complete axiomatization behind it.
+
+func randCondUpdate(r *rand.Rand) db.Update {
+	u := randUpdate(r)
+	if u.Kind == db.OpInsert {
+		return u
+	}
+	// id and val are both ints: comparable.
+	if r.Intn(2) == 0 {
+		return u.WithConds(db.AttrCond{Left: 0, Right: 2, Neq: r.Intn(2) == 0})
+	}
+	return u
+}
+
+func randCondTxns(r *rand.Rand, nTxn, nOps int) []db.Transaction {
+	txns := make([]db.Transaction, nTxn)
+	for i := range txns {
+		txns[i].Label = fmt.Sprintf("q%d", i)
+		for j := 0; j < nOps; j++ {
+			txns[i].Updates = append(txns[i].Updates, randCondUpdate(r))
+		}
+	}
+	return txns
+}
+
+func TestAttrCondSemantics(t *testing.T) {
+	s := randSchema()
+	d := db.NewDatabase(s)
+	for _, tu := range []db.Tuple{
+		{db.I(1), db.S("a"), db.I(1)},
+		{db.I(1), db.S("a"), db.I(2)},
+		{db.I(3), db.S("b"), db.I(3)},
+	} {
+		if err := d.InsertTuple("R", tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// DELETE WHERE id = val (diagonal).
+	del := db.Delete("R", db.AllPattern(3)).WithConds(db.AttrCond{Left: 0, Right: 2})
+	if err := del.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	if del.IsHyperplane() {
+		t.Error("conditioned update must not report hyperplane")
+	}
+	if err := d.Apply(del); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumTuples() != 1 || !d.Instance("R").Contains(db.Tuple{db.I(1), db.S("a"), db.I(2)}) {
+		t.Errorf("diagonal delete left %v", d.Instance("R").Tuples())
+	}
+}
+
+func TestAttrCondValidate(t *testing.T) {
+	s := randSchema()
+	bad := db.Delete("R", db.AllPattern(3)).WithConds(db.AttrCond{Left: 0, Right: 1}) // int vs string
+	if err := bad.Validate(s); err == nil {
+		t.Error("kind-mismatched condition accepted")
+	}
+	oob := db.Delete("R", db.AllPattern(3)).WithConds(db.AttrCond{Left: 0, Right: 9})
+	if err := oob.Validate(s); err == nil {
+		t.Error("out-of-range condition accepted")
+	}
+	ins := db.Insert("R", db.Tuple{db.I(1), db.S("a"), db.I(1)}).WithConds(db.AttrCond{Left: 0, Right: 2})
+	if err := ins.Validate(s); err == nil {
+		t.Error("conditioned insertion accepted")
+	}
+}
+
+// TestOracleLiveDBWithConds: the all-true valuation still reproduces
+// set semantics when updates carry inter-attribute conditions.
+func TestOracleLiveDBWithConds(t *testing.T) {
+	r := rand.New(rand.NewSource(601))
+	for trial := 0; trial < 40; trial++ {
+		initial := randDB(r, 3+r.Intn(8))
+		txns := randCondTxns(r, 1+r.Intn(3), 1+r.Intn(5))
+		plain := initial.Clone()
+		if err := plain.ApplyAll(txns); err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []engine.Mode{engine.ModeNaive, engine.ModeNormalForm} {
+			e := engine.New(mode, initial)
+			if err := e.ApplyAll(txns); err != nil {
+				t.Fatal(err)
+			}
+			if live := engine.LiveDB(e); !live.Equal(plain) {
+				t.Fatalf("trial %d, %v: live DB diverges with attribute conditions:\n%s", trial, mode, live.Diff(plain))
+			}
+		}
+	}
+}
+
+// TestOracleDeletionPropagationWithConds: what-if deletion remains exact
+// under the extension (selections are still data-independent across
+// tuples).
+func TestOracleDeletionPropagationWithConds(t *testing.T) {
+	r := rand.New(rand.NewSource(603))
+	for trial := 0; trial < 25; trial++ {
+		initial := randDB(r, 3+r.Intn(8))
+		txns := randCondTxns(r, 1+r.Intn(2), 1+r.Intn(5))
+		victims := initial.Instance("R").Tuples()
+		victim := victims[r.Intn(len(victims))]
+		annotOf := func(rel string, tu db.Tuple) core.Annot {
+			return core.TupleAnnot("t_" + tu.Key())
+		}
+		smaller := db.NewDatabase(initial.Schema())
+		for _, tu := range victims {
+			if !tu.Equal(victim) {
+				_ = smaller.InsertTuple("R", tu)
+			}
+		}
+		if err := smaller.ApplyAll(txns); err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []engine.Mode{engine.ModeNaive, engine.ModeNormalForm} {
+			e := engine.New(mode, initial, engine.WithInitialAnnotations(annotOf))
+			if err := e.ApplyAll(txns); err != nil {
+				t.Fatal(err)
+			}
+			got := engine.DeletionPropagation(e, annotOf("R", victim))
+			if !got.Equal(smaller) {
+				t.Fatalf("trial %d, %v: deletion propagation diverged with conditions:\n%s", trial, mode, got.Diff(smaller))
+			}
+		}
+	}
+}
+
+// TestOracleAbortWithConds: transaction abortion by valuation also
+// stays exact under the formal (dead tuples participate) semantics —
+// correctness of the construction is semantic and does not rest on the
+// axiomatization that the extension lacks.
+func TestOracleAbortWithConds(t *testing.T) {
+	r := rand.New(rand.NewSource(607))
+	for trial := 0; trial < 25; trial++ {
+		initial := randDB(r, 3+r.Intn(8))
+		txns := randCondTxns(r, 2+r.Intn(2), 1+r.Intn(4))
+		aborted := r.Intn(len(txns))
+		want := initial.Clone()
+		for i := range txns {
+			if i == aborted {
+				continue
+			}
+			if err := want.ApplyTransaction(&txns[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e := engine.New(engine.ModeNormalForm, initial)
+		if err := e.ApplyAll(txns); err != nil {
+			t.Fatal(err)
+		}
+		got := engine.AbortTransactions(e, txns[aborted].Label)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: abort diverged with conditions:\n%s", trial, got.Diff(want))
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"fmt"
+
+	"hyperprov/internal/db"
+)
+
+// index is an optional hash index over one column of a relation. The
+// paper's reference implementation deliberately has no indices (every
+// update scans the relation); BuildIndex is a beyond-the-paper extension
+// used by the ablation benchmarks to show that provenance overhead is
+// orthogonal to access-path choices.
+type index struct {
+	col     int
+	byValue map[db.Value][]*row
+}
+
+// BuildIndex creates a hash index on the named attribute of the
+// relation. Subsequent updates whose selection pattern constrains that
+// attribute to a constant use the index instead of a full scan. At most
+// one index per relation is supported.
+func (e *Engine) BuildIndex(rel, attr string) error {
+	tbl := e.tables[rel]
+	if tbl == nil {
+		return fmt.Errorf("engine: unknown relation %s", rel)
+	}
+	col := tbl.rel.AttrIndex(attr)
+	if col < 0 {
+		return fmt.Errorf("engine: relation %s has no attribute %s", rel, attr)
+	}
+	ix := &index{col: col, byValue: make(map[db.Value][]*row)}
+	for _, r := range tbl.list {
+		ix.byValue[r.tuple[col]] = append(ix.byValue[r.tuple[col]], r)
+	}
+	e.indexes[rel] = ix
+	return nil
+}
+
+func (e *Engine) indexAdd(tbl *table, r *row) {
+	ix := e.indexes[tbl.rel.Name]
+	if ix == nil {
+		return
+	}
+	ix.byValue[r.tuple[ix.col]] = append(ix.byValue[r.tuple[ix.col]], r)
+}
+
+// scan returns the rows of the table that the selection applies to, in
+// deterministic order: the rows in support (annotation ≠ 0) by default,
+// only the semantically live rows under WithLiveMatching. It uses the
+// relation's index when the pattern pins the indexed column to a
+// constant, and a full scan otherwise.
+func (e *Engine) scan(tbl *table, u db.Update) []*row {
+	matchable := func(r *row) bool {
+		if e.liveMatch {
+			return r.live
+		}
+		return r.inSupport(e.mode)
+	}
+	var out []*row
+	if ix := e.indexes[tbl.rel.Name]; ix != nil && u.Sel[ix.col].IsConst() {
+		for _, r := range ix.byValue[u.Sel[ix.col].Value()] {
+			if matchable(r) && u.MatchesTuple(r.tuple) {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	for _, r := range tbl.list {
+		if matchable(r) && u.MatchesTuple(r.tuple) {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"hyperprov/internal/db"
+	"hyperprov/internal/upstruct"
+)
+
+// SpecializeParallel is Specialize with row evaluation spread over
+// workers goroutines (0 = GOMAXPROCS). Expressions are immutable and
+// the structure's operations must be pure, so evaluation parallelizes
+// trivially; f is called from multiple goroutines and must be safe for
+// concurrent use (or accumulate per-shard as BoolRestrictParallel does).
+// This is a beyond-the-paper extension: provenance usage is the
+// measurement of Figures 7c/8c, and valuation is embarrassingly
+// parallel, unlike the re-execution baseline.
+func SpecializeParallel[T any](e *Engine, s upstruct.Structure[T], env upstruct.Env[T], workers int, f func(rel string, t db.Tuple, v T)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		Specialize(e, s, env, f)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, rel := range e.schema.Names() {
+		tbl := e.tables[rel]
+		rows := tbl.list
+		chunk := (len(rows) + workers - 1) / workers
+		if chunk == 0 {
+			continue
+		}
+		for start := 0; start < len(rows); start += chunk {
+			end := start + chunk
+			if end > len(rows) {
+				end = len(rows)
+			}
+			wg.Add(1)
+			go func(rel string, part []*row) {
+				defer wg.Done()
+				for _, r := range part {
+					var v T
+					if e.mode == ModeNaive {
+						v = upstruct.Eval(r.expr, s, env)
+					} else {
+						v = upstruct.EvalNF(r.nf, s, env)
+					}
+					f(rel, r.tuple, v)
+				}
+			}(rel, rows[start:end])
+		}
+	}
+	wg.Wait()
+}
+
+// BoolRestrictParallel materializes the database selected by a Boolean
+// valuation using parallel evaluation. Workers accumulate hits into
+// private buffers (no shared state on the hot path) that are merged at
+// the end. env must be safe for concurrent use (pure functions and
+// MapEnv lookups are).
+func BoolRestrictParallel(e *Engine, env upstruct.Env[bool], workers int) *db.Database {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type chunk struct {
+		rel  string
+		rows []*row
+	}
+	var chunks []chunk
+	for _, rel := range e.schema.Names() {
+		rows := e.tables[rel].list
+		per := (len(rows) + workers - 1) / workers
+		if per == 0 {
+			continue
+		}
+		for start := 0; start < len(rows); start += per {
+			end := start + per
+			if end > len(rows) {
+				end = len(rows)
+			}
+			chunks = append(chunks, chunk{rel: rel, rows: rows[start:end]})
+		}
+	}
+	hits := make([][]db.Tuple, len(chunks))
+	var wg sync.WaitGroup
+	for i := range chunks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := chunks[i]
+			local := make([]db.Tuple, 0, len(c.rows))
+			for _, r := range c.rows {
+				var v bool
+				if e.mode == ModeNaive {
+					v = upstruct.Eval(r.expr, upstruct.Bool, env)
+				} else {
+					v = upstruct.EvalNF(r.nf, upstruct.Bool, env)
+				}
+				if v {
+					local = append(local, r.tuple)
+				}
+			}
+			hits[i] = local
+		}(i)
+	}
+	wg.Wait()
+	out := db.NewDatabase(e.schema)
+	for i, c := range chunks {
+		for _, t := range hits[i] {
+			_ = out.InsertTuple(c.rel, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,24 @@
+// Package mvsemiring reimplements the multi-version semiring (MV-
+// semiring) provenance model of Arab, Gawlick, Krishnaswamy,
+// Radhakrishnan and Glavic ("Reenactment for read-committed snapshot
+// isolation", CIKM 2016), which the paper compares against in Sections
+// 3.3 and 6.4.
+//
+// In the most general MV-semiring N[X]ν, every tuple is annotated by a
+// symbolic expression over variables (identifiers of freshly inserted
+// tuples), the semiring operations + and ·, and version annotations
+// X^id_{T,ν}(k), where X ∈ {I, U, D, C} records that an insert, update,
+// delete or commit was executed at time ν−1 by transaction T on the
+// tuple with identifier id whose previous annotation was k. The
+// structure of an expression thus encodes the full derivation history of
+// the tuple — which is precisely why the model is not invariant under
+// transaction equivalence (Example 3.10): set-equivalent transactions
+// wrap annotations in different version chains.
+//
+// The package provides two interchangeable representations, mirroring
+// the two implementations benchmarked in Section 6.4: a tree
+// representation (Expr) and a string representation (StringAnnotations),
+// plus the Unv operation that strips version annotations, and an Engine
+// that tracks MV provenance for the same hyperplane workloads the
+// hyperprov engines run (package engine).
+package mvsemiring

@@ -1,0 +1,388 @@
+package mvsemiring
+
+import (
+	"fmt"
+
+	"hyperprov/internal/db"
+)
+
+// Repr selects the annotation representation, mirroring the two
+// implementations compared in Section 6.4.
+type Repr uint8
+
+const (
+	// ReprTree stores annotations as Expr trees (the anytree-style
+	// implementation of the paper's comparison).
+	ReprTree Repr = iota
+	// ReprString stores annotations as flat strings; each update
+	// re-renders the wrapped annotation, so updates cost O(annotation
+	// length) but no recursive structure is kept (uses require parsing,
+	// which the paper notes as this representation's hidden cost).
+	ReprString
+)
+
+// String names the representation.
+func (r Repr) String() string {
+	switch r {
+	case ReprTree:
+		return "MV-semiring (tree impl)"
+	case ReprString:
+		return "MV-semiring (string impl)"
+	default:
+		return fmt.Sprintf("Repr(%d)", uint8(r))
+	}
+}
+
+type mvRow struct {
+	tuple db.Tuple
+	expr  *Expr  // ReprTree
+	str   string // ReprString
+	txn   int
+}
+
+type mvTable struct {
+	rel  *db.RelationSchema
+	rows map[string]*mvRow
+	list []*mvRow
+	dead map[*mvRow]bool
+}
+
+func (t *mvTable) add(key string, r *mvRow) {
+	t.rows[key] = r
+	t.list = append(t.list, r)
+}
+
+// Engine tracks MV-semiring provenance for hyperplane update workloads.
+// Unlike the UP[X] engines, modified tuples are versioned in place (the
+// model of [6] does not duplicate modified tuples — Section 6.4), so the
+// stored row count matches the plain database plus tombstoned deletions.
+type Engine struct {
+	repr   Repr
+	schema *db.Schema
+	tables map[string]*mvTable
+
+	clock   int // ν − 1: advanced per update query
+	varSeq  int
+	cur     string // current transaction identifier
+	inTxn   bool
+	txnNo   int
+	touched []*mvRow
+	commit  bool
+}
+
+// Option configures the MV engine.
+type Option func(*Engine)
+
+// WithCommitAnnotations wraps every touched tuple in a C^id_{T,ν}
+// annotation at transaction end, as the full model of [6] does. Off by
+// default to match the expressions of Example 3.10.
+func WithCommitAnnotations(on bool) Option {
+	return func(e *Engine) { e.commit = on }
+}
+
+// New builds an MV engine over an initial database. Initial tuples are
+// annotated with fresh variables x0, x1, … (insertions that predate the
+// tracked history, as in the paper's examples).
+func New(repr Repr, initial *db.Database, opts ...Option) *Engine {
+	e := &Engine{repr: repr, schema: initial.Schema(), tables: make(map[string]*mvTable)}
+	for _, o := range opts {
+		o(e)
+	}
+	for _, name := range e.schema.Names() {
+		tbl := &mvTable{rel: e.schema.Relation(name), rows: make(map[string]*mvRow), dead: make(map[*mvRow]bool)}
+		e.tables[name] = tbl
+		for _, t := range initial.Instance(name).Tuples() {
+			r := &mvRow{tuple: t, txn: -1}
+			v := e.freshVar()
+			if repr == ReprTree {
+				r.expr = Var(v)
+			} else {
+				r.str = v
+			}
+			tbl.add(t.Key(), r)
+		}
+	}
+	return e
+}
+
+func (e *Engine) freshVar() string {
+	v := fmt.Sprintf("x%d", e.varSeq)
+	e.varSeq++
+	return v
+}
+
+// Repr reports the representation in use.
+func (e *Engine) Repr() Repr { return e.repr }
+
+// Begin starts a transaction identified by label.
+func (e *Engine) Begin(label string) {
+	if e.inTxn {
+		panic("mvsemiring: Begin inside an open transaction")
+	}
+	e.cur = label
+	e.inTxn = true
+	e.touched = e.touched[:0]
+}
+
+// End closes the transaction, optionally wrapping touched rows in commit
+// annotations.
+func (e *Engine) End() {
+	if !e.inTxn {
+		panic("mvsemiring: End without Begin")
+	}
+	if e.commit {
+		for _, r := range e.touched {
+			e.wrap(r, OpCommit, rowID(r))
+		}
+		e.clock++
+	}
+	e.inTxn = false
+	e.txnNo++
+	e.touched = e.touched[:0]
+}
+
+func rowID(r *mvRow) string { return "t:" + r.tuple.Key() }
+
+func (e *Engine) wrap(r *mvRow, op VersionOp, id string) {
+	if e.repr == ReprTree {
+		r.expr = Version(op, id, e.cur, e.clock, r.expr)
+	} else {
+		r.str = fmt.Sprintf("%c^%s_{%s,%d}(%s)", byte(op), id, e.cur, e.clock+1, r.str)
+	}
+}
+
+func (e *Engine) touch(r *mvRow) {
+	if r.txn != e.txnNo {
+		r.txn = e.txnNo
+		e.touched = append(e.touched, r)
+	}
+}
+
+func (e *Engine) alive(tbl *mvTable, r *mvRow) bool { return !tbl.dead[r] }
+
+func (e *Engine) scan(tbl *mvTable, sel db.Pattern) []*mvRow {
+	var out []*mvRow
+	for _, r := range tbl.list {
+		if e.alive(tbl, r) && sel.Matches(r.tuple) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Apply executes one update query within the current transaction.
+func (e *Engine) Apply(u db.Update) error {
+	if !e.inTxn {
+		return fmt.Errorf("mvsemiring: Apply outside a transaction")
+	}
+	tbl := e.tables[u.Rel]
+	if tbl == nil {
+		return fmt.Errorf("mvsemiring: unknown relation %s", u.Rel)
+	}
+	defer func() { e.clock++ }()
+	switch u.Kind {
+	case db.OpInsert:
+		key := u.Row.Key()
+		r := tbl.rows[key]
+		if r == nil || !e.alive(tbl, r) {
+			if r == nil {
+				r = &mvRow{tuple: u.Row, txn: -1}
+				tbl.add(key, r)
+			}
+			delete(tbl.dead, r)
+			v := e.freshVar()
+			if e.repr == ReprTree {
+				r.expr = Var(v)
+			} else {
+				r.str = v
+			}
+		}
+		e.wrap(r, OpInsert, rowID(r))
+		e.touch(r)
+		return nil
+	case db.OpDelete:
+		for _, r := range e.scan(tbl, u.Sel) {
+			e.wrap(r, OpDelete, rowID(r))
+			tbl.dead[r] = true
+			e.touch(r)
+		}
+		return nil
+	case db.OpModify:
+		sources := e.scan(tbl, u.Sel)
+		if len(sources) == 0 {
+			return nil
+		}
+		type group struct {
+			target db.Tuple
+			exprs  []*Expr
+			strs   []string
+		}
+		groups := make(map[string]*group)
+		var order []string
+		for _, src := range sources {
+			target := u.Target(src.tuple)
+			key := target.Key()
+			g := groups[key]
+			if g == nil {
+				g = &group{target: target}
+				groups[key] = g
+				order = append(order, key)
+			}
+			id := rowID(src)
+			if e.repr == ReprTree {
+				g.exprs = append(g.exprs, Version(OpUpdate, id, e.cur, e.clock, src.expr))
+			} else {
+				g.strs = append(g.strs, fmt.Sprintf("U^%s_{%s,%d}(%s)", id, e.cur, e.clock+1, src.str))
+			}
+		}
+		for _, src := range sources {
+			tbl.dead[src] = true
+			e.touch(src)
+		}
+		for _, key := range order {
+			g := groups[key]
+			r := tbl.rows[key]
+			if r == nil {
+				r = &mvRow{tuple: g.target, txn: -1}
+				tbl.add(key, r)
+			} else if e.alive(tbl, r) {
+				// An update into an existing live tuple keeps its prior
+				// annotation alongside the incoming update versions.
+				if e.repr == ReprTree {
+					g.exprs = append([]*Expr{r.expr}, g.exprs...)
+				} else {
+					g.strs = append([]string{r.str}, g.strs...)
+				}
+			}
+			delete(tbl.dead, r)
+			if e.repr == ReprTree {
+				r.expr = Plus(g.exprs...)
+			} else {
+				if len(g.strs) == 1 {
+					r.str = g.strs[0]
+				} else {
+					s := "("
+					for i, gs := range g.strs {
+						if i > 0 {
+							s += " + "
+						}
+						s += gs
+					}
+					r.str = s + ")"
+				}
+			}
+			e.touch(r)
+		}
+		return nil
+	default:
+		return fmt.Errorf("mvsemiring: unknown update kind %v", u.Kind)
+	}
+}
+
+// ApplyTransaction runs a whole transaction.
+func (e *Engine) ApplyTransaction(t *db.Transaction) error {
+	e.Begin(t.Label)
+	for i := range t.Updates {
+		if err := e.Apply(t.Updates[i]); err != nil {
+			e.End()
+			return fmt.Errorf("transaction %s, query %d: %w", t.Label, i, err)
+		}
+	}
+	e.End()
+	return nil
+}
+
+// ApplyAll runs a sequence of transactions.
+func (e *Engine) ApplyAll(txns []db.Transaction) error {
+	for i := range txns {
+		if err := e.ApplyTransaction(&txns[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Annotation returns the tree annotation of a tuple (ReprTree), or nil.
+func (e *Engine) Annotation(rel string, t db.Tuple) *Expr {
+	tbl := e.tables[rel]
+	if tbl == nil {
+		return nil
+	}
+	r := tbl.rows[t.Key()]
+	if r == nil {
+		return nil
+	}
+	return r.expr
+}
+
+// AnnotationString returns the string annotation of a tuple (ReprString).
+func (e *Engine) AnnotationString(rel string, t db.Tuple) string {
+	tbl := e.tables[rel]
+	if tbl == nil {
+		return ""
+	}
+	r := tbl.rows[t.Key()]
+	if r == nil {
+		return ""
+	}
+	return r.str
+}
+
+// ProvSize reports the total provenance length: tree nodes for ReprTree,
+// string bytes for ReprString — the implementation-independent length
+// measure of Section 6.4.
+func (e *Engine) ProvSize() int64 {
+	var n int64
+	for _, tbl := range e.tables {
+		for _, r := range tbl.list {
+			if e.repr == ReprTree {
+				n += r.expr.Size()
+			} else {
+				n += int64(len(r.str))
+			}
+		}
+	}
+	return n
+}
+
+// TokenSize reports the total token-weighted provenance length
+// (ReprTree; see Expr.TokenSize). For ReprString it reports the string
+// length, which is the same measure up to constant factors.
+func (e *Engine) TokenSize() int64 {
+	var n int64
+	for _, tbl := range e.tables {
+		for _, r := range tbl.list {
+			if e.repr == ReprTree {
+				n += r.expr.TokenSize()
+			} else {
+				n += int64(len(r.str))
+			}
+		}
+	}
+	return n
+}
+
+// NumRows reports the number of stored rows (live + tombstoned); the
+// MV model versions modified tuples in place, so this stays close to
+// the plain database size.
+func (e *Engine) NumRows() int {
+	n := 0
+	for _, tbl := range e.tables {
+		n += len(tbl.list)
+	}
+	return n
+}
+
+// LiveDB materializes the current set-semantics database.
+func (e *Engine) LiveDB() *db.Database {
+	out := db.NewDatabase(e.schema)
+	for _, name := range e.schema.Names() {
+		tbl := e.tables[name]
+		for _, r := range tbl.list {
+			if e.alive(tbl, r) {
+				_ = out.InsertTuple(name, r.tuple)
+			}
+		}
+	}
+	return out
+}

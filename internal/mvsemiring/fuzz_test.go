@@ -1,0 +1,45 @@
+package mvsemiring_test
+
+import (
+	"testing"
+
+	"hyperprov/internal/mvsemiring"
+)
+
+// FuzzParseString checks the MV annotation parser never panics and that
+// everything it accepts round-trips through String.
+func FuzzParseString(f *testing.F) {
+	for _, seed := range []string{
+		"0",
+		"x1",
+		"U^t1_{T2,5}(I^t1_{T,2}(x1))",
+		"(x1 + x2)",
+		"(x1 * x2)",
+		"D^t_{T,3}((x1 + x2))",
+		"(",
+		"U^t_{T,",
+		"1)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := mvsemiring.ParseString(src)
+		if err != nil {
+			return
+		}
+		out := e.String()
+		back, err := mvsemiring.ParseString(out)
+		if err != nil {
+			t.Fatalf("rendering %q of accepted %q does not re-parse: %v", out, src, err)
+		}
+		if !back.Equal(e) {
+			t.Fatalf("round trip changed %q -> %q", out, back.String())
+		}
+		if e.Size() < 1 {
+			t.Fatal("degenerate size")
+		}
+		_ = e.Unv()
+		_ = e.Canonical()
+		_ = e.Depth()
+	})
+}

@@ -1,0 +1,239 @@
+package mvsemiring_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hyperprov/internal/db"
+	"hyperprov/internal/mvsemiring"
+)
+
+func bikeDB(t *testing.T) *db.Database {
+	t.Helper()
+	schema := db.MustSchema(db.MustRelationSchema("Products",
+		db.Attribute{Name: "Product", Kind: db.KindString},
+		db.Attribute{Name: "Category", Kind: db.KindString},
+		db.Attribute{Name: "Price", Kind: db.KindInt},
+	))
+	d := db.NewDatabase(schema)
+	for _, r := range []db.Tuple{
+		{db.S("Kids mnt bike"), db.S("Sport"), db.I(120)},
+		{db.S("Tennis Racket"), db.S("Sport"), db.I(70)},
+		{db.S("Kids mnt bike"), db.S("Kids"), db.I(120)},
+	} {
+		if err := d.InsertTuple("Products", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestExprStringAndSize(t *testing.T) {
+	x := mvsemiring.Var("x1")
+	e := mvsemiring.Version(mvsemiring.OpUpdate, "t1", "T2", 4,
+		mvsemiring.Version(mvsemiring.OpInsert, "t1", "T", 1, x))
+	want := "U^t1_{T2,5}(I^t1_{T,2}(x1))"
+	if got := e.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if e.Size() != 3 {
+		t.Errorf("Size = %d, want 3", e.Size())
+	}
+	if e.Depth() != 3 {
+		t.Errorf("Depth = %d, want 3", e.Depth())
+	}
+}
+
+func TestUnvExample311(t *testing.T) {
+	// Example 3.11: Unv of U^3(U^2(U^1(I(x1)))) and of U^2(U^1(I(x1)))
+	// both yield x1.
+	x := mvsemiring.Var("x1")
+	deep := mvsemiring.Version(mvsemiring.OpUpdate, "t", "T2", 4,
+		mvsemiring.Version(mvsemiring.OpUpdate, "t", "T1", 3,
+			mvsemiring.Version(mvsemiring.OpUpdate, "t", "T1", 2,
+				mvsemiring.Version(mvsemiring.OpInsert, "t", "T", 1, x))))
+	shallow := mvsemiring.Version(mvsemiring.OpUpdate, "t", "T2", 3,
+		mvsemiring.Version(mvsemiring.OpUpdate, "t", "T1'", 2,
+			mvsemiring.Version(mvsemiring.OpInsert, "t", "T", 1, x)))
+	if !deep.Unv().Equal(x) || !shallow.Unv().Equal(x) {
+		t.Errorf("Unv = %v / %v, want x1", deep.Unv(), shallow.Unv())
+	}
+	// Deletions vanish under Unv.
+	del := mvsemiring.Version(mvsemiring.OpDelete, "t", "T", 1, x)
+	if !del.Unv().Equal(mvsemiring.Zero()) {
+		t.Errorf("Unv(D(x1)) = %v, want 0", del.Unv())
+	}
+	sum := mvsemiring.Plus(del, shallow)
+	if !sum.Unv().Equal(x) {
+		t.Errorf("Unv(D(x1) + U(...)) = %v, want x1", sum.Unv())
+	}
+}
+
+func TestPlusTimesConstructors(t *testing.T) {
+	if !mvsemiring.Plus().Equal(mvsemiring.Zero()) {
+		t.Error("empty Plus must be 0")
+	}
+	if !mvsemiring.Times().Equal(mvsemiring.One()) {
+		t.Error("empty Times must be 1")
+	}
+	x := mvsemiring.Var("x")
+	if !mvsemiring.Plus(x).Equal(x) || !mvsemiring.Times(x).Equal(x) {
+		t.Error("singletons must collapse")
+	}
+	z := mvsemiring.Times(mvsemiring.Zero(), x)
+	if !z.Unv().Equal(mvsemiring.Zero()) {
+		t.Error("0 * x must Unv to 0")
+	}
+}
+
+func bikeModify(cat, to string) db.Update {
+	return db.Modify("Products",
+		db.Pattern{db.Const(db.S("Kids mnt bike")), db.Const(db.S(cat)), db.AnyVar("c")},
+		[]db.SetClause{db.Keep(), db.SetTo(db.S(to)), db.Keep()})
+}
+
+// TestExample310NonInvariance reproduces the paper's key criticism: the
+// set-equivalent transactions T1 (Kids→Sport; Sport→Bicycles) and T1'
+// (Kids→Bicycles; Sport→Bicycles) give structurally different
+// MV-semiring annotations — version chains of different depth — while
+// Unv collapses both to the same underlying polynomial.
+func TestExample310NonInvariance(t *testing.T) {
+	t1 := db.Transaction{Label: "T1", Updates: []db.Update{
+		bikeModify("Kids", "Sport"), bikeModify("Sport", "Bicycles"),
+	}}
+	t1p := db.Transaction{Label: "T1'", Updates: []db.Update{
+		bikeModify("Kids", "Bicycles"), bikeModify("Sport", "Bicycles"),
+	}}
+	e1 := mvsemiring.New(mvsemiring.ReprTree, bikeDB(t))
+	e2 := mvsemiring.New(mvsemiring.ReprTree, bikeDB(t))
+	if err := e1.ApplyAll([]db.Transaction{t1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.ApplyAll([]db.Transaction{t1p}); err != nil {
+		t.Fatal(err)
+	}
+	bic := db.Tuple{db.S("Kids mnt bike"), db.S("Bicycles"), db.I(120)}
+	a1 := e1.Annotation("Products", bic)
+	a2 := e2.Annotation("Products", bic)
+	if a1 == nil || a2 == nil {
+		t.Fatal("missing Bicycles annotations")
+	}
+	if a1.Equal(a2) {
+		t.Errorf("MV-semiring should NOT be equivalence invariant, got equal annotations %v", a1)
+	}
+	if a1.Depth() <= a2.Depth() {
+		t.Errorf("T1 chains two updates for the Kids tuple: depth %d vs %d", a1.Depth(), a2.Depth())
+	}
+	if !a1.Unv().Canonical().Equal(a2.Unv().Canonical()) {
+		t.Errorf("Unv must coincide: %v vs %v", a1.Unv(), a2.Unv())
+	}
+}
+
+func TestStringReprMatchesTreeRendering(t *testing.T) {
+	txn := db.Transaction{Label: "T1", Updates: []db.Update{
+		bikeModify("Kids", "Sport"), bikeModify("Sport", "Bicycles"),
+	}}
+	tree := mvsemiring.New(mvsemiring.ReprTree, bikeDB(t))
+	str := mvsemiring.New(mvsemiring.ReprString, bikeDB(t))
+	if err := tree.ApplyAll([]db.Transaction{txn}); err != nil {
+		t.Fatal(err)
+	}
+	if err := str.ApplyAll([]db.Transaction{txn}); err != nil {
+		t.Fatal(err)
+	}
+	bic := db.Tuple{db.S("Kids mnt bike"), db.S("Bicycles"), db.I(120)}
+	if got, want := str.AnnotationString("Products", bic), tree.Annotation("Products", bic).String(); got != want {
+		t.Errorf("string repr = %q, tree rendering = %q", got, want)
+	}
+}
+
+func TestMVLiveDBMatchesPlain(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	cats := []string{"a", "b", "c"}
+	schema := db.MustSchema(db.MustRelationSchema("R",
+		db.Attribute{Name: "id", Kind: db.KindInt},
+		db.Attribute{Name: "cat", Kind: db.KindString},
+	))
+	for trial := 0; trial < 40; trial++ {
+		initial := db.NewDatabase(schema)
+		for i := 0; i < 3+r.Intn(8); i++ {
+			_ = initial.InsertTuple("R", db.Tuple{db.I(int64(r.Intn(5))), db.S(cats[r.Intn(3)])})
+		}
+		var txns []db.Transaction
+		for i := 0; i < 1+r.Intn(3); i++ {
+			var ups []db.Update
+			for j := 0; j < 1+r.Intn(4); j++ {
+				switch r.Intn(3) {
+				case 0:
+					ups = append(ups, db.Insert("R", db.Tuple{db.I(int64(r.Intn(5))), db.S(cats[r.Intn(3)])}))
+				case 1:
+					ups = append(ups, db.Delete("R", db.Pattern{db.Const(db.I(int64(r.Intn(5)))), db.AnyVar("c")}))
+				default:
+					ups = append(ups, db.Modify("R",
+						db.Pattern{db.AnyVar("i"), db.Const(db.S(cats[r.Intn(3)]))},
+						[]db.SetClause{db.Keep(), db.SetTo(db.S(cats[r.Intn(3)]))}))
+				}
+			}
+			txns = append(txns, db.Transaction{Label: "T" + string(rune('0'+i)), Updates: ups})
+		}
+		plain := initial.Clone()
+		if err := plain.ApplyAll(txns); err != nil {
+			t.Fatal(err)
+		}
+		for _, repr := range []mvsemiring.Repr{mvsemiring.ReprTree, mvsemiring.ReprString} {
+			e := mvsemiring.New(repr, initial)
+			if err := e.ApplyAll(txns); err != nil {
+				t.Fatal(err)
+			}
+			if !e.LiveDB().Equal(plain) {
+				t.Fatalf("trial %d, %v: MV live DB diverges:\n%s", trial, repr, e.LiveDB().Diff(plain))
+			}
+		}
+	}
+}
+
+func TestCommitAnnotations(t *testing.T) {
+	txn := db.Transaction{Label: "T1", Updates: []db.Update{bikeModify("Kids", "Sport")}}
+	e := mvsemiring.New(mvsemiring.ReprTree, bikeDB(t), mvsemiring.WithCommitAnnotations(true))
+	if err := e.ApplyAll([]db.Transaction{txn}); err != nil {
+		t.Fatal(err)
+	}
+	sport := db.Tuple{db.S("Kids mnt bike"), db.S("Sport"), db.I(120)}
+	ann := e.Annotation("Products", sport)
+	if ann == nil || !strings.HasPrefix(ann.String(), "C^") {
+		t.Errorf("commit annotation missing: %v", ann)
+	}
+}
+
+func TestMVEngineErrors(t *testing.T) {
+	e := mvsemiring.New(mvsemiring.ReprTree, bikeDB(t))
+	if err := e.Apply(db.Insert("Products", db.Tuple{db.S("x"), db.S("y"), db.I(1)})); err == nil {
+		t.Error("Apply outside transaction must fail")
+	}
+	e.Begin("T")
+	if err := e.Apply(db.Insert("Nope", db.Tuple{db.S("x")})); err == nil {
+		t.Error("unknown relation must fail")
+	}
+	e.End()
+}
+
+func TestMVProvSizeGrowsWithUpdates(t *testing.T) {
+	// Version chains grow linearly with updates per tuple, matching the
+	// "roughly the same as naive UP[X] per tuple" observation of
+	// Section 6.4.
+	e := mvsemiring.New(mvsemiring.ReprTree, bikeDB(t))
+	base := e.ProvSize()
+	txns := []db.Transaction{{Label: "T", Updates: []db.Update{
+		bikeModify("Kids", "Sport"),
+		bikeModify("Sport", "Kids"),
+		bikeModify("Kids", "Sport"),
+		bikeModify("Sport", "Kids"),
+	}}}
+	if err := e.ApplyAll(txns); err != nil {
+		t.Fatal(err)
+	}
+	if e.ProvSize() <= base {
+		t.Errorf("ProvSize did not grow: %d -> %d", base, e.ProvSize())
+	}
+}

@@ -1,0 +1,158 @@
+package mvsemiring
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ParseString parses the string representation maintained by the
+// ReprString engine back into an expression tree. This is the hidden
+// cost of the string implementation that Section 6.4 points out: the
+// string updates quickly, but every *use* of the provenance (valuation,
+// Unv, inspection) must first parse it.
+//
+// Grammar (exactly what the engine emits):
+//
+//	expr   := atom | '(' expr (' + ' expr)* ')' | '(' expr (' * ' expr)* ')'
+//	atom   := '0' | '1' | ident | version
+//	version:= [IUDC] '^' id '_{' txn ',' time '}' '(' expr ')'
+//
+// where id and txn run to the next structural delimiter.
+func ParseString(s string) (*Expr, error) {
+	p := &stringParser{src: s}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("mvsemiring: trailing input at offset %d in %q", p.pos, s)
+	}
+	return e, nil
+}
+
+type stringParser struct {
+	src string
+	pos int
+}
+
+func (p *stringParser) skipSpace() {
+	for p.pos < len(p.src) && p.src[p.pos] == ' ' {
+		p.pos++
+	}
+}
+
+func (p *stringParser) parseExpr() (*Expr, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("mvsemiring: unexpected end of input")
+	}
+	if p.src[p.pos] == '(' {
+		p.pos++
+		first, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		kids := []*Expr{first}
+		var op byte
+		for {
+			p.skipSpace()
+			if p.pos < len(p.src) && p.src[p.pos] == ')' {
+				p.pos++
+				break
+			}
+			if p.pos >= len(p.src) || (p.src[p.pos] != '+' && p.src[p.pos] != '*') {
+				return nil, fmt.Errorf("mvsemiring: expected + or * at offset %d", p.pos)
+			}
+			cur := p.src[p.pos]
+			if op == 0 {
+				op = cur
+			} else if op != cur {
+				return nil, fmt.Errorf("mvsemiring: mixed + and * without parentheses at offset %d", p.pos)
+			}
+			p.pos++
+			next, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			kids = append(kids, next)
+		}
+		if op == '*' {
+			return Times(kids...), nil
+		}
+		return Plus(kids...), nil
+	}
+	return p.parseAtom()
+}
+
+func (p *stringParser) parseAtom() (*Expr, error) {
+	c := p.src[p.pos]
+	// Version annotation: X^id_{txn,time}(child).
+	if (c == 'I' || c == 'U' || c == 'D' || c == 'C') && p.pos+1 < len(p.src) && p.src[p.pos+1] == '^' {
+		op := VersionOp(c)
+		p.pos += 2
+		id, err := p.until("_{")
+		if err != nil {
+			return nil, err
+		}
+		txn, err := p.until(",")
+		if err != nil {
+			return nil, err
+		}
+		timeStr, err := p.until("}")
+		if err != nil {
+			return nil, err
+		}
+		tv, err := strconv.Atoi(strings.TrimSpace(timeStr))
+		if err != nil {
+			return nil, fmt.Errorf("mvsemiring: bad time %q: %v", timeStr, err)
+		}
+		if p.pos >= len(p.src) || p.src[p.pos] != '(' {
+			return nil, fmt.Errorf("mvsemiring: expected ( after version head at offset %d", p.pos)
+		}
+		p.pos++
+		child, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return nil, fmt.Errorf("mvsemiring: expected ) at offset %d", p.pos)
+		}
+		p.pos++
+		return Version(op, id, txn, tv-1, child), nil
+	}
+	switch {
+	case c == '0':
+		p.pos++
+		return Zero(), nil
+	case c == '1':
+		p.pos++
+		return One(), nil
+	case unicode.IsLetter(rune(c)) || c == '_':
+		start := p.pos
+		for p.pos < len(p.src) {
+			r := rune(p.src[p.pos])
+			if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+				break
+			}
+			p.pos++
+		}
+		return Var(p.src[start:p.pos]), nil
+	default:
+		return nil, fmt.Errorf("mvsemiring: unexpected character %q at offset %d", c, p.pos)
+	}
+}
+
+// until consumes up to and including the delimiter, returning the text
+// before it.
+func (p *stringParser) until(delim string) (string, error) {
+	idx := strings.Index(p.src[p.pos:], delim)
+	if idx < 0 {
+		return "", fmt.Errorf("mvsemiring: missing %q after offset %d", delim, p.pos)
+	}
+	out := p.src[p.pos : p.pos+idx]
+	p.pos += idx + len(delim)
+	return out, nil
+}

@@ -1,0 +1,94 @@
+package mvsemiring_test
+
+import (
+	"testing"
+
+	"hyperprov/internal/db"
+	"hyperprov/internal/mvsemiring"
+)
+
+func TestParseStringRoundTrip(t *testing.T) {
+	cases := []string{
+		"0",
+		"1",
+		"x1",
+		"U^t1_{T2,5}(I^t1_{T,2}(x1))",
+		"(x1 + U^t_{T,2}(x2))",
+		"(x1 * x2)",
+		"(U^a_{T,1}(x1) + U^b_{T,1}(x2) + x3)",
+		"D^t_{T,3}((x1 + x2))",
+	}
+	for _, s := range cases {
+		e, err := mvsemiring.ParseString(s)
+		if err != nil {
+			t.Fatalf("ParseString(%q): %v", s, err)
+		}
+		if got := e.String(); got != s {
+			t.Errorf("round trip of %q = %q", s, got)
+		}
+	}
+}
+
+func TestParseStringErrors(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"(",
+		"(x1 + x2",
+		"(x1 + x2 * x3)",
+		"U^t_{T,notanumber}(x)",
+		"U^t(x)",
+		"$",
+		"x1 x2",
+	} {
+		if _, err := mvsemiring.ParseString(s); err == nil {
+			t.Errorf("ParseString(%q) succeeded, want error", s)
+		}
+	}
+}
+
+// TestParseStringMatchesTreeEngine: parsing the string engine's
+// annotations recovers exactly the tree engine's expressions — so the
+// two implementations are interchangeable up to the parsing cost the
+// paper calls out.
+func TestParseStringMatchesTreeEngine(t *testing.T) {
+	txns := []db.Transaction{
+		{Label: "T1", Updates: []db.Update{
+			bikeModify("Kids", "Sport"), bikeModify("Sport", "Bicycles"),
+		}},
+		{Label: "T2", Updates: []db.Update{
+			db.Insert("Products", db.Tuple{db.S("Lego"), db.S("Kids"), db.I(90)}),
+			db.Delete("Products", db.Pattern{db.AnyVar("p"), db.Const(db.S("Bicycles")), db.AnyVar("c")}),
+		}},
+	}
+	tree := mvsemiring.New(mvsemiring.ReprTree, bikeDB(t))
+	str := mvsemiring.New(mvsemiring.ReprString, bikeDB(t))
+	if err := tree.ApplyAll(txns); err != nil {
+		t.Fatal(err)
+	}
+	if err := str.ApplyAll(txns); err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, tu := range []db.Tuple{
+		{db.S("Kids mnt bike"), db.S("Bicycles"), db.I(120)},
+		{db.S("Lego"), db.S("Kids"), db.I(90)},
+		{db.S("Tennis Racket"), db.S("Sport"), db.I(70)},
+	} {
+		s := str.AnnotationString("Products", tu)
+		if s == "" {
+			continue
+		}
+		parsed, err := mvsemiring.ParseString(s)
+		if err != nil {
+			t.Fatalf("parse of %q: %v", s, err)
+		}
+		want := tree.Annotation("Products", tu)
+		if want == nil || !parsed.Equal(want) {
+			t.Errorf("%v: parsed %v, tree engine has %v", tu, parsed, want)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no annotations compared")
+	}
+}

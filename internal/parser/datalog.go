@@ -1,0 +1,267 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+
+	"hyperprov/internal/db"
+)
+
+// rawTerm is a pattern position before kinds are resolved against the
+// schema.
+type rawTerm struct {
+	isConst bool
+	isStr   bool
+	text    string // literal text (string contents or number)
+	varName string
+	notEq   []rawTerm
+	pos     int
+}
+
+func (l *lexer) parseRawTerm() (rawTerm, error) {
+	t := l.next()
+	switch {
+	case t.kind == tokString:
+		return rawTerm{isConst: true, isStr: true, text: t.text, pos: t.pos}, nil
+	case t.kind == tokNumber:
+		return rawTerm{isConst: true, text: t.text, pos: t.pos}, nil
+	case t.kind == tokIdent:
+		return rawTerm{varName: t.text, pos: t.pos}, nil
+	case t.kind == tokPunct && t.text == "[":
+		// [x != "a", x != "b"]
+		out := rawTerm{pos: t.pos}
+		for {
+			name, err := l.expectIdent()
+			if err != nil {
+				return out, err
+			}
+			if out.varName == "" {
+				out.varName = name
+			} else if out.varName != name {
+				return out, fmt.Errorf("parser: mixed variables %s and %s in disequality at offset %d", out.varName, name, t.pos)
+			}
+			if !l.acceptPunct("!=") && !l.acceptPunct("<>") {
+				return out, fmt.Errorf("parser: expected != in disequality at offset %d", l.peek().pos)
+			}
+			c := l.next()
+			switch c.kind {
+			case tokString:
+				out.notEq = append(out.notEq, rawTerm{isConst: true, isStr: true, text: c.text, pos: c.pos})
+			case tokNumber:
+				out.notEq = append(out.notEq, rawTerm{isConst: true, text: c.text, pos: c.pos})
+			default:
+				return out, fmt.Errorf("parser: expected constant after != at offset %d", c.pos)
+			}
+			if !l.acceptPunct(",") {
+				break
+			}
+		}
+		if err := l.expectPunct("]"); err != nil {
+			return out, err
+		}
+		return out, nil
+	default:
+		return rawTerm{}, fmt.Errorf("parser: expected term at offset %d, got %q", t.pos, t.text)
+	}
+}
+
+func (rt rawTerm) toValue(kind db.Kind) (db.Value, error) {
+	if rt.isStr {
+		if kind != db.KindString {
+			return db.Value{}, fmt.Errorf("parser: string literal %q where %v expected at offset %d", rt.text, kind, rt.pos)
+		}
+		return db.S(rt.text), nil
+	}
+	return db.ParseValue(kind, rt.text)
+}
+
+func (rt rawTerm) toTerm(kind db.Kind) (db.Term, error) {
+	if rt.isConst {
+		v, err := rt.toValue(kind)
+		if err != nil {
+			return db.Term{}, err
+		}
+		return db.Const(v), nil
+	}
+	if len(rt.notEq) == 0 {
+		return db.AnyVar(rt.varName), nil
+	}
+	vals := make([]db.Value, len(rt.notEq))
+	for i, ne := range rt.notEq {
+		v, err := ne.toValue(kind)
+		if err != nil {
+			return db.Term{}, err
+		}
+		vals[i] = v
+	}
+	return db.VarNotEq(rt.varName, vals...), nil
+}
+
+// ParseDatalogQuery parses one annotated query in the paper's
+// datalog-like notation and returns the update together with its
+// annotation label:
+//
+//	Products+,p("Lego bricks", "Kids", 90):-
+//	Products-,p(a, "Fashion", b):-
+//	ProductsM,p("Kids mnt bike", a, b -> "Kids mnt bike", "Bicycles", b):-
+//
+// The modification's u1 and u2 may also be given as 2n comma-separated
+// terms without the -> separator, exactly as the paper writes them.
+func ParseDatalogQuery(s *db.Schema, src string) (db.Update, string, error) {
+	l, err := newLexer(src)
+	if err != nil {
+		return db.Update{}, "", err
+	}
+	head, err := l.expectIdent()
+	if err != nil {
+		return db.Update{}, "", err
+	}
+	var kind db.UpdateKind
+	rel := s.Relation(head)
+	switch {
+	case rel != nil && l.acceptPunct("+"):
+		kind = db.OpInsert
+	case rel != nil && l.acceptPunct("-"):
+		kind = db.OpDelete
+	case rel == nil && strings.HasSuffix(head, "M") && s.Relation(strings.TrimSuffix(head, "M")) != nil:
+		kind = db.OpModify
+		rel = s.Relation(strings.TrimSuffix(head, "M"))
+	default:
+		return db.Update{}, "", fmt.Errorf("parser: cannot resolve head %q (want Rel+, Rel- or RelM)", head)
+	}
+	if err := l.expectPunct(","); err != nil {
+		return db.Update{}, "", err
+	}
+	label, err := l.expectIdent()
+	if err != nil {
+		return db.Update{}, "", err
+	}
+	if err := l.expectPunct("("); err != nil {
+		return db.Update{}, "", err
+	}
+	var raws []rawTerm
+	arrowAt := -1
+	for {
+		if l.acceptPunct("->") {
+			arrowAt = len(raws)
+			continue
+		}
+		rt, err := l.parseRawTerm()
+		if err != nil {
+			return db.Update{}, "", err
+		}
+		raws = append(raws, rt)
+		if l.acceptPunct(",") {
+			continue
+		}
+		if l.acceptPunct("->") {
+			arrowAt = len(raws)
+			continue
+		}
+		break
+	}
+	if err := l.expectPunct(")"); err != nil {
+		return db.Update{}, "", err
+	}
+	if err := l.expectPunct(":-"); err != nil {
+		return db.Update{}, "", err
+	}
+	if l.peek().kind != tokEOF {
+		return db.Update{}, "", fmt.Errorf("parser: trailing input at offset %d", l.peek().pos)
+	}
+
+	n := rel.Arity()
+	var u db.Update
+	switch kind {
+	case db.OpInsert:
+		if len(raws) != n {
+			return db.Update{}, "", fmt.Errorf("parser: insertion into %s needs %d constants, got %d", rel.Name, n, len(raws))
+		}
+		row := make(db.Tuple, n)
+		for i, rt := range raws {
+			if !rt.isConst {
+				return db.Update{}, "", fmt.Errorf("parser: insertion terms must be constants (position %d)", i)
+			}
+			v, err := rt.toValue(rel.Attrs[i].Kind)
+			if err != nil {
+				return db.Update{}, "", err
+			}
+			row[i] = v
+		}
+		u = db.Insert(rel.Name, row)
+	case db.OpDelete:
+		if len(raws) != n {
+			return db.Update{}, "", fmt.Errorf("parser: deletion on %s needs %d terms, got %d", rel.Name, n, len(raws))
+		}
+		sel := make(db.Pattern, n)
+		for i, rt := range raws {
+			term, err := rt.toTerm(rel.Attrs[i].Kind)
+			if err != nil {
+				return db.Update{}, "", err
+			}
+			sel[i] = term
+		}
+		u = db.Delete(rel.Name, sel)
+	case db.OpModify:
+		if arrowAt < 0 {
+			if len(raws) != 2*n {
+				return db.Update{}, "", fmt.Errorf("parser: modification on %s needs %d terms (u1, u2), got %d", rel.Name, 2*n, len(raws))
+			}
+			arrowAt = n
+		}
+		if arrowAt != n || len(raws)-arrowAt != n {
+			return db.Update{}, "", fmt.Errorf("parser: modification on %s needs %d+%d terms, got %d+%d",
+				rel.Name, n, n, arrowAt, len(raws)-arrowAt)
+		}
+		u1, u2 := raws[:n], raws[n:]
+		sel := make(db.Pattern, n)
+		set := make([]db.SetClause, n)
+		for i := range u1 {
+			term, err := u1[i].toTerm(rel.Attrs[i].Kind)
+			if err != nil {
+				return db.Update{}, "", err
+			}
+			sel[i] = term
+			switch {
+			case !u2[i].isConst:
+				if u2[i].varName != u1[i].varName || len(u2[i].notEq) > 0 {
+					return db.Update{}, "", fmt.Errorf("parser: u2 position %d must repeat u1's variable or be a constant", i)
+				}
+				set[i] = db.Keep()
+			case u1[i].isConst && u1[i].text == u2[i].text && u1[i].isStr == u2[i].isStr:
+				set[i] = db.Keep()
+			default:
+				v, err := u2[i].toValue(rel.Attrs[i].Kind)
+				if err != nil {
+					return db.Update{}, "", err
+				}
+				set[i] = db.SetTo(v)
+			}
+		}
+		u = db.Modify(rel.Name, sel, set)
+	}
+	return u, label, u.Validate(s)
+}
+
+// ParseDatalogLog parses one annotated query per non-empty line and
+// groups consecutive queries sharing an annotation into a transaction
+// (the paper uses one annotation per transaction).
+func ParseDatalogLog(s *db.Schema, src string) ([]db.Transaction, error) {
+	var txns []db.Transaction
+	for ln, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "%") || strings.HasPrefix(line, "--") {
+			continue
+		}
+		u, label, err := ParseDatalogQuery(s, line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		if len(txns) > 0 && txns[len(txns)-1].Label == label {
+			txns[len(txns)-1].Updates = append(txns[len(txns)-1].Updates, u)
+		} else {
+			txns = append(txns, db.Transaction{Label: label, Updates: []db.Update{u}})
+		}
+	}
+	return txns, nil
+}

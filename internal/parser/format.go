@@ -1,0 +1,100 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+
+	"hyperprov/internal/db"
+)
+
+// quoteSQL renders a value as a SQL literal.
+func quoteSQL(v db.Value) string {
+	if v.Kind() == db.KindString {
+		return "'" + strings.ReplaceAll(v.Str(), "'", "''") + "'"
+	}
+	return v.String()
+}
+
+// FormatSQL renders an update in the hyperplane SQL fragment accepted by
+// ParseSQLStatement (without the trailing ';').
+func FormatSQL(s *db.Schema, u db.Update) (string, error) {
+	rel := s.Relation(u.Rel)
+	if rel == nil {
+		return "", fmt.Errorf("parser: unknown relation %s", u.Rel)
+	}
+	var b strings.Builder
+	where := func(sel db.Pattern) {
+		first := true
+		emit := func(clause string) {
+			if first {
+				b.WriteString(" WHERE ")
+				first = false
+			} else {
+				b.WriteString(" AND ")
+			}
+			b.WriteString(clause)
+		}
+		for i, term := range sel {
+			if term.IsConst() {
+				emit(fmt.Sprintf("%s = %s", rel.Attrs[i].Name, quoteSQL(term.Value())))
+				continue
+			}
+			for _, ne := range term.NotEq() {
+				emit(fmt.Sprintf("%s <> %s", rel.Attrs[i].Name, quoteSQL(ne)))
+			}
+		}
+	}
+	switch u.Kind {
+	case db.OpInsert:
+		fmt.Fprintf(&b, "INSERT INTO %s VALUES (", rel.Name)
+		for i, v := range u.Row {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(quoteSQL(v))
+		}
+		b.WriteString(")")
+	case db.OpDelete:
+		fmt.Fprintf(&b, "DELETE FROM %s", rel.Name)
+		where(u.Sel)
+	case db.OpModify:
+		fmt.Fprintf(&b, "UPDATE %s SET ", rel.Name)
+		first := true
+		for i, c := range u.Set {
+			if !c.Set {
+				continue
+			}
+			if !first {
+				b.WriteString(", ")
+			}
+			first = false
+			fmt.Fprintf(&b, "%s = %s", rel.Attrs[i].Name, quoteSQL(c.Val))
+		}
+		if first {
+			return "", fmt.Errorf("parser: modification on %s sets no attribute", rel.Name)
+		}
+		where(u.Sel)
+	default:
+		return "", fmt.Errorf("parser: unknown update kind %v", u.Kind)
+	}
+	return b.String(), nil
+}
+
+// FormatSQLLog renders a transaction sequence in the BEGIN/COMMIT log
+// format accepted by ParseSQLLog.
+func FormatSQLLog(s *db.Schema, txns []db.Transaction) (string, error) {
+	var b strings.Builder
+	for i := range txns {
+		fmt.Fprintf(&b, "BEGIN %s;\n", txns[i].Label)
+		for _, u := range txns[i].Updates {
+			stmt, err := FormatSQL(s, u)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(stmt)
+			b.WriteString(";\n")
+		}
+		b.WriteString("COMMIT;\n")
+	}
+	return b.String(), nil
+}

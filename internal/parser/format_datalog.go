@@ -1,0 +1,125 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+
+	"hyperprov/internal/db"
+)
+
+// quoteDatalog renders a value as a datalog-notation literal.
+func quoteDatalog(v db.Value) string {
+	if v.Kind() == db.KindString {
+		return `"` + strings.ReplaceAll(v.Str(), `"`, `""`) + `"`
+	}
+	return v.String()
+}
+
+func datalogTerm(term db.Term, pos int) string {
+	if term.IsConst() {
+		return quoteDatalog(term.Value())
+	}
+	name := term.VarName()
+	if name == "" || name == "_" {
+		name = fmt.Sprintf("v%d", pos)
+	}
+	if len(term.NotEq()) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, ne := range term.NotEq() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s != %s", name, quoteDatalog(ne))
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// FormatDatalog renders an annotated update in the paper's datalog-like
+// notation accepted by ParseDatalogQuery. Updates carrying attribute
+// conditions (the conjunctive extension) cannot be expressed in the
+// notation and are rejected.
+func FormatDatalog(s *db.Schema, u db.Update, label string) (string, error) {
+	rel := s.Relation(u.Rel)
+	if rel == nil {
+		return "", fmt.Errorf("parser: unknown relation %s", u.Rel)
+	}
+	if !u.IsHyperplane() {
+		return "", fmt.Errorf("parser: update with attribute conditions has no datalog form")
+	}
+	var b strings.Builder
+	switch u.Kind {
+	case db.OpInsert:
+		fmt.Fprintf(&b, "%s+,%s(", rel.Name, label)
+		for i, v := range u.Row {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(quoteDatalog(v))
+		}
+	case db.OpDelete:
+		fmt.Fprintf(&b, "%s-,%s(", rel.Name, label)
+		for i, term := range u.Sel {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(datalogTerm(term, i))
+		}
+	case db.OpModify:
+		fmt.Fprintf(&b, "%sM,%s(", rel.Name, label)
+		for i, term := range u.Sel {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(datalogTerm(term, i))
+		}
+		b.WriteString(" -> ")
+		for i, c := range u.Set {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if c.Set {
+				b.WriteString(quoteDatalog(c.Val))
+				continue
+			}
+			// u2 repeats u1's term at kept positions; a disequality
+			// collapses to its bare variable (the restriction already
+			// applied on the selection side).
+			term := u.Sel[i]
+			if term.IsConst() {
+				b.WriteString(quoteDatalog(term.Value()))
+			} else {
+				name := term.VarName()
+				if name == "" || name == "_" {
+					name = fmt.Sprintf("v%d", i)
+				}
+				b.WriteString(name)
+			}
+		}
+	default:
+		return "", fmt.Errorf("parser: unknown update kind %v", u.Kind)
+	}
+	b.WriteString("):-")
+	return b.String(), nil
+}
+
+// FormatDatalogLog renders a transaction sequence one annotated query
+// per line, as ParseDatalogLog expects (consecutive queries of one
+// transaction share its label).
+func FormatDatalogLog(s *db.Schema, txns []db.Transaction) (string, error) {
+	var b strings.Builder
+	for i := range txns {
+		for _, u := range txns[i].Updates {
+			line, err := FormatDatalog(s, u, txns[i].Label)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,125 @@
+package parser_test
+
+import (
+	"strings"
+	"testing"
+
+	"hyperprov/internal/db"
+	"hyperprov/internal/parser"
+	"hyperprov/internal/tpcc"
+	"hyperprov/internal/workload"
+)
+
+func TestFormatSQLRoundTrip(t *testing.T) {
+	s := schema()
+	updates := []db.Update{
+		db.Insert("Products", db.Tuple{db.S("O'Neil board"), db.S("Sport"), db.I(300)}),
+		db.Delete("Products", db.Pattern{db.VarNotEq("p", db.S("Kids mnt bike")), db.Const(db.S("Sport")), db.AnyVar("c")}),
+		db.Modify("Products",
+			db.Pattern{db.Const(db.S("Kids mnt bike")), db.AnyVar("a"), db.AnyVar("b")},
+			[]db.SetClause{db.Keep(), db.SetTo(db.S("Bicycles")), db.Keep()}),
+		db.Delete("Products", db.AllPattern(3)),
+	}
+	for _, u := range updates {
+		stmt, err := parser.FormatSQL(s, u)
+		if err != nil {
+			t.Fatalf("FormatSQL(%v): %v", u, err)
+		}
+		back, err := parser.ParseSQLStatement(s, stmt)
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", stmt, err)
+		}
+		if back.Kind != u.Kind || back.Rel != u.Rel {
+			t.Errorf("round trip changed update: %q", stmt)
+		}
+		// Behavioural equivalence: same effect on the example database.
+		d1, d2 := initialDB(t), initialDB(t)
+		if err := d1.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+		if err := d2.Apply(back); err != nil {
+			t.Fatal(err)
+		}
+		if !d1.Equal(d2) {
+			t.Errorf("round trip of %q changed semantics:\n%s", stmt, d1.Diff(d2))
+		}
+	}
+}
+
+func TestFormatSQLLogRoundTripTPCC(t *testing.T) {
+	g := tpcc.NewGenerator(tpcc.DefaultConfig())
+	initial, err := g.InitialDatabase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	txns := g.Transactions(15)
+	src, err := parser.FormatSQLLog(initial.Schema(), txns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := parser.ParseSQLLog(initial.Schema(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(txns) {
+		t.Fatalf("round trip: %d transactions, want %d", len(back), len(txns))
+	}
+	d1, d2 := initial.Clone(), initial.Clone()
+	if err := d1.ApplyAll(txns); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.ApplyAll(back); err != nil {
+		t.Fatal(err)
+	}
+	if !d1.Equal(d2) {
+		t.Errorf("TPC-C SQL log round trip changed semantics:\n%s", d1.Diff(d2))
+	}
+}
+
+func TestFormatSQLLogRoundTripSynthetic(t *testing.T) {
+	cfg := workload.Config{Tuples: 200, Pool: 10, Group: 2, Updates: 50, MergeRatio: 0.2, Seed: 4}
+	initial, txns, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := parser.FormatSQLLog(initial.Schema(), txns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := parser.ParseSQLLog(initial.Schema(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, d2 := initial.Clone(), initial.Clone()
+	if err := d1.ApplyAll(txns); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.ApplyAll(back); err != nil {
+		t.Fatal(err)
+	}
+	if !d1.Equal(d2) {
+		t.Errorf("synthetic SQL log round trip changed semantics:\n%s", d1.Diff(d2))
+	}
+}
+
+func TestFormatSQLQuoting(t *testing.T) {
+	s := schema()
+	stmt, err := parser.FormatSQL(s, db.Insert("Products", db.Tuple{db.S("O'Neil"), db.S("Sport"), db.I(1)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stmt, "'O''Neil'") {
+		t.Errorf("quote escaping missing: %q", stmt)
+	}
+}
+
+func TestFormatSQLErrors(t *testing.T) {
+	s := schema()
+	if _, err := parser.FormatSQL(s, db.Insert("Nope", db.Tuple{db.S("x")})); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	noop := db.Modify("Products", db.AllPattern(3), make([]db.SetClause, 3))
+	if _, err := parser.FormatSQL(s, noop); err == nil {
+		t.Error("modification without SET clauses accepted")
+	}
+}

@@ -1,0 +1,82 @@
+package parser_test
+
+import (
+	"testing"
+
+	"hyperprov/internal/parser"
+)
+
+// FuzzParseSQLStatement checks the SQL front end never panics and that
+// accepted statements re-format and re-parse to the same behaviour.
+func FuzzParseSQLStatement(f *testing.F) {
+	for _, seed := range []string{
+		"INSERT INTO Products VALUES ('a', 'b', 1)",
+		"DELETE FROM Products WHERE Category = 'Sport' AND Product <> 'x'",
+		"UPDATE Products SET Price = 50 WHERE Category = 'Sport'",
+		"DELETE FROM Products",
+		"INSERT INTO",
+		"UPDATE Products SET",
+		"DELETE FROM Products WHERE Price < 3",
+		"INSERT INTO Products VALUES ('it''s', 'q', 2)",
+	} {
+		f.Add(seed)
+	}
+	s := schema()
+	f.Fuzz(func(t *testing.T, stmt string) {
+		u, err := parser.ParseSQLStatement(s, stmt)
+		if err != nil {
+			return
+		}
+		if err := u.Validate(s); err != nil {
+			t.Fatalf("accepted update fails validation: %v (from %q)", err, stmt)
+		}
+		out, err := parser.FormatSQL(s, u)
+		if err != nil {
+			// Modifications without SET clauses cannot be formatted; the
+			// parser never produces them.
+			t.Fatalf("accepted update cannot be formatted: %v (from %q)", err, stmt)
+		}
+		back, err := parser.ParseSQLStatement(s, out)
+		if err != nil {
+			t.Fatalf("formatted statement %q does not re-parse: %v", out, err)
+		}
+		d1, d2 := initialDB(t), initialDB(t)
+		if err := d1.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+		if err := d2.Apply(back); err != nil {
+			t.Fatal(err)
+		}
+		if !d1.Equal(d2) {
+			t.Fatalf("round trip changed semantics of %q -> %q", stmt, out)
+		}
+	})
+}
+
+// FuzzParseDatalogQuery checks the datalog front end never panics and
+// accepted queries are valid.
+func FuzzParseDatalogQuery(f *testing.F) {
+	for _, seed := range []string{
+		`Products+,p("a", "b", 1):-`,
+		`Products-,p([x != "a"], "Sport", c):-`,
+		`ProductsM,p("a", b, c -> "a", "X", c):-`,
+		`ProductsM,p(a, b, c, a, "X", c):-`,
+		`Products+,p(`,
+		`Nope-,p(a):-`,
+	} {
+		f.Add(seed)
+	}
+	s := schema()
+	f.Fuzz(func(t *testing.T, src string) {
+		u, label, err := parser.ParseDatalogQuery(s, src)
+		if err != nil {
+			return
+		}
+		if label == "" {
+			t.Fatalf("accepted query with empty label: %q", src)
+		}
+		if err := u.Validate(s); err != nil {
+			t.Fatalf("accepted update fails validation: %v (from %q)", err, src)
+		}
+	})
+}

@@ -1,0 +1,273 @@
+package parser_test
+
+import (
+	"strings"
+	"testing"
+
+	"hyperprov/internal/db"
+	"hyperprov/internal/engine"
+	"hyperprov/internal/parser"
+)
+
+func schema() *db.Schema {
+	return db.MustSchema(db.MustRelationSchema("Products",
+		db.Attribute{Name: "Product", Kind: db.KindString},
+		db.Attribute{Name: "Category", Kind: db.KindString},
+		db.Attribute{Name: "Price", Kind: db.KindInt},
+	))
+}
+
+func initialDB(t *testing.T) *db.Database {
+	t.Helper()
+	d := db.NewDatabase(schema())
+	for _, r := range []db.Tuple{
+		{db.S("Kids mnt bike"), db.S("Sport"), db.I(120)},
+		{db.S("Tennis Racket"), db.S("Sport"), db.I(70)},
+		{db.S("Kids mnt bike"), db.S("Kids"), db.I(120)},
+		{db.S("Children sneakers"), db.S("Fashion"), db.I(40)},
+	} {
+		if err := d.InsertTuple("Products", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestParseSQLInsert(t *testing.T) {
+	u, err := parser.ParseSQLStatement(schema(), "INSERT INTO Products VALUES ('Lego bricks', 'Kids', 90)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Kind != db.OpInsert || !u.Row.Equal(db.Tuple{db.S("Lego bricks"), db.S("Kids"), db.I(90)}) {
+		t.Errorf("parsed %v", u)
+	}
+}
+
+func TestParseSQLDelete(t *testing.T) {
+	u, err := parser.ParseSQLStatement(schema(), "DELETE FROM Products WHERE Category = 'Sport' AND Product <> 'Kids mnt bike'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Kind != db.OpDelete {
+		t.Fatalf("kind = %v", u.Kind)
+	}
+	// Example 2.1's selection.
+	if !u.Sel.Matches(db.Tuple{db.S("Tennis Racket"), db.S("Sport"), db.I(70)}) {
+		t.Error("racket should match")
+	}
+	if u.Sel.Matches(db.Tuple{db.S("Kids mnt bike"), db.S("Sport"), db.I(120)}) {
+		t.Error("bike must not match")
+	}
+}
+
+func TestParseSQLDeleteNoWhere(t *testing.T) {
+	u, err := parser.ParseSQLStatement(schema(), "DELETE FROM Products")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Sel.Matches(db.Tuple{db.S("x"), db.S("y"), db.I(1)}) {
+		t.Error("missing WHERE must match everything")
+	}
+}
+
+func TestParseSQLUpdate(t *testing.T) {
+	u, err := parser.ParseSQLStatement(schema(),
+		"UPDATE Products SET Category = 'Bicycles' WHERE Product = 'Kids mnt bike'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Kind != db.OpModify {
+		t.Fatalf("kind = %v", u.Kind)
+	}
+	got := u.Target(db.Tuple{db.S("Kids mnt bike"), db.S("Sport"), db.I(120)})
+	want := db.Tuple{db.S("Kids mnt bike"), db.S("Bicycles"), db.I(120)}
+	if !got.Equal(want) {
+		t.Errorf("Target = %v, want %v", got, want)
+	}
+}
+
+func TestParseSQLErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT * FROM Products",
+		"INSERT INTO Nope VALUES ('x')",
+		"INSERT INTO Products VALUES ('x', 'y')",
+		"INSERT INTO Products VALUES ('x', 'y', 'z')",
+		"DELETE FROM Products WHERE Price < 100",        // comparison outside the fragment
+		"DELETE FROM Products WHERE Product = Category", // attribute comparison outside the fragment
+		"UPDATE Products SET Price = Price WHERE Price = 1",
+		"UPDATE Products SET Nope = 1",
+		"DELETE FROM Products WHERE Category = 'a' AND Category = 'b'",
+		"INSERT INTO Products VALUES ('x', 'y', 90) extra",
+	}
+	for _, s := range bad {
+		if _, err := parser.ParseSQLStatement(schema(), s); err == nil {
+			t.Errorf("accepted %q", s)
+		}
+	}
+}
+
+func TestParseSQLLogWithTransactions(t *testing.T) {
+	src := `
+-- the paper's running example as SQL
+BEGIN p;
+UPDATE Products SET Category = 'Sport' WHERE Product = 'Kids mnt bike' AND Category = 'Kids';
+UPDATE Products SET Category = 'Bicycles' WHERE Product = 'Kids mnt bike' AND Category = 'Sport';
+COMMIT;
+BEGIN pp;
+UPDATE Products SET Price = 50 WHERE Category = 'Sport';
+COMMIT;
+DELETE FROM Products WHERE Category = 'Fashion';
+`
+	txns, err := parser.ParseSQLLog(schema(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txns) != 3 || txns[0].Label != "p" || len(txns[0].Updates) != 2 || txns[1].Label != "pp" || txns[2].Label != "q0" {
+		t.Fatalf("unexpected structure: %+v", txns)
+	}
+	// The parsed log reproduces the Figure 4 result through the engine.
+	e := engine.New(engine.ModeNormalForm, initialDB(t))
+	if err := e.ApplyAll(txns); err != nil {
+		t.Fatal(err)
+	}
+	live := engine.LiveDB(e)
+	if !live.Instance("Products").Contains(db.Tuple{db.S("Tennis Racket"), db.S("Sport"), db.I(50)}) {
+		t.Error("expected discounted racket after parsed log")
+	}
+	// As in Figure 4 / Example 4.4: the Sport bike at $50 carries an
+	// annotation but is not live (T1 moved the bike to Bicycles before
+	// T2 discounted Sport products).
+	bike50 := db.Tuple{db.S("Kids mnt bike"), db.S("Sport"), db.I(50)}
+	if live.Instance("Products").Contains(bike50) {
+		t.Error("discounted sport bike must not be live")
+	}
+	if e.Annotation("Products", bike50) == nil {
+		t.Error("discounted sport bike must still carry provenance")
+	}
+}
+
+func TestParseSQLLogErrors(t *testing.T) {
+	if _, err := parser.ParseSQLLog(schema(), "BEGIN p;\nDELETE FROM Products;"); err == nil || !strings.Contains(err.Error(), "COMMIT") {
+		t.Errorf("missing COMMIT accepted: %v", err)
+	}
+}
+
+func TestParseDatalogInsert(t *testing.T) {
+	u, label, err := parser.ParseDatalogQuery(schema(), `Products+,p("Lego bricks", "Kids", 90):-`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != "p" || u.Kind != db.OpInsert || !u.Row.Equal(db.Tuple{db.S("Lego bricks"), db.S("Kids"), db.I(90)}) {
+		t.Errorf("parsed %v with label %q", u, label)
+	}
+}
+
+func TestParseDatalogDeleteWithDisequality(t *testing.T) {
+	// Example 2.1.
+	u, _, err := parser.ParseDatalogQuery(schema(), `Products-,p([x != "Kids mnt bike"], "Sport", c):-`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Sel.Matches(db.Tuple{db.S("Tennis Racket"), db.S("Sport"), db.I(70)}) {
+		t.Error("racket should match")
+	}
+	if u.Sel.Matches(db.Tuple{db.S("Kids mnt bike"), db.S("Sport"), db.I(120)}) {
+		t.Error("bike must not match")
+	}
+}
+
+func TestParseDatalogModify(t *testing.T) {
+	// Example 2.4 in both notations.
+	for _, src := range []string{
+		`ProductsM,p("Kids mnt bike", a, b -> "Kids mnt bike", "Bicycles", b):-`,
+		`ProductsM,p("Kids mnt bike", a, b, "Kids mnt bike", "Bicycles", b):-`,
+	} {
+		u, _, err := parser.ParseDatalogQuery(schema(), src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if u.Kind != db.OpModify {
+			t.Fatalf("kind = %v", u.Kind)
+		}
+		got := u.Target(db.Tuple{db.S("Kids mnt bike"), db.S("Kids"), db.I(120)})
+		if !got.Equal(db.Tuple{db.S("Kids mnt bike"), db.S("Bicycles"), db.I(120)}) {
+			t.Errorf("%q: Target = %v", src, got)
+		}
+		if !u.Sel.Matches(db.Tuple{db.S("Kids mnt bike"), db.S("Kids"), db.I(120)}) {
+			t.Errorf("%q: selection broken", src)
+		}
+	}
+}
+
+func TestParseDatalogErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`Nope+,p("x"):-`,
+		`Products+,p(a, "Kids", 90):-`,      // variable in insertion
+		`Products+,p("x", "y", 90)`,         // missing :-
+		`Products-,p("x", "y"):-`,           // arity
+		`ProductsM,p(a, b, c -> a, b):-`,    // u2 arity
+		`ProductsM,p(a, b, c -> d, b, c):-`, // u2 fresh variable
+		`Products-,p([x != "a", y != "b"], "Sport", c):-`, // mixed disequality vars
+		`ProductsM,p(a, b, c -> a, [b != "x"], c):-`,      // disequality in u2
+	}
+	for _, s := range bad {
+		if _, _, err := parser.ParseDatalogQuery(schema(), s); err == nil {
+			t.Errorf("accepted %q", s)
+		}
+	}
+}
+
+func TestParseDatalogLogGrouping(t *testing.T) {
+	src := `
+% Figure 2: transactions T1 and T2
+ProductsM,p("Kids mnt bike", "Kids", c -> "Kids mnt bike", "Sport", c):-
+ProductsM,p("Kids mnt bike", "Sport", c -> "Kids mnt bike", "Bicycles", c):-
+ProductsM,pp(a, "Sport", c -> a, "Sport", 50):-
+`
+	txns, err := parser.ParseDatalogLog(schema(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txns) != 2 || len(txns[0].Updates) != 2 || txns[0].Label != "p" || txns[1].Label != "pp" {
+		t.Fatalf("unexpected grouping: %+v", txns)
+	}
+	// And the engine agrees with the hand-built Figure 2 transactions.
+	e := engine.New(engine.ModeNaive, initialDB(t))
+	if err := e.ApplyAll(txns); err != nil {
+		t.Fatal(err)
+	}
+	bike := db.Tuple{db.S("Kids mnt bike"), db.S("Sport"), db.I(50)}
+	ann := e.Annotation("Products", bike)
+	if ann == nil {
+		t.Fatal("missing annotation for discounted bike")
+	}
+	if got, want := ann.String(), "0 +M (((t1 +M (t0 *M p)) - p) *M pp)"; got != want {
+		t.Errorf("annotation = %q, want %q", got, want)
+	}
+}
+
+func TestSQLAndDatalogAgree(t *testing.T) {
+	sqlTxns, err := parser.ParseSQLLog(schema(), `
+BEGIN p;
+UPDATE Products SET Category = 'Bicycles' WHERE Product = 'Kids mnt bike';
+COMMIT;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dlTxns, err := parser.ParseDatalogLog(schema(), `ProductsM,p("Kids mnt bike", a, b -> "Kids mnt bike", "Bicycles", b):-`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, d2 := initialDB(t), initialDB(t)
+	if err := d1.ApplyAll(sqlTxns); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.ApplyAll(dlTxns); err != nil {
+		t.Fatal(err)
+	}
+	if !d1.Equal(d2) {
+		t.Errorf("SQL and datalog forms diverge:\n%s", d1.Diff(d2))
+	}
+}

@@ -1,0 +1,276 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+
+	"hyperprov/internal/db"
+)
+
+// ParseSQLStatement parses one statement of the hyperplane SQL fragment
+// against the schema:
+//
+//	INSERT INTO Rel VALUES (v1, …, vn)
+//	DELETE FROM Rel [WHERE attr op const AND …]
+//	UPDATE Rel SET attr = const, … [WHERE attr op const AND …]
+//
+// with op ∈ {=, <>, !=}. A missing WHERE clause selects every tuple.
+func ParseSQLStatement(s *db.Schema, stmt string) (db.Update, error) {
+	l, err := newLexer(stmt)
+	if err != nil {
+		return db.Update{}, err
+	}
+	u, err := parseSQLStatement(s, l)
+	if err != nil {
+		return db.Update{}, err
+	}
+	l.acceptPunct(";")
+	if l.peek().kind != tokEOF {
+		return db.Update{}, fmt.Errorf("parser: trailing input at offset %d", l.peek().pos)
+	}
+	return u, nil
+}
+
+func parseSQLStatement(s *db.Schema, l *lexer) (db.Update, error) {
+	switch {
+	case l.acceptKeyword("INSERT"):
+		return parseInsert(s, l)
+	case l.acceptKeyword("DELETE"):
+		return parseDelete(s, l)
+	case l.acceptKeyword("UPDATE"):
+		return parseUpdate(s, l)
+	default:
+		return db.Update{}, fmt.Errorf("parser: expected INSERT, DELETE or UPDATE at offset %d, got %q", l.peek().pos, l.peek().text)
+	}
+}
+
+func relation(s *db.Schema, l *lexer) (*db.RelationSchema, error) {
+	name, err := l.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	rel := s.Relation(name)
+	if rel == nil {
+		return nil, fmt.Errorf("parser: unknown relation %s", name)
+	}
+	return rel, nil
+}
+
+func parseConst(l *lexer, kind db.Kind) (db.Value, error) {
+	t := l.next()
+	switch t.kind {
+	case tokString:
+		if kind != db.KindString {
+			return db.Value{}, fmt.Errorf("parser: string literal %q where %v expected at offset %d", t.text, kind, t.pos)
+		}
+		return db.S(t.text), nil
+	case tokNumber:
+		return db.ParseValue(kind, t.text)
+	default:
+		return db.Value{}, fmt.Errorf("parser: expected constant at offset %d, got %q", t.pos, t.text)
+	}
+}
+
+func parseInsert(s *db.Schema, l *lexer) (db.Update, error) {
+	if !l.acceptKeyword("INTO") {
+		return db.Update{}, fmt.Errorf("parser: expected INTO at offset %d", l.peek().pos)
+	}
+	rel, err := relation(s, l)
+	if err != nil {
+		return db.Update{}, err
+	}
+	if !l.acceptKeyword("VALUES") {
+		return db.Update{}, fmt.Errorf("parser: expected VALUES at offset %d", l.peek().pos)
+	}
+	if err := l.expectPunct("("); err != nil {
+		return db.Update{}, err
+	}
+	row := make(db.Tuple, 0, rel.Arity())
+	for i := 0; i < rel.Arity(); i++ {
+		if i > 0 {
+			if err := l.expectPunct(","); err != nil {
+				return db.Update{}, err
+			}
+		}
+		v, err := parseConst(l, rel.Attrs[i].Kind)
+		if err != nil {
+			return db.Update{}, err
+		}
+		row = append(row, v)
+	}
+	if err := l.expectPunct(")"); err != nil {
+		return db.Update{}, err
+	}
+	u := db.Insert(rel.Name, row)
+	return u, u.Validate(s)
+}
+
+// parseWhere parses the conjunction of hyperplane predicates into a
+// pattern over the relation. Equality predicates become constant terms;
+// disequality predicates accumulate on variable terms.
+func parseWhere(rel *db.RelationSchema, l *lexer) (db.Pattern, error) {
+	type constraint struct {
+		eq    *db.Value
+		notEq []db.Value
+	}
+	cons := make([]constraint, rel.Arity())
+	if l.acceptKeyword("WHERE") {
+		for {
+			attr, err := l.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			col := rel.AttrIndex(attr)
+			if col < 0 {
+				return nil, fmt.Errorf("parser: relation %s has no attribute %s", rel.Name, attr)
+			}
+			var neq bool
+			switch {
+			case l.acceptPunct("="):
+			case l.acceptPunct("<>"), l.acceptPunct("!="):
+				neq = true
+			default:
+				return nil, fmt.Errorf("parser: expected = or <> at offset %d (hyperplane predicates compare an attribute to a constant)", l.peek().pos)
+			}
+			v, err := parseConst(l, rel.Attrs[col].Kind)
+			if err != nil {
+				return nil, err
+			}
+			if neq {
+				cons[col].notEq = append(cons[col].notEq, v)
+			} else {
+				if cons[col].eq != nil && *cons[col].eq != v {
+					return nil, fmt.Errorf("parser: contradictory equalities on %s", attr)
+				}
+				cons[col].eq = &v
+			}
+			if !l.acceptKeyword("AND") {
+				break
+			}
+		}
+	}
+	p := make(db.Pattern, rel.Arity())
+	for i, c := range cons {
+		switch {
+		case c.eq != nil:
+			p[i] = db.Const(*c.eq)
+		case len(c.notEq) > 0:
+			p[i] = db.VarNotEq(strings.ToLower(rel.Attrs[i].Name), c.notEq...)
+		default:
+			p[i] = db.AnyVar(strings.ToLower(rel.Attrs[i].Name))
+		}
+	}
+	return p, nil
+}
+
+func parseDelete(s *db.Schema, l *lexer) (db.Update, error) {
+	if !l.acceptKeyword("FROM") {
+		return db.Update{}, fmt.Errorf("parser: expected FROM at offset %d", l.peek().pos)
+	}
+	rel, err := relation(s, l)
+	if err != nil {
+		return db.Update{}, err
+	}
+	sel, err := parseWhere(rel, l)
+	if err != nil {
+		return db.Update{}, err
+	}
+	u := db.Delete(rel.Name, sel)
+	return u, u.Validate(s)
+}
+
+func parseUpdate(s *db.Schema, l *lexer) (db.Update, error) {
+	rel, err := relation(s, l)
+	if err != nil {
+		return db.Update{}, err
+	}
+	if !l.acceptKeyword("SET") {
+		return db.Update{}, fmt.Errorf("parser: expected SET at offset %d", l.peek().pos)
+	}
+	set := make([]db.SetClause, rel.Arity())
+	for {
+		attr, err := l.expectIdent()
+		if err != nil {
+			return db.Update{}, err
+		}
+		col := rel.AttrIndex(attr)
+		if col < 0 {
+			return db.Update{}, fmt.Errorf("parser: relation %s has no attribute %s", rel.Name, attr)
+		}
+		if err := l.expectPunct("="); err != nil {
+			return db.Update{}, err
+		}
+		v, err := parseConst(l, rel.Attrs[col].Kind)
+		if err != nil {
+			return db.Update{}, err
+		}
+		set[col] = db.SetTo(v)
+		if !l.acceptPunct(",") {
+			break
+		}
+	}
+	sel, err := parseWhere(rel, l)
+	if err != nil {
+		return db.Update{}, err
+	}
+	u := db.Modify(rel.Name, sel, set)
+	return u, u.Validate(s)
+}
+
+// ParseSQLLog parses a transaction log: statements terminated by ';',
+// optionally grouped as
+//
+//	BEGIN label;
+//	  …statements…
+//	COMMIT;
+//
+// Statements outside BEGIN/COMMIT become single-query transactions
+// labeled q0, q1, …. SQL comments (--) are ignored.
+func ParseSQLLog(s *db.Schema, src string) ([]db.Transaction, error) {
+	l, err := newLexer(src)
+	if err != nil {
+		return nil, err
+	}
+	var txns []db.Transaction
+	auto := 0
+	for l.peek().kind != tokEOF {
+		if l.acceptKeyword("BEGIN") {
+			label, err := l.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := l.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			txn := db.Transaction{Label: label}
+			for !l.acceptKeyword("COMMIT") {
+				if l.peek().kind == tokEOF {
+					return nil, fmt.Errorf("parser: transaction %s missing COMMIT", label)
+				}
+				u, err := parseSQLStatement(s, l)
+				if err != nil {
+					return nil, err
+				}
+				if err := l.expectPunct(";"); err != nil {
+					return nil, err
+				}
+				txn.Updates = append(txn.Updates, u)
+			}
+			if err := l.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			txns = append(txns, txn)
+			continue
+		}
+		u, err := parseSQLStatement(s, l)
+		if err != nil {
+			return nil, err
+		}
+		if err := l.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		txns = append(txns, db.Transaction{Label: fmt.Sprintf("q%d", auto), Updates: []db.Update{u}})
+		auto++
+	}
+	return txns, nil
+}

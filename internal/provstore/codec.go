@@ -1,0 +1,290 @@
+package provstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"hyperprov/internal/core"
+)
+
+// node type tags of the expression codec.
+const (
+	tagZero  byte = 0
+	tagVar   byte = 1
+	tagPlusI byte = 2
+	tagMinus byte = 3
+	tagPlusM byte = 4
+	tagDotM  byte = 5
+	tagSum   byte = 6
+)
+
+// Encoder writes expressions into a shared node table with structural
+// deduplication. Create one with NewEncoder, Add every expression, then
+// Flush; Add returns the node index that identifies the expression in
+// the table (to be stored wherever the annotation is referenced).
+type Encoder struct {
+	w     *bufio.Writer
+	index map[uint64][]dedupEntry
+	next  uint64
+	buf   [binary.MaxVarintLen64]byte
+	err   error
+}
+
+type dedupEntry struct {
+	expr *core.Expr
+	id   uint64
+}
+
+// NewEncoder returns an encoder writing the node table to w.
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{w: bufio.NewWriter(w), index: make(map[uint64][]dedupEntry)}
+}
+
+func (e *Encoder) uvarint(v uint64) {
+	if e.err != nil {
+		return
+	}
+	n := binary.PutUvarint(e.buf[:], v)
+	_, e.err = e.w.Write(e.buf[:n])
+}
+
+func (e *Encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	if e.err == nil {
+		_, e.err = e.w.WriteString(s)
+	}
+}
+
+func (e *Encoder) byte(b byte) {
+	if e.err == nil {
+		e.err = e.w.WriteByte(b)
+	}
+}
+
+// Add writes the expression's missing nodes to the table and returns its
+// node id. Structurally equal expressions share one id.
+func (e *Encoder) Add(x *core.Expr) (uint64, error) {
+	id := e.add(x)
+	return id, e.err
+}
+
+func (e *Encoder) add(x *core.Expr) uint64 {
+	h := x.Hash()
+	for _, prev := range e.index[h] {
+		if prev.expr == x || prev.expr.Equal(x) {
+			return prev.id
+		}
+	}
+	// Children first: references always point backwards.
+	var kids []uint64
+	if n := x.NumChildren(); n > 0 {
+		kids = make([]uint64, n)
+		for i := 0; i < n; i++ {
+			kids[i] = e.add(x.Child(i))
+		}
+	}
+	id := e.next
+	e.next++
+	e.index[h] = append(e.index[h], dedupEntry{expr: x, id: id})
+	switch x.Op() {
+	case core.OpZero:
+		e.byte(tagZero)
+	case core.OpVar:
+		e.byte(tagVar)
+		a := x.Annot()
+		e.byte(byte(a.Kind))
+		e.str(a.Name)
+	case core.OpPlusI, core.OpMinus, core.OpPlusM, core.OpDotM:
+		e.byte(map[core.Op]byte{
+			core.OpPlusI: tagPlusI, core.OpMinus: tagMinus,
+			core.OpPlusM: tagPlusM, core.OpDotM: tagDotM,
+		}[x.Op()])
+		e.uvarint(kids[0])
+		e.uvarint(kids[1])
+	case core.OpSum:
+		e.byte(tagSum)
+		e.uvarint(uint64(len(kids)))
+		for _, k := range kids {
+			e.uvarint(k)
+		}
+	default:
+		if e.err == nil {
+			e.err = fmt.Errorf("provstore: unknown op %v", x.Op())
+		}
+	}
+	return id
+}
+
+// Len reports the number of table nodes written so far (the DAG size of
+// everything added).
+func (e *Encoder) Len() uint64 { return e.next }
+
+// Flush completes the stream.
+func (e *Encoder) Flush() error {
+	if e.err != nil {
+		return e.err
+	}
+	return e.w.Flush()
+}
+
+// Decoder reads a node table produced by Encoder.
+type Decoder struct {
+	r     *bufio.Reader
+	nodes []*core.Expr
+}
+
+// NewDecoder returns a decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: bufio.NewReader(r)}
+}
+
+// ReadNodes consumes exactly n table nodes.
+func (d *Decoder) ReadNodes(n uint64) error {
+	for i := uint64(0); i < n; i++ {
+		if err := d.readNode(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Decoder) child(id uint64) (*core.Expr, error) {
+	if id >= uint64(len(d.nodes)) {
+		return nil, fmt.Errorf("provstore: forward node reference %d (have %d)", id, len(d.nodes))
+	}
+	return d.nodes[id], nil
+}
+
+func (d *Decoder) readNode() error {
+	tag, err := d.r.ReadByte()
+	if err != nil {
+		return err
+	}
+	switch tag {
+	case tagZero:
+		d.nodes = append(d.nodes, core.Zero())
+	case tagVar:
+		kind, err := d.r.ReadByte()
+		if err != nil {
+			return err
+		}
+		name, err := d.readString()
+		if err != nil {
+			return err
+		}
+		d.nodes = append(d.nodes, core.Var(core.Annot{Name: name, Kind: core.AnnotKind(kind)}))
+	case tagPlusI, tagMinus, tagPlusM, tagDotM:
+		l, err := d.readRef()
+		if err != nil {
+			return err
+		}
+		r, err := d.readRef()
+		if err != nil {
+			return err
+		}
+		var x *core.Expr
+		switch tag {
+		case tagPlusI:
+			x = core.PlusI(l, r)
+		case tagMinus:
+			x = core.Minus(l, r)
+		case tagPlusM:
+			x = core.PlusM(l, r)
+		default:
+			x = core.DotM(l, r)
+		}
+		d.nodes = append(d.nodes, x)
+	case tagSum:
+		n, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return err
+		}
+		if n > 1<<24 {
+			return fmt.Errorf("provstore: implausible sum arity %d", n)
+		}
+		kids := make([]*core.Expr, n)
+		for i := range kids {
+			if kids[i], err = d.readRef(); err != nil {
+				return err
+			}
+		}
+		// Sum flattens and collapses; to preserve the encoded identity we
+		// rely on the encoder only emitting sums as they appear in
+		// expressions (already flat, ≥2 children).
+		d.nodes = append(d.nodes, core.Sum(kids...))
+	default:
+		return fmt.Errorf("provstore: unknown node tag %d", tag)
+	}
+	return nil
+}
+
+func (d *Decoder) readRef() (*core.Expr, error) {
+	id, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return nil, err
+	}
+	return d.child(id)
+}
+
+func (d *Decoder) readString() (string, error) {
+	n, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<24 {
+		return "", fmt.Errorf("provstore: string length %d too large", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// Expr returns the decoded expression with the given node id.
+func (d *Decoder) Expr(id uint64) (*core.Expr, error) {
+	return d.child(id)
+}
+
+// WriteExpr encodes a single expression: a header (node count, root id)
+// followed by the node table.
+func WriteExpr(w io.Writer, x *core.Expr) error {
+	var table bytes.Buffer
+	enc := NewEncoder(&table)
+	id, err := enc.Add(x)
+	if err != nil {
+		return err
+	}
+	if err := enc.Flush(); err != nil {
+		return err
+	}
+	var hdr [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], enc.Len())
+	n += binary.PutUvarint(hdr[n:], id)
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err = w.Write(table.Bytes())
+	return err
+}
+
+// ReadExpr decodes an expression written by WriteExpr.
+func ReadExpr(r io.Reader) (*core.Expr, error) {
+	br := bufio.NewReader(r)
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	root, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	dec := NewDecoder(br)
+	if err := dec.ReadNodes(count); err != nil {
+		return nil, err
+	}
+	return dec.Expr(root)
+}

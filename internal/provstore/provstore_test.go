@@ -1,0 +1,297 @@
+package provstore_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hyperprov/internal/core"
+	"hyperprov/internal/db"
+	"hyperprov/internal/engine"
+	"hyperprov/internal/provstore"
+	"hyperprov/internal/tpcc"
+	"hyperprov/internal/upstruct"
+	"hyperprov/internal/workload"
+)
+
+func kindOf(name string) core.AnnotKind {
+	if strings.HasPrefix(name, "q") || name == "p" {
+		return core.KindQuery
+	}
+	return core.KindTuple
+}
+
+func mustParse(t *testing.T, s string) *core.Expr {
+	t.Helper()
+	e, err := core.ParseExpr(s, kindOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestExprRoundTrip(t *testing.T) {
+	cases := []string{
+		"0",
+		"x1",
+		"p",
+		"(p1 +M (p3 *M p)) - p",
+		"0 +M (((p1 +M (p3 *M p)) - p) *M q1)",
+		"(a + b + c) *M p",
+		"((a - p) +M ((b0 + b1) *M p)) +I q2",
+	}
+	for _, s := range cases {
+		e := mustParse(t, s)
+		var buf bytes.Buffer
+		if err := provstore.WriteExpr(&buf, e); err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		back, err := provstore.ReadExpr(&buf)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if !back.Equal(e) {
+			t.Errorf("round trip of %q = %q", s, back)
+		}
+	}
+}
+
+func randExpr(r *rand.Rand, depth int) *core.Expr {
+	if depth <= 0 || r.Intn(4) == 0 {
+		switch r.Intn(4) {
+		case 0:
+			return core.Zero()
+		case 1:
+			return core.QueryVar([]string{"p", "q1", "q2"}[r.Intn(3)])
+		default:
+			return core.TupleVar([]string{"x1", "x2", "x3"}[r.Intn(3)])
+		}
+	}
+	switch r.Intn(5) {
+	case 0:
+		return core.PlusI(randExpr(r, depth-1), randExpr(r, depth-1))
+	case 1:
+		return core.Minus(randExpr(r, depth-1), randExpr(r, depth-1))
+	case 2:
+		return core.PlusM(randExpr(r, depth-1), randExpr(r, depth-1))
+	case 3:
+		return core.DotM(randExpr(r, depth-1), randExpr(r, depth-1))
+	default:
+		kids := make([]*core.Expr, 2+r.Intn(3))
+		for i := range kids {
+			kids[i] = randExpr(r, depth-1)
+		}
+		return core.Sum(kids...)
+	}
+}
+
+func TestExprRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	f := func() bool {
+		e := randExpr(r, 5)
+		var buf bytes.Buffer
+		if err := provstore.WriteExpr(&buf, e); err != nil {
+			return false
+		}
+		back, err := provstore.ReadExpr(&buf)
+		return err == nil && back.Equal(e)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDedupCompressesExponentialTrees: the Prop. 5.1 adversary's naive
+// expression has exponential tree size but the encoded table stays
+// polynomial — structural dedup turns the tree into its DAG.
+func TestDedupCompressesExponentialTrees(t *testing.T) {
+	p := core.QueryVar("p")
+	e1, e2 := core.TupleVar("a"), core.TupleVar("b")
+	for i := 0; i < 24; i++ {
+		if i%2 == 0 {
+			e1, e2 = core.Minus(e1, p), core.PlusM(e2, core.DotM(core.Sum(e1), p))
+		} else {
+			e2, e1 = core.Minus(e2, p), core.PlusM(e1, core.DotM(core.Sum(e2), p))
+		}
+	}
+	if e1.Size() < 1<<12 {
+		t.Fatalf("adversary too small: %d", e1.Size())
+	}
+	var buf bytes.Buffer
+	enc := provstore.NewEncoder(&buf)
+	if _, err := enc.Add(e1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.Add(e2); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if nodes := enc.Len(); nodes > 200 {
+		t.Errorf("encoded %d nodes for tree size %d; dedup broken", nodes, e1.Size())
+	}
+	if buf.Len() > 2048 {
+		t.Errorf("encoded %d bytes; dedup broken", buf.Len())
+	}
+}
+
+func TestEncoderSharesAcrossExpressions(t *testing.T) {
+	base := mustParse(t, "(x1 +M (x2 *M p)) - p")
+	other := core.PlusI(base, core.QueryVar("q1"))
+	var buf bytes.Buffer
+	enc := provstore.NewEncoder(&buf)
+	id1, err := enc.Add(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := enc.Len()
+	id2, err := enc.Add(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == id2 {
+		t.Error("distinct expressions must get distinct ids")
+	}
+	// other adds only its two new nodes (the +I and the q1 var).
+	if enc.Len()-before != 2 {
+		t.Errorf("expected 2 new nodes, got %d", enc.Len()-before)
+	}
+}
+
+func TestDecoderRejectsGarbage(t *testing.T) {
+	if _, err := provstore.ReadExpr(bytes.NewReader([]byte{0x02, 0x00, 0xFF})); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := provstore.ReadExpr(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Forward reference: a binary node referring to itself.
+	if _, err := provstore.ReadExpr(bytes.NewReader([]byte{0x01, 0x00, 0x02, 0x00, 0x00})); err == nil {
+		t.Error("forward reference accepted")
+	}
+}
+
+func snapshotWorkload(t *testing.T, mode engine.Mode) *engine.Engine {
+	t.Helper()
+	cfg := workload.Config{Tuples: 300, Pool: 15, Group: 2, Updates: 80, QueriesPerTxn: 8, MergeRatio: 0.2, Seed: 9}
+	initial, txns, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(mode, initial)
+	if err := e.ApplyAll(txns); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, mode := range []engine.Mode{engine.ModeNaive, engine.ModeNormalForm} {
+		e := snapshotWorkload(t, mode)
+		var buf bytes.Buffer
+		if err := provstore.SaveSnapshot(&buf, e); err != nil {
+			t.Fatal(err)
+		}
+		back, err := provstore.LoadSnapshot(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Mode() != mode {
+			t.Errorf("mode = %v, want %v", back.Mode(), mode)
+		}
+		if back.NumRows() != e.NumRows() {
+			t.Errorf("rows = %d, want %d", back.NumRows(), e.NumRows())
+		}
+		// Every annotation survives byte-identically (structurally).
+		e.EachRow("R", func(tu db.Tuple, ann *core.Expr) {
+			got := back.Annotation("R", tu)
+			if got == nil || !got.Equal(ann) {
+				t.Errorf("%v: annotation mismatch after restore", tu)
+			}
+		})
+		// And the live database agrees.
+		if !engine.LiveDB(back).Equal(engine.LiveDB(e)) {
+			t.Error("live database changed across snapshot")
+		}
+	}
+}
+
+func TestSnapshotRestoredEngineKeepsWorking(t *testing.T) {
+	e := snapshotWorkload(t, engine.ModeNormalForm)
+	var buf bytes.Buffer
+	if err := provstore.SaveSnapshot(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	back, err := provstore.LoadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Apply one more transaction to both and compare.
+	txn := db.Transaction{Label: "post", Updates: []db.Update{
+		db.Modify("R",
+			db.Pattern{db.AnyVar("i"), db.Const(db.I(0)), db.AnyVar("c"), db.AnyVar("v"), db.AnyVar("p")},
+			[]db.SetClause{db.Keep(), db.Keep(), db.Keep(), db.SetTo(db.I(7)), db.Keep()}),
+	}}
+	if err := e.ApplyTransaction(&txn); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.ApplyTransaction(&txn); err != nil {
+		t.Fatal(err)
+	}
+	if !engine.LiveDB(back).Equal(engine.LiveDB(e)) {
+		t.Error("restored engine diverges on further updates")
+	}
+	allTrue := func(core.Annot) bool { return true }
+	e.EachRow("R", func(tu db.Tuple, ann *core.Expr) {
+		got := back.Annotation("R", tu)
+		if got == nil {
+			t.Errorf("%v missing after restore", tu)
+			return
+		}
+		if upstruct.Eval(ann, upstruct.Bool, allTrue) != upstruct.Eval(got, upstruct.Bool, allTrue) {
+			t.Errorf("%v: semantics diverged after restore", tu)
+		}
+	})
+}
+
+func TestSnapshotTPCC(t *testing.T) {
+	g := tpcc.NewGenerator(tpcc.DefaultConfig())
+	initial, err := g.InitialDatabase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(engine.ModeNormalForm, initial)
+	if err := e.ApplyAll(g.Transactions(20)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := provstore.SaveSnapshot(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	back, err := provstore.LoadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !engine.LiveDB(back).Equal(engine.LiveDB(e)) {
+		t.Error("TPC-C snapshot round trip broke the live database")
+	}
+	if len(back.Schema().Names()) != 9 {
+		t.Errorf("restored schema has %d relations", len(back.Schema().Names()))
+	}
+}
+
+func TestLoadSnapshotRejectsBadInput(t *testing.T) {
+	if _, err := provstore.LoadSnapshot(bytes.NewReader([]byte("NOTSNAP"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := provstore.LoadSnapshot(bytes.NewReader([]byte(""))); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Truncated: magic + bad mode.
+	if _, err := provstore.LoadSnapshot(bytes.NewReader([]byte("HPRV1\n\xFF"))); err == nil {
+		t.Error("bad mode accepted")
+	}
+}

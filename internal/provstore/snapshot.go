@@ -1,0 +1,271 @@
+package provstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"hyperprov/internal/core"
+	"hyperprov/internal/db"
+	"hyperprov/internal/engine"
+)
+
+// snapshotMagic identifies the snapshot format (version 1).
+const snapshotMagic = "HPRV1\n"
+
+// SaveSnapshot persists the engine's entire annotated database: the
+// schema, one shared expression node table (structurally deduplicated),
+// and every stored row — including tombstones — with a reference into
+// the table. The result can be restored with LoadSnapshot into either
+// engine mode.
+func SaveSnapshot(w io.Writer, e *engine.Engine) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(byte(e.Mode())); err != nil {
+		return err
+	}
+	schema := e.Schema()
+	names := schema.Names()
+	writeUvarint(bw, uint64(len(names)))
+	for _, name := range names {
+		rel := schema.Relation(name)
+		writeString(bw, rel.Name)
+		writeUvarint(bw, uint64(len(rel.Attrs)))
+		for _, a := range rel.Attrs {
+			writeString(bw, a.Name)
+			_ = bw.WriteByte(byte(a.Kind))
+		}
+	}
+
+	// First pass: encode every annotation into the shared node table and
+	// remember each row's node id.
+	var table bytes.Buffer
+	enc := NewEncoder(&table)
+	type rowRef struct {
+		tuple db.Tuple
+		id    uint64
+	}
+	rows := make(map[string][]rowRef, len(names))
+	var encErr error
+	for _, name := range names {
+		e.EachRow(name, func(t db.Tuple, ann *core.Expr) {
+			if encErr != nil {
+				return
+			}
+			id, err := enc.Add(ann)
+			if err != nil {
+				encErr = err
+				return
+			}
+			rows[name] = append(rows[name], rowRef{tuple: t, id: id})
+		})
+	}
+	if encErr != nil {
+		return encErr
+	}
+	if err := enc.Flush(); err != nil {
+		return err
+	}
+	writeUvarint(bw, enc.Len())
+	if _, err := bw.Write(table.Bytes()); err != nil {
+		return err
+	}
+
+	// Second pass: rows per relation.
+	for _, name := range names {
+		rel := schema.Relation(name)
+		writeUvarint(bw, uint64(len(rows[name])))
+		for _, rr := range rows[name] {
+			for i, v := range rr.tuple {
+				if err := writeValue(bw, rel.Attrs[i].Kind, v); err != nil {
+					return err
+				}
+			}
+			writeUvarint(bw, rr.id)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadSnapshot restores an annotated database saved by SaveSnapshot.
+// The engine mode is taken from the snapshot; in normal-form mode every
+// restored annotation becomes the tuple's base expression.
+func LoadSnapshot(r io.Reader, opts ...engine.Option) (*engine.Engine, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("provstore: bad snapshot magic %q", magic)
+	}
+	modeByte, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	mode := engine.Mode(modeByte)
+	if mode != engine.ModeNaive && mode != engine.ModeNormalForm {
+		return nil, fmt.Errorf("provstore: unknown engine mode %d", modeByte)
+	}
+	nRels, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nRels > 1<<16 {
+		return nil, fmt.Errorf("provstore: implausible relation count %d", nRels)
+	}
+	rels := make([]*db.RelationSchema, 0, nRels)
+	for i := uint64(0); i < nRels; i++ {
+		name, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		nAttrs, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if nAttrs > 1<<16 {
+			return nil, fmt.Errorf("provstore: implausible attribute count %d", nAttrs)
+		}
+		attrs := make([]db.Attribute, 0, nAttrs)
+		for j := uint64(0); j < nAttrs; j++ {
+			aname, err := readString(br)
+			if err != nil {
+				return nil, err
+			}
+			kind, err := br.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			attrs = append(attrs, db.Attribute{Name: aname, Kind: db.Kind(kind)})
+		}
+		rel, err := db.NewRelationSchema(name, attrs...)
+		if err != nil {
+			return nil, err
+		}
+		rels = append(rels, rel)
+	}
+	schema, err := db.NewSchema(rels...)
+	if err != nil {
+		return nil, err
+	}
+
+	nNodes, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nNodes > 1<<40 {
+		return nil, fmt.Errorf("provstore: implausible node count %d", nNodes)
+	}
+	dec := NewDecoder(br)
+	if err := dec.ReadNodes(nNodes); err != nil {
+		return nil, err
+	}
+
+	e := engine.NewEmpty(mode, schema, opts...)
+	for _, rel := range rels {
+		nRows, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < nRows; i++ {
+			t := make(db.Tuple, len(rel.Attrs))
+			for j, a := range rel.Attrs {
+				v, err := readValue(br, a.Kind)
+				if err != nil {
+					return nil, err
+				}
+				t[j] = v
+			}
+			id, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			ann, err := dec.Expr(id)
+			if err != nil {
+				return nil, err
+			}
+			if err := e.RestoreRow(rel.Name, t, ann); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return e, nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, _ = w.Write(buf[:n])
+}
+
+func writeString(w *bufio.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	_, _ = w.WriteString(s)
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<24 {
+		return "", fmt.Errorf("provstore: string length %d too large", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func writeValue(w *bufio.Writer, kind db.Kind, v db.Value) error {
+	if v.Kind() != kind {
+		return fmt.Errorf("provstore: value kind %v where %v expected", v.Kind(), kind)
+	}
+	switch kind {
+	case db.KindString:
+		writeString(w, v.Str())
+	case db.KindInt:
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutVarint(buf[:], v.Int())
+		_, _ = w.Write(buf[:n])
+	case db.KindFloat:
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.Float()))
+		_, _ = w.Write(buf[:])
+	default:
+		return fmt.Errorf("provstore: unknown kind %v", kind)
+	}
+	return nil
+}
+
+func readValue(r *bufio.Reader, kind db.Kind) (db.Value, error) {
+	switch kind {
+	case db.KindString:
+		s, err := readString(r)
+		if err != nil {
+			return db.Value{}, err
+		}
+		return db.S(s), nil
+	case db.KindInt:
+		i, err := binary.ReadVarint(r)
+		if err != nil {
+			return db.Value{}, err
+		}
+		return db.I(i), nil
+	case db.KindFloat:
+		var buf [8]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return db.Value{}, err
+		}
+		return db.F(math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))), nil
+	default:
+		return db.Value{}, fmt.Errorf("provstore: unknown kind %v", kind)
+	}
+}

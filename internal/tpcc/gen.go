@@ -1,0 +1,230 @@
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hyperprov/internal/db"
+)
+
+// Config scales the TPC-C instance. The TPC-C cardinalities are per
+// warehouse: 10 districts, 3000 customers and 3000 orders per district,
+// 100000 items and stock rows; PaperConfig approximates the paper's
+// 2.1M-tuple database, DefaultConfig is a CI-sized instance with the
+// same structure.
+type Config struct {
+	Warehouses           int
+	Districts            int // per warehouse
+	CustomersPerDistrict int
+	OrdersPerDistrict    int // initially loaded orders (with order lines)
+	Items                int // shared item catalogue; stock rows per warehouse
+	Seed                 int64
+}
+
+// DefaultConfig returns a small instance (~4k tuples) suitable for tests
+// and quick runs.
+func DefaultConfig() Config {
+	return Config{Warehouses: 1, Districts: 3, CustomersPerDistrict: 30, OrdersPerDistrict: 30, Items: 200, Seed: 1}
+}
+
+// PaperConfig returns an instance of roughly the paper's size (about
+// 2.1M tuples across nine tables: 4 warehouses at full per-warehouse
+// cardinalities).
+func PaperConfig() Config {
+	return Config{Warehouses: 4, Districts: 10, CustomersPerDistrict: 3000, OrdersPerDistrict: 3000, Items: 100000, Seed: 1}
+}
+
+// Scaled returns DefaultConfig cardinalities multiplied toward
+// PaperConfig by the given factor in (0, 1].
+func Scaled(f float64) Config {
+	p := PaperConfig()
+	scale := func(v int) int {
+		s := int(float64(v) * f)
+		if s < 1 {
+			s = 1
+		}
+		return s
+	}
+	return Config{
+		Warehouses:           1,
+		Districts:            p.Districts,
+		CustomersPerDistrict: scale(p.CustomersPerDistrict),
+		OrdersPerDistrict:    scale(p.OrdersPerDistrict),
+		Items:                scale(p.Items),
+		Seed:                 1,
+	}
+}
+
+// Generator produces the initial database and a stream of TPC-C write
+// transactions lowered to hyperplane updates. It keeps shadow state
+// (district order counters, stock quantities, customer balances,
+// pending new-orders) so that modifications can be emitted with the
+// constant SET clauses the hyperplane fragment requires; the emitted log
+// is therefore valid exactly against the generated initial database.
+type Generator struct {
+	cfg Config
+	r   *rand.Rand
+
+	nextOID   map[[2]int]int     // (w,d) → d_next_o_id
+	pending   map[[2]int][]int   // (w,d) → undelivered order ids (FIFO)
+	orderCust map[[3]int]int     // (w,d,o) → customer
+	orderCnt  map[[3]int]int     // (w,d,o) → ol_cnt
+	orderAmt  map[[3]int]float64 // (w,d,o) → Σ ol_amount
+	stockQty  map[[2]int]int     // (w,i) → s_quantity
+	stockYtd  map[[2]int]int
+	stockOrd  map[[2]int]int
+	whYtd     map[int]float64
+	distYtd   map[[2]int]float64
+	custBal   map[[3]int]float64 // (w,d,c)
+	custYtd   map[[3]int]float64
+	custPay   map[[3]int]int
+	custDel   map[[3]int]int
+
+	hid   int
+	clock int
+	txnNo int
+}
+
+// NewGenerator builds a generator for the configuration.
+func NewGenerator(cfg Config) *Generator {
+	return &Generator{
+		cfg:       cfg,
+		r:         rand.New(rand.NewSource(cfg.Seed)),
+		nextOID:   make(map[[2]int]int),
+		pending:   make(map[[2]int][]int),
+		orderCust: make(map[[3]int]int),
+		orderCnt:  make(map[[3]int]int),
+		orderAmt:  make(map[[3]int]float64),
+		stockQty:  make(map[[2]int]int),
+		stockYtd:  make(map[[2]int]int),
+		stockOrd:  make(map[[2]int]int),
+		whYtd:     make(map[int]float64),
+		distYtd:   make(map[[2]int]float64),
+		custBal:   make(map[[3]int]float64),
+		custYtd:   make(map[[3]int]float64),
+		custPay:   make(map[[3]int]int),
+		custDel:   make(map[[3]int]int),
+	}
+}
+
+var lastNames = []string{"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"}
+
+// cLast composes the TPC-C customer last name from a number.
+func cLast(n int) string {
+	return lastNames[n/100%10] + lastNames[n/10%10] + lastNames[n%10]
+}
+
+func money(f float64) float64 {
+	return float64(int64(f*100+0.5)) / 100
+}
+
+// InitialDatabase populates the nine tables per the configuration.
+func (g *Generator) InitialDatabase() (*db.Database, error) {
+	d := db.NewDatabase(Schema())
+	ins := func(rel string, t db.Tuple) error { return d.InsertTuple(rel, t) }
+	for i := 1; i <= g.cfg.Items; i++ {
+		if err := ins(Item, db.Tuple{
+			db.I(int64(i)), db.I(int64(g.r.Intn(10000))), db.S(fmt.Sprintf("item-%d", i)),
+			db.F(money(1 + g.r.Float64()*99)), db.S("data"),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for w := 1; w <= g.cfg.Warehouses; w++ {
+		g.whYtd[w] = 300000
+		if err := ins(Warehouse, db.Tuple{
+			db.I(int64(w)), db.S(fmt.Sprintf("wh-%d", w)), db.S("city"), db.S("ST"),
+			db.F(money(g.r.Float64() * 0.2)), db.F(300000),
+		}); err != nil {
+			return nil, err
+		}
+		for i := 1; i <= g.cfg.Items; i++ {
+			q := 10 + g.r.Intn(91)
+			g.stockQty[[2]int{w, i}] = q
+			if err := ins(Stock, db.Tuple{
+				db.I(int64(i)), db.I(int64(w)), db.I(int64(q)),
+				db.I(0), db.I(0), db.I(0), db.S("stockdata"),
+			}); err != nil {
+				return nil, err
+			}
+		}
+		for dd := 1; dd <= g.cfg.Districts; dd++ {
+			g.distYtd[[2]int{w, dd}] = 30000
+			g.nextOID[[2]int{w, dd}] = g.cfg.OrdersPerDistrict + 1
+			if err := ins(District, db.Tuple{
+				db.I(int64(dd)), db.I(int64(w)), db.S(fmt.Sprintf("dist-%d-%d", w, dd)),
+				db.F(money(g.r.Float64() * 0.2)), db.F(30000), db.I(int64(g.cfg.OrdersPerDistrict + 1)),
+			}); err != nil {
+				return nil, err
+			}
+			for c := 1; c <= g.cfg.CustomersPerDistrict; c++ {
+				key := [3]int{w, dd, c}
+				g.custBal[key] = -10
+				g.custYtd[key] = 10
+				g.custPay[key] = 1
+				credit := "GC"
+				if g.r.Intn(10) == 0 {
+					credit = "BC"
+				}
+				if err := ins(Customer, db.Tuple{
+					db.I(int64(c)), db.I(int64(dd)), db.I(int64(w)),
+					db.S(cLast(c % 1000)), db.S(fmt.Sprintf("first-%d", c)), db.S(credit),
+					db.F(money(g.r.Float64() * 0.5)), db.F(-10), db.F(10),
+					db.I(1), db.I(0), db.S("customerdata"),
+				}); err != nil {
+					return nil, err
+				}
+				g.hid++
+				if err := ins(History, db.Tuple{
+					db.I(int64(g.hid)), db.I(int64(c)), db.I(int64(dd)), db.I(int64(w)),
+					db.I(int64(dd)), db.I(int64(w)), db.I(0), db.F(10), db.S("init"),
+				}); err != nil {
+					return nil, err
+				}
+			}
+			for o := 1; o <= g.cfg.OrdersPerDistrict; o++ {
+				c := 1 + g.r.Intn(g.cfg.CustomersPerDistrict)
+				cnt := 5 + g.r.Intn(11)
+				okey := [3]int{w, dd, o}
+				g.orderCust[okey] = c
+				g.orderCnt[okey] = cnt
+				delivered := o <= g.cfg.OrdersPerDistrict*7/10
+				carrier := 0
+				if delivered {
+					carrier = 1 + g.r.Intn(10)
+				} else {
+					g.pending[[2]int{w, dd}] = append(g.pending[[2]int{w, dd}], o)
+					if err := ins(NewOrder, db.Tuple{db.I(int64(o)), db.I(int64(dd)), db.I(int64(w))}); err != nil {
+						return nil, err
+					}
+				}
+				if err := ins(Orders, db.Tuple{
+					db.I(int64(o)), db.I(int64(dd)), db.I(int64(w)), db.I(int64(c)),
+					db.I(0), db.I(int64(carrier)), db.I(int64(cnt)), db.I(1),
+				}); err != nil {
+					return nil, err
+				}
+				var amt float64
+				for l := 1; l <= cnt; l++ {
+					item := 1 + g.r.Intn(g.cfg.Items)
+					lineAmt := 0.0
+					deliveryD := 1
+					if !delivered {
+						lineAmt = money(0.01 + g.r.Float64()*99.99)
+						deliveryD = 0
+					}
+					amt += lineAmt
+					if err := ins(OrderLine, db.Tuple{
+						db.I(int64(o)), db.I(int64(dd)), db.I(int64(w)), db.I(int64(l)),
+						db.I(int64(item)), db.I(int64(w)), db.I(int64(deliveryD)),
+						db.I(5), db.F(lineAmt),
+					}); err != nil {
+						return nil, err
+					}
+				}
+				g.orderAmt[okey] = amt
+			}
+		}
+	}
+	return d, nil
+}

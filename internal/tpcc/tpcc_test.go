@@ -1,0 +1,201 @@
+package tpcc_test
+
+import (
+	"testing"
+
+	"hyperprov/internal/db"
+	"hyperprov/internal/engine"
+	"hyperprov/internal/tpcc"
+)
+
+func TestInitialDatabaseCardinalities(t *testing.T) {
+	cfg := tpcc.DefaultConfig()
+	g := tpcc.NewGenerator(cfg)
+	d, err := g.InitialDatabase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]int{
+		tpcc.Warehouse: cfg.Warehouses,
+		tpcc.District:  cfg.Warehouses * cfg.Districts,
+		tpcc.Customer:  cfg.Warehouses * cfg.Districts * cfg.CustomersPerDistrict,
+		tpcc.History:   cfg.Warehouses * cfg.Districts * cfg.CustomersPerDistrict,
+		tpcc.Orders:    cfg.Warehouses * cfg.Districts * cfg.OrdersPerDistrict,
+		tpcc.Item:      cfg.Items,
+		tpcc.Stock:     cfg.Warehouses * cfg.Items,
+	}
+	for rel, want := range checks {
+		if got := d.Instance(rel).Len(); got != want {
+			t.Errorf("%s: %d tuples, want %d", rel, got, want)
+		}
+	}
+	// 30% of initial orders are undelivered.
+	wantNO := cfg.Warehouses * cfg.Districts * (cfg.OrdersPerDistrict - cfg.OrdersPerDistrict*7/10)
+	if got := d.Instance(tpcc.NewOrder).Len(); got != wantNO {
+		t.Errorf("NEW_ORDER: %d tuples, want %d", got, wantNO)
+	}
+	// 5–15 lines per order.
+	ol := d.Instance(tpcc.OrderLine).Len()
+	orders := d.Instance(tpcc.Orders).Len()
+	if ol < 5*orders || ol > 15*orders {
+		t.Errorf("ORDER_LINE: %d lines for %d orders", ol, orders)
+	}
+}
+
+func TestGenerationDeterministic(t *testing.T) {
+	g1 := tpcc.NewGenerator(tpcc.DefaultConfig())
+	g2 := tpcc.NewGenerator(tpcc.DefaultConfig())
+	d1, err := g1.InitialDatabase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := g2.InitialDatabase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d1.Equal(d2) {
+		t.Fatal("same seed must generate the same database")
+	}
+	t1 := g1.Transactions(20)
+	t2 := g2.Transactions(20)
+	for i := range t1 {
+		if t1[i].Label != t2[i].Label || len(t1[i].Updates) != len(t2[i].Updates) {
+			t.Fatalf("transaction %d diverges", i)
+		}
+	}
+}
+
+func TestTransactionsValidateAndApply(t *testing.T) {
+	g := tpcc.NewGenerator(tpcc.DefaultConfig())
+	d, err := g.InitialDatabase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	txns := g.TransactionsForQueries(300)
+	if got := db.CountQueries(txns); got < 300 {
+		t.Fatalf("generated only %d queries", got)
+	}
+	for i := range txns {
+		if err := txns[i].Validate(d.Schema()); err != nil {
+			t.Fatalf("transaction %d invalid: %v", i, err)
+		}
+	}
+	if err := d.ApplyAll(txns); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShadowStateConsistent verifies the defining property of the
+// generator: because every modification carries constant SET clauses,
+// the log is only correct if the shadow state matches the database at
+// every step. Applying the log and then re-running New-Order against the
+// final district counters must produce fresh order ids not present in
+// ORDERS.
+func TestShadowStateConsistent(t *testing.T) {
+	g := tpcc.NewGenerator(tpcc.DefaultConfig())
+	d, err := g.InitialDatabase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	txns := g.Transactions(60)
+	if err := d.ApplyAll(txns); err != nil {
+		t.Fatal(err)
+	}
+	// NEW_ORDER rows and ORDERS without carrier move in lockstep:
+	// every NEW_ORDER entry must reference an existing order with
+	// carrier 0.
+	orders := d.Instance(tpcc.Orders)
+	undelivered := make(map[string]bool)
+	orders.Each(func(tu db.Tuple) {
+		if tu[5].Int() == 0 {
+			key := db.Tuple{tu[0], tu[1], tu[2]}.Key()
+			undelivered[key] = true
+		}
+	})
+	bad := 0
+	d.Instance(tpcc.NewOrder).Each(func(tu db.Tuple) {
+		if !undelivered[tu.Key()] {
+			bad++
+		}
+	})
+	if bad > 0 {
+		t.Errorf("%d NEW_ORDER entries reference delivered/missing orders", bad)
+	}
+	// District counters exceed all order ids in that district.
+	d.Instance(tpcc.District).Each(func(dt db.Tuple) {
+		dID, wID, next := dt[0].Int(), dt[1].Int(), dt[5].Int()
+		orders.Each(func(ot db.Tuple) {
+			if ot[1].Int() == dID && ot[2].Int() == wID && ot[0].Int() >= next {
+				t.Errorf("order %d >= d_next_o_id %d in district (%d,%d)", ot[0].Int(), next, wID, dID)
+			}
+		})
+	})
+}
+
+// TestProvenanceOverTPCC runs the log through both provenance engines
+// and checks the all-true valuation against the plain engine — the
+// end-to-end integration the Figure 7 experiments rely on.
+func TestProvenanceOverTPCC(t *testing.T) {
+	g := tpcc.NewGenerator(tpcc.DefaultConfig())
+	initial, err := g.InitialDatabase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	txns := g.TransactionsForQueries(150)
+	plain := initial.Clone()
+	if err := plain.ApplyAll(txns); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []engine.Mode{engine.ModeNaive, engine.ModeNormalForm} {
+		e := engine.New(mode, initial)
+		if err := e.ApplyAll(txns); err != nil {
+			t.Fatal(err)
+		}
+		live := engine.LiveDB(e)
+		if !live.Equal(plain) {
+			t.Fatalf("%v: TPC-C live DB diverges from plain:\n%s", mode, live.Diff(plain))
+		}
+		// Modified tuples are duplicated, so rows exceed plain tuples by
+		// a small margin (about 2% at paper scale).
+		if e.NumRows() <= plain.NumTuples() {
+			t.Errorf("%v: expected tombstone overhead, rows=%d plain=%d", mode, e.NumRows(), plain.NumTuples())
+		}
+	}
+}
+
+func TestDeliveryConsumesPending(t *testing.T) {
+	cfg := tpcc.DefaultConfig()
+	g := tpcc.NewGenerator(cfg)
+	d, err := g.InitialDatabase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.Instance(tpcc.NewOrder).Len()
+	// Generate enough deliveries to consume entries.
+	var deliveries []db.Transaction
+	for i := 0; i < 5; i++ {
+		deliveries = append(deliveries, g.DeliveryTxn())
+	}
+	if err := d.ApplyAll(deliveries); err != nil {
+		t.Fatal(err)
+	}
+	after := d.Instance(tpcc.NewOrder).Len()
+	if after >= before {
+		t.Errorf("delivery did not consume NEW_ORDER entries: %d -> %d", before, after)
+	}
+}
+
+func TestScaledConfig(t *testing.T) {
+	c := tpcc.Scaled(0.01)
+	if c.Items < 1 || c.CustomersPerDistrict < 1 {
+		t.Errorf("scaled config degenerate: %+v", c)
+	}
+	p := tpcc.PaperConfig()
+	// Rough size check: the paper instance is about 2.1M tuples. Count
+	// without materializing: items + per-warehouse rows.
+	perW := p.Items + p.Districts*(2*p.CustomersPerDistrict+p.OrdersPerDistrict*11) // stock + cust + hist + orders with ~10 lines each
+	approx := p.Items + p.Warehouses*perW
+	if approx < 2_000_000 {
+		t.Errorf("paper config too small: ~%d tuples", approx)
+	}
+}

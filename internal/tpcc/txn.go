@@ -1,0 +1,284 @@
+package tpcc
+
+import (
+	"fmt"
+
+	"hyperprov/internal/db"
+)
+
+// The selection patterns below pin, besides the key columns, the
+// current values of every column the workload mutates (year-to-date
+// totals, balances, counters, order ids). This is how a reenactment log
+// lowers TPC-C's read-then-write statements into the hyperplane
+// fragment, and it is essential for the provenance semantics: deleted
+// and modified tuples stay in the support of annotated relations
+// (Section 3.1), so a selection that pinned only the key would also
+// match every historical version of a hot row (the warehouse, say) and
+// the provenance of rows updated n times would grow as 2^n instead of
+// linearly. Pinning the mutable columns keeps historical versions out
+// of later selections while staying inside the fragment.
+
+// selDistrict selects one district row by key and current mutable state.
+func (g *Generator) selDistrict(w, d int) db.Pattern {
+	return db.Pattern{
+		db.Const(db.I(int64(d))), db.Const(db.I(int64(w))),
+		db.AnyVar("n"), db.AnyVar("t"),
+		db.Const(db.F(g.distYtd[[2]int{w, d}])),
+		db.Const(db.I(int64(g.nextOID[[2]int{w, d}]))),
+	}
+}
+
+func (g *Generator) selWarehouse(w int) db.Pattern {
+	return db.Pattern{
+		db.Const(db.I(int64(w))),
+		db.AnyVar("n"), db.AnyVar("c"), db.AnyVar("s"), db.AnyVar("t"),
+		db.Const(db.F(g.whYtd[w])),
+	}
+}
+
+func (g *Generator) selCustomer(w, d, c int) db.Pattern {
+	key := [3]int{w, d, c}
+	return db.Pattern{
+		db.Const(db.I(int64(c))), db.Const(db.I(int64(d))), db.Const(db.I(int64(w))),
+		db.AnyVar("l"), db.AnyVar("f"), db.AnyVar("cr"), db.AnyVar("disc"),
+		db.Const(db.F(g.custBal[key])),
+		db.Const(db.F(g.custYtd[key])),
+		db.Const(db.I(int64(g.custPay[key]))),
+		db.Const(db.I(int64(g.custDel[key]))),
+		db.AnyVar("data"),
+	}
+}
+
+func (g *Generator) selStock(w, i int) db.Pattern {
+	key := [2]int{w, i}
+	return db.Pattern{
+		db.Const(db.I(int64(i))), db.Const(db.I(int64(w))),
+		db.Const(db.I(int64(g.stockQty[key]))),
+		db.Const(db.I(int64(g.stockYtd[key]))),
+		db.Const(db.I(int64(g.stockOrd[key]))),
+		db.AnyVar("rc"), db.AnyVar("d"),
+	}
+}
+
+// selOrder pins o_carrier_id = 0: delivery only touches undelivered
+// orders.
+func selOrder(w, d, o int) db.Pattern {
+	return db.Pattern{
+		db.Const(db.I(int64(o))), db.Const(db.I(int64(d))), db.Const(db.I(int64(w))),
+		db.AnyVar("c"), db.AnyVar("e"), db.Const(db.I(0)), db.AnyVar("cnt"), db.AnyVar("al"),
+	}
+}
+
+// selOrderLines pins ol_delivery_d = 0: only undelivered lines.
+func selOrderLines(w, d, o int) db.Pattern {
+	return db.Pattern{
+		db.Const(db.I(int64(o))), db.Const(db.I(int64(d))), db.Const(db.I(int64(w))),
+		db.AnyVar("n"), db.AnyVar("i"), db.AnyVar("sw"), db.Const(db.I(0)), db.AnyVar("q"), db.AnyVar("a"),
+	}
+}
+
+func selNewOrder(w, d, o int) db.Pattern {
+	return db.Pattern{db.Const(db.I(int64(o))), db.Const(db.I(int64(d))), db.Const(db.I(int64(w)))}
+}
+
+func keepN(n int) []db.SetClause { return make([]db.SetClause, n) }
+
+// NewOrderTxn generates one TPC-C New-Order transaction as hyperplane
+// updates: the district order counter advances, the order, its
+// NEW_ORDER entry and 5–15 order lines are inserted, and each ordered
+// item's stock row is modified.
+func (g *Generator) NewOrderTxn() db.Transaction {
+	w := 1 + g.r.Intn(g.cfg.Warehouses)
+	d := 1 + g.r.Intn(g.cfg.Districts)
+	c := 1 + g.r.Intn(g.cfg.CustomersPerDistrict)
+	g.clock++
+	g.txnNo++
+	key := [2]int{w, d}
+	o := g.nextOID[key]
+	distSel := g.selDistrict(w, d) // pins the pre-update counter
+	g.nextOID[key] = o + 1
+	cnt := 5 + g.r.Intn(11)
+	okey := [3]int{w, d, o}
+	g.orderCust[okey] = c
+	g.orderCnt[okey] = cnt
+	g.pending[key] = append(g.pending[key], o)
+
+	txn := db.Transaction{Label: fmt.Sprintf("neworder_%d", g.txnNo)}
+	set := keepN(6)
+	set[5] = db.SetTo(db.I(int64(o + 1)))
+	txn.Updates = append(txn.Updates, db.Modify(District, distSel, set))
+	txn.Updates = append(txn.Updates, db.Insert(Orders, db.Tuple{
+		db.I(int64(o)), db.I(int64(d)), db.I(int64(w)), db.I(int64(c)),
+		db.I(int64(g.clock)), db.I(0), db.I(int64(cnt)), db.I(1),
+	}))
+	txn.Updates = append(txn.Updates, db.Insert(NewOrder, db.Tuple{
+		db.I(int64(o)), db.I(int64(d)), db.I(int64(w)),
+	}))
+	var amt float64
+	prevItem := 0
+	for l := 1; l <= cnt; l++ {
+		item := 1 + g.r.Intn(g.cfg.Items)
+		// TPC-C orders may repeat an item; a repeated item makes the
+		// same stock row pass through two modifications of one
+		// transaction, which is exactly where the Figure 6 rules
+		// compress the normal form below the naive representation.
+		if prevItem != 0 && g.r.Intn(100) < 15 {
+			item = prevItem
+		}
+		prevItem = item
+		qty := 1 + g.r.Intn(10)
+		skey := [2]int{w, item}
+		stockSel := g.selStock(w, item) // pins the pre-update quantities
+		sq := g.stockQty[skey]
+		if sq-qty < 10 {
+			sq += 91
+		}
+		sq -= qty
+		g.stockQty[skey] = sq
+		g.stockYtd[skey] += qty
+		g.stockOrd[skey]++
+		sset := keepN(7)
+		sset[2] = db.SetTo(db.I(int64(sq)))
+		sset[3] = db.SetTo(db.I(int64(g.stockYtd[skey])))
+		sset[4] = db.SetTo(db.I(int64(g.stockOrd[skey])))
+		txn.Updates = append(txn.Updates, db.Modify(Stock, stockSel, sset))
+		lineAmt := money(float64(qty) * (1 + g.r.Float64()*99))
+		amt += lineAmt
+		txn.Updates = append(txn.Updates, db.Insert(OrderLine, db.Tuple{
+			db.I(int64(o)), db.I(int64(d)), db.I(int64(w)), db.I(int64(l)),
+			db.I(int64(item)), db.I(int64(w)), db.I(0), db.I(int64(qty)), db.F(lineAmt),
+		}))
+	}
+	g.orderAmt[okey] = amt
+	return txn
+}
+
+// PaymentTxn generates one TPC-C Payment transaction: warehouse and
+// district year-to-date totals and the customer's balance are modified,
+// and a history row is inserted.
+func (g *Generator) PaymentTxn() db.Transaction {
+	w := 1 + g.r.Intn(g.cfg.Warehouses)
+	d := 1 + g.r.Intn(g.cfg.Districts)
+	c := 1 + g.r.Intn(g.cfg.CustomersPerDistrict)
+	g.clock++
+	g.txnNo++
+	h := money(1 + g.r.Float64()*4999)
+	txn := db.Transaction{Label: fmt.Sprintf("payment_%d", g.txnNo)}
+
+	whSel := g.selWarehouse(w)
+	g.whYtd[w] = money(g.whYtd[w] + h)
+	wset := keepN(6)
+	wset[5] = db.SetTo(db.F(g.whYtd[w]))
+	txn.Updates = append(txn.Updates, db.Modify(Warehouse, whSel, wset))
+
+	dkey := [2]int{w, d}
+	distSel := g.selDistrict(w, d)
+	g.distYtd[dkey] = money(g.distYtd[dkey] + h)
+	dset := keepN(6)
+	dset[4] = db.SetTo(db.F(g.distYtd[dkey]))
+	txn.Updates = append(txn.Updates, db.Modify(District, distSel, dset))
+
+	ckey := [3]int{w, d, c}
+	custSel := g.selCustomer(w, d, c)
+	g.custBal[ckey] = money(g.custBal[ckey] - h)
+	g.custYtd[ckey] = money(g.custYtd[ckey] + h)
+	g.custPay[ckey]++
+	cset := keepN(12)
+	cset[7] = db.SetTo(db.F(g.custBal[ckey]))
+	cset[8] = db.SetTo(db.F(g.custYtd[ckey]))
+	cset[9] = db.SetTo(db.I(int64(g.custPay[ckey])))
+	txn.Updates = append(txn.Updates, db.Modify(Customer, custSel, cset))
+
+	g.hid++
+	txn.Updates = append(txn.Updates, db.Insert(History, db.Tuple{
+		db.I(int64(g.hid)), db.I(int64(c)), db.I(int64(d)), db.I(int64(w)),
+		db.I(int64(d)), db.I(int64(w)), db.I(int64(g.clock)), db.F(h), db.S("payment"),
+	}))
+	return txn
+}
+
+// DeliveryTxn generates one TPC-C Delivery transaction: for each
+// district with a pending order, the NEW_ORDER entry is deleted, the
+// order is assigned a carrier, all its order lines receive a delivery
+// date (a genuinely multi-row hyperplane modification), and the
+// customer's balance and delivery count are modified.
+func (g *Generator) DeliveryTxn() db.Transaction {
+	w := 1 + g.r.Intn(g.cfg.Warehouses)
+	carrier := 1 + g.r.Intn(10)
+	g.clock++
+	g.txnNo++
+	txn := db.Transaction{Label: fmt.Sprintf("delivery_%d", g.txnNo)}
+	for d := 1; d <= g.cfg.Districts; d++ {
+		key := [2]int{w, d}
+		queue := g.pending[key]
+		if len(queue) == 0 {
+			continue
+		}
+		o := queue[0]
+		g.pending[key] = queue[1:]
+		okey := [3]int{w, d, o}
+		c := g.orderCust[okey]
+
+		txn.Updates = append(txn.Updates, db.Delete(NewOrder, selNewOrder(w, d, o)))
+
+		oset := keepN(8)
+		oset[5] = db.SetTo(db.I(int64(carrier)))
+		txn.Updates = append(txn.Updates, db.Modify(Orders, selOrder(w, d, o), oset))
+
+		olset := keepN(9)
+		olset[6] = db.SetTo(db.I(int64(g.clock)))
+		txn.Updates = append(txn.Updates, db.Modify(OrderLine, selOrderLines(w, d, o), olset))
+
+		ckey := [3]int{w, d, c}
+		custSel := g.selCustomer(w, d, c)
+		g.custBal[ckey] = money(g.custBal[ckey] + g.orderAmt[okey])
+		g.custDel[ckey]++
+		cset := keepN(12)
+		cset[7] = db.SetTo(db.F(g.custBal[ckey]))
+		cset[10] = db.SetTo(db.I(int64(g.custDel[ckey])))
+		txn.Updates = append(txn.Updates, db.Modify(Customer, custSel, cset))
+	}
+	return txn
+}
+
+// NextTransaction draws from the TPC-C write-transaction mix: the TPC-C
+// weights for New-Order (45%), Payment (43%) and the remaining
+// deferred-execution share assigned to Delivery (the read-only
+// Order-Status and Stock-Level transactions generate no updates and are
+// omitted).
+func (g *Generator) NextTransaction() db.Transaction {
+	switch x := g.r.Intn(100); {
+	case x < 45:
+		return g.NewOrderTxn()
+	case x < 88:
+		return g.PaymentTxn()
+	default:
+		return g.DeliveryTxn()
+	}
+}
+
+// Transactions generates n transactions from the mix.
+func (g *Generator) Transactions(n int) []db.Transaction {
+	out := make([]db.Transaction, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, g.NextTransaction())
+	}
+	return out
+}
+
+// TransactionsForQueries generates transactions until the total number
+// of update queries reaches at least q (the paper's x-axes count
+// individual update queries, up to 1966).
+func (g *Generator) TransactionsForQueries(q int) []db.Transaction {
+	var out []db.Transaction
+	total := 0
+	for total < q {
+		t := g.NextTransaction()
+		if len(t.Updates) == 0 {
+			continue
+		}
+		total += len(t.Updates)
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package upstruct_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"hyperprov/internal/core"
+	"hyperprov/internal/upstruct"
+)
+
+// TestAxiomSchemasHoldInAllStructures evaluates every Figure 3 axiom
+// schema (core.Axioms) under random valuations in the Boolean, set and
+// trust structures — the syntactic counterpart of the operator-level
+// CheckAxioms, closing the loop between the paper's axiom statements
+// and the concrete semantics.
+func TestAxiomSchemasHoldInAllStructures(t *testing.T) {
+	r := rand.New(rand.NewSource(97))
+	trust := upstruct.TrustStructure{L: 0.5}
+	for _, ax := range core.Axioms() {
+		if len(ax.Metavariables()) == 0 {
+			t.Fatalf("%s: no metavariables", ax.Name)
+		}
+		for trial := 0; trial < 200; trial++ {
+			// Boolean.
+			bm := make(map[core.Annot]bool)
+			benv := func(a core.Annot) bool {
+				v, ok := bm[a]
+				if !ok {
+					v = r.Intn(2) == 0
+					bm[a] = v
+				}
+				return v
+			}
+			if upstruct.Eval(ax.LHS, upstruct.Bool, benv) != upstruct.Eval(ax.RHS, upstruct.Bool, benv) {
+				t.Fatalf("%s fails in Bool:\n  LHS = %v\n  RHS = %v", ax.Name, ax.LHS, ax.RHS)
+			}
+			// Sets.
+			sm := make(map[core.Annot]upstruct.Set)
+			senv := func(a core.Annot) upstruct.Set {
+				v, ok := sm[a]
+				if !ok {
+					var elems []string
+					for _, c := range []string{"IL", "FR", "US"} {
+						if r.Intn(2) == 0 {
+							elems = append(elems, c)
+						}
+					}
+					v = upstruct.NewSet(elems...)
+					sm[a] = v
+				}
+				return v
+			}
+			if !upstruct.Eval(ax.LHS, upstruct.Sets, senv).Equal(upstruct.Eval(ax.RHS, upstruct.Sets, senv)) {
+				t.Fatalf("%s fails in Sets:\n  LHS = %v\n  RHS = %v", ax.Name, ax.LHS, ax.RHS)
+			}
+			// Trust (observational equality).
+			tm := make(map[core.Annot]upstruct.Trust)
+			tenv := func(a core.Annot) upstruct.Trust {
+				v, ok := tm[a]
+				if !ok {
+					v = upstruct.Score(r.Float64())
+					tm[a] = v
+				}
+				return v
+			}
+			lt := upstruct.Eval(ax.LHS, trust, tenv)
+			rt := upstruct.Eval(ax.RHS, trust, tenv)
+			if trust.Trusted(lt) != trust.Trusted(rt) {
+				t.Fatalf("%s fails in Trust:\n  LHS = %v\n  RHS = %v", ax.Name, ax.LHS, ax.RHS)
+			}
+		}
+	}
+}
+
+// TestAxiomSchemasAreCanonicallyEqual: the Normalize+Minimize canonical
+// form identifies both sides of every axiom whose shapes it covers —
+// i.e. the rewriting engine internalizes Figure 3.
+func TestAxiomSchemasAreCanonicallyEqual(t *testing.T) {
+	for _, ax := range core.Axioms() {
+		l := core.Minimize(core.Normalize(ax.LHS))
+		r := core.Minimize(core.Normalize(ax.RHS))
+		if !l.Equal(r) {
+			t.Errorf("%s: canonical forms differ\n  LHS %v -> %v\n  RHS %v -> %v",
+				ax.Name, ax.LHS, l, ax.RHS, r)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package upstruct
+
+// BoolStructure is the deletion-propagation / transaction-abortion
+// semantics of Section 4.1:
+//
+//	a +M b = a +I b = a + b := a ∨ b
+//	a ·M b := a ∧ b
+//	a − b  := a ∧ ¬b
+//	0      := false
+//
+// Assigning false to a tuple annotation simulates deleting that tuple
+// from the input database; assigning false to a transaction annotation
+// simulates aborting that transaction. A tuple is present in the
+// hypothetical result iff its provenance evaluates to true.
+type BoolStructure struct{}
+
+// Bool is the shared BoolStructure instance.
+var Bool Structure[bool] = BoolStructure{}
+
+// Zero returns false.
+func (BoolStructure) Zero() bool { return false }
+
+// PlusI returns a ∨ b.
+func (BoolStructure) PlusI(a, b bool) bool { return a || b }
+
+// PlusM returns a ∨ b.
+func (BoolStructure) PlusM(a, b bool) bool { return a || b }
+
+// DotM returns a ∧ b.
+func (BoolStructure) DotM(a, b bool) bool { return a && b }
+
+// Minus returns a ∧ ¬b.
+func (BoolStructure) Minus(a, b bool) bool { return a && !b }
+
+// Plus returns a ∨ b.
+func (BoolStructure) Plus(a, b bool) bool { return a || b }

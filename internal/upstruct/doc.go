@@ -1,0 +1,18 @@
+// Package upstruct implements Update-Structures: the concrete semantics
+// that UP[X] provenance expressions can be specialized into (Section 4 of
+// Bourhis, Deutch, Moskovitch, SIGMOD 2020).
+//
+// An Update-Structure is a tuple (K, +M, ·M, −, +I, +, 0) of concrete
+// operations over a value domain K satisfying the equivalence axioms of
+// the paper's Figure 3 and the zero-related axioms of Section 3.1. Eval
+// maps an abstract UP[X] expression into such a structure under a
+// valuation of the basic annotations; by Proposition 4.2 this
+// specialization commutes with provenance propagation, which is what
+// makes post-hoc provenance use (deletion propagation, transaction
+// abortion, access control, certification) sound.
+//
+// The package provides the paper's example structures (Boolean,
+// set-based access control, trust certification), the semiring-to-UP[X]
+// bridge of Theorem 4.5, a law checker that verifies the axioms on
+// sample values, and homomorphism utilities.
+package upstruct

@@ -1,0 +1,134 @@
+package upstruct
+
+import "fmt"
+
+// Violation describes a failed law instance found by CheckAxioms or
+// CheckHomomorphism.
+type Violation struct {
+	Law    string
+	Detail string
+}
+
+// Error renders the violation.
+func (v Violation) Error() string { return v.Law + ": " + v.Detail }
+
+// CheckAxioms verifies the twelve equivalence axioms of Figure 3 and the
+// zero-related axioms of Section 3.1 on every combination of the given
+// sample values (axioms with set-indexed sums are checked on small
+// instantiations that cover the partition structure). It returns all
+// violations found, up to a limit of 32; a structure that returns no
+// violations on a representative sample is a plausible Update-Structure,
+// and exhaustive samples over a finite domain make the check a proof.
+func CheckAxioms[T any](s Structure[T], eq func(a, b T) bool, samples []T) []Violation {
+	var out []Violation
+	report := func(law string, format string, args ...any) {
+		if len(out) < 32 {
+			out = append(out, Violation{Law: law, Detail: fmt.Sprintf(format, args...)})
+		}
+	}
+	check := func(law string, lhs, rhs T, vals ...T) {
+		if !eq(lhs, rhs) {
+			report(law, "lhs=%v rhs=%v for %v", lhs, rhs, vals)
+		}
+	}
+	zero := s.Zero()
+	for _, a := range samples {
+		// Zero-related axioms.
+		check("zero: 0 - a = 0", s.Minus(zero, a), zero, a)
+		check("zero: 0 *M a = 0", s.DotM(zero, a), zero, a)
+		check("zero: a *M 0 = 0", s.DotM(a, zero), zero, a)
+		check("zero: 0 +M a = a", s.PlusM(zero, a), a, a)
+		check("zero: 0 +I a = a", s.PlusI(zero, a), a, a)
+		check("zero: a +I 0 = a", s.PlusI(a, zero), a, a)
+		check("zero: a +M 0 = a", s.PlusM(a, zero), a, a)
+		check("zero: a - 0 = a", s.Minus(a, zero), a, a)
+		for _, b := range samples {
+			// Axiom 4: (a−b)−b = a−b.
+			check("axiom 4", s.Minus(s.Minus(a, b), b), s.Minus(a, b), a, b)
+			// Axiom 7: (a +I b) − b = a − b.
+			check("axiom 7", s.Minus(s.PlusI(a, b), b), s.Minus(a, b), a, b)
+			// Axiom 10: (a−b) +I b = a +I b.
+			check("axiom 10", s.PlusI(s.Minus(a, b), b), s.PlusI(a, b), a, b)
+			for _, c := range samples {
+				// Axiom 2: (a +M (b ·M c)) − c = a − c.
+				check("axiom 2",
+					s.Minus(s.PlusM(a, s.DotM(b, c)), c),
+					s.Minus(a, c), a, b, c)
+				// Axiom 5 (single summand): a +M ((b−c) ·M c) = a.
+				check("axiom 5",
+					s.PlusM(a, s.DotM(s.Minus(b, c), c)),
+					a, a, b, c)
+				// Axiom 6: (a +M (b·M c)) +I c = (a +I c) +M (b ·M c).
+				check("axiom 6",
+					s.PlusI(s.PlusM(a, s.DotM(b, c)), c),
+					s.PlusM(s.PlusI(a, c), s.DotM(b, c)), a, b, c)
+				// Axiom 8: a +M ((b +I c) ·M c) = (a +I c) +M (b ·M c).
+				check("axiom 8",
+					s.PlusM(a, s.DotM(s.PlusI(b, c), c)),
+					s.PlusM(s.PlusI(a, c), s.DotM(b, c)), a, b, c)
+				// Axiom 9: (a +M (b·M c)) +I c = a +I c.
+				check("axiom 9",
+					s.PlusI(s.PlusM(a, s.DotM(b, c)), c),
+					s.PlusI(a, c), a, b, c)
+				for _, d := range samples {
+					// Axiom 1: commutativity of modification summands.
+					check("axiom 1",
+						s.PlusM(s.PlusM(a, s.DotM(b, c)), s.DotM(d, c)),
+						s.PlusM(s.PlusM(a, s.DotM(d, c)), s.DotM(b, c)), a, b, c, d)
+					// Axiom 5 (two summands): a +M (((b−c)+(d−c)) ·M c) = a.
+					check("axiom 5 (two summands)",
+						s.PlusM(a, s.DotM(s.Plus(s.Minus(b, c), s.Minus(d, c)), c)),
+						a, a, b, c, d)
+					// Axiom 11: a +M ((b+d)·M c) = (a +M (b·M c)) +M (d·M c).
+					check("axiom 11",
+						s.PlusM(a, s.DotM(s.Plus(b, d), c)),
+						s.PlusM(s.PlusM(a, s.DotM(b, c)), s.DotM(d, c)), a, b, c, d)
+					// Axiom 12: (a−b) +M (c·M b) =
+					//           (a−b) +M (((d−b) +M (c·M b)) ·M b).
+					check("axiom 12",
+						s.PlusM(s.Minus(a, b), s.DotM(c, b)),
+						s.PlusM(s.Minus(a, b), s.DotM(s.PlusM(s.Minus(d, b), s.DotM(c, b)), b)), a, b, c, d)
+					// Axiom 3 on the partition I = {c, d}, S1 = {c},
+					// S2 = {d}, with summands b and a (shape-covering
+					// instantiation):
+					// (x +M ((c+d)·M p)) +M ((b+a)·M p) =
+					//   x +M (((b +M (c·M p)) + (a +M (d·M p))) ·M p)
+					for _, p := range samples {
+						lhs := s.PlusM(s.PlusM(a, s.DotM(s.Plus(c, d), p)), s.DotM(s.Plus(b, a), p))
+						rhs := s.PlusM(a, s.DotM(s.Plus(s.PlusM(b, s.DotM(c, p)), s.PlusM(a, s.DotM(d, p))), p))
+						check("axiom 3", lhs, rhs, a, b, c, d, p)
+					}
+				}
+			}
+		}
+		if len(out) >= 32 {
+			break
+		}
+	}
+	return out
+}
+
+// CheckHomomorphism verifies that h commutes with every operation of the
+// two structures on the given samples (Definition 4.1), returning all
+// violations found up to a limit of 32.
+func CheckHomomorphism[A, B any](h func(A) B, s1 Structure[A], s2 Structure[B], eq func(a, b B) bool, samples []A) []Violation {
+	var out []Violation
+	check := func(law string, lhs, rhs B, a, b A) {
+		if len(out) < 32 && !eq(lhs, rhs) {
+			out = append(out, Violation{Law: law, Detail: fmt.Sprintf("lhs=%v rhs=%v for %v,%v", lhs, rhs, a, b)})
+		}
+	}
+	if !eq(h(s1.Zero()), s2.Zero()) {
+		out = append(out, Violation{Law: "h(0) = 0", Detail: fmt.Sprintf("h(0)=%v", h(s1.Zero()))})
+	}
+	for _, a := range samples {
+		for _, b := range samples {
+			check("h(a +I b)", h(s1.PlusI(a, b)), s2.PlusI(h(a), h(b)), a, b)
+			check("h(a +M b)", h(s1.PlusM(a, b)), s2.PlusM(h(a), h(b)), a, b)
+			check("h(a *M b)", h(s1.DotM(a, b)), s2.DotM(h(a), h(b)), a, b)
+			check("h(a - b)", h(s1.Minus(a, b)), s2.Minus(h(a), h(b)), a, b)
+			check("h(a + b)", h(s1.Plus(a, b)), s2.Plus(h(a), h(b)), a, b)
+		}
+	}
+	return out
+}

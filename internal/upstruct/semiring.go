@@ -1,0 +1,131 @@
+package upstruct
+
+// Semiring is a commutative semiring (K, +, ·, 0, 1). It is the input to
+// the Theorem 4.5 construction of Update-Structures.
+type Semiring[T any] interface {
+	Zero() T
+	One() T
+	Add(a, b T) T
+	Mul(a, b T) T
+}
+
+// CheckSemiringConditions verifies, over the given sample values, the
+// two conditions Theorem 4.5 imposes on a commutative semiring before it
+// can be lifted to an Update-Structure: a + 1 = 1 (the paper's
+// absorption condition) and a · a = a (multiplicative idempotence),
+// together with commutativity of both operations. It returns a
+// description of the first violated law, or "" if all checks pass.
+func CheckSemiringConditions[T any](k Semiring[T], eq func(a, b T) bool, samples []T) string {
+	one := k.One()
+	for _, a := range samples {
+		if !eq(k.Add(a, one), one) {
+			return "a + 1 = 1 violated"
+		}
+		if !eq(k.Mul(a, a), a) {
+			return "a * a = a violated"
+		}
+		for _, b := range samples {
+			if !eq(k.Add(a, b), k.Add(b, a)) {
+				return "+ not commutative"
+			}
+			if !eq(k.Mul(a, b), k.Mul(b, a)) {
+				return "* not commutative"
+			}
+		}
+	}
+	return ""
+}
+
+// semiringStructure is the Update-Structure obtained from a semiring by
+// Theorem 4.5: +M, +I and + are the semiring addition, ·M is the
+// semiring multiplication, and − is supplied by the caller (it must
+// satisfy axioms 2, 4, 5, 7, 10 and 12 with respect to the semiring
+// operations; CheckAxioms verifies this on samples).
+type semiringStructure[T any] struct {
+	k     Semiring[T]
+	minus func(a, b T) T
+}
+
+// FromSemiring lifts a commutative semiring satisfying the Theorem 4.5
+// conditions into an Update-Structure, using the given minus operator.
+// The construction makes +I and +M commutative, as the paper notes.
+func FromSemiring[T any](k Semiring[T], minus func(a, b T) T) Structure[T] {
+	return semiringStructure[T]{k: k, minus: minus}
+}
+
+func (s semiringStructure[T]) Zero() T        { return s.k.Zero() }
+func (s semiringStructure[T]) PlusI(a, b T) T { return s.k.Add(a, b) }
+func (s semiringStructure[T]) PlusM(a, b T) T { return s.k.Add(a, b) }
+func (s semiringStructure[T]) DotM(a, b T) T  { return s.k.Mul(a, b) }
+func (s semiringStructure[T]) Plus(a, b T) T  { return s.k.Add(a, b) }
+func (s semiringStructure[T]) Minus(a, b T) T { return s.minus(a, b) }
+
+// BoolSemiring is PosBool: ({false,true}, ∨, ∧, false, true). Together
+// with a − b := a ∧ ¬b it yields (via Theorem 4.5) exactly the
+// deletion-propagation structure of Section 4.1.
+type BoolSemiring struct{}
+
+func (BoolSemiring) Zero() bool         { return false }
+func (BoolSemiring) One() bool          { return true }
+func (BoolSemiring) Add(a, b bool) bool { return a || b }
+func (BoolSemiring) Mul(a, b bool) bool { return a && b }
+
+// SetSemiring is (P(C), ∪, ∩, ∅, C) over subsets of the given universe.
+// Together with set difference it yields (via Theorem 4.5) the
+// access-control structure of Section 4.1 (Example 4.6).
+type SetSemiring struct {
+	// Universe is the full set C (the semiring's 1).
+	Universe Set
+}
+
+func (s SetSemiring) Zero() Set        { return Set{} }
+func (s SetSemiring) One() Set         { return s.Universe }
+func (s SetSemiring) Add(a, b Set) Set { return a.Union(b) }
+func (s SetSemiring) Mul(a, b Set) Set { return a.Intersect(b) }
+
+// FuzzySemiring is the Viterbi-like fuzzy semiring ([0,1], max, min, 0, 1).
+// It satisfies the Theorem 4.5 conditions (max(a,1)=1, min(a,a)=a), but
+// the natural "fuzzy negation" minus a − b := min(a, 1−b) does NOT
+// satisfy the update axioms (axiom 10 fails); the package tests use it
+// as a negative example, alongside the monus operator the paper calls
+// out at the end of Section 4.2.
+type FuzzySemiring struct{}
+
+func (FuzzySemiring) Zero() float64 { return 0 }
+func (FuzzySemiring) One() float64  { return 1 }
+func (FuzzySemiring) Add(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+func (FuzzySemiring) Mul(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// NatSemiring is (N, +, ·, 0, 1), the base of provenance polynomials.
+// It violates both Theorem 4.5 conditions (a+1 ≠ 1, a·a ≠ a) and is used
+// by tests as a negative example: not every semiring lifts to an
+// Update-Structure.
+type NatSemiring struct{}
+
+func (NatSemiring) Zero() int        { return 0 }
+func (NatSemiring) One() int         { return 1 }
+func (NatSemiring) Add(a, b int) int { return a + b }
+func (NatSemiring) Mul(a, b int) int { return a * b }
+
+// FuzzyMonus is the monus (truncated difference) of the naturally
+// ordered fuzzy semiring: a ⊖ b is the least c with a ≤ max(b, c), i.e.
+// a if a > b and 0 otherwise. The paper notes (end of Section 4.2) that
+// monus does not in general work as the minus of an Update-Structure;
+// FuzzyMonus violates axiom 5 and is used by tests as that negative
+// example.
+func FuzzyMonus(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return 0
+}

@@ -1,0 +1,158 @@
+package upstruct
+
+import (
+	"sort"
+	"strings"
+)
+
+// Set is an immutable sorted string set, the domain of the access-control
+// semantics of Section 4.1 (items are, e.g., country names). The zero
+// value is the empty set.
+type Set struct {
+	elems []string // sorted, unique
+}
+
+// NewSet returns the set of the given elements.
+func NewSet(elems ...string) Set {
+	if len(elems) == 0 {
+		return Set{}
+	}
+	s := append([]string(nil), elems...)
+	sort.Strings(s)
+	out := s[:0]
+	for i, e := range s {
+		if i == 0 || s[i-1] != e {
+			out = append(out, e)
+		}
+	}
+	return Set{elems: out}
+}
+
+// Len reports the number of elements.
+func (s Set) Len() int { return len(s.elems) }
+
+// Contains reports membership of e.
+func (s Set) Contains(e string) bool {
+	i := sort.SearchStrings(s.elems, e)
+	return i < len(s.elems) && s.elems[i] == e
+}
+
+// Elems returns the sorted elements. The returned slice must not be
+// modified.
+func (s Set) Elems() []string { return s.elems }
+
+// Equal reports set equality.
+func (s Set) Equal(o Set) bool {
+	if len(s.elems) != len(o.elems) {
+		return false
+	}
+	for i := range s.elems {
+		if s.elems[i] != o.elems[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns s ∪ o.
+func (s Set) Union(o Set) Set {
+	if len(s.elems) == 0 {
+		return o
+	}
+	if len(o.elems) == 0 {
+		return s
+	}
+	out := make([]string, 0, len(s.elems)+len(o.elems))
+	i, j := 0, 0
+	for i < len(s.elems) && j < len(o.elems) {
+		switch {
+		case s.elems[i] < o.elems[j]:
+			out = append(out, s.elems[i])
+			i++
+		case s.elems[i] > o.elems[j]:
+			out = append(out, o.elems[j])
+			j++
+		default:
+			out = append(out, s.elems[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, s.elems[i:]...)
+	out = append(out, o.elems[j:]...)
+	return Set{elems: out}
+}
+
+// Intersect returns s ∩ o.
+func (s Set) Intersect(o Set) Set {
+	var out []string
+	i, j := 0, 0
+	for i < len(s.elems) && j < len(o.elems) {
+		switch {
+		case s.elems[i] < o.elems[j]:
+			i++
+		case s.elems[i] > o.elems[j]:
+			j++
+		default:
+			out = append(out, s.elems[i])
+			i++
+			j++
+		}
+	}
+	return Set{elems: out}
+}
+
+// Diff returns s ∖ o.
+func (s Set) Diff(o Set) Set {
+	var out []string
+	j := 0
+	for _, e := range s.elems {
+		for j < len(o.elems) && o.elems[j] < e {
+			j++
+		}
+		if j < len(o.elems) && o.elems[j] == e {
+			continue
+		}
+		out = append(out, e)
+	}
+	return Set{elems: out}
+}
+
+// String renders the set as {a, b, c}.
+func (s Set) String() string {
+	return "{" + strings.Join(s.elems, ", ") + "}"
+}
+
+// SetStructure is the access-control semantics of Section 4.1 over sets
+// (e.g. of country names):
+//
+//	a +M b = a +I b = a + b := a ∪ b
+//	a ·M b := a ∩ b
+//	a − b  := a ∖ b
+//	0      := ∅
+//
+// A user with credential c can see a tuple iff c is a member of the
+// tuple's specialized provenance. The corresponding semiring
+// (P(C), ∪, ∩, ∅, C) satisfies the conditions of Theorem 4.5.
+type SetStructure struct{}
+
+// Sets is the shared SetStructure instance.
+var Sets Structure[Set] = SetStructure{}
+
+// Zero returns the empty set.
+func (SetStructure) Zero() Set { return Set{} }
+
+// PlusI returns a ∪ b.
+func (SetStructure) PlusI(a, b Set) Set { return a.Union(b) }
+
+// PlusM returns a ∪ b.
+func (SetStructure) PlusM(a, b Set) Set { return a.Union(b) }
+
+// DotM returns a ∩ b.
+func (SetStructure) DotM(a, b Set) Set { return a.Intersect(b) }
+
+// Minus returns a ∖ b.
+func (SetStructure) Minus(a, b Set) Set { return a.Diff(b) }
+
+// Plus returns a ∪ b.
+func (SetStructure) Plus(a, b Set) Set { return a.Union(b) }

@@ -1,0 +1,84 @@
+package upstruct_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hyperprov/internal/upstruct"
+)
+
+// randSet draws a random subset of a small universe.
+func randSet(r *rand.Rand) upstruct.Set {
+	var elems []string
+	for _, e := range []string{"a", "b", "c", "d", "e"} {
+		if r.Intn(2) == 0 {
+			elems = append(elems, e)
+		}
+	}
+	return upstruct.NewSet(elems...)
+}
+
+// TestSetLatticeLaws checks, with testing/quick, the distributive
+// lattice laws that make (P(C), ∪, ∩, ∖) the access-control
+// Update-Structure: commutativity, associativity, idempotence,
+// absorption, distributivity, and the difference laws used by the
+// axioms.
+func TestSetLatticeLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	f := func() bool {
+		a, b, c := randSet(r), randSet(r), randSet(r)
+		if !a.Union(b).Equal(b.Union(a)) || !a.Intersect(b).Equal(b.Intersect(a)) {
+			return false
+		}
+		if !a.Union(b.Union(c)).Equal(a.Union(b).Union(c)) {
+			return false
+		}
+		if !a.Intersect(b.Intersect(c)).Equal(a.Intersect(b).Intersect(c)) {
+			return false
+		}
+		if !a.Union(a).Equal(a) || !a.Intersect(a).Equal(a) {
+			return false
+		}
+		if !a.Union(a.Intersect(b)).Equal(a) || !a.Intersect(a.Union(b)).Equal(a) {
+			return false
+		}
+		if !a.Intersect(b.Union(c)).Equal(a.Intersect(b).Union(a.Intersect(c))) {
+			return false
+		}
+		// Difference laws: (a∖b)∩b = ∅ and (a∖b)∪(a∩b) = a.
+		if a.Diff(b).Intersect(b).Len() != 0 {
+			return false
+		}
+		if !a.Diff(b).Union(a.Intersect(b)).Equal(a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetEdgeCases(t *testing.T) {
+	empty := upstruct.NewSet()
+	a := upstruct.NewSet("x", "y")
+	if !empty.Union(a).Equal(a) || !a.Union(empty).Equal(a) {
+		t.Error("∅ is not a union identity")
+	}
+	if empty.Intersect(a).Len() != 0 || a.Intersect(empty).Len() != 0 {
+		t.Error("∅ does not annihilate intersection")
+	}
+	if !a.Diff(empty).Equal(a) || empty.Diff(a).Len() != 0 {
+		t.Error("difference with ∅ broken")
+	}
+	if empty.Contains("x") {
+		t.Error("∅ contains nothing")
+	}
+	if got := empty.String(); got != "{}" {
+		t.Errorf("∅ renders as %q", got)
+	}
+	if len(a.Elems()) != 2 {
+		t.Error("Elems broken")
+	}
+}

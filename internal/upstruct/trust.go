@@ -1,0 +1,103 @@
+package upstruct
+
+import "fmt"
+
+// TrustFlag is the resolution state of a trust value: already decided
+// true or false, or still unknown (to be decided against the threshold).
+type TrustFlag uint8
+
+const (
+	// TrustUnknown marks a raw score not yet compared to the threshold.
+	TrustUnknown TrustFlag = iota
+	// TrustTrue marks a value decided trusted.
+	TrustTrue
+	// TrustFalse marks a value decided untrusted.
+	TrustFalse
+)
+
+// Trust is an annotation of the certification semantics of Section 4.1:
+// a score V in [0,1] together with a resolution flag R. Input tuples and
+// transactions are typically annotated (score, TrustUnknown); the
+// operations resolve combinations to (1, TrustTrue) or (0, TrustFalse).
+type Trust struct {
+	V float64
+	R TrustFlag
+}
+
+// Score returns an unresolved trust value with the given score.
+func Score(v float64) Trust { return Trust{V: v, R: TrustUnknown} }
+
+// String renders the trust value.
+func (t Trust) String() string {
+	switch t.R {
+	case TrustTrue:
+		return "T"
+	case TrustFalse:
+		return "F"
+	default:
+		return fmt.Sprintf("U(%.2f)", t.V)
+	}
+}
+
+var (
+	trustTrue  = Trust{V: 1, R: TrustTrue}
+	trustFalse = Trust{V: 0, R: TrustFalse}
+)
+
+// TrustStructure is the tuple/transaction certification semantics of
+// Section 4.1, parameterized by the minimal trust level L. With
+// trusted(x) := (x.R = T) or (x.R = U and x.V > L):
+//
+//	a +M b = a +I b = a + b := (1,T) if trusted(a) or trusted(b), else (0,F)
+//	a − b                   := (1,T) if trusted(a) and not trusted(b), else (0,F)
+//	a ·M b                  := (1,T) if trusted(a) and trusted(b), else (0,F)
+//	0                       := (0,F)
+//
+// A tuple is certified iff its specialized provenance is trusted: it
+// would be produced by an execution involving only tuples and
+// transactions whose trust score exceeds L.
+type TrustStructure struct {
+	// L is the minimal trust level.
+	L float64
+}
+
+// Trusted reports the paper's trusted(x) predicate under this
+// structure's threshold.
+func (s TrustStructure) Trusted(a Trust) bool {
+	return a.R == TrustTrue || (a.R == TrustUnknown && a.V > s.L)
+}
+
+func (s TrustStructure) decide(b bool) Trust {
+	if b {
+		return trustTrue
+	}
+	return trustFalse
+}
+
+// Zero returns (0, F).
+func (s TrustStructure) Zero() Trust { return trustFalse }
+
+// PlusI is the disjunctive combination.
+func (s TrustStructure) PlusI(a, b Trust) Trust {
+	return s.decide(s.Trusted(a) || s.Trusted(b))
+}
+
+// PlusM is the disjunctive combination.
+func (s TrustStructure) PlusM(a, b Trust) Trust {
+	return s.decide(s.Trusted(a) || s.Trusted(b))
+}
+
+// DotM is the conjunctive combination.
+func (s TrustStructure) DotM(a, b Trust) Trust {
+	return s.decide(s.Trusted(a) && s.Trusted(b))
+}
+
+// Minus is trusted(a) and not trusted(b).
+func (s TrustStructure) Minus(a, b Trust) Trust {
+	return s.decide(s.Trusted(a) && !s.Trusted(b))
+}
+
+// Plus is the disjunctive combination.
+func (s TrustStructure) Plus(a, b Trust) Trust {
+	return s.decide(s.Trusted(a) || s.Trusted(b))
+}
