@@ -16,6 +16,13 @@
 // given transactions aborted (their annotations set to false), computed
 // from provenance without re-running the log. -all includes tombstoned
 // tuples (annotations that evaluate to an absent tuple).
+//
+// The serve subcommand exposes the engine over HTTP/JSON instead of
+// printing it (see serve.go and the README):
+//
+//	hyperprov serve -addr :8080 -data Products=products.csv [-log txns.sql] \
+//	          [-syntax sql|datalog] [-mode nf|naive] [-load-snapshot file] \
+//	          [-timeout 30s]
 package main
 
 import (
@@ -47,6 +54,13 @@ func (d dataFlags) Set(v string) error {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := runServe(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "hyperprov serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	data := dataFlags{}
 	flag.Var(data, "data", "relation data as Relation=file.csv (repeatable)")
 	logPath := flag.String("log", "", "transaction log file")
@@ -89,6 +103,70 @@ type runConfig struct {
 	saveSnap, loadSnap string
 }
 
+func parseMode(name string) (engine.Mode, error) {
+	switch name {
+	case "nf":
+		return engine.ModeNormalForm, nil
+	case "naive":
+		return engine.ModeNaive, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", name)
+	}
+}
+
+// loadCSVEngine builds an engine from the -data CSV files, deriving
+// each relation schema from its header; it returns the engine and the
+// relation names in sorted order.
+func loadCSVEngine(data dataFlags, modeName string) (*engine.Engine, []string, error) {
+	m, err := parseMode(modeName)
+	if err != nil {
+		return nil, nil, err
+	}
+	var names []string
+	for rel := range data {
+		names = append(names, rel)
+	}
+	sort.Strings(names)
+	var rels []*db.RelationSchema
+	contents := make(map[string][]byte)
+	for _, rel := range names {
+		raw, err := os.ReadFile(data[rel])
+		if err != nil {
+			return nil, nil, err
+		}
+		contents[rel] = raw
+		header := strings.SplitN(string(raw), "\n", 2)[0]
+		rs, err := db.ReadCSVSchema(rel, strings.Split(strings.TrimSpace(header), ","))
+		if err != nil {
+			return nil, nil, err
+		}
+		rels = append(rels, rs)
+	}
+	schema, err := db.NewSchema(rels...)
+	if err != nil {
+		return nil, nil, err
+	}
+	initial := db.NewDatabase(schema)
+	for _, rel := range names {
+		if _, err := db.ReadCSV(initial, rel, strings.NewReader(string(contents[rel]))); err != nil {
+			return nil, nil, err
+		}
+	}
+	return engine.New(m, initial), names, nil
+}
+
+// parseLog parses a transaction log in the given syntax.
+func parseLog(e *engine.Engine, syntax, src string) ([]db.Transaction, error) {
+	switch syntax {
+	case "sql":
+		return parser.ParseSQLLog(e.Schema(), src)
+	case "datalog":
+		return parser.ParseDatalogLog(e.Schema(), src)
+	default:
+		return nil, fmt.Errorf("unknown syntax %q", syntax)
+	}
+}
+
 func run(cfg runConfig) error {
 	var e *engine.Engine
 	var txns []db.Transaction
@@ -106,46 +184,11 @@ func run(cfg runConfig) error {
 		}
 		names = e.Schema().Names()
 	} else {
-		// Load relations, deriving each schema from its CSV header.
-		var rels []*db.RelationSchema
-		contents := make(map[string][]byte)
-		for rel := range cfg.data {
-			names = append(names, rel)
-		}
-		sort.Strings(names)
-		for _, rel := range names {
-			raw, err := os.ReadFile(cfg.data[rel])
-			if err != nil {
-				return err
-			}
-			contents[rel] = raw
-			header := strings.SplitN(string(raw), "\n", 2)[0]
-			rs, err := db.ReadCSVSchema(rel, strings.Split(strings.TrimSpace(header), ","))
-			if err != nil {
-				return err
-			}
-			rels = append(rels, rs)
-		}
-		schema, err := db.NewSchema(rels...)
+		var err error
+		e, names, err = loadCSVEngine(cfg.data, cfg.mode)
 		if err != nil {
 			return err
 		}
-		initial := db.NewDatabase(schema)
-		for _, rel := range names {
-			if _, err := db.ReadCSV(initial, rel, strings.NewReader(string(contents[rel]))); err != nil {
-				return err
-			}
-		}
-		var m engine.Mode
-		switch cfg.mode {
-		case "nf":
-			m = engine.ModeNormalForm
-		case "naive":
-			m = engine.ModeNaive
-		default:
-			return fmt.Errorf("unknown mode %q", cfg.mode)
-		}
-		e = engine.New(m, initial)
 	}
 
 	if cfg.logPath != "" {
@@ -153,14 +196,7 @@ func run(cfg runConfig) error {
 		if err != nil {
 			return err
 		}
-		switch cfg.syntax {
-		case "sql":
-			txns, err = parser.ParseSQLLog(e.Schema(), string(logSrc))
-		case "datalog":
-			txns, err = parser.ParseDatalogLog(e.Schema(), string(logSrc))
-		default:
-			err = fmt.Errorf("unknown syntax %q", cfg.syntax)
-		}
+		txns, err = parseLog(e, cfg.syntax, string(logSrc))
 		if err != nil {
 			return err
 		}

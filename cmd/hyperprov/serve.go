@@ -1,0 +1,111 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hyperprov/internal/provstore"
+	"hyperprov/internal/server"
+)
+
+// runServe implements the serve subcommand: it loads an annotated
+// database (CSV data or a snapshot), optionally ingests a transaction
+// log in the background while already answering requests, and serves
+// the provenance-usage API of internal/server until SIGINT/SIGTERM,
+// then shuts down gracefully.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("hyperprov serve", flag.ExitOnError)
+	data := dataFlags{}
+	fs.Var(data, "data", "relation data as Relation=file.csv (repeatable)")
+	addr := fs.String("addr", ":8080", "listen address")
+	logPath := fs.String("log", "", "transaction log to ingest in the background after startup")
+	syntax := fs.String("syntax", "sql", "log syntax: sql or datalog")
+	mode := fs.String("mode", "nf", "provenance mode: nf (normal form) or naive")
+	loadSnap := fs.String("load-snapshot", "", "restore an annotated database instead of loading CSV data (-data and -mode are then ignored)")
+	timeout := fs.Duration("timeout", server.DefaultTimeout, "per-request timeout (0 disables)")
+	grace := fs.Duration("shutdown-grace", 10*time.Second, "how long in-flight requests may finish on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *loadSnap == "" && len(data) == 0 {
+		fs.Usage()
+		return errors.New("need -data Rel=file.csv or -load-snapshot")
+	}
+
+	var srv *server.Server
+	if *loadSnap != "" {
+		f, err := os.Open(*loadSnap)
+		if err != nil {
+			return err
+		}
+		e, err := provstore.LoadSnapshot(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		srv = server.New(e, server.WithTimeout(*timeout))
+	} else {
+		e, _, err := loadCSVEngine(data, *mode)
+		if err != nil {
+			return err
+		}
+		srv = server.New(e, server.WithTimeout(*timeout))
+	}
+	srv.PublishExpvar("hyperprov")
+
+	logger := log.New(os.Stderr, "hyperprov: ", log.LstdFlags)
+	logger.Printf("serving %d rows (%s) on %s", srv.Engine().NumRows(), srv.Engine().Mode(), *addr)
+
+	// Background ingestion: the engine answers reads at transaction
+	// granularity while the log applies.
+	if *logPath != "" {
+		src, err := os.ReadFile(*logPath)
+		if err != nil {
+			return err
+		}
+		txns, err := parseLog(srv.Engine(), *syntax, string(src))
+		if err != nil {
+			return err
+		}
+		go func() {
+			start := time.Now()
+			if err := srv.Engine().ApplyAll(txns); err != nil {
+				logger.Printf("background ingestion failed: %v", err)
+				return
+			}
+			logger.Printf("ingested %d transactions from %s in %v", len(txns), *logPath, time.Since(start).Round(time.Millisecond))
+		}()
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	logger.Printf("shutting down (grace %v)", *grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	logger.Printf("bye")
+	return nil
+}

@@ -51,17 +51,16 @@ type impactRow struct {
 	tuple db.Tuple
 }
 
-// BuildImpact scans every stored row once and indexes its annotation's
-// basic annotations.
+// BuildImpact scans every stored row once — under a single read lock,
+// so the index reflects one consistent state — and indexes its
+// annotation's basic annotations.
 func BuildImpact(e *Engine) *Impact {
 	im := &Impact{e: e, index: make(map[core.Annot][]impactRow)}
-	for _, rel := range e.schema.Names() {
-		e.EachRow(rel, func(t db.Tuple, ann *core.Expr) {
-			for a := range ann.Annots(nil) {
-				im.index[a] = append(im.index[a], impactRow{rel: rel, tuple: t})
-			}
-		})
-	}
+	e.Rows(func(rel string, t db.Tuple, ann *core.Expr) {
+		for a := range ann.Annots(nil) {
+			im.index[a] = append(im.index[a], impactRow{rel: rel, tuple: t})
+		}
+	})
 	return im
 }
 

@@ -9,13 +9,24 @@ import (
 // Specialize evaluates every stored annotation in the given
 // Update-Structure under the valuation env and streams the results to f
 // (including tombstone rows, whose values typically evaluate to the
-// structure's zero). This is the generic "provenance usage" operation of
-// Section 6: all applications below are thin wrappers over it, sound by
-// Proposition 4.2.
+// structure's zero). Rows stream in deterministic order: relations in
+// schema order, rows in insertion order (tbl.list), identical to
+// EachRow and SpecializeParallel — never map order. This is the generic
+// "provenance usage" operation of Section 6: all applications below are
+// thin wrappers over it, sound by Proposition 4.2. The engine's read
+// lock is held for the whole pass, so the streamed rows form one
+// consistent snapshot; f must not call back into the engine.
 func Specialize[T any](e *Engine, s upstruct.Structure[T], env upstruct.Env[T], f func(rel string, t db.Tuple, v T)) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	specialize(e, s, env, f)
+}
+
+// specialize is the lock-free core of Specialize; callers hold e.mu.
+func specialize[T any](e *Engine, s upstruct.Structure[T], env upstruct.Env[T], f func(rel string, t db.Tuple, v T)) {
 	for _, rel := range e.schema.Names() {
 		tbl := e.tables[rel]
-		for _, r := range tbl.rows {
+		for _, r := range tbl.list {
 			var v T
 			if e.mode == ModeNaive {
 				v = upstruct.Eval(r.expr, s, env)

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"hyperprov/internal/core"
 	"hyperprov/internal/db"
@@ -104,7 +105,21 @@ func WithLiveMatching(on bool) Option {
 // an UP[X] annotation. Construct with New, load tuples through the
 // initial database, then apply annotated transactions with
 // ApplyTransaction (or Begin/Apply/End for streaming use).
+//
+// Concurrency: an Engine is safe for concurrent readers while
+// transactions are being applied, with transaction granularity.
+// ApplyTransaction, ApplyAll, RestoreRow, BuildIndex and MinimizeAll
+// take the write lock; Annotation, NF, EachRow, Rows, NumRows,
+// SupportSize, ProvSize and the package-level valuation entry points
+// (Specialize, SpecializeParallel, BoolRestrict*, …) take read locks,
+// so any number of provenance-usage queries can run against a
+// consistent state between transactions. The Begin/Apply/End streaming
+// path is deliberately lock-free — it is the single-goroutine hot path
+// the benchmarks measure — and must not be mixed with concurrent
+// readers; servers go through ApplyTransaction.
 type Engine struct {
+	mu sync.RWMutex
+
 	mode      Mode
 	schema    *db.Schema
 	tables    map[string]*table
@@ -174,6 +189,8 @@ func NewEmpty(mode Mode, schema *db.Schema, opts ...Option) *Engine {
 // used by snapshot loading (package provstore); it must not be called
 // inside a transaction.
 func (e *Engine) RestoreRow(rel string, t db.Tuple, ann *core.Expr) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.inTxn {
 		return fmt.Errorf("engine: RestoreRow inside a transaction")
 	}
@@ -393,8 +410,12 @@ func (e *Engine) simplify(x *core.Expr) *core.Expr {
 	return x
 }
 
-// ApplyTransaction runs a whole transaction (Begin, all queries, End).
+// ApplyTransaction runs a whole transaction (Begin, all queries, End)
+// under the write lock: concurrent readers observe the database either
+// before or after the transaction, never mid-way.
 func (e *Engine) ApplyTransaction(t *db.Transaction) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.Begin(t.Label)
 	for i := range t.Updates {
 		if err := e.Apply(t.Updates[i]); err != nil {
@@ -406,7 +427,9 @@ func (e *Engine) ApplyTransaction(t *db.Transaction) error {
 	return nil
 }
 
-// ApplyAll runs a sequence of transactions.
+// ApplyAll runs a sequence of transactions. The write lock is taken per
+// transaction, so concurrent readers interleave at transaction
+// boundaries during bulk ingestion.
 func (e *Engine) ApplyAll(txns []db.Transaction) error {
 	for i := range txns {
 		if err := e.ApplyTransaction(&txns[i]); err != nil {
@@ -420,6 +443,8 @@ func (e *Engine) ApplyAll(txns []db.Transaction) error {
 // the tuple was never stored. In normal-form mode the expression is
 // materialized from the NF representation.
 func (e *Engine) Annotation(rel string, t db.Tuple) *core.Expr {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	tbl := e.tables[rel]
 	if tbl == nil {
 		return nil
@@ -440,6 +465,8 @@ func (e *Engine) NF(rel string, t db.Tuple) *core.NF {
 	if e.mode != ModeNormalForm {
 		return nil
 	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	tbl := e.tables[rel]
 	if tbl == nil {
 		return nil
@@ -452,19 +479,43 @@ func (e *Engine) NF(rel string, t db.Tuple) *core.NF {
 }
 
 // EachRow calls f for every stored row of the relation (including
-// tombstones outside the support) with its tuple and annotation. In
-// normal-form mode annotations are materialized per call.
+// tombstones outside the support) with its tuple and annotation, in
+// deterministic insertion order (tbl.list, the same order Specialize
+// and SpecializeParallel stream rows) — never map order, so snapshot
+// bytes and streamed results are stable across runs. In normal-form
+// mode annotations are materialized per call. f must not call back into
+// the engine (the read lock is held).
 func (e *Engine) EachRow(rel string, f func(t db.Tuple, ann *core.Expr)) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	e.eachRow(rel, f)
+}
+
+func (e *Engine) eachRow(rel string, f func(t db.Tuple, ann *core.Expr)) {
 	tbl := e.tables[rel]
 	if tbl == nil {
 		return
 	}
-	for _, r := range tbl.rows {
+	for _, r := range tbl.list {
 		if e.mode == ModeNaive {
 			f(r.tuple, r.expr)
 		} else {
 			f(r.tuple, r.nf.ToExpr())
 		}
+	}
+}
+
+// Rows calls f for every stored row of every relation — relations in
+// schema order, rows in insertion order — under a single read lock, so
+// the visited rows form one consistent snapshot even while transactions
+// are applied concurrently. Snapshot saving uses this. f must not call
+// back into the engine.
+func (e *Engine) Rows(f func(rel string, t db.Tuple, ann *core.Expr)) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, rel := range e.schema.Names() {
+		name := rel
+		e.eachRow(name, func(t db.Tuple, ann *core.Expr) { f(name, t, ann) })
 	}
 }
 
@@ -476,6 +527,8 @@ func (e *Engine) Relations() []string { return e.schema.Names() }
 // provenance tracking, which exceeds the plain database by ~2% on
 // TPC-C).
 func (e *Engine) NumRows() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	n := 0
 	for _, tbl := range e.tables {
 		n += len(tbl.rows)
@@ -486,6 +539,8 @@ func (e *Engine) NumRows() int {
 // SupportSize reports the number of rows whose annotation is not
 // syntactically zero.
 func (e *Engine) SupportSize() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	n := 0
 	for _, tbl := range e.tables {
 		for _, r := range tbl.rows {
@@ -500,6 +555,8 @@ func (e *Engine) SupportSize() int {
 // ProvSize reports the total provenance size (tree size summed over all
 // stored rows) — the size measure of the paper's Section 6.
 func (e *Engine) ProvSize() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	var n int64
 	for _, tbl := range e.tables {
 		for _, r := range tbl.rows {
@@ -518,6 +575,8 @@ func (e *Engine) ProvSize() int64 {
 // deliberately axiom-free). It returns the provenance size after
 // minimization.
 func (e *Engine) MinimizeAll() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	var n int64
 	for _, tbl := range e.tables {
 		for _, r := range tbl.rows {

@@ -21,6 +21,8 @@ type index struct {
 // attribute to a constant use the index instead of a full scan. At most
 // one index per relation is supported.
 func (e *Engine) BuildIndex(rel, attr string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	tbl := e.tables[rel]
 	if tbl == nil {
 		return fmt.Errorf("engine: unknown relation %s", rel)

@@ -20,8 +20,10 @@ func SpecializeParallel[T any](e *Engine, s upstruct.Structure[T], env upstruct.
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if workers == 1 {
-		Specialize(e, s, env, f)
+		specialize(e, s, env, f)
 		return
 	}
 	var wg sync.WaitGroup
@@ -64,6 +66,8 @@ func BoolRestrictParallel(e *Engine, env upstruct.Env[bool], workers int) *db.Da
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	type chunk struct {
 		rel  string
 		rows []*row

@@ -43,7 +43,11 @@ func SaveSnapshot(w io.Writer, e *engine.Engine) error {
 	}
 
 	// First pass: encode every annotation into the shared node table and
-	// remember each row's node id.
+	// remember each row's node id. Engine.Rows iterates relations in
+	// schema order and rows in insertion order under one read lock, so
+	// the snapshot is a consistent cut (safe while transactions apply
+	// concurrently) and its bytes are deterministic: two saves of the
+	// same engine state are byte-identical.
 	var table bytes.Buffer
 	enc := NewEncoder(&table)
 	type rowRef struct {
@@ -52,19 +56,17 @@ func SaveSnapshot(w io.Writer, e *engine.Engine) error {
 	}
 	rows := make(map[string][]rowRef, len(names))
 	var encErr error
-	for _, name := range names {
-		e.EachRow(name, func(t db.Tuple, ann *core.Expr) {
-			if encErr != nil {
-				return
-			}
-			id, err := enc.Add(ann)
-			if err != nil {
-				encErr = err
-				return
-			}
-			rows[name] = append(rows[name], rowRef{tuple: t, id: id})
-		})
-	}
+	e.Rows(func(name string, t db.Tuple, ann *core.Expr) {
+		if encErr != nil {
+			return
+		}
+		id, err := enc.Add(ann)
+		if err != nil {
+			encErr = err
+			return
+		}
+		rows[name] = append(rows[name], rowRef{tuple: t, id: id})
+	})
 	if encErr != nil {
 		return encErr
 	}

@@ -1,0 +1,19 @@
+// Package server exposes a provenance engine over HTTP/JSON: the
+// provenance-usage operations of Section 4 of the paper (tuple
+// annotation and explanation, the live database, deletion-propagation
+// and transaction-abortion what-ifs), snapshot save/load, and ingestion
+// of SQL or datalog transaction logs.
+//
+// Concurrency model: the engine's RWMutex makes every read endpoint
+// safe while /v1/ingest applies transactions — readers observe the
+// database at transaction granularity, never mid-transaction. The
+// server adds one more lock of its own, guarding the engine *pointer*
+// only: loading a snapshot over POST /v1/snapshot atomically swaps in
+// the restored engine, and in-flight requests keep using the engine
+// they started with.
+//
+// Every endpoint is instrumented with expvar-compatible counters
+// (<endpoint>.requests, <endpoint>.errors, <endpoint>.latency_us),
+// served at GET /v1/metrics and publishable into the process-global
+// expvar namespace (see Server.PublishExpvar) for /debug/vars.
+package server

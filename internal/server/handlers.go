@@ -1,0 +1,254 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+
+	"hyperprov/internal/core"
+	"hyperprov/internal/db"
+	"hyperprov/internal/engine"
+	"hyperprov/internal/parser"
+	"hyperprov/internal/provstore"
+	"hyperprov/internal/upstruct"
+)
+
+func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+type attrJSON struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+type relationSchemaJSON struct {
+	Name  string     `json:"name"`
+	Attrs []attrJSON `json:"attrs"`
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, req *http.Request) {
+	e := s.Engine()
+	schema := e.Schema()
+	rels := make([]relationSchemaJSON, 0, len(schema.Names()))
+	for _, name := range schema.Names() {
+		rel := schema.Relation(name)
+		rj := relationSchemaJSON{Name: name}
+		for _, a := range rel.Attrs {
+			rj.Attrs = append(rj.Attrs, attrJSON{Name: a.Name, Kind: a.Kind.String()})
+		}
+		rels = append(rels, rj)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"mode": e.Mode().String(), "relations": rels})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, req *http.Request) {
+	e := s.Engine()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"mode":     e.Mode().String(),
+		"rows":     e.NumRows(),
+		"support":  e.SupportSize(),
+		"provSize": e.ProvSize(),
+	})
+}
+
+type annotationRequest struct {
+	Rel      string `json:"rel"`
+	Tuple    []any  `json:"tuple"`
+	Minimize bool   `json:"minimize"`
+	Explain  bool   `json:"explain"`
+}
+
+type dependenciesJSON struct {
+	Tuples       []string `json:"tuples"`
+	Transactions []string `json:"transactions"`
+}
+
+type annotationResponse struct {
+	Found        bool             `json:"found"`
+	Live         bool             `json:"live,omitempty"`
+	Annotation   string           `json:"annotation,omitempty"`
+	Size         int64            `json:"size,omitempty"`
+	Explain      string           `json:"explain,omitempty"`
+	Dependencies dependenciesJSON `json:"dependencies"`
+}
+
+// handleAnnotation answers "why is this tuple (not) in the database?":
+// the stored provenance expression, its liveness under the all-true
+// valuation, its input-tuple and transaction dependencies, and
+// optionally the Explain rendering.
+func (s *Server) handleAnnotation(w http.ResponseWriter, req *http.Request) {
+	var ar annotationRequest
+	if err := readBody(w, req, &ar); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e := s.Engine()
+	rel := e.Schema().Relation(ar.Rel)
+	if rel == nil {
+		writeError(w, http.StatusNotFound, "unknown relation %q", ar.Rel)
+		return
+	}
+	t, err := parseTuple(rel, ar.Tuple)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ann := e.Annotation(ar.Rel, t)
+	if ann == nil {
+		writeJSON(w, http.StatusOK, annotationResponse{Found: false})
+		return
+	}
+	if ar.Minimize {
+		ann = core.Minimize(ann)
+	}
+	resp := annotationResponse{
+		Found:      true,
+		Live:       upstruct.Eval(ann, upstruct.Bool, func(core.Annot) bool { return true }),
+		Annotation: ann.String(),
+		Size:       ann.Size(),
+	}
+	if ar.Explain {
+		resp.Explain = core.ExplainString(ann)
+	}
+	tuples, txns := engine.Dependencies(e, ar.Rel, t)
+	resp.Dependencies = dependenciesJSON{Tuples: annotNames(tuples), Transactions: annotNames(txns)}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func annotNames(as []core.Annot) []string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Name
+	}
+	return out
+}
+
+func workersParam(req *http.Request) int {
+	if v := req.URL.Query().Get("workers"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return 0 // GOMAXPROCS
+}
+
+// handleDB serves the live database — the all-true valuation — with
+// parallel evaluation.
+func (s *Server) handleDB(w http.ResponseWriter, req *http.Request) {
+	e := s.Engine()
+	d := engine.BoolRestrictParallel(e, func(core.Annot) bool { return true }, workersParam(req))
+	writeJSON(w, http.StatusOK, dbJSON(d))
+}
+
+type deletionRequest struct {
+	Tuples []string `json:"tuples"`
+}
+
+// handleDeletion answers the Section 4.1 deletion-propagation what-if:
+// the database had the named input-tuple annotations never existed,
+// computed by valuation without re-running the log.
+func (s *Server) handleDeletion(w http.ResponseWriter, req *http.Request) {
+	var dr deletionRequest
+	if err := readBody(w, req, &dr); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(dr.Tuples) == 0 {
+		writeError(w, http.StatusBadRequest, "no tuple annotations given")
+		return
+	}
+	dead := make(map[core.Annot]bool, len(dr.Tuples))
+	for _, name := range dr.Tuples {
+		dead[core.TupleAnnot(name)] = false
+	}
+	e := s.Engine()
+	d := engine.BoolRestrictParallel(e, upstruct.MapEnv(dead, true), workersParam(req))
+	writeJSON(w, http.StatusOK, dbJSON(d))
+}
+
+type abortRequest struct {
+	Labels []string `json:"labels"`
+}
+
+// handleAbort answers the transaction-abortion what-if: the database
+// had the labelled transactions been aborted.
+func (s *Server) handleAbort(w http.ResponseWriter, req *http.Request) {
+	var ar abortRequest
+	if err := readBody(w, req, &ar); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(ar.Labels) == 0 {
+		writeError(w, http.StatusBadRequest, "no transaction labels given")
+		return
+	}
+	dead := make(map[core.Annot]bool, len(ar.Labels))
+	for _, l := range ar.Labels {
+		dead[core.QueryAnnot(l)] = false
+	}
+	e := s.Engine()
+	d := engine.BoolRestrictParallel(e, upstruct.MapEnv(dead, true), workersParam(req))
+	writeJSON(w, http.StatusOK, dbJSON(d))
+}
+
+// handleIngest parses the request body as a transaction log (SQL
+// fragment by default, ?syntax=datalog for the paper's notation) and
+// applies it. The engine write lock is taken per transaction, so read
+// endpoints keep answering — at transaction granularity — while a large
+// log streams in.
+func (s *Server) handleIngest(w http.ResponseWriter, req *http.Request) {
+	req.Body = http.MaxBytesReader(w, req.Body, maxBodyBytes)
+	src, err := io.ReadAll(req.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading log: %v", err)
+		return
+	}
+	e := s.Engine()
+	var txns []db.Transaction
+	switch syntax := req.URL.Query().Get("syntax"); syntax {
+	case "", "sql":
+		txns, err = parser.ParseSQLLog(e.Schema(), string(src))
+	case "datalog":
+		txns, err = parser.ParseDatalogLog(e.Schema(), string(src))
+	default:
+		writeError(w, http.StatusBadRequest, "unknown syntax %q", syntax)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parsing log: %v", err)
+		return
+	}
+	if err := e.ApplyAll(txns); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "applying log: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{
+		"transactions": len(txns),
+		"queries":      db.CountQueries(txns),
+	})
+}
+
+// handleSnapshotSave streams the annotated database in the provstore
+// binary format — one consistent cut under the engine read lock, with
+// deterministic bytes.
+func (s *Server) handleSnapshotSave(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := provstore.SaveSnapshot(w, s.Engine()); err != nil {
+		// Headers are out; the truncated body fails the client's load.
+		writeError(w, http.StatusInternalServerError, "saving snapshot: %v", err)
+	}
+}
+
+// handleSnapshotLoad restores a snapshot and atomically swaps it in as
+// the served engine; in-flight requests finish against the old one.
+func (s *Server) handleSnapshotLoad(w http.ResponseWriter, req *http.Request) {
+	req.Body = http.MaxBytesReader(w, req.Body, maxBodyBytes)
+	e, err := provstore.LoadSnapshot(req.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "loading snapshot: %v", err)
+		return
+	}
+	s.setEngine(e)
+	writeJSON(w, http.StatusOK, map[string]any{"rows": e.NumRows(), "mode": e.Mode().String()})
+}

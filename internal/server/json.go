@@ -1,0 +1,145 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+
+	"hyperprov/internal/db"
+)
+
+// writeJSON renders v with a status code; encoding errors past the
+// header are unrecoverable and ignored.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// valueJSON renders a db.Value as its natural JSON type.
+func valueJSON(v db.Value) any {
+	switch v.Kind() {
+	case db.KindString:
+		return v.Str()
+	case db.KindInt:
+		return v.Int()
+	case db.KindFloat:
+		return v.Float()
+	default:
+		return v.String()
+	}
+}
+
+func tupleJSON(t db.Tuple) []any {
+	out := make([]any, len(t))
+	for i, v := range t {
+		out[i] = valueJSON(v)
+	}
+	return out
+}
+
+// parseTuple converts a JSON value array into a typed tuple conforming
+// to the relation schema: strings for string attributes, numbers for
+// int (must be integral) and float attributes. Numeric strings are also
+// accepted for convenience in curl sessions.
+func parseTuple(rel *db.RelationSchema, raw []any) (db.Tuple, error) {
+	if len(raw) != len(rel.Attrs) {
+		return nil, fmt.Errorf("tuple has %d values, relation %s needs %d", len(raw), rel.Name, len(rel.Attrs))
+	}
+	t := make(db.Tuple, len(raw))
+	for i, rv := range raw {
+		a := rel.Attrs[i]
+		switch a.Kind {
+		case db.KindString:
+			s, ok := rv.(string)
+			if !ok {
+				return nil, fmt.Errorf("attribute %s wants a string, got %T", a.Name, rv)
+			}
+			t[i] = db.S(s)
+		case db.KindInt:
+			switch n := rv.(type) {
+			case float64:
+				if n != math.Trunc(n) {
+					return nil, fmt.Errorf("attribute %s wants an integer, got %v", a.Name, n)
+				}
+				t[i] = db.I(int64(n))
+			case string:
+				v, err := db.ParseValue(db.KindInt, n)
+				if err != nil {
+					return nil, fmt.Errorf("attribute %s: %v", a.Name, err)
+				}
+				t[i] = v
+			default:
+				return nil, fmt.Errorf("attribute %s wants an integer, got %T", a.Name, rv)
+			}
+		case db.KindFloat:
+			switch n := rv.(type) {
+			case float64:
+				t[i] = db.F(n)
+			case string:
+				v, err := db.ParseValue(db.KindFloat, n)
+				if err != nil {
+					return nil, fmt.Errorf("attribute %s: %v", a.Name, err)
+				}
+				t[i] = v
+			default:
+				return nil, fmt.Errorf("attribute %s wants a float, got %T", a.Name, rv)
+			}
+		default:
+			return nil, fmt.Errorf("attribute %s has unknown kind %v", a.Name, a.Kind)
+		}
+	}
+	return t, nil
+}
+
+// relationJSON is one relation of a rendered database.
+type relationJSON struct {
+	Attrs  []string `json:"attrs"`
+	Tuples [][]any  `json:"tuples"`
+}
+
+type databaseJSON struct {
+	Relations map[string]relationJSON `json:"relations"`
+	NumTuples int                     `json:"numTuples"`
+}
+
+// dbJSON renders a materialized database. Tuple order within a relation
+// is the engine's deterministic streaming order.
+func dbJSON(d *db.Database) databaseJSON {
+	out := databaseJSON{Relations: make(map[string]relationJSON), NumTuples: d.NumTuples()}
+	for _, name := range d.Schema().Names() {
+		rel := d.Schema().Relation(name)
+		attrs := make([]string, len(rel.Attrs))
+		for i, a := range rel.Attrs {
+			attrs[i] = a.Name
+		}
+		rj := relationJSON{Attrs: attrs, Tuples: [][]any{}}
+		d.Instance(name).Each(func(t db.Tuple) {
+			rj.Tuples = append(rj.Tuples, tupleJSON(t))
+		})
+		out.Relations[name] = rj
+	}
+	return out
+}
+
+// readBody decodes a JSON request body into dst with a size cap.
+func readBody(w http.ResponseWriter, req *http.Request, dst any) error {
+	req.Body = http.MaxBytesReader(w, req.Body, maxBodyBytes)
+	dec := json.NewDecoder(req.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("bad request body: %v", err)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"expvar"
+	"net/http"
+	"sync"
+	"time"
+
+	"hyperprov/internal/engine"
+)
+
+// maxBodyBytes caps request bodies (JSON, logs and snapshots alike).
+const maxBodyBytes = 64 << 20
+
+// DefaultTimeout bounds each request end to end unless WithTimeout
+// overrides it.
+const DefaultTimeout = 30 * time.Second
+
+// Server serves one provenance engine over HTTP. The zero value is not
+// usable; construct with New.
+type Server struct {
+	mu  sync.RWMutex // guards eng (snapshot load swaps the pointer)
+	eng *engine.Engine
+
+	metrics *metrics
+	timeout time.Duration
+	handler http.Handler
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithTimeout bounds each request end to end (0 disables the limit).
+func WithTimeout(d time.Duration) Option {
+	return func(s *Server) { s.timeout = d }
+}
+
+// New builds a server around the engine.
+func New(eng *engine.Engine, opts ...Option) *Server {
+	s := &Server{eng: eng, metrics: newMetrics(), timeout: DefaultTimeout}
+	for _, o := range opts {
+		o(s)
+	}
+	mux := http.NewServeMux()
+	route := func(name, pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.metrics.instrument(name, h))
+	}
+	route("healthz", "GET /healthz", s.handleHealthz)
+	route("schema", "GET /v1/schema", s.handleSchema)
+	route("stats", "GET /v1/stats", s.handleStats)
+	route("annotation", "POST /v1/annotation", s.handleAnnotation)
+	route("db", "GET /v1/db", s.handleDB)
+	route("whatif_deletion", "POST /v1/whatif/deletion", s.handleDeletion)
+	route("whatif_abort", "POST /v1/whatif/abort", s.handleAbort)
+	route("ingest", "POST /v1/ingest", s.handleIngest)
+	route("snapshot_save", "GET /v1/snapshot", s.handleSnapshotSave)
+	route("snapshot_load", "POST /v1/snapshot", s.handleSnapshotLoad)
+	mux.HandleFunc("GET /v1/metrics", s.metrics.serveHTTP)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	s.handler = mux
+	if s.timeout > 0 {
+		s.handler = http.TimeoutHandler(mux, s.timeout, `{"error":"request timed out"}`)
+	}
+	return s
+}
+
+// Handler returns the root handler (routes wrapped with metrics and the
+// request timeout).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Engine returns the currently served engine.
+func (s *Server) Engine() *engine.Engine {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.eng
+}
+
+func (s *Server) setEngine(e *engine.Engine) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.eng = e
+}
+
+// ExpvarMap returns the per-endpoint counter map, for publishing under
+// a process-global expvar name.
+func (s *Server) ExpvarMap() *expvar.Map { return s.metrics.m }
+
+// PublishExpvar publishes the counters into the process-global expvar
+// namespace (served at GET /debug/vars) under the given name. Publish
+// panics on duplicate names, so call this at most once per process —
+// the serve command does; tests do not.
+func (s *Server) PublishExpvar(name string) {
+	expvar.Publish(name, s.metrics.m)
+}
