@@ -52,19 +52,24 @@ func syntheticWorkload(b *testing.B, cfg workload.Config) (*db.Database, []db.Tr
 
 func runEngines(b *testing.B, initial *db.Database, txns []db.Transaction) {
 	b.Helper()
-	var lastNaive, lastNF int64
+	var lastNaive, lastNF, lastNaiveDAG, lastNFDAG int64
 	for i := 0; i < b.N; i++ {
-		o, _, _, err := benchutil.RunOverhead(initial, txns)
+		o, naive, nf, err := benchutil.RunOverhead(initial, txns)
 		if err != nil {
 			b.Fatal(err)
 		}
 		lastNaive, lastNF = o.NaiveProv, o.NFProv
+		lastNaiveDAG, lastNFDAG = naive.ProvDAGSize(), nf.ProvDAGSize()
 		b.ReportMetric(float64(o.NaiveTime.Nanoseconds()), "ns_naive")
 		b.ReportMetric(float64(o.NFTime.Nanoseconds()), "ns_nf")
 		b.ReportMetric(float64(o.PlainTime.Nanoseconds()), "ns_noprov")
 	}
 	b.ReportMetric(float64(lastNaive), "prov_naive")
 	b.ReportMetric(float64(lastNF), "prov_nf")
+	// The hash-consed measures: distinct expression nodes actually held,
+	// next to the paper's per-occurrence tree counts above.
+	b.ReportMetric(float64(lastNaiveDAG), "prov_naive_dag")
+	b.ReportMetric(float64(lastNFDAG), "prov_nf_dag")
 }
 
 // BenchmarkFig7_TPCC regenerates Figures 7a/7b: time and memory overhead
@@ -200,7 +205,7 @@ func BenchmarkProp51_Blowup(b *testing.B) {
 		txn.Updates = append(txn.Updates,
 			db.Modify("R", db.Pattern{db.Const(db.S(from))}, []db.SetClause{db.SetTo(db.S(to))}))
 	}
-	var naiveProv, nfProv int64
+	var naiveProv, nfProv, naiveDAG, nfDAG int64
 	for i := 0; i < b.N; i++ {
 		naive := engine.New(engine.ModeNaive, initial, engine.WithCopyOnWrite(false))
 		if err := naive.ApplyTransaction(&txn); err != nil {
@@ -211,9 +216,15 @@ func BenchmarkProp51_Blowup(b *testing.B) {
 			b.Fatal(err)
 		}
 		naiveProv, nfProv = naive.ProvSize(), nf.ProvSize()
+		naiveDAG, nfDAG = naive.ProvDAGSize(), nf.ProvDAGSize()
 	}
 	b.ReportMetric(float64(naiveProv), "prov_naive")
 	b.ReportMetric(float64(nfProv), "prov_nf")
+	// The shared-representation naive engine's exponential trees are a
+	// linear-size DAG under hash-consing; both measures are reported so
+	// the Proposition 5.1 blowup stays visible.
+	b.ReportMetric(float64(naiveDAG), "prov_naive_dag")
+	b.ReportMetric(float64(nfDAG), "prov_nf_dag")
 }
 
 // BenchmarkAblationCopyOnWrite compares the paper-faithful deep-copying

@@ -1,0 +1,232 @@
+package core_test
+
+// Property-based battery for the Figure 3 axiom schemas and the zero
+// axioms of Section 3.1. The existing axiom tests check the schemas as
+// stated, under random valuations of their metavariables; this battery
+// checks random *substitution instances*: each unguarded metavariable
+// is replaced by a random construction-shaped expression, and the two
+// sides must then
+//
+//  (1) canonicalize — Minimize ∘ Normalize — to the SAME interned
+//      node (pointer equality, the hash-consing acceptance criterion),
+//      and
+//  (2) evaluate identically under every shipped Update-Structure
+//      (deletion propagation, access control, certification, and the
+//      two Theorem 4.5 semiring bridges) for random environments.
+//
+// Metavariables that occur as the right operand of +I, − or ·M are
+// "guarded": the Figure 6 rewrite rules dispatch on that operand being
+// a variable, so instantiating them with compound expressions leaves
+// the construction-shaped fragment for which Theorem 5.3 guarantees a
+// normal form. Those stay variables; everything else is substituted.
+
+import (
+	"math/rand"
+	"testing"
+
+	"hyperprov/internal/core"
+	"hyperprov/internal/upstruct"
+)
+
+// guardedAnnots returns the annotations appearing as the (variable)
+// right operand of a +I, − or ·M node anywhere in e.
+func guardedAnnots(e *core.Expr, into map[core.Annot]struct{}) map[core.Annot]struct{} {
+	if into == nil {
+		into = make(map[core.Annot]struct{})
+	}
+	var walk func(x *core.Expr)
+	walk = func(x *core.Expr) {
+		switch x.Op() {
+		case core.OpPlusI, core.OpMinus, core.OpDotM:
+			if r := x.Right(); r.Op() == core.OpVar {
+				into[r.Annot()] = struct{}{}
+			}
+		}
+		for _, k := range x.Children() {
+			walk(k)
+		}
+	}
+	walk(e)
+	return into
+}
+
+// genExpr returns a random construction-shaped expression over the
+// pool annotations x1..x4 (tuples) and q1, q2 (transactions) — the pool
+// is disjoint from every axiom metavariable, and in particular p-free,
+// so substituting these below a p-guarded layer cannot capture p.
+func genExpr(r *rand.Rand, depth int) *core.Expr {
+	pool := []string{"x1", "x2", "x3", "x4"}
+	leaf := func() *core.Expr { return core.TupleVar(pool[r.Intn(len(pool))]) }
+	q := func() *core.Expr {
+		if r.Intn(2) == 0 {
+			return core.QueryVar("q1")
+		}
+		return core.QueryVar("q2")
+	}
+	if depth <= 0 {
+		if r.Intn(8) == 0 {
+			return core.Zero()
+		}
+		return leaf()
+	}
+	switch r.Intn(6) {
+	case 0:
+		return leaf()
+	case 1:
+		return core.PlusI(genExpr(r, depth-1), q())
+	case 2:
+		return core.Minus(genExpr(r, depth-1), q())
+	case 3:
+		return core.PlusM(genExpr(r, depth-1), core.DotM(genExpr(r, depth-1), q()))
+	case 4:
+		return core.Sum(genExpr(r, depth-1), genExpr(r, depth-1))
+	default:
+		if r.Intn(4) == 0 {
+			return core.Zero()
+		}
+		return leaf()
+	}
+}
+
+// checkStructures evaluates lhs and rhs under every shipped
+// Update-Structure with nTrial random environments and reports the
+// first disagreement.
+func checkStructures(t *testing.T, r *rand.Rand, name string, lhs, rhs *core.Expr, nTrial int) {
+	t.Helper()
+	annots := lhs.Annots(nil)
+	rhs.Annots(annots)
+	universe := upstruct.NewSet("u", "v", "w")
+	items := universe.Elems()
+	trust := upstruct.TrustStructure{L: 0.5}
+	boolBridge := upstruct.FromSemiring[bool](upstruct.BoolSemiring{}, func(a, b bool) bool { return a && !b })
+	setBridge := upstruct.FromSemiring[upstruct.Set](upstruct.SetSemiring{Universe: universe}, upstruct.Set.Diff)
+
+	for trial := 0; trial < nTrial; trial++ {
+		boolVals := make(map[core.Annot]bool, len(annots))
+		setVals := make(map[core.Annot]upstruct.Set, len(annots))
+		trustVals := make(map[core.Annot]upstruct.Trust, len(annots))
+		for a := range annots {
+			boolVals[a] = r.Intn(2) == 0
+			var elems []string
+			for _, it := range items {
+				if r.Intn(2) == 0 {
+					elems = append(elems, it)
+				}
+			}
+			setVals[a] = upstruct.NewSet(elems...)
+			trustVals[a] = upstruct.Trust{V: r.Float64(), R: upstruct.TrustFlag(r.Intn(3))}
+		}
+		boolEnv := upstruct.MapEnv(boolVals, false)
+		setEnv := upstruct.MapEnv(setVals, upstruct.Set{})
+		trustEnv := upstruct.MapEnv(trustVals, upstruct.Score(0))
+
+		if l, rr := upstruct.Eval(lhs, upstruct.Bool, boolEnv), upstruct.Eval(rhs, upstruct.Bool, boolEnv); l != rr {
+			t.Fatalf("%s: Bool disagreement (%v vs %v) under %v\nlhs: %s\nrhs: %s", name, l, rr, boolVals, lhs, rhs)
+		}
+		if l, rr := upstruct.Eval(lhs, upstruct.Sets, setEnv), upstruct.Eval(rhs, upstruct.Sets, setEnv); !l.Equal(rr) {
+			t.Fatalf("%s: Sets disagreement (%v vs %v)\nlhs: %s\nrhs: %s", name, l, rr, lhs, rhs)
+		}
+		// Trust values are compared observationally: what the structure
+		// decides is trusted(x), not the raw score.
+		if l, rr := upstruct.Eval[upstruct.Trust](lhs, trust, trustEnv), upstruct.Eval[upstruct.Trust](rhs, trust, trustEnv); trust.Trusted(l) != trust.Trusted(rr) {
+			t.Fatalf("%s: Trust disagreement (%v vs %v)\nlhs: %s\nrhs: %s", name, l, rr, lhs, rhs)
+		}
+		if l, rr := upstruct.Eval(lhs, boolBridge, boolEnv), upstruct.Eval(rhs, boolBridge, boolEnv); l != rr {
+			t.Fatalf("%s: bool semiring bridge disagreement (%v vs %v)\nlhs: %s\nrhs: %s", name, l, rr, lhs, rhs)
+		}
+		if l, rr := upstruct.Eval(lhs, setBridge, setEnv), upstruct.Eval(rhs, setBridge, setEnv); !l.Equal(rr) {
+			t.Fatalf("%s: set semiring bridge disagreement (%v vs %v)\nlhs: %s\nrhs: %s", name, l, rr, lhs, rhs)
+		}
+	}
+}
+
+// TestAxiomSubstitutionInstances: for every Figure 3 axiom, random
+// substitution instances canonicalize to the identical interned node
+// and agree under every shipped Update-Structure.
+func TestAxiomSubstitutionInstances(t *testing.T) {
+	const instances = 40
+	for axIdx, ax := range core.Axioms() {
+		ax := ax
+		t.Run(ax.Name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(0x5eed + int64(axIdx)))
+			guarded := guardedAnnots(ax.LHS, nil)
+			guardedAnnots(ax.RHS, guarded)
+			for i := 0; i < instances; i++ {
+				sub := make(map[core.Annot]*core.Expr)
+				for _, m := range ax.Metavariables() {
+					if _, g := guarded[m]; g {
+						continue
+					}
+					sub[m] = genExpr(r, 1+r.Intn(2))
+				}
+				lhs := core.Subst(ax.LHS, sub)
+				rhs := core.Subst(ax.RHS, sub)
+
+				cl, cr := canon(lhs), canon(rhs)
+				if cl != cr {
+					t.Fatalf("instance %d: canonical forms differ\nlhs: %s\ncanon: %s\nrhs: %s\ncanon: %s",
+						i, lhs, cl, rhs, cr)
+				}
+				if !cl.Interned() {
+					t.Fatalf("instance %d: canonical form not interned", i)
+				}
+				checkStructures(t, r, ax.Name, lhs, rhs, 6)
+			}
+		})
+	}
+}
+
+// TestZeroAxiomInstances: the zero axioms of Section 3.1, instantiated
+// with random expressions, minimize to the identical node and agree
+// under every structure.
+func TestZeroAxiomInstances(t *testing.T) {
+	zero := core.Zero()
+	q := core.QueryVar("qz")
+	cases := []struct {
+		name string
+		mk   func(a *core.Expr) (lhs, rhs *core.Expr)
+	}{
+		{"0-a=0", func(a *core.Expr) (*core.Expr, *core.Expr) { return core.Minus(zero, a), zero }},
+		{"a-0=a", func(a *core.Expr) (*core.Expr, *core.Expr) { return core.Minus(a, zero), a }},
+		{"0*Ma=0", func(a *core.Expr) (*core.Expr, *core.Expr) { return core.DotM(zero, a), zero }},
+		{"a*M0=0", func(a *core.Expr) (*core.Expr, *core.Expr) { return core.DotM(a, zero), zero }},
+		{"0+Ma=a", func(a *core.Expr) (*core.Expr, *core.Expr) { return core.PlusM(zero, a), a }},
+		{"a+M0=a", func(a *core.Expr) (*core.Expr, *core.Expr) { return core.PlusM(a, zero), a }},
+		{"0+Ia=a", func(a *core.Expr) (*core.Expr, *core.Expr) { return core.PlusI(zero, a), a }},
+		{"a+I0=a", func(a *core.Expr) (*core.Expr, *core.Expr) { return core.PlusI(a, zero), a }},
+		{"0 dropped from sums", func(a *core.Expr) (*core.Expr, *core.Expr) {
+			return core.PlusM(a, core.DotM(core.Sum(a, zero, core.TupleVar("x1")), q)),
+				core.PlusM(a, core.DotM(core.Sum(a, core.TupleVar("x1")), q))
+		}},
+	}
+	for ci, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(0x0ddba11 + int64(ci)))
+			for i := 0; i < 40; i++ {
+				a := genExpr(r, 1+r.Intn(3))
+				lhs, rhs := tc.mk(a)
+				ml, mr := core.Minimize(lhs), core.Minimize(rhs)
+				if ml != mr {
+					t.Fatalf("instance %d: Minimize differs\nlhs: %s -> %s\nrhs: %s -> %s", i, lhs, ml, rhs, mr)
+				}
+				if !ml.Interned() {
+					t.Fatalf("instance %d: minimized form not interned", i)
+				}
+				checkStructures(t, r, tc.name, lhs, rhs, 4)
+			}
+		})
+	}
+}
+
+// TestAxiomSchemasCanonicalizeAsStated: the un-substituted schemas
+// themselves (whose metavariables are all construction-shaped
+// variables) already canonicalize to one node per axiom — the
+// Proposition 5.5 uniqueness claim at the schema level.
+func TestAxiomSchemasCanonicalizeAsStated(t *testing.T) {
+	for _, ax := range core.Axioms() {
+		if cl, cr := canon(ax.LHS), canon(ax.RHS); cl != cr {
+			t.Errorf("%s: canon(LHS)=%s, canon(RHS)=%s — not the same node", ax.Name, cl, cr)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"sync/atomic"
 )
 
 // Op enumerates the node kinds of UP[X] expressions.
@@ -50,30 +51,43 @@ func (o Op) String() string {
 	}
 }
 
-// Expr is an immutable UP[X] provenance expression. Expressions form
-// trees; sub-expressions may be shared, and the cached Size is always the
-// size of the expression *as a tree* (shared nodes counted once per
-// occurrence), which is the size measure used throughout the paper's
-// evaluation. Construct expressions only through the exported
-// constructors; the zero value of Expr is not valid.
+// Expr is an immutable UP[X] provenance expression. Expressions built
+// through the constructors are hash-consed: structurally equal
+// expressions are the same canonical node of a global intern table (see
+// intern.go), so they compare pointer-equal and shared history is
+// stored once, as a DAG. The cached Size is always the size of the
+// expression *as a tree* (shared nodes counted once per occurrence),
+// which is the size measure used throughout the paper's evaluation;
+// DAGSize reports the deduplicated measure. Construct expressions only
+// through the exported constructors; the zero value of Expr is not
+// valid. Expr values must never be copied (the memo fields are atomic).
 type Expr struct {
-	op   Op
-	ann  Annot // valid iff op == OpVar
-	kids []*Expr
-	size int64
-	hash uint64
+	op       Op
+	ann      Annot // valid iff op == OpVar
+	kids     []*Expr
+	size     int64
+	hash     uint64
+	interned bool
+	// minimized and normalized cache the Minimize/Normalize results for
+	// canonical nodes. Both functions are deterministic and, on interned
+	// input, return interned output, so a racing double computation
+	// stores the same pointer twice; the fields are atomic only to keep
+	// concurrent readers well-defined.
+	minimized  atomic.Pointer[Expr]
+	normalized atomic.Pointer[Expr]
 }
 
 // zeroExpr is the canonical 0 node; Zero always returns it, so a
 // syntactic zero test is a pointer or op comparison.
-var zeroExpr = &Expr{op: OpZero, size: 1, hash: hashNode(OpZero, Annot{}, nil)}
+var zeroExpr = &Expr{op: OpZero, size: 1, hash: hashNode(OpZero, Annot{}, nil), interned: true}
 
 // Zero returns the distinguished 0 expression.
 func Zero() *Expr { return zeroExpr }
 
-// Var returns the expression consisting of the single basic annotation a.
+// Var returns the canonical expression consisting of the single basic
+// annotation a.
 func Var(a Annot) *Expr {
-	return &Expr{op: OpVar, ann: a, size: 1, hash: hashNode(OpVar, a, nil)}
+	return interns.intern(OpVar, a, nil, hashNode(OpVar, a, nil))
 }
 
 // TupleVar is shorthand for Var(TupleAnnot(name)).
@@ -83,13 +97,20 @@ func TupleVar(name string) *Expr { return Var(TupleAnnot(name)) }
 func QueryVar(name string) *Expr { return Var(QueryAnnot(name)) }
 
 func binary(op Op, l, r *Expr) *Expr {
-	kids := []*Expr{l, r}
-	return &Expr{
-		op:   op,
-		kids: kids,
-		size: 1 + l.size + r.size,
-		hash: hashNode(op, Annot{}, kids),
+	// The hash slice does not escape hashNode, so it stays on the stack;
+	// the child slice that the node keeps is only allocated once the
+	// allocation-free canonical lookup has missed.
+	h := hashNode(op, Annot{}, []*Expr{l, r})
+	if !l.interned || !r.interned {
+		// A raw (DeepCopy'd) child makes the parent raw: raw trees model
+		// the paper's unshared tree memory and must not pollute the
+		// intern table with nodes whose children are not canonical.
+		return &Expr{op: op, kids: []*Expr{l, r}, size: 1 + l.size + r.size, hash: h}
 	}
+	if e := interns.lookupBinary(op, l, r, h); e != nil {
+		return e
+	}
+	return interns.intern(op, Annot{}, []*Expr{l, r}, h)
 }
 
 // PlusI returns l +I r.
@@ -123,11 +144,17 @@ func Sum(kids ...*Expr) *Expr {
 	case 1:
 		return flat[0]
 	}
-	size := int64(1)
+	h := hashNode(OpSum, Annot{}, flat)
 	for _, k := range flat {
-		size += k.size
+		if !k.interned {
+			size := int64(1)
+			for _, c := range flat {
+				size += c.size
+			}
+			return &Expr{op: OpSum, kids: flat, size: size, hash: h}
+		}
 	}
-	return &Expr{op: OpSum, kids: flat, size: size, hash: hashNode(OpSum, Annot{}, flat)}
+	return interns.intern(OpSum, Annot{}, flat, h)
 }
 
 // Op reports the node kind.
@@ -172,13 +199,20 @@ func (e *Expr) Hash() uint64 { return e.hash }
 // is not (syntactically) 0.
 func (e *Expr) IsZero() bool { return e.op == OpZero }
 
-// Equal reports structural equality of two expressions.
+// Equal reports structural equality of two expressions. For two
+// interned expressions this is a pointer comparison: hash-consing makes
+// structural equality O(1) in every caller (dedupExprs, SortedByHash,
+// the rewrite-rule guards, the snapshot codec).
 func (e *Expr) Equal(o *Expr) bool {
 	if e == o {
 		return true
 	}
 	if e == nil || o == nil {
 		return e == o
+	}
+	if e.interned && o.interned {
+		// Distinct canonical nodes are structurally distinct.
+		return false
 	}
 	if e.hash != o.hash || e.op != o.op || e.ann != o.ann || len(e.kids) != len(o.kids) {
 		return false
@@ -193,22 +227,22 @@ func (e *Expr) Equal(o *Expr) bool {
 
 // DeepCopy returns a structurally identical expression sharing no nodes
 // with e. The naive provenance engine uses it to model the copying cost
-// that the paper's Section 6.2 attributes to large naive expressions.
+// that the paper's Section 6.2 attributes to large naive expressions;
+// the copies are deliberately NOT interned (and neither are trees built
+// on top of them), so the copy-on-write configuration keeps paying the
+// paper's tree-shaped memory. Intern restores canonical sharing.
 func (e *Expr) DeepCopy() *Expr {
 	if e.op == OpZero {
 		return zeroExpr
 	}
-	if len(e.kids) == 0 {
-		c := *e
-		return &c
+	var kids []*Expr
+	if len(e.kids) > 0 {
+		kids = make([]*Expr, len(e.kids))
+		for i, k := range e.kids {
+			kids[i] = k.DeepCopy()
+		}
 	}
-	kids := make([]*Expr, len(e.kids))
-	for i, k := range e.kids {
-		kids[i] = k.DeepCopy()
-	}
-	c := *e
-	c.kids = kids
-	return &c
+	return &Expr{op: e.op, ann: e.ann, kids: kids, size: e.size, hash: e.hash}
 }
 
 // Annots appends every basic annotation occurring in e (with
@@ -254,19 +288,30 @@ func (e *Expr) Depth() int {
 // engine) produces expressions whose memory footprint is the DAG size
 // even when the tree size is exponential.
 func (e *Expr) DAGSize() int64 {
-	seen := make(map[*Expr]struct{})
+	return e.DAGSizeInto(make(map[*Expr]struct{}))
+}
+
+// DAGSizeInto adds every node reachable from e to seen and returns the
+// number of nodes that were new. Passing one seen map across many
+// expressions computes their combined DAG size — with hash-consing,
+// the actual number of expression nodes held in memory for all of them
+// (the measure engine.ProvDAGSize and the server stats report next to
+// the paper's tree size).
+func (e *Expr) DAGSizeInto(seen map[*Expr]struct{}) int64 {
+	added := int64(0)
 	var walk func(x *Expr)
 	walk = func(x *Expr) {
 		if _, ok := seen[x]; ok {
 			return
 		}
 		seen[x] = struct{}{}
+		added++
 		for _, k := range x.kids {
 			walk(k)
 		}
 	}
 	walk(e)
-	return int64(len(seen))
+	return added
 }
 
 // SortedByHash returns a copy of the given expressions sorted by

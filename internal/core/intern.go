@@ -1,0 +1,221 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements hash-consing for UP[X] expressions: every
+// constructor returns a canonical *Expr from a global, sharded intern
+// table, so structurally equal expressions built through the
+// constructors are pointer-equal. This is sound because Expr is
+// immutable: a canonical node can be shared freely across rows, engines
+// and goroutines. Pointer equality then makes structural comparison,
+// summand deduplication and the rewrite-rule guards O(1), and turns the
+// per-row expression "trees" of the paper into one global DAG whose
+// memory footprint is the number of *distinct* subterms (the paper's
+// Fig. 7b/8b tree-size measure is still available via Size; DAGSize and
+// engine.ProvDAGSize report the interned measure).
+//
+// The only producer of non-interned nodes is DeepCopy, which exists so
+// that the naive engine's copy-on-write configuration can keep modeling
+// the paper's tree-memory behaviour. Constructors that receive a
+// non-interned child deliberately build a non-interned parent (raw
+// trees stay raw and are never registered in the table); Intern
+// re-canonicalizes such a tree, and Minimize/Normalize do so implicitly.
+//
+// Fingerprints are the 64-bit structural hashes of hashNode. They are
+// strong enough to shard and bucket on, but they are not assumed
+// collision-free: a bucket holds every canonical node with the same
+// fingerprint and lookups compare structurally (operator, annotation
+// and child identity) before declaring a hit, so a hash collision costs
+// a bucket scan, never a wrong canonical node. TestInternForcedCollision
+// pins this down.
+
+// internShardCount is the number of lock stripes of the intern table.
+// Power of two; 64 stripes keep contention negligible at GOMAXPROCS
+// well beyond typical core counts.
+const internShardCount = 64
+
+type internShard struct {
+	mu sync.RWMutex
+	// first maps a structural fingerprint to the first canonical node
+	// carrying it — the only entry in the overwhelmingly common
+	// collision-free case, so a node costs one map slot, not a slice.
+	first map[uint64]*Expr
+	// rest holds any further canonical nodes under a fingerprint: only
+	// populated by a genuine 64-bit collision.
+	rest map[uint64][]*Expr
+}
+
+type internTable struct {
+	shards [internShardCount]internShard
+	nodes  atomic.Int64
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+var interns = newInternTable()
+
+func newInternTable() *internTable {
+	t := &internTable{}
+	for i := range t.shards {
+		t.shards[i].first = make(map[uint64]*Expr)
+		t.shards[i].rest = make(map[uint64][]*Expr)
+	}
+	return t
+}
+
+func (t *internTable) shard(h uint64) *internShard {
+	// Fold the high bits in so shard choice is not just the low bits of
+	// the FNV state.
+	return &t.shards[(h^h>>32)&(internShardCount-1)]
+}
+
+// sameNode reports whether the canonical node e represents (op, ann,
+// kids). Children are compared by identity: interned nodes only ever
+// hold canonical children, so pointer comparison is exact structural
+// comparison here.
+func sameNode(e *Expr, op Op, ann Annot, kids []*Expr) bool {
+	if e.op != op || e.ann != ann || len(e.kids) != len(kids) {
+		return false
+	}
+	for i := range kids {
+		if e.kids[i] != kids[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// intern returns the canonical node for (op, ann, kids) under the
+// fingerprint h, inserting a fresh node on first sight. Every kid must
+// already be canonical; on a miss the kids slice is adopted by the
+// table and must not be mutated by the caller.
+func (t *internTable) intern(op Op, ann Annot, kids []*Expr, h uint64) *Expr {
+	s := t.shard(h)
+	s.mu.RLock()
+	if e := s.find(op, ann, kids, h); e != nil {
+		s.mu.RUnlock()
+		t.hits.Add(1)
+		return e
+	}
+	s.mu.RUnlock()
+
+	size := int64(1)
+	for _, k := range kids {
+		size += k.size
+	}
+	n := &Expr{op: op, ann: ann, kids: kids, size: size, hash: h, interned: true}
+
+	s.mu.Lock()
+	// Re-check under the write lock: another goroutine may have interned
+	// the same node between the two lock acquisitions; the loser's
+	// allocation is dropped so the canonical pointer stays unique.
+	if e := s.find(op, ann, kids, h); e != nil {
+		s.mu.Unlock()
+		t.hits.Add(1)
+		return e
+	}
+	if _, taken := s.first[h]; !taken {
+		s.first[h] = n
+	} else {
+		s.rest[h] = append(s.rest[h], n)
+	}
+	s.mu.Unlock()
+	t.nodes.Add(1)
+	t.misses.Add(1)
+	return n
+}
+
+// find scans the fingerprint's canonical nodes for (op, ann, kids); the
+// caller holds the shard lock.
+func (s *internShard) find(op Op, ann Annot, kids []*Expr, h uint64) *Expr {
+	if e, ok := s.first[h]; ok {
+		if sameNode(e, op, ann, kids) {
+			return e
+		}
+		for _, e := range s.rest[h] {
+			if sameNode(e, op, ann, kids) {
+				return e
+			}
+		}
+	}
+	return nil
+}
+
+// lookupBinary returns the canonical node for op applied to the
+// canonical children l and r under the fingerprint h, or nil if none is
+// interned yet. Unlike intern it takes the children directly, so the
+// constructor hot path allocates nothing at all on a hit.
+func (t *internTable) lookupBinary(op Op, l, r *Expr, h uint64) *Expr {
+	binaryHit := func(e *Expr) bool {
+		return e.op == op && len(e.kids) == 2 && e.kids[0] == l && e.kids[1] == r
+	}
+	s := t.shard(h)
+	s.mu.RLock()
+	if e, ok := s.first[h]; ok {
+		if binaryHit(e) {
+			s.mu.RUnlock()
+			t.hits.Add(1)
+			return e
+		}
+		for _, e := range s.rest[h] {
+			if binaryHit(e) {
+				s.mu.RUnlock()
+				t.hits.Add(1)
+				return e
+			}
+		}
+	}
+	s.mu.RUnlock()
+	return nil
+}
+
+// Interned reports whether e is a canonical node of the intern table
+// (true for everything built through the constructors; false only for
+// DeepCopy results and their enclosing raw trees).
+func (e *Expr) Interned() bool { return e.interned }
+
+// Intern returns the canonical representative of e: e itself if it is
+// already canonical, otherwise the interned node of the identical
+// structure, interning bottom-up. The cost is linear in the number of
+// non-canonical nodes reachable from e.
+func Intern(e *Expr) *Expr {
+	if e == nil || e.interned {
+		return e
+	}
+	switch e.op {
+	case OpZero:
+		return zeroExpr
+	case OpVar:
+		return Var(e.ann)
+	}
+	kids := make([]*Expr, len(e.kids))
+	for i, k := range e.kids {
+		kids[i] = Intern(k)
+	}
+	// Interning children preserves structure, hence the structural hash.
+	return interns.intern(e.op, e.ann, kids, e.hash)
+}
+
+// InternTableStats is a snapshot of the global intern table counters.
+type InternTableStats struct {
+	// Nodes is the number of canonical nodes resident in the table —
+	// the memory actually held by all interned provenance in the
+	// process (the DAG measure), as opposed to the tree sizes reported
+	// by Expr.Size.
+	Nodes int64
+	// Hits counts constructor calls answered with an existing canonical
+	// node; Misses counts calls that inserted a new one.
+	Hits, Misses int64
+}
+
+// InternStats returns the current intern table counters.
+func InternStats() InternTableStats {
+	return InternTableStats{
+		Nodes:  interns.nodes.Load(),
+		Hits:   interns.hits.Load(),
+		Misses: interns.misses.Load(),
+	}
+}

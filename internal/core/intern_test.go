@@ -1,0 +1,180 @@
+package core
+
+// White-box tests of the hash-consing layer: canonicalization through
+// the constructors, collision handling inside the intern table, raw
+// (DeepCopy) trees staying out of the table, and the memoized
+// Minimize/Normalize results. The concurrency of the sharded table is
+// additionally exercised under -race by TestInternConcurrent.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestInternPointerEquality: structurally equal expressions constructed
+// independently are the same canonical node (the acceptance criterion
+// of the interning layer).
+func TestInternPointerEquality(t *testing.T) {
+	build := func() *Expr {
+		return PlusM(
+			Minus(TupleVar("ia"), QueryVar("ip")),
+			DotM(Sum(TupleVar("ib"), TupleVar("ic")), QueryVar("ip")),
+		)
+	}
+	a, b := build(), build()
+	if a != b {
+		t.Fatalf("independently constructed equal expressions are distinct nodes: %p vs %p", a, b)
+	}
+	if !a.Interned() {
+		t.Fatal("constructor result not interned")
+	}
+	if a.Child(0) != Minus(TupleVar("ia"), QueryVar("ip")) {
+		t.Fatal("subterm not canonical")
+	}
+	// Different structure must stay different.
+	if build() == PlusM(Minus(TupleVar("ia"), QueryVar("ip")), DotM(Sum(TupleVar("ic"), TupleVar("ib")), QueryVar("ip"))) {
+		t.Fatal("differently ordered sums interned to the same node")
+	}
+}
+
+// TestInternForcedCollision: nodes with identical fingerprints but
+// different structure must coexist in one bucket, each canonical for
+// its own structure — the table compares structurally on collision
+// instead of trusting the 64-bit hash.
+func TestInternForcedCollision(t *testing.T) {
+	tab := newInternTable()
+	const h = uint64(0xdecafbadc0ffee)
+	a1 := tab.intern(OpVar, TupleAnnot("collision-a"), nil, h)
+	b1 := tab.intern(OpVar, TupleAnnot("collision-b"), nil, h)
+	if a1 == b1 {
+		t.Fatal("colliding nodes with different structure interned to one node")
+	}
+	if a2 := tab.intern(OpVar, TupleAnnot("collision-a"), nil, h); a2 != a1 {
+		t.Fatal("re-interning after a collision lost the canonical node")
+	}
+	if b2 := tab.intern(OpVar, TupleAnnot("collision-b"), nil, h); b2 != b1 {
+		t.Fatal("re-interning the colliding node lost its canonical node")
+	}
+	// A composite colliding with a leaf: same fingerprint, different
+	// arity — must also stay distinct.
+	c1 := tab.intern(OpPlusI, Annot{}, []*Expr{a1, b1}, h)
+	if c1 == a1 || c1 == b1 {
+		t.Fatal("composite collided into a leaf node")
+	}
+	if c2 := tab.intern(OpPlusI, Annot{}, []*Expr{a1, b1}, h); c2 != c1 {
+		t.Fatal("re-interning the colliding composite lost its canonical node")
+	}
+	sh := tab.shard(h)
+	if sh.first[h] == nil || len(sh.rest[h]) != 2 {
+		t.Fatalf("collision bucket holds first=%v rest=%d, want one first and two overflow nodes",
+			sh.first[h], len(sh.rest[h]))
+	}
+}
+
+// TestInternRawTreesStayRaw: DeepCopy results and expressions built on
+// top of them are not interned (the naive copy-on-write engine models
+// the paper's tree memory), and Intern restores the canonical node.
+func TestInternRawTreesStayRaw(t *testing.T) {
+	e := PlusM(TupleVar("ra"), DotM(Sum(TupleVar("rb"), TupleVar("rc")), QueryVar("rp")))
+	c := e.DeepCopy()
+	if c.Interned() || c == e {
+		t.Fatal("DeepCopy returned an interned node")
+	}
+	parent := PlusI(c, QueryVar("rp"))
+	if parent.Interned() {
+		t.Fatal("parent of a raw node must be raw")
+	}
+	if got := Intern(c); got != e {
+		t.Fatalf("Intern(DeepCopy(e)) = %p, want the canonical %p", got, e)
+	}
+	if got := Intern(parent); got != PlusI(e, QueryVar("rp")) || !got.Interned() {
+		t.Fatal("Intern did not canonicalize the raw parent")
+	}
+	if !e.Equal(c) || !c.Equal(e) {
+		t.Fatal("raw/interned structural equality broken")
+	}
+}
+
+// TestInternConcurrent hammers the sharded table from many goroutines
+// building the same expressions; every goroutine must observe the same
+// canonical pointers. Run with -race (CI does).
+func TestInternConcurrent(t *testing.T) {
+	const workers = 8
+	results := make([][]*Expr, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]*Expr, 0, 64)
+			for i := 0; i < 64; i++ {
+				v := TupleVar(fmt.Sprintf("cc%d", i))
+				e := PlusM(Minus(v, QueryVar("cp")), DotM(v, QueryVar("cp")))
+				out = append(out, Minimize(e))
+			}
+			results[w] = out
+		}()
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := range results[0] {
+			if results[w][i] != results[0][i] {
+				t.Fatalf("worker %d observed a different canonical node at %d", w, i)
+			}
+		}
+	}
+}
+
+// TestMinimizeNormalizeMemoized: repeated canonicalization of the same
+// node returns the identical pointer, and the memo survives across
+// structurally equal reconstructions (they are the same node).
+func TestMinimizeNormalizeMemoized(t *testing.T) {
+	mk := func() *Expr {
+		return PlusM(PlusI(Zero(), QueryVar("mp")), DotM(Sum(TupleVar("ma"), Zero()), QueryVar("mp")))
+	}
+	m1 := Minimize(mk())
+	m2 := Minimize(mk())
+	if m1 != m2 {
+		t.Fatal("Minimize of the same canonical node returned different pointers")
+	}
+	if !m1.Interned() {
+		t.Fatal("Minimize result not interned")
+	}
+	if Minimize(m1) != m1 {
+		t.Fatal("Minimize not a pointer-stable fixed point")
+	}
+	n1 := Normalize(mk())
+	if n1 != Normalize(mk()) || !n1.Interned() {
+		t.Fatal("Normalize memoization broken")
+	}
+	if Normalize(n1) != n1 {
+		t.Fatal("Normalize not a pointer-stable fixed point")
+	}
+	// Raw input canonicalizes to the same memoized result.
+	if Minimize(mk().DeepCopy()) != m1 {
+		t.Fatal("Minimize of a raw copy diverged from the canonical result")
+	}
+}
+
+// TestInternStatsCounters: the table counters move in the right
+// direction (exact values depend on test order, so only deltas are
+// checked).
+func TestInternStatsCounters(t *testing.T) {
+	before := InternStats()
+	v := TupleVar("stats-fresh-annotation")
+	after := InternStats()
+	if after.Nodes <= before.Nodes || after.Misses <= before.Misses {
+		t.Fatalf("fresh node did not bump Nodes/Misses: %+v -> %+v", before, after)
+	}
+	_ = TupleVar("stats-fresh-annotation")
+	again := InternStats()
+	if again.Hits <= after.Hits {
+		t.Fatalf("re-construction did not bump Hits: %+v -> %+v", after, again)
+	}
+	if again.Nodes != after.Nodes {
+		t.Fatalf("re-construction changed Nodes: %+v -> %+v", after, again)
+	}
+	_ = v
+}

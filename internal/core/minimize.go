@@ -11,15 +11,41 @@ package core
 //
 // and the paper shows it is a unique minimal representative, which makes
 // Minimize usable as a canonical form when comparing provenance
-// expressions produced by different but set-equivalent transactions.
+// expressions produced by different but set-equivalent transactions —
+// with hash-consing the comparison is pointer equality: Minimize always
+// returns an interned node, and UP[X]-equal inputs in normal form map
+// to the *same* node.
+//
+// The result is memoized on the canonical node, so repeated
+// minimization of shared history (the common case across rows that
+// went through the same transactions) costs one pointer load, and one
+// pass over a DAG is linear in its number of distinct nodes rather
+// than its tree size.
 func Minimize(e *Expr) *Expr {
+	return minimizeInterned(Intern(e))
+}
+
+func minimizeInterned(e *Expr) *Expr {
+	if m := e.minimized.Load(); m != nil {
+		return m
+	}
+	m := minimizeStep(e)
+	// Minimize is idempotent (TestMinimizeIdempotent), so the result is
+	// its own fixed point; recording that saves the re-walk when a
+	// minimized expression is minimized again.
+	m.minimized.Store(m)
+	e.minimized.Store(m)
+	return m
+}
+
+func minimizeStep(e *Expr) *Expr {
 	switch e.op {
 	case OpZero, OpVar:
 		return e
 	case OpSum:
 		kids := make([]*Expr, 0, len(e.kids))
 		for _, k := range e.kids {
-			m := Minimize(k)
+			m := minimizeInterned(k)
 			if m.IsZero() {
 				continue
 			}
@@ -38,8 +64,8 @@ func Minimize(e *Expr) *Expr {
 		}
 		return Sum(SortedByHash(kids)...)
 	}
-	l := Minimize(e.kids[0])
-	r := Minimize(e.kids[1])
+	l := minimizeInterned(e.kids[0])
+	r := minimizeInterned(e.kids[1])
 	switch e.op {
 	case OpMinus:
 		if l.IsZero() {
@@ -66,24 +92,21 @@ func Minimize(e *Expr) *Expr {
 	return binary(e.op, l, r)
 }
 
+// dedupExprs removes structural duplicates, keeping first occurrences.
+// Elements are canonicalized, so duplicate detection is a pointer-set
+// lookup (hash collisions are already resolved by the intern table).
 func dedupExprs(es []*Expr) []*Expr {
 	if len(es) < 2 {
 		return es
 	}
-	seen := make(map[uint64][]*Expr, len(es))
+	seen := make(map[*Expr]struct{}, len(es))
 	out := es[:0]
 	for _, c := range es {
-		dup := false
-		for _, prev := range seen[c.hash] {
-			if prev.Equal(c) {
-				dup = true
-				break
-			}
-		}
-		if dup {
+		c = Intern(c)
+		if _, dup := seen[c]; dup {
 			continue
 		}
-		seen[c.hash] = append(seen[c.hash], c)
+		seen[c] = struct{}{}
 		out = append(out, c)
 	}
 	return out

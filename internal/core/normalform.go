@@ -59,7 +59,9 @@ type NF struct {
 	base *Expr
 	p    Annot
 	sum  []*Expr
-	seen map[uint64][]*Expr // structural dedup of sum, keyed by hash
+	// seen deduplicates sum by canonical node identity: summands are
+	// interned on entry, so structural dedup is a pointer-set lookup.
+	seen map[*Expr]struct{}
 }
 
 // NewNF returns a normal form in shape NFBase over the given base
@@ -93,9 +95,9 @@ func (n *NF) Clone() *NF {
 	if n.sum != nil {
 		c.sum = make([]*Expr, len(n.sum))
 		copy(c.sum, n.sum)
-		c.seen = make(map[uint64][]*Expr, len(n.seen))
-		for h, es := range n.seen {
-			c.seen[h] = append([]*Expr(nil), es...)
+		c.seen = make(map[*Expr]struct{}, len(n.seen))
+		for e := range n.seen {
+			c.seen[e] = struct{}{}
 		}
 	}
 	return c
@@ -245,16 +247,17 @@ func (n *NF) addSummand(c *Expr) {
 		}
 		return
 	}
-	h := c.Hash()
+	// Engine-produced summands are already canonical, making this a
+	// no-op; raw expressions handed in by external callers are interned
+	// so the pointer-set dedup below stays exact.
+	c = Intern(c)
 	if n.seen == nil {
-		n.seen = make(map[uint64][]*Expr)
+		n.seen = make(map[*Expr]struct{})
 	}
-	for _, prev := range n.seen[h] {
-		if prev.Equal(c) {
-			return
-		}
+	if _, dup := n.seen[c]; dup {
+		return
 	}
-	n.seen[h] = append(n.seen[h], c)
+	n.seen[c] = struct{}{}
 	n.sum = append(n.sum, c)
 }
 

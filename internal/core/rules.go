@@ -84,28 +84,49 @@ func modContribution(c *Expr, p Annot) (contrib []*Expr, inserted bool) {
 // bottom-up. Expressions not produced by the provenance construction are
 // still rewritten soundly: layers whose right operand is not a query
 // annotation variable are treated as opaque.
+//
+// The input is canonicalized first and the result — itself canonical —
+// is memoized on the interned node, so normalizing annotations that
+// share history is linear in the number of distinct subterms, not in
+// the (possibly exponential) tree size.
 func Normalize(e *Expr) *Expr {
+	return normalizeInterned(Intern(e))
+}
+
+func normalizeInterned(e *Expr) *Expr {
+	if n := e.normalized.Load(); n != nil {
+		return n
+	}
+	n := normalizeStep(e)
+	// Normalize is idempotent (TestNormalizeIdempotent): the result is
+	// its own normal form.
+	n.normalized.Store(n)
+	e.normalized.Store(n)
+	return n
+}
+
+func normalizeStep(e *Expr) *Expr {
 	switch e.op {
 	case OpZero, OpVar:
 		return e
 	case OpSum:
 		kids := make([]*Expr, len(e.kids))
 		for i, k := range e.kids {
-			kids[i] = Normalize(k)
+			kids[i] = normalizeInterned(k)
 		}
 		return Sum(kids...)
 	case OpPlusI, OpMinus:
-		l := Normalize(e.kids[0])
-		r := Normalize(e.kids[1])
+		l := normalizeInterned(e.kids[0])
+		r := normalizeInterned(e.kids[1])
 		if r.op == OpVar {
 			l = stripSamePhase(l, r.ann) // Rules 1 and 2
 		}
 		return binary(e.op, l, r)
 	case OpDotM:
-		return binary(OpDotM, Normalize(e.kids[0]), Normalize(e.kids[1]))
+		return binary(OpDotM, normalizeInterned(e.kids[0]), normalizeInterned(e.kids[1]))
 	case OpPlusM:
-		l := Normalize(e.kids[0])
-		r := Normalize(e.kids[1])
+		l := normalizeInterned(e.kids[0])
+		r := normalizeInterned(e.kids[1])
 		if r.op != OpDotM || r.Right().op != OpVar {
 			return binary(OpPlusM, l, r)
 		}

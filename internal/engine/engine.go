@@ -570,6 +570,30 @@ func (e *Engine) ProvSize() int64 {
 	return n
 }
 
+// ProvDAGSize reports the number of distinct expression nodes backing
+// all stored annotations: shared subterms — shared within a row, across
+// rows, and across relations — are counted once. With hash-consed
+// expressions this is the number of nodes actually held in memory for
+// this engine's provenance, the companion measure to ProvSize's
+// per-occurrence tree count (the paper's Fig. 7b/8b report the latter;
+// the stats endpoint reports both).
+func (e *Engine) ProvDAGSize() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	seen := make(map[*core.Expr]struct{})
+	var n int64
+	for _, tbl := range e.tables {
+		for _, r := range tbl.rows {
+			if e.mode == ModeNaive {
+				n += r.expr.DAGSizeInto(seen)
+			} else {
+				n += r.nf.ToExpr().DAGSizeInto(seen)
+			}
+		}
+	}
+	return n
+}
+
 // MinimizeAll applies the zero-axiom post-processing of Proposition 5.5
 // to every stored annotation (normal-form mode only; the naive mode is
 // deliberately axiom-free). It returns the provenance size after

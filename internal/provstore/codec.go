@@ -22,11 +22,21 @@ const (
 )
 
 // Encoder writes expressions into a shared node table with structural
-// deduplication. Create one with NewEncoder, Add every expression, then
+// deduplication: each distinct subterm is emitted once, with children
+// referenced by backwards node ids, so the stream stores the DAG, not
+// the trees. Create one with NewEncoder, Add every expression, then
 // Flush; Add returns the node index that identifies the expression in
 // the table (to be stored wherever the annotation is referenced).
+//
+// Hash-consed (interned) expressions are deduplicated by canonical
+// pointer in O(1); the fingerprint buckets remain as the fallback so
+// that non-interned trees (naive copy-on-write snapshots) still
+// deduplicate structurally against everything already emitted — the
+// two paths assign identical ids, keeping the bytes identical to the
+// pre-interning format (see the golden-file test).
 type Encoder struct {
 	w     *bufio.Writer
+	ptr   map[*core.Expr]uint64
 	index map[uint64][]dedupEntry
 	next  uint64
 	buf   [binary.MaxVarintLen64]byte
@@ -40,7 +50,11 @@ type dedupEntry struct {
 
 // NewEncoder returns an encoder writing the node table to w.
 func NewEncoder(w io.Writer) *Encoder {
-	return &Encoder{w: bufio.NewWriter(w), index: make(map[uint64][]dedupEntry)}
+	return &Encoder{
+		w:     bufio.NewWriter(w),
+		ptr:   make(map[*core.Expr]uint64),
+		index: make(map[uint64][]dedupEntry),
+	}
 }
 
 func (e *Encoder) uvarint(v uint64) {
@@ -72,9 +86,13 @@ func (e *Encoder) Add(x *core.Expr) (uint64, error) {
 }
 
 func (e *Encoder) add(x *core.Expr) uint64 {
+	if id, ok := e.ptr[x]; ok {
+		return id
+	}
 	h := x.Hash()
 	for _, prev := range e.index[h] {
 		if prev.expr == x || prev.expr.Equal(x) {
+			e.ptr[x] = prev.id
 			return prev.id
 		}
 	}
@@ -88,6 +106,7 @@ func (e *Encoder) add(x *core.Expr) uint64 {
 	}
 	id := e.next
 	e.next++
+	e.ptr[x] = id
 	e.index[h] = append(e.index[h], dedupEntry{expr: x, id: id})
 	switch x.Op() {
 	case core.OpZero:

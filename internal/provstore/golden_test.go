@@ -1,0 +1,75 @@
+package provstore_test
+
+// Golden-file compatibility for the snapshot format across the
+// hash-consing change. The fixtures under testdata were produced by the
+// pre-interning encoder (same workload for both engine modes:
+// Tuples=40, Pool=10, Group=2, Updates=30, QueriesPerTxn=3,
+// MergeRatio=0.5, Seed=42). The interned encoder takes a pointer
+// fast-path, but dedup classes and id assignment must be unchanged, so
+//
+//   - the old bytes still load, to an engine with the expected shape, and
+//   - re-saving the loaded engine reproduces the fixture byte for byte,
+//     and saving twice is stable.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hyperprov/internal/provstore"
+)
+
+func TestGoldenPreInterningSnapshots(t *testing.T) {
+	cases := []struct {
+		file          string
+		rows, support int
+		provSize      int64
+	}{
+		{"pre_interning_naive.snap", 89, 89, 1207},
+		{"pre_interning_nf.snap", 87, 85, 743},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.file, func(t *testing.T) {
+			raw, err := os.ReadFile(filepath.Join("testdata", tc.file))
+			if err != nil {
+				t.Fatalf("reading fixture: %v", err)
+			}
+			e, err := provstore.LoadSnapshot(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatalf("loading pre-interning fixture: %v", err)
+			}
+			if got := e.NumRows(); got != tc.rows {
+				t.Errorf("rows = %d, want %d", got, tc.rows)
+			}
+			if got := e.SupportSize(); got != tc.support {
+				t.Errorf("support = %d, want %d", got, tc.support)
+			}
+			if got := e.ProvSize(); got != tc.provSize {
+				t.Errorf("prov size = %d, want %d", got, tc.provSize)
+			}
+
+			var out1 bytes.Buffer
+			if err := provstore.SaveSnapshot(&out1, e); err != nil {
+				t.Fatalf("re-saving: %v", err)
+			}
+			if !bytes.Equal(out1.Bytes(), raw) {
+				t.Fatalf("re-saved snapshot differs from the pre-interning fixture: %d bytes vs %d", out1.Len(), len(raw))
+			}
+
+			// Double-save through a fresh load: still byte-identical.
+			e2, err := provstore.LoadSnapshot(bytes.NewReader(out1.Bytes()))
+			if err != nil {
+				t.Fatalf("reloading: %v", err)
+			}
+			var out2 bytes.Buffer
+			if err := provstore.SaveSnapshot(&out2, e2); err != nil {
+				t.Fatalf("second save: %v", err)
+			}
+			if !bytes.Equal(out2.Bytes(), raw) {
+				t.Fatal("second-generation snapshot drifted from the fixture bytes")
+			}
+		})
+	}
+}

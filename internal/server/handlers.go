@@ -42,13 +42,23 @@ func (s *Server) handleSchema(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"mode": e.Mode().String(), "relations": rels})
 }
 
+// handleStats reports the engine's size measures: provSize is the
+// paper's per-occurrence tree count (Fig. 7b/8b), provDagSize the
+// number of distinct hash-consed nodes backing this engine's
+// annotations (the memory actually held), and the intern* fields are
+// the process-global intern table counters.
 func (s *Server) handleStats(w http.ResponseWriter, req *http.Request) {
 	e := s.Engine()
+	ist := core.InternStats()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"mode":     e.Mode().String(),
-		"rows":     e.NumRows(),
-		"support":  e.SupportSize(),
-		"provSize": e.ProvSize(),
+		"mode":         e.Mode().String(),
+		"rows":         e.NumRows(),
+		"support":      e.SupportSize(),
+		"provSize":     e.ProvSize(),
+		"provDagSize":  e.ProvDAGSize(),
+		"internNodes":  ist.Nodes,
+		"internHits":   ist.Hits,
+		"internMisses": ist.Misses,
 	})
 }
 

@@ -129,6 +129,20 @@ func TestServerEndpoints(t *testing.T) {
 	if int(stats["rows"].(float64)) != e.NumRows() {
 		t.Fatalf("stats rows %v, engine has %d", stats["rows"], e.NumRows())
 	}
+	if int64(stats["provSize"].(float64)) != e.ProvSize() {
+		t.Fatalf("stats provSize %v, engine has %d", stats["provSize"], e.ProvSize())
+	}
+	if int64(stats["provDagSize"].(float64)) != e.ProvDAGSize() {
+		t.Fatalf("stats provDagSize %v, engine has %d", stats["provDagSize"], e.ProvDAGSize())
+	}
+	if dag, tree := int64(stats["provDagSize"].(float64)), int64(stats["provSize"].(float64)); dag > tree || dag <= 0 {
+		t.Fatalf("DAG size %d not in (0, tree size %d]", dag, tree)
+	}
+	// The intern counters are process-global and monotone; the stats
+	// endpoint must report a consistent nonzero snapshot by this point.
+	if int64(stats["internNodes"].(float64)) <= 0 || int64(stats["internMisses"].(float64)) <= 0 {
+		t.Fatalf("intern table counters missing from stats: %v", stats)
+	}
 
 	// Annotation of the Figure 4 merged bike tuple.
 	resp = postJSON(t, client, ts.URL+"/v1/annotation", annotationRequest{
