@@ -26,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -73,6 +74,7 @@ func main() {
 	explain := flag.Bool("explain", false, "print a human-readable account of each annotation")
 	saveSnap := flag.String("save-snapshot", "", "write the annotated database to this file after the run")
 	loadSnap := flag.String("load-snapshot", "", "restore an annotated database instead of loading CSV data (-data is then ignored)")
+	shards := flag.Int("shards", 1, "hash-shard the engine across N independent lock domains (1 = single engine)")
 	flag.Parse()
 
 	if *loadSnap == "" && (len(data) == 0 || *logPath == "") {
@@ -84,6 +86,7 @@ func main() {
 		data: data, logPath: *logPath, syntax: *syntax, mode: *mode,
 		show: *show, abort: *abort, minimize: *minimize, all: *all,
 		explain: *explain, saveSnap: *saveSnap, loadSnap: *loadSnap,
+		shards: *shards,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "hyperprov:", err)
@@ -101,6 +104,7 @@ type runConfig struct {
 	minimize, all      bool
 	explain            bool
 	saveSnap, loadSnap string
+	shards             int
 }
 
 func parseMode(name string) (engine.Mode, error) {
@@ -116,8 +120,9 @@ func parseMode(name string) (engine.Mode, error) {
 
 // loadCSVEngine builds an engine from the -data CSV files, deriving
 // each relation schema from its header; it returns the engine and the
-// relation names in sorted order.
-func loadCSVEngine(data dataFlags, modeName string) (*engine.Engine, []string, error) {
+// relation names in sorted order. shards > 1 selects the hash-sharded
+// engine — annotations and snapshots are identical either way.
+func loadCSVEngine(data dataFlags, modeName string, shards int) (engine.DB, []string, error) {
 	m, err := parseMode(modeName)
 	if err != nil {
 		return nil, nil, err
@@ -152,11 +157,11 @@ func loadCSVEngine(data dataFlags, modeName string) (*engine.Engine, []string, e
 			return nil, nil, err
 		}
 	}
-	return engine.New(m, initial), names, nil
+	return engine.Open(m, initial, engine.WithShards(shards)), names, nil
 }
 
 // parseLog parses a transaction log in the given syntax.
-func parseLog(e *engine.Engine, syntax, src string) ([]db.Transaction, error) {
+func parseLog(e engine.DB, syntax, src string) ([]db.Transaction, error) {
 	switch syntax {
 	case "sql":
 		return parser.ParseSQLLog(e.Schema(), src)
@@ -168,7 +173,7 @@ func parseLog(e *engine.Engine, syntax, src string) ([]db.Transaction, error) {
 }
 
 func run(cfg runConfig) error {
-	var e *engine.Engine
+	var e engine.DB
 	var txns []db.Transaction
 	var names []string
 
@@ -178,14 +183,14 @@ func run(cfg runConfig) error {
 			return err
 		}
 		defer f.Close()
-		e, err = provstore.LoadSnapshot(f)
+		e, err = provstore.LoadSnapshot(f, engine.WithShards(cfg.shards))
 		if err != nil {
 			return err
 		}
 		names = e.Schema().Names()
 	} else {
 		var err error
-		e, names, err = loadCSVEngine(cfg.data, cfg.mode)
+		e, names, err = loadCSVEngine(cfg.data, cfg.mode, cfg.shards)
 		if err != nil {
 			return err
 		}
@@ -200,7 +205,7 @@ func run(cfg runConfig) error {
 		if err != nil {
 			return err
 		}
-		if err := e.ApplyAll(txns); err != nil {
+		if err := e.ApplyAll(context.Background(), txns); err != nil {
 			return err
 		}
 	}

@@ -12,6 +12,7 @@ import (
 	"syscall"
 	"time"
 
+	"hyperprov/internal/engine"
 	"hyperprov/internal/provstore"
 	"hyperprov/internal/server"
 )
@@ -30,6 +31,7 @@ func runServe(args []string) error {
 	syntax := fs.String("syntax", "sql", "log syntax: sql or datalog")
 	mode := fs.String("mode", "nf", "provenance mode: nf (normal form) or naive")
 	loadSnap := fs.String("load-snapshot", "", "restore an annotated database instead of loading CSV data (-data and -mode are then ignored)")
+	shards := fs.Int("shards", 1, "hash-shard the engine across N independent lock domains (1 = single engine)")
 	timeout := fs.Duration("timeout", server.DefaultTimeout, "per-request timeout (0 disables)")
 	grace := fs.Duration("shutdown-grace", 10*time.Second, "how long in-flight requests may finish on shutdown")
 	if err := fs.Parse(args); err != nil {
@@ -46,14 +48,14 @@ func runServe(args []string) error {
 		if err != nil {
 			return err
 		}
-		e, err := provstore.LoadSnapshot(f)
+		e, err := provstore.LoadSnapshot(f, engine.WithShards(*shards))
 		f.Close()
 		if err != nil {
 			return err
 		}
 		srv = server.New(e, server.WithTimeout(*timeout))
 	} else {
-		e, _, err := loadCSVEngine(data, *mode)
+		e, _, err := loadCSVEngine(data, *mode, *shards)
 		if err != nil {
 			return err
 		}
@@ -77,7 +79,7 @@ func runServe(args []string) error {
 		}
 		go func() {
 			start := time.Now()
-			if err := srv.Engine().ApplyAll(txns); err != nil {
+			if err := srv.Engine().ApplyAll(context.Background(), txns); err != nil {
 				logger.Printf("background ingestion failed: %v", err)
 				return
 			}

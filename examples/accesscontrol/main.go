@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -54,7 +55,7 @@ COMMIT;
 		log.Fatal(err)
 	}
 	eng := hyperprov.New(hyperprov.ModeNormalForm, initial, annots)
-	if err := eng.ApplyAll(txns); err != nil {
+	if err := eng.ApplyAll(context.Background(), txns); err != nil {
 		log.Fatal(err)
 	}
 

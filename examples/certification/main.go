@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -54,7 +55,7 @@ COMMIT;
 	txnTrust := map[string]float64{"reviewed_pipeline": 0.9, "hotfix": 0.4}
 
 	eng := hyperprov.New(hyperprov.ModeNormalForm, initial, annots)
-	if err := eng.ApplyAll(txns); err != nil {
+	if err := eng.ApplyAll(context.Background(), txns); err != nil {
 		log.Fatal(err)
 	}
 

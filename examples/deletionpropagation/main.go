@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -31,7 +32,7 @@ func main() {
 	eng := hyperprov.New(hyperprov.ModeNormalForm, initial,
 		hyperprov.WithInitialAnnotations(benchutil.KeyAnnot))
 	start := time.Now()
-	if err := eng.ApplyAll(txns); err != nil {
+	if err := eng.ApplyAll(context.Background(), txns); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("provenance tracking run: %v (provenance size %d nodes)\n",

@@ -7,6 +7,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,7 @@ func main() {
 	txns := gen.TransactionsForQueries(120)
 	eng := hyperprov.New(hyperprov.ModeNormalForm, initial,
 		hyperprov.WithInitialAnnotations(benchutil.KeyAnnot))
-	if err := eng.ApplyAll(txns); err != nil {
+	if err := eng.ApplyAll(context.Background(), txns); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("TPC-C session: %d tuples, %d transactions tracked\n",

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -58,7 +59,7 @@ ProductsM,pp(a, "Sport", c -> a, "Sport", 50):-
 
 	for _, mode := range []hyperprov.Mode{hyperprov.ModeNaive, hyperprov.ModeNormalForm} {
 		eng := hyperprov.New(mode, initial, annots)
-		if err := eng.ApplyAll(txns); err != nil {
+		if err := eng.ApplyAll(context.Background(), txns); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("=== %v ===\n", mode)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -28,7 +29,7 @@ func main() {
 
 	eng := hyperprov.New(hyperprov.ModeNormalForm, initial)
 	start := time.Now()
-	if err := eng.ApplyAll(txns); err != nil {
+	if err := eng.ApplyAll(context.Background(), txns); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("executed with provenance in %v; provenance size %d nodes, %d stored rows (%d live)\n",

@@ -2,6 +2,7 @@ package hyperprov_test
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -22,7 +23,7 @@ COMMIT;
 		t.Fatal(err)
 	}
 	eng := hyperprov.New(hyperprov.ModeNormalForm, exampleDB(t), annotByCategory())
-	if err := eng.ApplyAll(txns); err != nil {
+	if err := eng.ApplyAll(context.Background(), txns); err != nil {
 		t.Fatal(err)
 	}
 
@@ -114,7 +115,10 @@ func TestFacadeParallelAndCodec(t *testing.T) {
 	}
 	env := func(a hyperprov.Annot) bool { return a != hyperprov.QueryAnnot("p") }
 	seq := hyperprov.BoolRestrict(eng, env)
-	par := hyperprov.BoolRestrictParallel(eng, env, 4)
+	par, err := hyperprov.BoolRestrictParallel(context.Background(), eng, env, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !par.Equal(seq) {
 		t.Error("parallel restrict diverges through facade")
 	}
@@ -125,11 +129,13 @@ func TestFacadeParallelAndCodec(t *testing.T) {
 	}
 	m := 0
 	var mu sync.Mutex
-	hyperprov.SpecializeParallel[bool](eng, hyperprov.Bool, env, 2, func(rel string, tu hyperprov.Tuple, v bool) {
+	if err := hyperprov.SpecializeParallel[bool](context.Background(), eng, hyperprov.Bool, env, 2, func(rel string, tu hyperprov.Tuple, v bool) {
 		mu.Lock()
 		m++
 		mu.Unlock()
-	})
+	}); err != nil {
+		t.Fatal(err)
+	}
 	if m != 4 {
 		t.Errorf("SpecializeParallel visited %d rows", m)
 	}

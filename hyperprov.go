@@ -1,6 +1,7 @@
 package hyperprov
 
 import (
+	"context"
 	"io"
 
 	"hyperprov/internal/core"
@@ -50,14 +51,25 @@ type NF = core.NF
 // Expression constructors and annotation helpers.
 var (
 	Zero       = core.Zero
-	ExprVar    = core.Var
+	Var        = core.Var
 	TupleAnnot = core.TupleAnnot
 	QueryAnnot = core.QueryAnnot
 	PlusI      = core.PlusI
-	MinusOp    = core.Minus
+	Minus      = core.Minus
 	PlusM      = core.PlusM
 	DotM       = core.DotM
-	SumOf      = core.Sum
+	Sum        = core.Sum
+)
+
+// Deprecated constructor aliases, kept for source compatibility with
+// the pre-Open API.
+var (
+	// Deprecated: use Var.
+	ExprVar = core.Var
+	// Deprecated: use Minus.
+	MinusOp = core.Minus
+	// Deprecated: use Sum.
+	SumOf = core.Sum
 )
 
 // Rewriting: Normalize applies the Figure 6 rules exhaustively
@@ -129,10 +141,20 @@ var (
 
 // --- provenance engines (internal/engine) ------------------------------
 
-// Engine is a provenance-tracking database.
+// DB is the interface shared by both provenance engines: the
+// single-lock Engine and the hash-sharded ShardedEngine. Open returns
+// one or the other; program against DB unless you need
+// implementation-specific calls.
+type DB = engine.DB
+
+// Engine is the single-lock provenance-tracking database.
 type Engine = engine.Engine
 
-// Option configures an Engine.
+// ShardedEngine partitions rows across hash shards with independent
+// lock domains; see Open and WithShards.
+type ShardedEngine = engine.ShardedEngine
+
+// Option configures an engine built by Open, New, or NewSharded.
 type Option = engine.Option
 
 // Mode selects the provenance representation.
@@ -145,9 +167,17 @@ const (
 	ModeNormalForm = engine.ModeNormalForm
 )
 
-// Engine construction and options.
+// Engine construction and options. Open is the entry point: it builds
+// the single engine by default and the hash-sharded engine under
+// WithShards(n) for n > 1; both produce identical annotations and
+// identical snapshot bytes for the same input. New and NewSharded pin a
+// concrete implementation.
 var (
+	Open                   = engine.Open
+	OpenEmpty              = engine.OpenEmpty
 	New                    = engine.New
+	NewSharded             = engine.NewSharded
+	WithShards             = engine.WithShards
 	WithCopyOnWrite        = engine.WithCopyOnWrite
 	WithEagerZeroAxioms    = engine.WithEagerZeroAxioms
 	WithInitialAnnotations = engine.WithInitialAnnotations
@@ -181,11 +211,14 @@ var (
 
 // Provenance storage (package provstore): SaveSnapshot persists an
 // engine's annotated database with a structurally deduplicated
-// expression table; LoadSnapshot restores it.
-func SaveSnapshot(w io.Writer, e *Engine) error { return provstore.SaveSnapshot(w, e) }
+// expression table; LoadSnapshot restores it. Both accept either engine
+// implementation, and the bytes are independent of the shard count.
+func SaveSnapshot(w io.Writer, e DB) error { return provstore.SaveSnapshot(w, e) }
 
 // LoadSnapshot restores an annotated database saved by SaveSnapshot.
-func LoadSnapshot(r io.Reader, opts ...Option) (*Engine, error) {
+// Options pass through to Open — WithShards(n) restores into a
+// hash-sharded engine.
+func LoadSnapshot(r io.Reader, opts ...Option) (DB, error) {
 	return provstore.LoadSnapshot(r, opts...)
 }
 
@@ -231,17 +264,19 @@ func Eval[T any](e *Expr, s upstruct.Structure[T], env func(Annot) T) T {
 // Specialize evaluates every stored annotation of the engine in the
 // given structure, streaming results to f; SpecializeParallel spreads
 // evaluation over workers goroutines (0 = GOMAXPROCS).
-func Specialize[T any](e *Engine, s upstruct.Structure[T], env func(Annot) T, f func(rel string, t Tuple, v T)) {
+func Specialize[T any](e DB, s upstruct.Structure[T], env func(Annot) T, f func(rel string, t Tuple, v T)) {
 	engine.Specialize(e, s, env, f)
 }
 
 // SpecializeParallel is Specialize with parallel row evaluation; f must
-// be safe for concurrent use.
-func SpecializeParallel[T any](e *Engine, s upstruct.Structure[T], env func(Annot) T, workers int, f func(rel string, t Tuple, v T)) {
-	engine.SpecializeParallel(e, s, env, workers, f)
+// be safe for concurrent use. ctx cancels the pass at chunk boundaries
+// (nil means context.Background()).
+func SpecializeParallel[T any](ctx context.Context, e DB, s upstruct.Structure[T], env func(Annot) T, workers int, f func(rel string, t Tuple, v T)) error {
+	return engine.SpecializeParallel(ctx, e, s, env, workers, f)
 }
 
-// BoolRestrictParallel is BoolRestrict with parallel evaluation.
+// BoolRestrictParallel is BoolRestrict with parallel evaluation and
+// context cancellation.
 var BoolRestrictParallel = engine.BoolRestrictParallel
 
 // --- query front ends (internal/parser) ---------------------------------

@@ -5,6 +5,7 @@ package hyperprov_test
 // running example end to end.
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -63,7 +64,7 @@ ProductsM,pp(a, "Sport", c -> a, "Sport", 50):-
 		t.Fatal(err)
 	}
 	eng := hyperprov.New(hyperprov.ModeNormalForm, exampleDB(t), annotByCategory())
-	if err := eng.ApplyAll(txns); err != nil {
+	if err := eng.ApplyAll(context.Background(), txns); err != nil {
 		t.Fatal(err)
 	}
 	bic := hyperprov.Tuple{hyperprov.S("Kids mnt bike"), hyperprov.S("Bicycles"), hyperprov.I(120)}

@@ -7,6 +7,7 @@
 package benchutil
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -74,7 +75,7 @@ func RunOverhead(initial *db.Database, txns []db.Transaction) (Overhead, *engine
 	runtime.GC()
 	naive := engine.New(engine.ModeNaive, initial, engine.WithInitialAnnotations(KeyAnnot))
 	start = time.Now()
-	if err := naive.ApplyAll(txns); err != nil {
+	if err := naive.ApplyAll(context.Background(), txns); err != nil {
 		return o, nil, nil, err
 	}
 	o.NaiveTime = time.Since(start)
@@ -84,7 +85,7 @@ func RunOverhead(initial *db.Database, txns []db.Transaction) (Overhead, *engine
 	runtime.GC()
 	nf := engine.New(engine.ModeNormalForm, initial, engine.WithInitialAnnotations(KeyAnnot))
 	start = time.Now()
-	if err := nf.ApplyAll(txns); err != nil {
+	if err := nf.ApplyAll(context.Background(), txns); err != nil {
 		return o, nil, nil, err
 	}
 	o.NFTime = time.Since(start)

@@ -1,6 +1,7 @@
 package benchutil
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -210,12 +211,12 @@ func Fig10(w io.Writer, scale float64) error {
 // engine modes under WithLiveMatching.
 func runLiveMatching(initial *db.Database, txns []db.Transaction) (naive, nf int64, err error) {
 	en := engine.New(engine.ModeNaive, initial, engine.WithLiveMatching(true))
-	if err := en.ApplyAll(txns); err != nil {
+	if err := en.ApplyAll(context.Background(), txns); err != nil {
 		return 0, 0, err
 	}
 	naive = en.ProvSize() + int64(en.NumRows())
 	ef := engine.New(engine.ModeNormalForm, initial, engine.WithLiveMatching(true))
-	if err := ef.ApplyAll(txns); err != nil {
+	if err := ef.ApplyAll(context.Background(), txns); err != nil {
 		return 0, 0, err
 	}
 	nf = ef.ProvSize() + int64(ef.NumRows())
@@ -284,7 +285,7 @@ func Ablations(w io.Writer, scale float64) error {
 	run := func(mode engine.Mode, opts ...engine.Option) (*engine.Engine, time.Duration, error) {
 		e := engine.New(mode, initial, opts...)
 		start := time.Now()
-		err := e.ApplyAll(txns)
+		err := e.ApplyAll(context.Background(), txns)
 		return e, time.Since(start), err
 	}
 
@@ -312,7 +313,10 @@ func Ablations(w io.Writer, scale float64) error {
 	}
 	sizeBefore := nf.ProvSize()
 	start := time.Now()
-	sizeAfter := nf.MinimizeAll()
+	sizeAfter, err := nf.MinimizeAll(context.Background())
+	if err != nil {
+		return err
+	}
 	minTime := time.Since(start)
 	tbl.Add("normal form", dt, sizeBefore, "paper behaviour")
 	tbl.Add("normal form + Prop 5.5 min", dt+minTime, sizeAfter, "post-processing included")
@@ -322,7 +326,7 @@ func Ablations(w io.Writer, scale float64) error {
 		return err
 	}
 	start = time.Now()
-	if err := idx.ApplyAll(txns); err != nil {
+	if err := idx.ApplyAll(context.Background(), txns); err != nil {
 		return err
 	}
 	tbl.Add("normal form + hash index", time.Since(start), idx.ProvSize(), "beyond-paper access path")

@@ -1,0 +1,74 @@
+package db
+
+// Shard routing analysis for hyperplane updates. A hash-sharded engine
+// partitions rows by Tuple.Key; an update can be routed to a single
+// shard exactly when its constraints pin every key attribute to an
+// =-constant (the row key covers all attributes, so "pinned" means the
+// selection is a fully constant u-tuple). Updates with free variables
+// or ≠ constraints select a hyperplane that may intersect every shard
+// and must fan out. Theorem 5.3 locality makes the fan-out safe: each
+// row's normal form is maintained from that row's annotation and the
+// query annotation alone, so disjoint row partitions can apply the same
+// hyperplane query independently.
+
+// fnvOffset64 and fnvPrime64 are the FNV-1a 64-bit parameters.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// ShardOf maps a row key (Tuple.Key) to a shard in [0, shards) by
+// FNV-1a hash.
+func ShardOf(key string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := fnvOffset64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return int(h % uint64(shards))
+}
+
+// PinnedTuple reports whether the pattern pins every attribute to an
+// =-constant, and if so returns the single tuple it can match. Variable
+// terms — even ones restricted by disequalities — leave the pattern
+// unpinned.
+func (p Pattern) PinnedTuple() (Tuple, bool) {
+	t := make(Tuple, len(p))
+	for i, term := range p {
+		if !term.isConst {
+			return nil, false
+		}
+		t[i] = term.value
+	}
+	return t, true
+}
+
+// RouteKeys returns the row keys of every row the update can touch,
+// when constraint analysis pins them: an insertion touches exactly the
+// inserted row; a pinned deletion the selected tuple; a pinned
+// modification the selected tuple and its target. ok=false means the
+// selection leaves attributes free and the update must be evaluated
+// against every shard.
+func (u Update) RouteKeys() (keys []string, ok bool) {
+	switch u.Kind {
+	case OpInsert:
+		return []string{u.Row.Key()}, true
+	case OpDelete:
+		t, pinned := u.Sel.PinnedTuple()
+		if !pinned {
+			return nil, false
+		}
+		return []string{t.Key()}, true
+	case OpModify:
+		t, pinned := u.Sel.PinnedTuple()
+		if !pinned {
+			return nil, false
+		}
+		return []string{t.Key(), u.Target(t).Key()}, true
+	default:
+		return nil, false
+	}
+}

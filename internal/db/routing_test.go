@@ -1,0 +1,89 @@
+package db
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestShardOf(t *testing.T) {
+	keys := make([]string, 200)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d|%d", i, i*7)
+	}
+	for _, k := range keys {
+		if got := ShardOf(k, 1); got != 0 {
+			t.Fatalf("ShardOf(%q, 1) = %d", k, got)
+		}
+		if got := ShardOf(k, 0); got != 0 {
+			t.Fatalf("ShardOf(%q, 0) = %d", k, got)
+		}
+		for _, n := range []int{2, 3, 8, 16} {
+			got := ShardOf(k, n)
+			if got < 0 || got >= n {
+				t.Fatalf("ShardOf(%q, %d) = %d out of range", k, n, got)
+			}
+			if again := ShardOf(k, n); again != got {
+				t.Fatalf("ShardOf(%q, %d) not deterministic: %d then %d", k, n, got, again)
+			}
+		}
+	}
+	// The hash must actually spread keys: with 200 keys over 8 shards an
+	// empty shard would indicate a broken mix.
+	counts := make([]int, 8)
+	for _, k := range keys {
+		counts[ShardOf(k, 8)]++
+	}
+	for s, c := range counts {
+		if c == 0 {
+			t.Errorf("shard %d received no keys out of %d", s, len(keys))
+		}
+	}
+}
+
+func TestPinnedTuple(t *testing.T) {
+	full := Pattern{Const(S("a")), Const(I(3))}
+	tu, ok := full.PinnedTuple()
+	if !ok || !tu.Equal(Tuple{S("a"), I(3)}) {
+		t.Fatalf("fully constant pattern not pinned: %v, %v", tu, ok)
+	}
+	for name, p := range map[string]Pattern{
+		"free variable": {Const(S("a")), AnyVar("x")},
+		"disequality":   {Const(S("a")), VarNotEq("x", I(3))},
+		"all free":      {AnyVar("x"), AnyVar("y")},
+	} {
+		if _, ok := p.PinnedTuple(); ok {
+			t.Errorf("%s: pattern %v reported pinned", name, p)
+		}
+	}
+}
+
+func TestRouteKeys(t *testing.T) {
+	row := Tuple{S("a"), I(3)}
+	sel := ConstPattern(row)
+
+	keys, ok := Insert("R", row).RouteKeys()
+	if !ok || len(keys) != 1 || keys[0] != row.Key() {
+		t.Fatalf("insert routes to %v, %v", keys, ok)
+	}
+
+	keys, ok = Delete("R", sel).RouteKeys()
+	if !ok || len(keys) != 1 || keys[0] != row.Key() {
+		t.Fatalf("pinned delete routes to %v, %v", keys, ok)
+	}
+	if _, ok := Delete("R", Pattern{Const(S("a")), AnyVar("x")}).RouteKeys(); ok {
+		t.Fatal("unpinned delete reported routable")
+	}
+
+	mod := Modify("R", sel, []SetClause{Keep(), SetTo(I(9))})
+	keys, ok = mod.RouteKeys()
+	if !ok || len(keys) != 2 {
+		t.Fatalf("pinned modify routes to %v, %v", keys, ok)
+	}
+	target := Tuple{S("a"), I(9)}
+	if keys[0] != row.Key() || keys[1] != target.Key() {
+		t.Fatalf("modify keys = %v, want [%q %q]", keys, row.Key(), target.Key())
+	}
+	if _, ok := Modify("R", Pattern{AnyVar("x"), Const(I(3))}, []SetClause{Keep(), SetTo(I(9))}).RouteKeys(); ok {
+		t.Fatal("unpinned modify reported routable")
+	}
+}

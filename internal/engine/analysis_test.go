@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -12,7 +13,7 @@ import (
 
 func TestDependencies(t *testing.T) {
 	e := engine.New(engine.ModeNormalForm, productsDB(t), engine.WithInitialAnnotations(figure1Annots()))
-	if err := e.ApplyAll([]db.Transaction{transactionT1(), transactionT2()}); err != nil {
+	if err := e.ApplyAll(context.Background(), []db.Transaction{transactionT1(), transactionT2()}); err != nil {
 		t.Fatal(err)
 	}
 	bike50 := db.Tuple{db.S("Kids mnt bike"), db.S("Sport"), db.I(50)}
@@ -54,7 +55,7 @@ func TestImpactAgainstGlobalValuation(t *testing.T) {
 			return core.TupleAnnot("t_" + tu.Key())
 		}
 		e := engine.New(engine.ModeNormalForm, initial, engine.WithInitialAnnotations(annotOf))
-		if err := e.ApplyAll(txns); err != nil {
+		if err := e.ApplyAll(context.Background(), txns); err != nil {
 			t.Fatal(err)
 		}
 		im := engine.BuildImpact(e)
@@ -103,7 +104,7 @@ func TestImpactAgainstGlobalValuation(t *testing.T) {
 
 func TestImpactCandidatesSuperset(t *testing.T) {
 	e := engine.New(engine.ModeNormalForm, productsDB(t), engine.WithInitialAnnotations(figure1Annots()))
-	if err := e.ApplyAll([]db.Transaction{transactionT1(), transactionT2()}); err != nil {
+	if err := e.ApplyAll(context.Background(), []db.Transaction{transactionT1(), transactionT2()}); err != nil {
 		t.Fatal(err)
 	}
 	im := engine.BuildImpact(e)
@@ -127,13 +128,16 @@ func TestParallelSpecializeMatchesSequential(t *testing.T) {
 	initial := randDB(r, 20)
 	txns := randTxns(r, 3, 5)
 	e := engine.New(engine.ModeNormalForm, initial)
-	if err := e.ApplyAll(txns); err != nil {
+	if err := e.ApplyAll(context.Background(), txns); err != nil {
 		t.Fatal(err)
 	}
 	env := func(a core.Annot) bool { return a.Name != "q1" }
 	seq := engine.BoolRestrict(e, env)
 	for _, workers := range []int{0, 1, 2, 8} {
-		par := engine.BoolRestrictParallel(e, env, workers)
+		par, err := engine.BoolRestrictParallel(context.Background(), e, env, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !par.Equal(seq) {
 			t.Errorf("workers=%d: parallel result diverges:\n%s", workers, par.Diff(seq))
 		}

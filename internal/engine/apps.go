@@ -10,16 +10,29 @@ import (
 // Update-Structure under the valuation env and streams the results to f
 // (including tombstone rows, whose values typically evaluate to the
 // structure's zero). Rows stream in deterministic order: relations in
-// schema order, rows in insertion order (tbl.list), identical to
-// EachRow and SpecializeParallel — never map order. This is the generic
-// "provenance usage" operation of Section 6: all applications below are
-// thin wrappers over it, sound by Proposition 4.2. The engine's read
-// lock is held for the whole pass, so the streamed rows form one
-// consistent snapshot; f must not call back into the engine.
-func Specialize[T any](e *Engine, s upstruct.Structure[T], env upstruct.Env[T], f func(rel string, t db.Tuple, v T)) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	specialize(e, s, env, f)
+// schema order, rows in insertion order — identical to EachRow and
+// SpecializeParallel, and identical across both engine implementations
+// — never map order. This is the generic "provenance usage" operation
+// of Section 6: all applications below are thin wrappers over it, sound
+// by Proposition 4.2. The engine's read lock (all shard read locks for
+// a ShardedEngine) is held for the whole pass, so the streamed rows
+// form one consistent snapshot; f must not call back into the engine.
+func Specialize[T any](e DB, s upstruct.Structure[T], env upstruct.Env[T], f func(rel string, t db.Tuple, v T)) {
+	switch v := e.(type) {
+	case *Engine:
+		v.mu.RLock()
+		defer v.mu.RUnlock()
+		specialize(v, s, env, f)
+	case *ShardedEngine:
+		v.rlockAll()
+		defer v.runlockAll()
+		specializeSharded(v, s, env, f)
+	default:
+		// Generic fallback over materialized annotations.
+		e.Rows(func(rel string, t db.Tuple, ann *core.Expr) {
+			f(rel, t, upstruct.Eval(ann, s, env))
+		})
+	}
 }
 
 // specialize is the lock-free core of Specialize; callers hold e.mu.
@@ -38,11 +51,28 @@ func specialize[T any](e *Engine, s upstruct.Structure[T], env upstruct.Env[T], 
 	}
 }
 
+// specializeSharded is the sharded core of Specialize: rows merge to
+// global insertion order before evaluation, so the stream is identical
+// to the single engine's. Callers hold all shard read locks.
+func specializeSharded[T any](se *ShardedEngine, s upstruct.Structure[T], env upstruct.Env[T], f func(rel string, t db.Tuple, v T)) {
+	for _, rel := range se.schema.Names() {
+		for _, r := range se.mergedRowsLocked(rel) {
+			var v T
+			if se.mode == ModeNaive {
+				v = upstruct.Eval(r.expr, s, env)
+			} else {
+				v = upstruct.EvalNF(r.nf, s, env)
+			}
+			f(rel, r.tuple, v)
+		}
+	}
+}
+
 // BoolRestrict materializes the database selected by a Boolean
 // valuation: the result contains exactly the tuples whose provenance
 // evaluates to true.
-func BoolRestrict(e *Engine, env upstruct.Env[bool]) *db.Database {
-	out := db.NewDatabase(e.schema)
+func BoolRestrict(e DB, env upstruct.Env[bool]) *db.Database {
+	out := db.NewDatabase(e.Schema())
 	Specialize[bool](e, upstruct.Bool, env, func(rel string, t db.Tuple, v bool) {
 		if v {
 			// Tuples stored by the engine conform by construction.
@@ -56,7 +86,7 @@ func BoolRestrict(e *Engine, env upstruct.Env[bool]) *db.Database {
 // semantics of the transactions actually executed. It must equal the
 // result of the plain engine on the same input (the package tests use
 // this as the ground-truth oracle).
-func LiveDB(e *Engine) *db.Database {
+func LiveDB(e DB) *db.Database {
 	return BoolRestrict(e, func(core.Annot) bool { return true })
 }
 
@@ -64,7 +94,7 @@ func LiveDB(e *Engine) *db.Database {
 // would the result be had these input tuples not been in the database?"
 // by assigning false to the given tuple annotations and true elsewhere —
 // without re-running the transactions.
-func DeletionPropagation(e *Engine, deleted ...core.Annot) *db.Database {
+func DeletionPropagation(e DB, deleted ...core.Annot) *db.Database {
 	dead := make(map[core.Annot]bool, len(deleted))
 	for _, a := range deleted {
 		dead[a] = false
@@ -75,7 +105,7 @@ func DeletionPropagation(e *Engine, deleted ...core.Annot) *db.Database {
 // AbortTransactions answers "what would the result be had these
 // transactions been aborted?" by assigning false to the given
 // transaction labels.
-func AbortTransactions(e *Engine, labels ...string) *db.Database {
+func AbortTransactions(e DB, labels ...string) *db.Database {
 	dead := make(map[core.Annot]bool, len(labels))
 	for _, l := range labels {
 		dead[core.QueryAnnot(l)] = false
@@ -88,7 +118,7 @@ func AbortTransactions(e *Engine, labels ...string) *db.Database {
 // credentials (e.g. country names), and the result maps every visible
 // tuple to the credentials that may see it. Tuples whose credential set
 // comes out empty are omitted.
-func AccessControl(e *Engine, env upstruct.Env[upstruct.Set]) map[string]map[string]upstruct.Set {
+func AccessControl(e DB, env upstruct.Env[upstruct.Set]) map[string]map[string]upstruct.Set {
 	out := make(map[string]map[string]upstruct.Set)
 	Specialize[upstruct.Set](e, upstruct.Sets, env, func(rel string, t db.Tuple, v upstruct.Set) {
 		if v.Len() == 0 {
@@ -107,9 +137,9 @@ func AccessControl(e *Engine, env upstruct.Env[upstruct.Set]) map[string]map[str
 // Certify evaluates the certification semantics of Section 4.1 with
 // minimal trust level l: env assigns raw trust scores to annotations,
 // and the result is the database of tuples certified at that level.
-func Certify(e *Engine, l float64, env upstruct.Env[upstruct.Trust]) *db.Database {
+func Certify(e DB, l float64, env upstruct.Env[upstruct.Trust]) *db.Database {
 	st := upstruct.TrustStructure{L: l}
-	out := db.NewDatabase(e.schema)
+	out := db.NewDatabase(e.Schema())
 	Specialize[upstruct.Trust](e, st, env, func(rel string, t db.Tuple, v upstruct.Trust) {
 		if st.Trusted(v) {
 			_ = out.InsertTuple(rel, t)

@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"context"
 	"testing"
 
 	"hyperprov/internal/core"
@@ -29,7 +30,7 @@ func accessControlSetup(t *testing.T) (*engine.Engine, upstruct.Env[upstruct.Set
 			db.Delete("Products", db.Pattern{db.AnyVar("a"), db.Const(db.S("Fashion")), db.AnyVar("c")}),
 		}},
 	}
-	if err := e.ApplyAll(txns); err != nil {
+	if err := e.ApplyAll(context.Background(), txns); err != nil {
 		t.Fatal(err)
 	}
 	visibility := map[string]upstruct.Set{

@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -46,7 +47,7 @@ func TestSpecializeDeterministicOrder(t *testing.T) {
 	for _, mode := range []engine.Mode{engine.ModeNaive, engine.ModeNormalForm} {
 		t.Run(mode.String(), func(t *testing.T) {
 			e, txns := workloadEngine(t, mode)
-			if err := e.ApplyAll(txns); err != nil {
+			if err := e.ApplyAll(context.Background(), txns); err != nil {
 				t.Fatal(err)
 			}
 
@@ -82,7 +83,7 @@ func TestSpecializeDeterministicOrder(t *testing.T) {
 			var mu sync.Mutex
 			got := make(map[string]map[string]int) // rel → key → count
 			var parSeq []visit
-			engine.SpecializeParallel[bool](e, upstruct.Bool,
+			if err := engine.SpecializeParallel[bool](context.Background(), e, upstruct.Bool,
 				func(core.Annot) bool { return true }, 4,
 				func(rel string, tp db.Tuple, v bool) {
 					mu.Lock()
@@ -92,7 +93,9 @@ func TestSpecializeDeterministicOrder(t *testing.T) {
 					}
 					got[rel][tp.Key()]++
 					parSeq = append(parSeq, visit{rel: rel, key: tp.Key()})
-				})
+				}); err != nil {
+				t.Fatal(err)
+			}
 			if len(parSeq) != len(serial) {
 				t.Fatalf("parallel visited %d rows, serial %d", len(parSeq), len(serial))
 			}
@@ -108,11 +111,13 @@ func TestSpecializeDeterministicOrder(t *testing.T) {
 			// serial path and the sequences must be identical, not just
 			// equal as sets.
 			var oneWorker []visit
-			engine.SpecializeParallel[bool](e, upstruct.Bool,
+			if err := engine.SpecializeParallel[bool](context.Background(), e, upstruct.Bool,
 				func(core.Annot) bool { return true }, 1,
 				func(rel string, tp db.Tuple, v bool) {
 					oneWorker = append(oneWorker, visit{rel: rel, key: tp.Key()})
-				})
+				}); err != nil {
+				t.Fatal(err)
+			}
 			if !equalVisits(serial, oneWorker) {
 				t.Fatal("SpecializeParallel(workers=1) and Specialize visit different sequences")
 			}
@@ -199,7 +204,11 @@ func TestConcurrentReadersDuringIngestion(t *testing.T) {
 				}
 			})
 			reader(func() {
-				d := engine.BoolRestrictParallel(e, allTrue, 4)
+				d, err := engine.BoolRestrictParallel(context.Background(), e, allTrue, 4)
+				if err != nil {
+					t.Error(err)
+					return
+				}
 				if d.NumTuples() == 0 {
 					t.Error("live database empty mid-ingestion")
 				}
@@ -210,7 +219,7 @@ func TestConcurrentReadersDuringIngestion(t *testing.T) {
 				_ = e.SupportSize()
 			})
 
-			if err := e.ApplyAll(txns); err != nil {
+			if err := e.ApplyAll(context.Background(), txns); err != nil {
 				t.Fatal(err)
 			}
 			close(done)
@@ -218,7 +227,7 @@ func TestConcurrentReadersDuringIngestion(t *testing.T) {
 
 			// Equivalence with serial ingestion.
 			ref, refTxns := workloadEngine(t, mode)
-			if err := ref.ApplyAll(refTxns); err != nil {
+			if err := ref.ApplyAll(context.Background(), refTxns); err != nil {
 				t.Fatal(err)
 			}
 			got := engine.LiveDB(e)

@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"context"
+	"errors"
+
+	"hyperprov/internal/core"
+	"hyperprov/internal/db"
+)
+
+// Sentinel errors for the conditions callers routinely branch on (the
+// HTTP layer maps them to 404/400). Wrapped with %w throughout the
+// package; test with errors.Is.
+var (
+	// ErrUnknownRelation reports an operation against a relation the
+	// schema does not contain.
+	ErrUnknownRelation = errors.New("unknown relation")
+	// ErrBadTuple reports a tuple that does not conform to its relation
+	// schema.
+	ErrBadTuple = errors.New("bad tuple")
+)
+
+// DB is the surface shared by the single-lock Engine and the
+// hash-sharded ShardedEngine: annotated transaction application plus
+// the provenance-usage read side. Open returns one or the other
+// depending on WithShards; servers and applications program against
+// this interface.
+//
+// All read methods observe the database at transaction granularity, and
+// the streaming methods (EachRow, Rows) visit rows in the same
+// deterministic order on both implementations: relations in schema
+// order, rows in single-engine insertion order.
+type DB interface {
+	Mode() Mode
+	Schema() *db.Schema
+	Relations() []string
+
+	ApplyTransaction(t *db.Transaction) error
+	ApplyAll(ctx context.Context, txns []db.Transaction) error
+	RestoreRow(rel string, t db.Tuple, ann *core.Expr) error
+	BuildIndex(rel, attr string) error
+
+	Annotation(rel string, t db.Tuple) *core.Expr
+	NF(rel string, t db.Tuple) *core.NF
+	EachRow(rel string, f func(t db.Tuple, ann *core.Expr))
+	Rows(f func(rel string, t db.Tuple, ann *core.Expr))
+
+	NumRows() int
+	SupportSize() int
+	ProvSize() int64
+	ProvDAGSize() int64
+	MinimizeAll(ctx context.Context) (int64, error)
+}
+
+var (
+	_ DB = (*Engine)(nil)
+	_ DB = (*ShardedEngine)(nil)
+)
+
+// Open builds a provenance engine from an initial database: the plain
+// single-lock Engine by default, the hash-sharded ShardedEngine when
+// WithShards(n) with n > 1 is given. Both produce identical annotations
+// and identical snapshot bytes for the same input.
+func Open(mode Mode, initial *db.Database, opts ...Option) DB {
+	if newConfig(opts).shards > 1 {
+		return NewSharded(mode, initial, opts...)
+	}
+	return New(mode, initial, opts...)
+}
+
+// OpenEmpty is Open over a schema with no initial tuples, for snapshot
+// restoration and streaming ingestion.
+func OpenEmpty(mode Mode, schema *db.Schema, opts ...Option) DB {
+	return Open(mode, db.NewDatabase(schema), opts...)
+}

@@ -12,6 +12,7 @@ package engine_test
 // deleted sources), and that is exactly what canonicalization decides.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -71,10 +72,10 @@ func TestDifferentialNaiveVsNormalForm(t *testing.T) {
 			}
 			naive := engine.New(engine.ModeNaive, initial)
 			nf := engine.New(engine.ModeNormalForm, initial)
-			if err := naive.ApplyAll(txns); err != nil {
+			if err := naive.ApplyAll(context.Background(), txns); err != nil {
 				t.Fatalf("naive apply: %v", err)
 			}
-			if err := nf.ApplyAll(txns); err != nil {
+			if err := nf.ApplyAll(context.Background(), txns); err != nil {
 				t.Fatalf("nf apply: %v", err)
 			}
 

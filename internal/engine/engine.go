@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -43,6 +44,11 @@ type row struct {
 	nf    *core.NF   // ModeNormalForm
 	txn   int        // last transaction that touched the row (freeze tracking)
 	live  bool       // set-semantics membership, maintained per update
+	// seq is a global creation sequence number assigned by the sharded
+	// engine (0 in a plain Engine): merging the per-shard lists by seq
+	// reproduces exactly the insertion order a single engine would have
+	// used, independent of shard scheduling.
+	seq uint64
 }
 
 type table struct {
@@ -59,8 +65,29 @@ func (t *table) add(key string, r *row) {
 	t.list = append(t.list, r)
 }
 
-// Option configures an Engine.
-type Option func(*Engine)
+// config collects the settings shared by both engines; Options mutate
+// it before construction.
+type config struct {
+	cow        bool
+	zeroAxioms bool
+	liveMatch  bool
+	shards     int
+	initAnnot  func(rel string, t db.Tuple) core.Annot
+}
+
+func newConfig(opts []Option) *config {
+	c := &config{cow: true, shards: 1}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.shards < 1 {
+		c.shards = 1
+	}
+	return c
+}
+
+// Option configures an engine (single or sharded; see Open).
+type Option func(*config)
 
 // WithCopyOnWrite controls whether the naive mode deep-copies
 // sub-expressions reused across tuples (the paper's implementation
@@ -68,21 +95,28 @@ type Option func(*Engine)
 // ablation: expressions become DAGs, tree sizes stay exponential but
 // memory and copying time do not.
 func WithCopyOnWrite(cow bool) Option {
-	return func(e *Engine) { e.cow = cow }
+	return func(c *config) { c.cow = cow }
 }
 
 // WithEagerZeroAxioms makes the naive mode apply the zero-related axioms
 // after every annotation update. The paper's "No axioms" configuration
 // leaves them off (default false).
 func WithEagerZeroAxioms(on bool) Option {
-	return func(e *Engine) { e.zeroAxioms = on }
+	return func(c *config) { c.zeroAxioms = on }
 }
 
 // WithInitialAnnotations overrides the naming of the fresh annotations
 // assigned to initial database tuples; f receives the relation name and
 // tuple and returns the annotation.
 func WithInitialAnnotations(f func(rel string, t db.Tuple) core.Annot) Option {
-	return func(e *Engine) { e.initAnnot = f }
+	return func(c *config) { c.initAnnot = f }
+}
+
+// WithShards selects the hash-sharded engine with n independent lock
+// domains when passed to Open/OpenEmpty (n ≤ 1 keeps the single
+// engine). New and NewEmpty ignore it.
+func WithShards(n int) Option {
+	return func(c *config) { c.shards = n }
 }
 
 // WithLiveMatching restricts update selections to semantically live
@@ -98,7 +132,7 @@ func WithInitialAnnotations(f func(rel string, t db.Tuple) core.Annot) Option {
 // no longer recorded (deletion propagation of input tuples remains
 // exact; see the package tests). Default off.
 func WithLiveMatching(on bool) Option {
-	return func(e *Engine) { e.liveMatch = on }
+	return func(c *config) { c.liveMatch = on }
 }
 
 // Engine is a provenance-tracking database: every stored tuple carries
@@ -135,6 +169,10 @@ type Engine struct {
 	txnNo   int
 	touched []*row
 
+	// nextSeq, when set (by the sharded coordinator, under the write
+	// lock), numbers newly created rows with global sequence numbers.
+	nextSeq func() uint64
+
 	indexes map[string]*index
 }
 
@@ -143,32 +181,47 @@ type Engine struct {
 // unless WithInitialAnnotations overrides the naming); the input
 // database is not modified or referenced afterwards.
 func New(mode Mode, initial *db.Database, opts ...Option) *Engine {
-	e := &Engine{
-		mode:    mode,
-		schema:  initial.Schema(),
-		tables:  make(map[string]*table),
-		seq:     core.NewAnnotSeq("t", core.KindTuple),
-		cow:     true,
-		indexes: make(map[string]*index),
-	}
-	for _, o := range opts {
-		o(e)
-	}
+	cfg := newConfig(opts)
+	e := newShell(mode, initial.Schema(), cfg)
 	for _, name := range e.schema.Names() {
-		tbl := &table{rel: e.schema.Relation(name), rows: make(map[string]*row)}
-		e.tables[name] = tbl
+		tbl := e.tables[name]
 		for _, t := range initial.Instance(name).Tuples() {
 			a := e.freshAnnot(name, t)
-			r := &row{tuple: t, txn: -1, live: true}
-			if mode == ModeNaive {
-				r.expr = core.Var(a)
-			} else {
-				r.nf = core.NewNF(core.Var(a))
-			}
-			tbl.add(t.Key(), r)
+			tbl.add(t.Key(), newRow(mode, t, core.Var(a)))
 		}
 	}
 	return e
+}
+
+// newShell builds an engine with empty tables for every relation.
+func newShell(mode Mode, schema *db.Schema, cfg *config) *Engine {
+	e := &Engine{
+		mode:       mode,
+		schema:     schema,
+		tables:     make(map[string]*table),
+		seq:        core.NewAnnotSeq("t", core.KindTuple),
+		initAnnot:  cfg.initAnnot,
+		cow:        cfg.cow,
+		zeroAxioms: cfg.zeroAxioms,
+		liveMatch:  cfg.liveMatch,
+		indexes:    make(map[string]*index),
+	}
+	for _, name := range schema.Names() {
+		e.tables[name] = &table{rel: schema.Relation(name), rows: make(map[string]*row)}
+	}
+	return e
+}
+
+// newRow builds a live initial row annotated with the given base
+// expression in the representation of the mode.
+func newRow(mode Mode, t db.Tuple, base *core.Expr) *row {
+	r := &row{tuple: t, txn: -1, live: true}
+	if mode == ModeNaive {
+		r.expr = base
+	} else {
+		r.nf = core.NewNF(base)
+	}
+	return r
 }
 
 func (e *Engine) freshAnnot(rel string, t db.Tuple) core.Annot {
@@ -191,20 +244,25 @@ func NewEmpty(mode Mode, schema *db.Schema, opts ...Option) *Engine {
 func (e *Engine) RestoreRow(rel string, t db.Tuple, ann *core.Expr) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.restoreRowLocked(rel, t, ann)
+}
+
+func (e *Engine) restoreRowLocked(rel string, t db.Tuple, ann *core.Expr) error {
 	if e.inTxn {
 		return fmt.Errorf("engine: RestoreRow inside a transaction")
 	}
 	tbl := e.tables[rel]
 	if tbl == nil {
-		return fmt.Errorf("engine: unknown relation %s", rel)
+		return fmt.Errorf("engine: %w %s", ErrUnknownRelation, rel)
 	}
 	if err := t.Conforms(tbl.rel); err != nil {
-		return err
+		return fmt.Errorf("engine: %w: %v", ErrBadTuple, err)
 	}
 	key := t.Key()
 	r := tbl.rows[key]
 	if r == nil {
 		r = &row{tuple: t, txn: -1}
+		e.assignSeq(r)
 		tbl.add(key, r)
 		e.indexAdd(tbl, r)
 	}
@@ -259,6 +317,25 @@ func (e *Engine) touch(r *row) {
 	}
 }
 
+// assignSeq numbers a newly created row when a sharded coordinator is
+// driving this engine; rows of a plain engine keep seq 0 (their
+// tbl.list position already is the insertion order).
+func (e *Engine) assignSeq(r *row) {
+	if e.nextSeq != nil {
+		r.seq = e.nextSeq()
+	}
+}
+
+// matchable reports whether a row is a candidate for update selections:
+// rows in the formal support by default, semantically live rows under
+// WithLiveMatching.
+func (e *Engine) matchable(r *row) bool {
+	if e.liveMatch {
+		return r.live
+	}
+	return r.inSupport(e.mode)
+}
+
 // inSupport reports whether the row is in the relation per Section 3.1:
 // its annotation is not syntactically 0.
 func (r *row) inSupport(mode Mode) bool {
@@ -275,7 +352,7 @@ func (e *Engine) Apply(u db.Update) error {
 	}
 	tbl := e.tables[u.Rel]
 	if tbl == nil {
-		return fmt.Errorf("engine: unknown relation %s", u.Rel)
+		return fmt.Errorf("engine: %w %s", ErrUnknownRelation, u.Rel)
 	}
 	switch u.Kind {
 	case db.OpInsert:
@@ -302,6 +379,7 @@ func (e *Engine) applyInsert(tbl *table, u db.Update) {
 		} else {
 			r.nf = core.NewNF(core.Zero())
 		}
+		e.assignSeq(r)
 		tbl.add(key, r)
 		e.indexAdd(tbl, r)
 	}
@@ -316,14 +394,32 @@ func (e *Engine) applyInsert(tbl *table, u db.Update) {
 
 func (e *Engine) applyDelete(tbl *table, u db.Update) {
 	for _, r := range e.scan(tbl, u) {
-		if e.mode == ModeNaive {
-			r.expr = e.simplify(core.Minus(r.expr, core.Var(e.cur)))
-		} else {
-			r.nf.Delete(e.cur)
-		}
-		r.live = false
-		e.touch(r)
+		e.deleteRow(r)
 	}
+}
+
+// deleteRow applies the current query as a deletion (−M for modify
+// sources) to one row.
+func (e *Engine) deleteRow(r *row) {
+	if e.mode == ModeNaive {
+		r.expr = e.simplify(core.Minus(r.expr, core.Var(e.cur)))
+	} else {
+		r.nf.Delete(e.cur)
+	}
+	r.live = false
+	e.touch(r)
+}
+
+// lookupPinned returns the one candidate row of a selection whose
+// constraints pin every attribute (see db.Pattern.PinnedTuple): only
+// the row stored under the pinned key can match, so the full scan
+// reduces to a map lookup.
+func (e *Engine) lookupPinned(tbl *table, u db.Update, key string) *row {
+	r := tbl.rows[key]
+	if r == nil || !e.matchable(r) || !u.MatchesTuple(r.tuple) {
+		return nil
+	}
+	return r
 }
 
 // modGroup accumulates, per target tuple, the provenance contributions
@@ -338,7 +434,53 @@ type modGroup struct {
 }
 
 func (e *Engine) applyModify(tbl *table, u db.Update) {
-	sources := e.scan(tbl, u)
+	e.applyModifySources(tbl, u, e.scan(tbl, u))
+}
+
+// captureContribution records one source row's pre-query annotation in
+// its target group (naive: the raw expression, deep-copied under cow;
+// normal form: the flattened Contribution).
+func (e *Engine) captureContribution(g *modGroup, src *row) {
+	if e.mode == ModeNaive {
+		contrib := src.expr
+		if e.cow {
+			contrib = contrib.DeepCopy()
+		}
+		g.raw = append(g.raw, contrib)
+	} else {
+		c, ins := src.nf.Contribution()
+		g.contrib = append(g.contrib, c...)
+		g.inserted = g.inserted || ins
+	}
+}
+
+// absorbModTarget applies a completed modification group to its target
+// row, creating the row if the target tuple was never stored.
+func (e *Engine) absorbModTarget(tbl *table, g *modGroup, key string, pe *core.Expr) {
+	r := tbl.rows[key]
+	if r == nil {
+		r = &row{tuple: g.target, txn: -1}
+		if e.mode == ModeNaive {
+			r.expr = core.Zero()
+		} else {
+			r.nf = core.NewNF(core.Zero())
+		}
+		e.assignSeq(r)
+		tbl.add(key, r)
+		e.indexAdd(tbl, r)
+	}
+	if e.mode == ModeNaive {
+		r.expr = e.simplify(core.PlusM(r.expr, core.DotM(core.Sum(g.raw...), pe)))
+	} else {
+		r.nf.AbsorbMod(g.contrib, g.inserted, e.cur)
+	}
+	r.live = true
+	e.touch(r)
+}
+
+// applyModifySources runs a modification over the given source rows (in
+// deterministic scan order).
+func (e *Engine) applyModifySources(tbl *table, u db.Update, sources []*row) {
 	if len(sources) == 0 {
 		return
 	}
@@ -354,52 +496,18 @@ func (e *Engine) applyModify(tbl *table, u db.Update) {
 			groups[key] = g
 			order = append(order, key)
 		}
-		if e.mode == ModeNaive {
-			contrib := src.expr
-			if e.cow {
-				contrib = contrib.DeepCopy()
-			}
-			g.raw = append(g.raw, contrib)
-		} else {
-			c, ins := src.nf.Contribution()
-			g.contrib = append(g.contrib, c...)
-			g.inserted = g.inserted || ins
-		}
+		e.captureContribution(g, src)
 	}
 	// Sources are deleted (−M p) after their pre-query annotations have
 	// been captured.
 	for _, src := range sources {
-		if e.mode == ModeNaive {
-			src.expr = e.simplify(core.Minus(src.expr, pe))
-		} else {
-			src.nf.Delete(e.cur)
-		}
-		src.live = false
-		e.touch(src)
+		e.deleteRow(src)
 	}
 	// Targets receive old +M ((Σ sources) ·M p); a target that is itself
 	// a source (necessarily a self-map) uses its post-deletion
 	// annotation, yielding the paper's fifth normal-form shape.
 	for _, key := range order {
-		g := groups[key]
-		r := tbl.rows[key]
-		if r == nil {
-			r = &row{tuple: g.target, txn: -1}
-			if e.mode == ModeNaive {
-				r.expr = core.Zero()
-			} else {
-				r.nf = core.NewNF(core.Zero())
-			}
-			tbl.add(key, r)
-			e.indexAdd(tbl, r)
-		}
-		if e.mode == ModeNaive {
-			r.expr = e.simplify(core.PlusM(r.expr, core.DotM(core.Sum(g.raw...), pe)))
-		} else {
-			r.nf.AbsorbMod(g.contrib, g.inserted, e.cur)
-		}
-		r.live = true
-		e.touch(r)
+		e.absorbModTarget(tbl, groups[key], key, pe)
 	}
 }
 
@@ -416,6 +524,10 @@ func (e *Engine) simplify(x *core.Expr) *core.Expr {
 func (e *Engine) ApplyTransaction(t *db.Transaction) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.applyTransactionLocked(t)
+}
+
+func (e *Engine) applyTransactionLocked(t *db.Transaction) error {
 	e.Begin(t.Label)
 	for i := range t.Updates {
 		if err := e.Apply(t.Updates[i]); err != nil {
@@ -429,9 +541,15 @@ func (e *Engine) ApplyTransaction(t *db.Transaction) error {
 
 // ApplyAll runs a sequence of transactions. The write lock is taken per
 // transaction, so concurrent readers interleave at transaction
-// boundaries during bulk ingestion.
-func (e *Engine) ApplyAll(txns []db.Transaction) error {
+// boundaries during bulk ingestion; ctx is checked between transactions
+// and aborts the remainder of the batch when cancelled.
+func (e *Engine) ApplyAll(ctx context.Context, txns []db.Transaction) error {
 	for i := range txns {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		if err := e.ApplyTransaction(&txns[i]); err != nil {
 			return err
 		}
@@ -529,6 +647,10 @@ func (e *Engine) Relations() []string { return e.schema.Names() }
 func (e *Engine) NumRows() int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	return e.numRowsLocked()
+}
+
+func (e *Engine) numRowsLocked() int {
 	n := 0
 	for _, tbl := range e.tables {
 		n += len(tbl.rows)
@@ -541,6 +663,10 @@ func (e *Engine) NumRows() int {
 func (e *Engine) SupportSize() int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	return e.supportSizeLocked()
+}
+
+func (e *Engine) supportSizeLocked() int {
 	n := 0
 	for _, tbl := range e.tables {
 		for _, r := range tbl.rows {
@@ -557,6 +683,10 @@ func (e *Engine) SupportSize() int {
 func (e *Engine) ProvSize() int64 {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	return e.provSizeLocked()
+}
+
+func (e *Engine) provSizeLocked() int64 {
 	var n int64
 	for _, tbl := range e.tables {
 		for _, r := range tbl.rows {
@@ -581,6 +711,13 @@ func (e *Engine) ProvDAGSize() int64 {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	seen := make(map[*core.Expr]struct{})
+	return e.provDAGSizeLocked(seen)
+}
+
+// provDAGSizeLocked counts distinct nodes into a shared seen set, so a
+// sharded engine can union the per-shard counts without double-counting
+// nodes shared across shards.
+func (e *Engine) provDAGSizeLocked(seen map[*core.Expr]struct{}) int64 {
 	var n int64
 	for _, tbl := range e.tables {
 		for _, r := range tbl.rows {
@@ -597,12 +734,24 @@ func (e *Engine) ProvDAGSize() int64 {
 // MinimizeAll applies the zero-axiom post-processing of Proposition 5.5
 // to every stored annotation (normal-form mode only; the naive mode is
 // deliberately axiom-free). It returns the provenance size after
-// minimization.
-func (e *Engine) MinimizeAll() int64 {
+// minimization. ctx is checked between relations; a cancelled pass
+// leaves already-minimized rows minimized (minimization is idempotent
+// and preserves equivalence, so a partial pass is still a correct
+// state).
+func (e *Engine) MinimizeAll(ctx context.Context) (int64, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.minimizeAllLocked(ctx)
+}
+
+func (e *Engine) minimizeAllLocked(ctx context.Context) (int64, error) {
 	var n int64
 	for _, tbl := range e.tables {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return n, err
+			}
+		}
 		for _, r := range tbl.rows {
 			if e.mode == ModeNormalForm {
 				m := core.Minimize(r.nf.ToExpr())
@@ -613,5 +762,5 @@ func (e *Engine) MinimizeAll() int64 {
 			}
 		}
 	}
-	return n
+	return n, nil
 }

@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -95,7 +96,7 @@ func annotString(t *testing.T, e *engine.Engine, rel string, tuple db.Tuple) str
 func TestExample32Naive(t *testing.T) {
 	e := engine.New(engine.ModeNaive, productsDB(t), engine.WithInitialAnnotations(figure1Annots()))
 	t1 := transactionT1()
-	if err := e.ApplyAll([]db.Transaction{t1}); err != nil {
+	if err := e.ApplyAll(context.Background(), []db.Transaction{t1}); err != nil {
 		t.Fatal(err)
 	}
 	kids := db.Tuple{db.S("Kids mnt bike"), db.S("Kids"), db.I(120)}
@@ -115,7 +116,7 @@ func TestExample32Naive(t *testing.T) {
 // TestExample57NormalForm replays Example 5.7 on the normal-form engine.
 func TestExample57NormalForm(t *testing.T) {
 	e := engine.New(engine.ModeNormalForm, productsDB(t), engine.WithInitialAnnotations(figure1Annots()))
-	if err := e.ApplyAll([]db.Transaction{transactionT1()}); err != nil {
+	if err := e.ApplyAll(context.Background(), []db.Transaction{transactionT1()}); err != nil {
 		t.Fatal(err)
 	}
 	sport := db.Tuple{db.S("Kids mnt bike"), db.S("Sport"), db.I(120)}
@@ -137,7 +138,7 @@ func TestExample57NormalForm(t *testing.T) {
 // 3.8 and checks the Figure 4 annotations on the naive engine.
 func TestFigure4Sequence(t *testing.T) {
 	e := engine.New(engine.ModeNaive, productsDB(t), engine.WithInitialAnnotations(figure1Annots()))
-	if err := e.ApplyAll([]db.Transaction{transactionT1(), transactionT2()}); err != nil {
+	if err := e.ApplyAll(context.Background(), []db.Transaction{transactionT1(), transactionT2()}); err != nil {
 		t.Fatal(err)
 	}
 	racket := db.Tuple{db.S("Tennis Racket"), db.S("Sport"), db.I(50)}
@@ -157,10 +158,10 @@ func TestProposition35OnExample(t *testing.T) {
 	for _, mode := range []engine.Mode{engine.ModeNaive, engine.ModeNormalForm} {
 		e1 := engine.New(mode, productsDB(t), engine.WithInitialAnnotations(figure1Annots()))
 		e2 := engine.New(mode, productsDB(t), engine.WithInitialAnnotations(figure1Annots()))
-		if err := e1.ApplyAll([]db.Transaction{transactionT1()}); err != nil {
+		if err := e1.ApplyAll(context.Background(), []db.Transaction{transactionT1()}); err != nil {
 			t.Fatal(err)
 		}
-		if err := e2.ApplyAll([]db.Transaction{transactionT1Prime()}); err != nil {
+		if err := e2.ApplyAll(context.Background(), []db.Transaction{transactionT1Prime()}); err != nil {
 			t.Fatal(err)
 		}
 		for _, tuple := range []db.Tuple{
@@ -186,7 +187,7 @@ func TestLiveDBMatchesPlainOnExample(t *testing.T) {
 	}
 	for _, mode := range []engine.Mode{engine.ModeNaive, engine.ModeNormalForm} {
 		e := engine.New(mode, productsDB(t))
-		if err := e.ApplyAll(txns); err != nil {
+		if err := e.ApplyAll(context.Background(), txns); err != nil {
 			t.Fatal(err)
 		}
 		live := engine.LiveDB(e)
@@ -341,7 +342,7 @@ func TestOracleLiveDB(t *testing.T) {
 		}
 		for _, mode := range []engine.Mode{engine.ModeNaive, engine.ModeNormalForm} {
 			e := engine.New(mode, initial)
-			if err := e.ApplyAll(txns); err != nil {
+			if err := e.ApplyAll(context.Background(), txns); err != nil {
 				t.Fatal(err)
 			}
 			live := engine.LiveDB(e)
@@ -380,7 +381,7 @@ func TestOracleDeletionPropagation(t *testing.T) {
 		}
 		for _, mode := range []engine.Mode{engine.ModeNaive, engine.ModeNormalForm} {
 			e := engine.New(mode, initial, engine.WithInitialAnnotations(annotOf))
-			if err := e.ApplyAll(txns); err != nil {
+			if err := e.ApplyAll(context.Background(), txns); err != nil {
 				t.Fatal(err)
 			}
 			got := engine.DeletionPropagation(e, annotOf("R", victim))
@@ -412,7 +413,7 @@ func TestOracleAbortTransaction(t *testing.T) {
 		}
 		for _, mode := range []engine.Mode{engine.ModeNaive, engine.ModeNormalForm} {
 			e := engine.New(mode, initial)
-			if err := e.ApplyAll(txns); err != nil {
+			if err := e.ApplyAll(context.Background(), txns); err != nil {
 				t.Fatal(err)
 			}
 			got := engine.AbortTransactions(e, txns[aborted].Label)
@@ -436,10 +437,10 @@ func TestNaiveAndNormalFormEquivalent(t *testing.T) {
 		}
 		naive := engine.New(engine.ModeNaive, initial, engine.WithInitialAnnotations(annotOf))
 		nf := engine.New(engine.ModeNormalForm, initial, engine.WithInitialAnnotations(annotOf))
-		if err := naive.ApplyAll(txns); err != nil {
+		if err := naive.ApplyAll(context.Background(), txns); err != nil {
 			t.Fatal(err)
 		}
-		if err := nf.ApplyAll(txns); err != nil {
+		if err := nf.ApplyAll(context.Background(), txns); err != nil {
 			t.Fatal(err)
 		}
 		naive.EachRow("R", func(tu db.Tuple, ann *core.Expr) {
@@ -468,10 +469,10 @@ func TestIndexAblationSameResults(t *testing.T) {
 		if err := indexed.BuildIndex("R", "id"); err != nil {
 			t.Fatal(err)
 		}
-		if err := plainEng.ApplyAll(txns); err != nil {
+		if err := plainEng.ApplyAll(context.Background(), txns); err != nil {
 			t.Fatal(err)
 		}
-		if err := indexed.ApplyAll(txns); err != nil {
+		if err := indexed.ApplyAll(context.Background(), txns); err != nil {
 			t.Fatal(err)
 		}
 		if plainEng.ProvSize() != indexed.ProvSize() || plainEng.NumRows() != indexed.NumRows() {
@@ -508,10 +509,10 @@ func TestNormalFormProvenanceSmaller(t *testing.T) {
 	txns := randTxns(r, 4, 6)
 	naive := engine.New(engine.ModeNaive, initial)
 	nf := engine.New(engine.ModeNormalForm, initial)
-	if err := naive.ApplyAll(txns); err != nil {
+	if err := naive.ApplyAll(context.Background(), txns); err != nil {
 		t.Fatal(err)
 	}
-	if err := nf.ApplyAll(txns); err != nil {
+	if err := nf.ApplyAll(context.Background(), txns); err != nil {
 		t.Fatal(err)
 	}
 	if nf.ProvSize() > naive.ProvSize() {
@@ -526,12 +527,15 @@ func TestMinimizeAllPreservesLiveDB(t *testing.T) {
 	initial := randDB(r, 8)
 	txns := randTxns(r, 3, 4)
 	e := engine.New(engine.ModeNormalForm, initial)
-	if err := e.ApplyAll(txns); err != nil {
+	if err := e.ApplyAll(context.Background(), txns); err != nil {
 		t.Fatal(err)
 	}
 	before := engine.LiveDB(e)
 	sizeBefore := e.ProvSize()
-	sizeAfter := e.MinimizeAll()
+	sizeAfter, err := e.MinimizeAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if sizeAfter > sizeBefore {
 		t.Errorf("MinimizeAll grew provenance: %d -> %d", sizeBefore, sizeAfter)
 	}
@@ -549,10 +553,10 @@ func TestCopyOnWriteAblation(t *testing.T) {
 	txns := randTxns(r, 2, 5)
 	cow := engine.New(engine.ModeNaive, initial)
 	shared := engine.New(engine.ModeNaive, initial, engine.WithCopyOnWrite(false))
-	if err := cow.ApplyAll(txns); err != nil {
+	if err := cow.ApplyAll(context.Background(), txns); err != nil {
 		t.Fatal(err)
 	}
-	if err := shared.ApplyAll(txns); err != nil {
+	if err := shared.ApplyAll(context.Background(), txns); err != nil {
 		t.Fatal(err)
 	}
 	if cow.ProvSize() != shared.ProvSize() {
@@ -575,10 +579,10 @@ func TestEagerZeroAxiomsPreservesSemantics(t *testing.T) {
 	txns := randTxns(r, 2, 5)
 	raw := engine.New(engine.ModeNaive, initial)
 	eager := engine.New(engine.ModeNaive, initial, engine.WithEagerZeroAxioms(true))
-	if err := raw.ApplyAll(txns); err != nil {
+	if err := raw.ApplyAll(context.Background(), txns); err != nil {
 		t.Fatal(err)
 	}
-	if err := eager.ApplyAll(txns); err != nil {
+	if err := eager.ApplyAll(context.Background(), txns); err != nil {
 		t.Fatal(err)
 	}
 	if eager.ProvSize() > raw.ProvSize() {

@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -290,10 +291,10 @@ func TestSequenceEquivalenceAcrossTransactions(t *testing.T) {
 		for _, mode := range []engine.Mode{engine.ModeNaive, engine.ModeNormalForm} {
 			e1 := engine.New(mode, initial)
 			e2 := engine.New(mode, initial)
-			if err := e1.ApplyAll([]db.Transaction{pair.a, t2}); err != nil {
+			if err := e1.ApplyAll(context.Background(), []db.Transaction{pair.a, t2}); err != nil {
 				t.Fatal(err)
 			}
-			if err := e2.ApplyAll([]db.Transaction{pair.b, t2}); err != nil {
+			if err := e2.ApplyAll(context.Background(), []db.Transaction{pair.b, t2}); err != nil {
 				t.Fatal(err)
 			}
 			if !engine.LiveDB(e1).Equal(engine.LiveDB(e2)) {

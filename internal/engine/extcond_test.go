@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -96,7 +97,7 @@ func TestOracleLiveDBWithConds(t *testing.T) {
 		}
 		for _, mode := range []engine.Mode{engine.ModeNaive, engine.ModeNormalForm} {
 			e := engine.New(mode, initial)
-			if err := e.ApplyAll(txns); err != nil {
+			if err := e.ApplyAll(context.Background(), txns); err != nil {
 				t.Fatal(err)
 			}
 			if live := engine.LiveDB(e); !live.Equal(plain) {
@@ -130,7 +131,7 @@ func TestOracleDeletionPropagationWithConds(t *testing.T) {
 		}
 		for _, mode := range []engine.Mode{engine.ModeNaive, engine.ModeNormalForm} {
 			e := engine.New(mode, initial, engine.WithInitialAnnotations(annotOf))
-			if err := e.ApplyAll(txns); err != nil {
+			if err := e.ApplyAll(context.Background(), txns); err != nil {
 				t.Fatal(err)
 			}
 			got := engine.DeletionPropagation(e, annotOf("R", victim))
@@ -161,7 +162,7 @@ func TestOracleAbortWithConds(t *testing.T) {
 			}
 		}
 		e := engine.New(engine.ModeNormalForm, initial)
-		if err := e.ApplyAll(txns); err != nil {
+		if err := e.ApplyAll(context.Background(), txns); err != nil {
 			t.Fatal(err)
 		}
 		got := engine.AbortTransactions(e, txns[aborted].Label)

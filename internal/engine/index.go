@@ -25,7 +25,7 @@ func (e *Engine) BuildIndex(rel, attr string) error {
 	defer e.mu.Unlock()
 	tbl := e.tables[rel]
 	if tbl == nil {
-		return fmt.Errorf("engine: unknown relation %s", rel)
+		return fmt.Errorf("engine: %w %s", ErrUnknownRelation, rel)
 	}
 	col := tbl.rel.AttrIndex(attr)
 	if col < 0 {
@@ -53,23 +53,17 @@ func (e *Engine) indexAdd(tbl *table, r *row) {
 // relation's index when the pattern pins the indexed column to a
 // constant, and a full scan otherwise.
 func (e *Engine) scan(tbl *table, u db.Update) []*row {
-	matchable := func(r *row) bool {
-		if e.liveMatch {
-			return r.live
-		}
-		return r.inSupport(e.mode)
-	}
 	var out []*row
 	if ix := e.indexes[tbl.rel.Name]; ix != nil && u.Sel[ix.col].IsConst() {
 		for _, r := range ix.byValue[u.Sel[ix.col].Value()] {
-			if matchable(r) && u.MatchesTuple(r.tuple) {
+			if e.matchable(r) && u.MatchesTuple(r.tuple) {
 				out = append(out, r)
 			}
 		}
 		return out
 	}
 	for _, r := range tbl.list {
-		if matchable(r) && u.MatchesTuple(r.tuple) {
+		if e.matchable(r) && u.MatchesTuple(r.tuple) {
 			out = append(out, r)
 		}
 	}

@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -23,7 +24,7 @@ func TestLiveMatchingOracleLiveDB(t *testing.T) {
 		}
 		for _, mode := range []engine.Mode{engine.ModeNaive, engine.ModeNormalForm} {
 			e := engine.New(mode, initial, engine.WithLiveMatching(true))
-			if err := e.ApplyAll(txns); err != nil {
+			if err := e.ApplyAll(context.Background(), txns); err != nil {
 				t.Fatal(err)
 			}
 			if live := engine.LiveDB(e); !live.Equal(plain) {
@@ -57,7 +58,7 @@ func TestLiveMatchingDeletionPropagationStillExact(t *testing.T) {
 		}
 		e := engine.New(engine.ModeNormalForm, initial,
 			engine.WithLiveMatching(true), engine.WithInitialAnnotations(annotOf))
-		if err := e.ApplyAll(txns); err != nil {
+		if err := e.ApplyAll(context.Background(), txns); err != nil {
 			t.Fatal(err)
 		}
 		got := engine.DeletionPropagation(e, annotOf("R", victim))
@@ -91,7 +92,7 @@ func TestLiveMatchingLosesAbortInformation(t *testing.T) {
 
 	// Formal semantics: correct.
 	formal := engine.New(engine.ModeNormalForm, initial)
-	if err := formal.ApplyAll(txns); err != nil {
+	if err := formal.ApplyAll(context.Background(), txns); err != nil {
 		t.Fatal(err)
 	}
 	if got := engine.AbortTransactions(formal, "p"); !got.Equal(want) {
@@ -101,7 +102,7 @@ func TestLiveMatchingLosesAbortInformation(t *testing.T) {
 	// Live matching: T2 never touched the dead bike, so the abortion
 	// valuation misses the discounted tuple.
 	lm := engine.New(engine.ModeNormalForm, initial, engine.WithLiveMatching(true))
-	if err := lm.ApplyAll(txns); err != nil {
+	if err := lm.ApplyAll(context.Background(), txns); err != nil {
 		t.Fatal(err)
 	}
 	got := engine.AbortTransactions(lm, "p")
@@ -138,11 +139,11 @@ func TestLiveMatchingBoundsProvenanceGrowth(t *testing.T) {
 		})
 	}
 	formal := engine.New(engine.ModeNormalForm, initial)
-	if err := formal.ApplyAll(txns); err != nil {
+	if err := formal.ApplyAll(context.Background(), txns); err != nil {
 		t.Fatal(err)
 	}
 	lm := engine.New(engine.ModeNormalForm, initial, engine.WithLiveMatching(true))
-	if err := lm.ApplyAll(txns); err != nil {
+	if err := lm.ApplyAll(context.Background(), txns); err != nil {
 		t.Fatal(err)
 	}
 	if formal.ProvSize() < 10*lm.ProvSize() {

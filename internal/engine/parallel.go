@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -8,71 +9,18 @@ import (
 	"hyperprov/internal/upstruct"
 )
 
-// SpecializeParallel is Specialize with row evaluation spread over
-// workers goroutines (0 = GOMAXPROCS). Expressions are immutable and
-// the structure's operations must be pure, so evaluation parallelizes
-// trivially; f is called from multiple goroutines and must be safe for
-// concurrent use (or accumulate per-shard as BoolRestrictParallel does).
-// This is a beyond-the-paper extension: provenance usage is the
-// measurement of Figures 7c/8c, and valuation is embarrassingly
-// parallel, unlike the re-execution baseline.
-func SpecializeParallel[T any](e *Engine, s upstruct.Structure[T], env upstruct.Env[T], workers int, f func(rel string, t db.Tuple, v T)) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if workers == 1 {
-		specialize(e, s, env, f)
-		return
-	}
-	var wg sync.WaitGroup
-	for _, rel := range e.schema.Names() {
-		tbl := e.tables[rel]
-		rows := tbl.list
-		chunk := (len(rows) + workers - 1) / workers
-		if chunk == 0 {
-			continue
-		}
-		for start := 0; start < len(rows); start += chunk {
-			end := start + chunk
-			if end > len(rows) {
-				end = len(rows)
-			}
-			wg.Add(1)
-			go func(rel string, part []*row) {
-				defer wg.Done()
-				for _, r := range part {
-					var v T
-					if e.mode == ModeNaive {
-						v = upstruct.Eval(r.expr, s, env)
-					} else {
-						v = upstruct.EvalNF(r.nf, s, env)
-					}
-					f(rel, r.tuple, v)
-				}
-			}(rel, rows[start:end])
-		}
-	}
-	wg.Wait()
+// rowChunk is one relation-homogeneous slice of rows handed to a
+// specialization worker.
+type rowChunk struct {
+	rel  string
+	rows []*row
 }
 
-// BoolRestrictParallel materializes the database selected by a Boolean
-// valuation using parallel evaluation. Workers accumulate hits into
-// private buffers (no shared state on the hot path) that are merged at
-// the end. env must be safe for concurrent use (pure functions and
-// MapEnv lookups are).
-func BoolRestrictParallel(e *Engine, env upstruct.Env[bool], workers int) *db.Database {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	type chunk struct {
-		rel  string
-		rows []*row
-	}
-	var chunks []chunk
+// chunksLocked splits every relation's row list into up to workers
+// pieces, in deterministic order (schema order, then row order within
+// the relation). The caller holds e.mu.
+func (e *Engine) chunksLocked(workers int) []rowChunk {
+	var chunks []rowChunk
 	for _, rel := range e.schema.Names() {
 		rows := e.tables[rel].list
 		per := (len(rows) + workers - 1) / workers
@@ -80,16 +28,148 @@ func BoolRestrictParallel(e *Engine, env upstruct.Env[bool], workers int) *db.Da
 			continue
 		}
 		for start := 0; start < len(rows); start += per {
-			end := start + per
-			if end > len(rows) {
-				end = len(rows)
-			}
-			chunks = append(chunks, chunk{rel: rel, rows: rows[start:end]})
+			end := min(start+per, len(rows))
+			chunks = append(chunks, rowChunk{rel: rel, rows: rows[start:end]})
 		}
 	}
+	return chunks
+}
+
+// chunksLocked splits the shard-merged row lists (global insertion
+// order) into up to workers pieces per relation. The caller holds all
+// shard locks.
+func (se *ShardedEngine) chunksLocked(workers int) []rowChunk {
+	var chunks []rowChunk
+	for _, rel := range se.schema.Names() {
+		rows := se.mergedRowsLocked(rel)
+		per := (len(rows) + workers - 1) / workers
+		if per == 0 {
+			continue
+		}
+		for start := 0; start < len(rows); start += per {
+			end := min(start+per, len(rows))
+			chunks = append(chunks, rowChunk{rel: rel, rows: rows[start:end]})
+		}
+	}
+	return chunks
+}
+
+// SpecializeParallel is Specialize with row evaluation spread over
+// workers goroutines (0 = GOMAXPROCS). Expressions are immutable and
+// the structure's operations must be pure, so evaluation parallelizes
+// trivially; f is called from multiple goroutines and must be safe for
+// concurrent use (or accumulate per-chunk as BoolRestrictParallel
+// does). ctx is checked at chunk boundaries before dispatch; on
+// cancellation the pass stops early — chunks already dispatched still
+// complete — and ctx.Err() is returned. This is a beyond-the-paper
+// extension: provenance usage is the measurement of Figures 7c/8c, and
+// valuation is embarrassingly parallel, unlike the re-execution
+// baseline.
+func SpecializeParallel[T any](ctx context.Context, e DB, s upstruct.Structure[T], env upstruct.Env[T], workers int, f func(rel string, t db.Tuple, v T)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	switch v := e.(type) {
+	case *Engine:
+		v.mu.RLock()
+		defer v.mu.RUnlock()
+		if workers == 1 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			specialize(v, s, env, f)
+			return nil
+		}
+		return specializeChunks(ctx, v.chunksLocked(workers), v.mode, s, env, f)
+	case *ShardedEngine:
+		v.rlockAll()
+		defer v.runlockAll()
+		if workers == 1 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			specializeSharded(v, s, env, f)
+			return nil
+		}
+		return specializeChunks(ctx, v.chunksLocked(workers), v.mode, s, env, f)
+	default:
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		Specialize(e, s, env, f)
+		return nil
+	}
+}
+
+func specializeChunks[T any](ctx context.Context, chunks []rowChunk, mode Mode, s upstruct.Structure[T], env upstruct.Env[T], f func(rel string, t db.Tuple, v T)) error {
+	var wg sync.WaitGroup
+	for i := range chunks {
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		go func(c rowChunk) {
+			defer wg.Done()
+			for _, r := range c.rows {
+				var v T
+				if mode == ModeNaive {
+					v = upstruct.Eval(r.expr, s, env)
+				} else {
+					v = upstruct.EvalNF(r.nf, s, env)
+				}
+				f(c.rel, r.tuple, v)
+			}
+		}(chunks[i])
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// BoolRestrictParallel materializes the database selected by a Boolean
+// valuation using parallel evaluation. Workers accumulate hits into
+// private buffers (no shared state on the hot path) that are merged in
+// chunk order at the end, so the result's insertion order matches the
+// sequential BoolRestrict on either engine. env must be safe for
+// concurrent use (pure functions and MapEnv lookups are). ctx is
+// checked at chunk boundaries; on cancellation, (nil, ctx.Err()) is
+// returned.
+func BoolRestrictParallel(ctx context.Context, e DB, env upstruct.Env[bool], workers int) (*db.Database, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var (
+		chunks []rowChunk
+		mode   Mode
+		unlock func()
+	)
+	switch v := e.(type) {
+	case *Engine:
+		v.mu.RLock()
+		unlock = v.mu.RUnlock
+		chunks, mode = v.chunksLocked(workers), v.mode
+	case *ShardedEngine:
+		v.rlockAll()
+		unlock = v.runlockAll
+		chunks, mode = v.chunksLocked(workers), v.mode
+	default:
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return BoolRestrict(e, env), nil
+	}
+	defer unlock()
 	hits := make([][]db.Tuple, len(chunks))
 	var wg sync.WaitGroup
 	for i := range chunks {
+		if ctx.Err() != nil {
+			break
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
@@ -97,7 +177,7 @@ func BoolRestrictParallel(e *Engine, env upstruct.Env[bool], workers int) *db.Da
 			local := make([]db.Tuple, 0, len(c.rows))
 			for _, r := range c.rows {
 				var v bool
-				if e.mode == ModeNaive {
+				if mode == ModeNaive {
 					v = upstruct.Eval(r.expr, upstruct.Bool, env)
 				} else {
 					v = upstruct.EvalNF(r.nf, upstruct.Bool, env)
@@ -110,11 +190,14 @@ func BoolRestrictParallel(e *Engine, env upstruct.Env[bool], workers int) *db.Da
 		}(i)
 	}
 	wg.Wait()
-	out := db.NewDatabase(e.schema)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := db.NewDatabase(e.Schema())
 	for i, c := range chunks {
 		for _, t := range hits[i] {
 			_ = out.InsertTuple(c.rel, t)
 		}
 	}
-	return out
+	return out, nil
 }

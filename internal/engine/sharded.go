@@ -1,0 +1,695 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"hyperprov/internal/core"
+	"hyperprov/internal/db"
+)
+
+// ShardedEngine partitions every relation's rows across N shards by
+// FNV hash of the row key (db.ShardOf over db.Tuple.Key). Each shard is
+// a full Engine — its own table maps behind its own RWMutex — so shards
+// are independent lock domains and transactions touching disjoint
+// shards apply concurrently.
+//
+// Updates route by constraint analysis (db.Update.RouteKeys): an update
+// whose =-constant constraints pin the key attributes goes to exactly
+// one shard, where the pinned selection degenerates to a map lookup
+// instead of the paper's relation scan; all other updates — free
+// variables, ≠ constraints, key-modifying +M — fan out to all shards in
+// parallel. Theorem 5.3 locality makes the fan-out sound: each row's
+// normal form depends only on that row's annotation and the query
+// annotation, never on other rows, so disjoint partitions maintain it
+// independently. The one cross-row construct, the Σ over a
+// modification's sources, is merged by the coordinator in global row
+// order before the targets absorb it, reproducing the single engine's
+// Σ summand order exactly.
+//
+// Equivalence contract (checked by the differential tests): for the
+// same initial database and transaction log, a ShardedEngine holds
+// row-for-row identical annotations to a single Engine — the same
+// interned expression pointers — streams rows in the same order, and
+// produces byte-identical snapshots, for any shard count. The mechanism
+// is a global row sequence number: rows of transaction k carry
+// seq = k<<32 | i (i counting creations within the transaction, in
+// update order), so merging the per-shard lists by seq reconstructs the
+// insertion order a single engine would have used, independent of how
+// transactions were scheduled across shards.
+type ShardedEngine struct {
+	mode   Mode
+	schema *db.Schema
+	shards []*Engine
+	all    []int // 0..len(shards)-1, the fan-out shard set
+
+	// epoch numbers transactions (and snapshot restores) in dispatch
+	// order; it is the high half of every row sequence number.
+	epoch atomic.Uint64
+
+	routedTxns     atomic.Uint64 // pinned to a single shard
+	rendezvousTxns atomic.Uint64 // pinned, spanning several shards
+	fanoutTxns     atomic.Uint64 // evaluated against every shard
+}
+
+// NewSharded builds a hash-sharded engine from an initial database.
+// The shard count comes from WithShards (minimum 1). Initial tuples are
+// annotated in the single engine's order — relations in schema order,
+// tuples in sorted-key order — so annotation names are independent of
+// the shard count.
+func NewSharded(mode Mode, initial *db.Database, opts ...Option) *ShardedEngine {
+	cfg := newConfig(opts)
+	schema := initial.Schema()
+	se := &ShardedEngine{mode: mode, schema: schema}
+	for i := 0; i < cfg.shards; i++ {
+		se.shards = append(se.shards, newShell(mode, schema, cfg))
+	}
+	se.all = make([]int, cfg.shards)
+	for i := range se.all {
+		se.all[i] = i
+	}
+	var seq uint64
+	for _, name := range schema.Names() {
+		for _, t := range initial.Instance(name).Tuples() {
+			a := se.shards[0].freshAnnot(name, t)
+			r := newRow(mode, t, core.Var(a))
+			r.seq = seq
+			seq++
+			sh := se.shardForKey(t.Key())
+			sh.tables[name].add(t.Key(), r)
+		}
+	}
+	return se
+}
+
+// Mode reports the provenance representation in use.
+func (se *ShardedEngine) Mode() Mode { return se.mode }
+
+// Schema returns the database schema.
+func (se *ShardedEngine) Schema() *db.Schema { return se.schema }
+
+// Relations returns the relation names in schema order.
+func (se *ShardedEngine) Relations() []string { return se.schema.Names() }
+
+// NumShards reports the number of shards.
+func (se *ShardedEngine) NumShards() int { return len(se.shards) }
+
+func (se *ShardedEngine) shardForKey(key string) *Engine {
+	return se.shards[db.ShardOf(key, len(se.shards))]
+}
+
+// lockShards/unlockShards take the write locks of a sorted shard set in
+// ascending order (the global lock order; keeps concurrent multi-shard
+// transactions deadlock-free).
+func (se *ShardedEngine) lockShards(shards []int) {
+	for _, si := range shards {
+		se.shards[si].mu.Lock()
+	}
+}
+
+func (se *ShardedEngine) unlockShards(shards []int) {
+	for _, si := range shards {
+		se.shards[si].mu.Unlock()
+	}
+}
+
+func (se *ShardedEngine) rlockAll() {
+	for _, sh := range se.shards {
+		sh.mu.RLock()
+	}
+}
+
+func (se *ShardedEngine) runlockAll() {
+	for _, sh := range se.shards {
+		sh.mu.RUnlock()
+	}
+}
+
+// analyze classifies a transaction: the sorted set of shards it can
+// touch, and whether constraint analysis pinned every update (pinned
+// = routable; otherwise the set is all shards and updates fan out).
+func (se *ShardedEngine) analyze(t *db.Transaction) (shards []int, pinned bool) {
+	seen := make(map[int]struct{})
+	for i := range t.Updates {
+		keys, ok := t.Updates[i].RouteKeys()
+		if !ok {
+			return se.all, false
+		}
+		for _, k := range keys {
+			seen[db.ShardOf(k, len(se.shards))] = struct{}{}
+		}
+	}
+	if len(seen) == 0 {
+		// An empty transaction still needs a shard to record Begin/End.
+		return []int{0}, true
+	}
+	shards = make([]int, 0, len(seen))
+	for si := range seen {
+		shards = append(shards, si)
+	}
+	sort.Ints(shards)
+	return shards, true
+}
+
+func (se *ShardedEngine) countTxn(shards []int, pinned bool) {
+	switch {
+	case !pinned:
+		se.fanoutTxns.Add(1)
+	case len(shards) == 1:
+		se.routedTxns.Add(1)
+	default:
+		se.rendezvousTxns.Add(1)
+	}
+}
+
+// execLocked applies one transaction to the given shard set; the caller
+// holds every involved shard's write lock. Begin/End bracket the
+// transaction on every involved shard, so normal-form freezing stays
+// per-shard consistent, and a shared sequence closure numbers the rows
+// created by the transaction in update order.
+func (se *ShardedEngine) execLocked(t *db.Transaction, shards []int, epoch uint64) error {
+	var local uint64
+	next := func() uint64 {
+		s := epoch<<32 | local
+		local++
+		return s
+	}
+	for _, si := range shards {
+		sh := se.shards[si]
+		sh.nextSeq = next
+		sh.Begin(t.Label)
+	}
+	var err error
+	for i := range t.Updates {
+		if aerr := se.applyUpdateLocked(t.Updates[i], shards); aerr != nil {
+			err = fmt.Errorf("transaction %s, query %d: %w", t.Label, i, aerr)
+			break
+		}
+	}
+	for _, si := range shards {
+		sh := se.shards[si]
+		sh.End()
+		sh.nextSeq = nil
+	}
+	return err
+}
+
+// applyUpdateLocked routes one update: pinned updates touch exactly the
+// rows named by their keys (point lookups); unpinned ones fan out over
+// the shard set in parallel.
+func (se *ShardedEngine) applyUpdateLocked(u db.Update, shards []int) error {
+	if se.schema.Relation(u.Rel) == nil {
+		return fmt.Errorf("engine: %w %s", ErrUnknownRelation, u.Rel)
+	}
+	keys, pinned := u.RouteKeys()
+	switch u.Kind {
+	case db.OpInsert:
+		sh := se.shardForKey(keys[0])
+		sh.applyInsert(sh.tables[u.Rel], u)
+		return nil
+	case db.OpDelete:
+		if pinned {
+			sh := se.shardForKey(keys[0])
+			if r := sh.lookupPinned(sh.tables[u.Rel], u, keys[0]); r != nil {
+				sh.deleteRow(r)
+			}
+			return nil
+		}
+		se.fanDelete(u, shards)
+		return nil
+	case db.OpModify:
+		if pinned {
+			sh := se.shardForKey(keys[0])
+			if r := sh.lookupPinned(sh.tables[u.Rel], u, keys[0]); r != nil {
+				se.modifyAcross(u, []shardSource{{sh: sh, r: r}})
+			}
+			return nil
+		}
+		se.fanModify(u, shards)
+		return nil
+	default:
+		return fmt.Errorf("engine: unknown update kind %v", u.Kind)
+	}
+}
+
+// fanDelete applies an unpinned deletion on every shard of the set in
+// parallel; deletions touch rows in place, so shards need no
+// coordination beyond the locks already held.
+func (se *ShardedEngine) fanDelete(u db.Update, shards []int) {
+	if len(shards) == 1 {
+		sh := se.shards[shards[0]]
+		sh.applyDelete(sh.tables[u.Rel], u)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, si := range shards {
+		wg.Add(1)
+		go func(sh *Engine) {
+			defer wg.Done()
+			sh.applyDelete(sh.tables[u.Rel], u)
+		}(se.shards[si])
+	}
+	wg.Wait()
+}
+
+// shardSource is one modification source row together with the shard
+// holding it.
+type shardSource struct {
+	sh *Engine
+	r  *row
+}
+
+// fanModify evaluates an unpinned modification: every shard scans its
+// partition in parallel, then the coordinator merges the matched
+// sources by global row order and applies the modification across
+// shards.
+func (se *ShardedEngine) fanModify(u db.Update, shards []int) {
+	per := make([][]*row, len(shards))
+	if len(shards) == 1 {
+		sh := se.shards[shards[0]]
+		per[0] = sh.scan(sh.tables[u.Rel], u)
+	} else {
+		var wg sync.WaitGroup
+		for i, si := range shards {
+			wg.Add(1)
+			go func(i int, sh *Engine) {
+				defer wg.Done()
+				per[i] = sh.scan(sh.tables[u.Rel], u)
+			}(i, se.shards[si])
+		}
+		wg.Wait()
+	}
+	var sources []shardSource
+	for i, si := range shards {
+		sh := se.shards[si]
+		for _, r := range per[i] {
+			sources = append(sources, shardSource{sh: sh, r: r})
+		}
+	}
+	// Merge to the single engine's scan order: row sequence numbers are
+	// globally unique, so this order is total and deterministic.
+	sort.Slice(sources, func(i, j int) bool { return sources[i].r.seq < sources[j].r.seq })
+	se.modifyAcross(u, sources)
+}
+
+// modifyAcross runs a modification over source rows that may live on
+// different shards from their targets: capture every source's
+// contribution (in global row order), delete the sources, then route
+// each target group to the shard owning the target key and absorb —
+// the same capture/delete/absorb sequence as the single engine's
+// applyModify, so Σ summand order and the self-map shape come out
+// identical.
+func (se *ShardedEngine) modifyAcross(u db.Update, sources []shardSource) {
+	if len(sources) == 0 {
+		return
+	}
+	pe := core.Var(sources[0].sh.cur)
+	groups := make(map[string]*modGroup)
+	var order []string
+	for _, s := range sources {
+		target := u.Target(s.r.tuple)
+		key := target.Key()
+		g := groups[key]
+		if g == nil {
+			g = &modGroup{target: target}
+			groups[key] = g
+			order = append(order, key)
+		}
+		s.sh.captureContribution(g, s.r)
+	}
+	for _, s := range sources {
+		s.sh.deleteRow(s.r)
+	}
+	for _, key := range order {
+		sh := se.shardForKey(key)
+		sh.absorbModTarget(sh.tables[u.Rel], groups[key], key, pe)
+	}
+}
+
+// ApplyTransaction runs a whole transaction under the write locks of
+// exactly the shards it can touch; transactions over disjoint shards
+// proceed concurrently.
+func (se *ShardedEngine) ApplyTransaction(t *db.Transaction) error {
+	shards, pinned := se.analyze(t)
+	se.countTxn(shards, pinned)
+	epoch := se.epoch.Add(1)
+	se.lockShards(shards)
+	defer se.unlockShards(shards)
+	return se.execLocked(t, shards, epoch)
+}
+
+// shardTask is one transaction in flight through the ApplyAll worker
+// pool.
+type shardTask struct {
+	txn    *db.Transaction
+	epoch  uint64
+	shards []int
+	// pending counts the involved workers that have not yet reached the
+	// task; the last one to arrive executes it (the per-transaction
+	// epoch barrier), then closes done.
+	pending atomic.Int32
+	done    chan struct{}
+}
+
+// ApplyAll pipelines a batch of transactions through one worker per
+// shard. The dispatcher classifies each transaction in log order and
+// enqueues it on every involved shard's queue: single-shard
+// transactions execute on their shard's worker alone, so streaks
+// bound for different shards apply in parallel; multi-shard and
+// fan-out transactions rendezvous — the last involved worker to reach
+// the task executes it holding all involved write locks, which
+// preserves per-shard log order (every queue is FIFO and dispatch
+// order is the log order).
+//
+// ctx is checked before each dispatch; on cancellation or error,
+// transactions already dispatched still complete, and the first error
+// in dispatch order is returned. Per-shard routing statistics merge
+// deterministically (see Stats) because classification happens on the
+// dispatcher, in log order.
+func (se *ShardedEngine) ApplyAll(ctx context.Context, txns []db.Transaction) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := len(se.shards)
+	if n == 1 {
+		for i := range txns {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := se.ApplyTransaction(&txns[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		errMu      sync.Mutex
+		firstErr   error
+		firstEpoch uint64
+	)
+	fail := func(epoch uint64, err error) {
+		errMu.Lock()
+		if firstErr == nil || epoch < firstEpoch {
+			firstErr, firstEpoch = err, epoch
+		}
+		errMu.Unlock()
+	}
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr != nil
+	}
+
+	queues := make([]chan *shardTask, n)
+	for i := range queues {
+		queues[i] = make(chan *shardTask, 64)
+	}
+	var wg sync.WaitGroup
+	for si := 0; si < n; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			for tk := range queues[si] {
+				if len(tk.shards) == 1 {
+					if failed() {
+						continue
+					}
+					sh := se.shards[si]
+					sh.mu.Lock()
+					err := se.execLocked(tk.txn, tk.shards, tk.epoch)
+					sh.mu.Unlock()
+					if err != nil {
+						fail(tk.epoch, err)
+					}
+					continue
+				}
+				if tk.pending.Add(-1) > 0 {
+					// Other involved workers have not reached the barrier;
+					// wait for the last of them to execute the transaction.
+					<-tk.done
+					continue
+				}
+				if !failed() {
+					se.lockShards(tk.shards)
+					err := se.execLocked(tk.txn, tk.shards, tk.epoch)
+					se.unlockShards(tk.shards)
+					if err != nil {
+						fail(tk.epoch, err)
+					}
+				}
+				close(tk.done)
+			}
+		}(si)
+	}
+
+	for i := range txns {
+		if ctx.Err() != nil || failed() {
+			break
+		}
+		shards, pinned := se.analyze(&txns[i])
+		se.countTxn(shards, pinned)
+		tk := &shardTask{txn: &txns[i], epoch: se.epoch.Add(1), shards: shards}
+		if len(shards) > 1 {
+			tk.pending.Store(int32(len(shards)))
+			tk.done = make(chan struct{})
+		}
+		for _, si := range shards {
+			queues[si] <- tk
+		}
+	}
+	for _, q := range queues {
+		close(q)
+	}
+	wg.Wait()
+
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// RestoreRow stores a tuple with an explicit annotation on the shard
+// owning its key (see Engine.RestoreRow).
+func (se *ShardedEngine) RestoreRow(rel string, t db.Tuple, ann *core.Expr) error {
+	sh := se.shardForKey(t.Key())
+	epoch := se.epoch.Add(1)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.nextSeq = func() uint64 { return epoch << 32 }
+	err := sh.restoreRowLocked(rel, t, ann)
+	sh.nextSeq = nil
+	return err
+}
+
+// BuildIndex creates the hash index on every shard's partition of the
+// relation.
+func (se *ShardedEngine) BuildIndex(rel, attr string) error {
+	for _, sh := range se.shards {
+		if err := sh.BuildIndex(rel, attr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Annotation returns the provenance expression of the tuple, from the
+// shard owning its key.
+func (se *ShardedEngine) Annotation(rel string, t db.Tuple) *core.Expr {
+	return se.shardForKey(t.Key()).Annotation(rel, t)
+}
+
+// NF returns the normal-form value of the tuple in ModeNormalForm, or
+// nil.
+func (se *ShardedEngine) NF(rel string, t db.Tuple) *core.NF {
+	return se.shardForKey(t.Key()).NF(rel, t)
+}
+
+// mergedRowsLocked returns every stored row of the relation across all
+// shards, ordered by global sequence number — exactly the insertion
+// order of the equivalent single engine. Callers hold all shard locks.
+func (se *ShardedEngine) mergedRowsLocked(rel string) []*row {
+	total := 0
+	for _, sh := range se.shards {
+		total += len(sh.tables[rel].list)
+	}
+	out := make([]*row, 0, total)
+	for _, sh := range se.shards {
+		out = append(out, sh.tables[rel].list...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+func (se *ShardedEngine) eachRowLocked(rel string, f func(t db.Tuple, ann *core.Expr)) {
+	if se.schema.Relation(rel) == nil {
+		return
+	}
+	for _, r := range se.mergedRowsLocked(rel) {
+		if se.mode == ModeNaive {
+			f(r.tuple, r.expr)
+		} else {
+			f(r.tuple, r.nf.ToExpr())
+		}
+	}
+}
+
+// EachRow calls f for every stored row of the relation in the same
+// deterministic order as the single engine (global insertion order,
+// merged across shards). All shard read locks are held for the pass.
+func (se *ShardedEngine) EachRow(rel string, f func(t db.Tuple, ann *core.Expr)) {
+	se.rlockAll()
+	defer se.runlockAll()
+	se.eachRowLocked(rel, f)
+}
+
+// Rows calls f for every stored row of every relation — relations in
+// schema order, rows in global insertion order — under all shard read
+// locks, so the visited rows form one consistent cut across shards.
+func (se *ShardedEngine) Rows(f func(rel string, t db.Tuple, ann *core.Expr)) {
+	se.rlockAll()
+	defer se.runlockAll()
+	for _, rel := range se.schema.Names() {
+		name := rel
+		se.eachRowLocked(name, func(t db.Tuple, ann *core.Expr) { f(name, t, ann) })
+	}
+}
+
+// perShardInt64 evaluates f on every shard concurrently (the caller
+// holds all shard locks) and returns the per-shard results in shard
+// order — a deterministic merge regardless of completion order.
+func (se *ShardedEngine) perShardInt64(f func(sh *Engine) int64) []int64 {
+	out := make([]int64, len(se.shards))
+	var wg sync.WaitGroup
+	for i, sh := range se.shards {
+		wg.Add(1)
+		go func(i int, sh *Engine) {
+			defer wg.Done()
+			out[i] = f(sh)
+		}(i, sh)
+	}
+	wg.Wait()
+	return out
+}
+
+// NumRows reports the total number of stored rows across all shards.
+func (se *ShardedEngine) NumRows() int {
+	se.rlockAll()
+	defer se.runlockAll()
+	var n int64
+	for _, c := range se.perShardInt64(func(sh *Engine) int64 { return int64(sh.numRowsLocked()) }) {
+		n += c
+	}
+	return int(n)
+}
+
+// SupportSize reports the number of rows whose annotation is not
+// syntactically zero, shard-parallel.
+func (se *ShardedEngine) SupportSize() int {
+	se.rlockAll()
+	defer se.runlockAll()
+	var n int64
+	for _, c := range se.perShardInt64(func(sh *Engine) int64 { return int64(sh.supportSizeLocked()) }) {
+		n += c
+	}
+	return int(n)
+}
+
+// ProvSize reports the total provenance tree size, shard-parallel.
+func (se *ShardedEngine) ProvSize() int64 {
+	se.rlockAll()
+	defer se.runlockAll()
+	var n int64
+	for _, c := range se.perShardInt64(func(sh *Engine) int64 { return sh.provSizeLocked() }) {
+		n += c
+	}
+	return n
+}
+
+// ProvDAGSize reports the number of distinct expression nodes backing
+// all annotations: shards count their partitions in parallel into
+// private seen sets, whose union dedupes nodes shared across shards.
+func (se *ShardedEngine) ProvDAGSize() int64 {
+	se.rlockAll()
+	defer se.runlockAll()
+	sets := make([]map[*core.Expr]struct{}, len(se.shards))
+	var wg sync.WaitGroup
+	for i, sh := range se.shards {
+		wg.Add(1)
+		go func(i int, sh *Engine) {
+			defer wg.Done()
+			sets[i] = make(map[*core.Expr]struct{})
+			sh.provDAGSizeLocked(sets[i])
+		}(i, sh)
+	}
+	wg.Wait()
+	union := sets[0]
+	for _, s := range sets[1:] {
+		for x := range s {
+			union[x] = struct{}{}
+		}
+	}
+	return int64(len(union))
+}
+
+// MinimizeAll minimizes every shard's partition in parallel under all
+// write locks; ctx is checked at shard boundaries (each shard checks
+// between its relations). The per-shard sizes merge by summation —
+// deterministic regardless of completion order.
+func (se *ShardedEngine) MinimizeAll(ctx context.Context) (int64, error) {
+	se.lockShards(se.all)
+	defer se.unlockShards(se.all)
+	errs := make([]error, len(se.shards))
+	sizes := make([]int64, len(se.shards))
+	var wg sync.WaitGroup
+	for i, sh := range se.shards {
+		wg.Add(1)
+		go func(i int, sh *Engine) {
+			defer wg.Done()
+			sizes[i], errs[i] = sh.minimizeAllLocked(ctx)
+		}(i, sh)
+	}
+	wg.Wait()
+	var n int64
+	for _, s := range sizes {
+		n += s
+	}
+	for _, err := range errs {
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ShardedStats summarizes routing decisions and the row distribution.
+type ShardedStats struct {
+	Shards     int
+	Routed     uint64 // transactions pinned to a single shard
+	Rendezvous uint64 // pinned transactions spanning several shards
+	FanOut     uint64 // transactions evaluated against every shard
+	// RowsPerShard lists stored-row counts in shard order.
+	RowsPerShard []int
+}
+
+// Stats reports routing counters and per-shard row counts, merged in
+// shard order (deterministic for a quiescent engine).
+func (se *ShardedEngine) Stats() ShardedStats {
+	st := ShardedStats{
+		Shards:     len(se.shards),
+		Routed:     se.routedTxns.Load(),
+		Rendezvous: se.rendezvousTxns.Load(),
+		FanOut:     se.fanoutTxns.Load(),
+	}
+	st.RowsPerShard = make([]int, len(se.shards))
+	for i, sh := range se.shards {
+		st.RowsPerShard[i] = sh.NumRows()
+	}
+	return st
+}

@@ -1,6 +1,7 @@
 package parser_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -128,7 +129,7 @@ DELETE FROM Products WHERE Category = 'Fashion';
 	}
 	// The parsed log reproduces the Figure 4 result through the engine.
 	e := engine.New(engine.ModeNormalForm, initialDB(t))
-	if err := e.ApplyAll(txns); err != nil {
+	if err := e.ApplyAll(context.Background(), txns); err != nil {
 		t.Fatal(err)
 	}
 	live := engine.LiveDB(e)
@@ -235,7 +236,7 @@ ProductsM,pp(a, "Sport", c -> a, "Sport", 50):-
 	}
 	// And the engine agrees with the hand-built Figure 2 transactions.
 	e := engine.New(engine.ModeNaive, initialDB(t))
-	if err := e.ApplyAll(txns); err != nil {
+	if err := e.ApplyAll(context.Background(), txns); err != nil {
 		t.Fatal(err)
 	}
 	bike := db.Tuple{db.S("Kids mnt bike"), db.S("Sport"), db.I(50)}

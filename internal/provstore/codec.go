@@ -108,6 +108,14 @@ func (e *Encoder) add(x *core.Expr) uint64 {
 	e.next++
 	e.ptr[x] = id
 	e.index[h] = append(e.index[h], dedupEntry{expr: x, id: id})
+	e.emit(x, kids)
+	return id
+}
+
+// emit writes one table node whose children already have the given
+// global ids. Both the recursive add path and the parallel merge path
+// (addFlat) funnel through here, so the wire format is defined once.
+func (e *Encoder) emit(x *core.Expr, kids []uint64) {
 	switch x.Op() {
 	case core.OpZero:
 		e.byte(tagZero)
@@ -134,6 +142,31 @@ func (e *Encoder) add(x *core.Expr) uint64 {
 			e.err = fmt.Errorf("provstore: unknown op %v", x.Op())
 		}
 	}
+}
+
+// addFlat registers and emits a node whose children are already in the
+// table under the given global ids, deduplicating against everything
+// emitted so far exactly like add. It is the merge half of the parallel
+// snapshot encoder: workers pre-walk their expressions into local node
+// lists (children-first), and replaying those lists through addFlat in
+// chunk order assigns the same ids — hence the same bytes — as a
+// sequential add over the same expressions.
+func (e *Encoder) addFlat(x *core.Expr, kids []uint64) uint64 {
+	if id, ok := e.ptr[x]; ok {
+		return id
+	}
+	h := x.Hash()
+	for _, prev := range e.index[h] {
+		if prev.expr == x || prev.expr.Equal(x) {
+			e.ptr[x] = prev.id
+			return prev.id
+		}
+	}
+	id := e.next
+	e.next++
+	e.ptr[x] = id
+	e.index[h] = append(e.index[h], dedupEntry{expr: x, id: id})
+	e.emit(x, kids)
 	return id
 }
 

@@ -2,6 +2,7 @@ package provstore_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"hyperprov/internal/engine"
@@ -9,7 +10,7 @@ import (
 	"hyperprov/internal/workload"
 )
 
-func snapshotBytes(t *testing.T, e *engine.Engine) []byte {
+func snapshotBytes(t *testing.T, e engine.DB) []byte {
 	t.Helper()
 	var buf bytes.Buffer
 	if err := provstore.SaveSnapshot(&buf, e); err != nil {
@@ -34,7 +35,7 @@ func TestSnapshotBytesDeterministic(t *testing.T) {
 	for _, mode := range []engine.Mode{engine.ModeNaive, engine.ModeNormalForm} {
 		t.Run(mode.String(), func(t *testing.T) {
 			e := engine.New(mode, initial)
-			if err := e.ApplyAll(txns); err != nil {
+			if err := e.ApplyAll(context.Background(), txns); err != nil {
 				t.Fatal(err)
 			}
 

@@ -1,0 +1,124 @@
+package provstore
+
+import (
+	"sync"
+
+	"hyperprov/internal/core"
+)
+
+// Parallel node-table construction. Workers pre-walk disjoint chunks of
+// the annotation list into local node tables — each a children-first
+// first-visit ordering of the chunk's expression DAG, deduplicated
+// locally — and a sequential merge replays the local lists in chunk
+// order through Encoder.addFlat. Because the merge deduplicates against
+// everything already emitted and visits nodes in exactly the order a
+// sequential encode of the same annotation list would first reach them,
+// the assigned ids, the node table, and hence the snapshot bytes are
+// identical to the sequential encoder's.
+
+// localNode is one node of a worker's private table; kids are local
+// ids, remapped to global ids during the merge.
+type localNode struct {
+	expr *core.Expr
+	kids []int
+}
+
+type localDedup struct {
+	expr *core.Expr
+	id   int
+}
+
+type localTable struct {
+	nodes []localNode
+	ptr   map[*core.Expr]int
+	index map[uint64][]localDedup
+	roots []int // local root id per annotation of the chunk
+}
+
+func buildLocal(anns []*core.Expr) *localTable {
+	lt := &localTable{
+		ptr:   make(map[*core.Expr]int),
+		index: make(map[uint64][]localDedup),
+	}
+	for _, ann := range anns {
+		lt.roots = append(lt.roots, lt.add(ann))
+	}
+	return lt
+}
+
+// add mirrors Encoder.add — pointer fast path, fingerprint-bucket
+// fallback, children first — without emitting any bytes.
+func (lt *localTable) add(x *core.Expr) int {
+	if id, ok := lt.ptr[x]; ok {
+		return id
+	}
+	h := x.Hash()
+	for _, prev := range lt.index[h] {
+		if prev.expr == x || prev.expr.Equal(x) {
+			lt.ptr[x] = prev.id
+			return prev.id
+		}
+	}
+	var kids []int
+	if n := x.NumChildren(); n > 0 {
+		kids = make([]int, n)
+		for i := 0; i < n; i++ {
+			kids[i] = lt.add(x.Child(i))
+		}
+	}
+	id := len(lt.nodes)
+	lt.nodes = append(lt.nodes, localNode{expr: x, kids: kids})
+	lt.ptr[x] = id
+	lt.index[h] = append(lt.index[h], localDedup{expr: x, id: id})
+	return id
+}
+
+// encodeAll writes every annotation into the encoder's node table and
+// returns their node ids, using up to workers goroutines for the
+// expression walks. workers <= 1 (or a trivially small input) is the
+// plain sequential path; the outputs are byte-identical either way.
+func encodeAll(enc *Encoder, anns []*core.Expr, workers int) ([]uint64, error) {
+	ids := make([]uint64, len(anns))
+	if workers <= 1 || len(anns) < 2*workers {
+		for i, ann := range anns {
+			id, err := enc.Add(ann)
+			if err != nil {
+				return nil, err
+			}
+			ids[i] = id
+		}
+		return ids, enc.Flush()
+	}
+	per := (len(anns) + workers - 1) / workers
+	type span struct{ start, end int }
+	var spans []span
+	for s := 0; s < len(anns); s += per {
+		spans = append(spans, span{s, min(s+per, len(anns))})
+	}
+	tables := make([]*localTable, len(spans))
+	var wg sync.WaitGroup
+	for i := range spans {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tables[i] = buildLocal(anns[spans[i].start:spans[i].end])
+		}(i)
+	}
+	wg.Wait()
+	// Sequential merge in chunk order: replay each local table through
+	// the shared encoder, remapping local child ids to global ones.
+	for ci, lt := range tables {
+		global := make([]uint64, len(lt.nodes))
+		for ni, n := range lt.nodes {
+			gk := make([]uint64, len(n.kids))
+			for k, lk := range n.kids {
+				gk[k] = global[lk]
+			}
+			global[ni] = enc.addFlat(n.expr, gk)
+		}
+		for k, root := range lt.roots {
+			ids[spans[ci].start+k] = global[root]
+		}
+	}
+	return ids, enc.Flush()
+}

@@ -2,6 +2,7 @@ package provstore_test
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -182,7 +183,7 @@ func snapshotWorkload(t *testing.T, mode engine.Mode) *engine.Engine {
 		t.Fatal(err)
 	}
 	e := engine.New(mode, initial)
-	if err := e.ApplyAll(txns); err != nil {
+	if err := e.ApplyAll(context.Background(), txns); err != nil {
 		t.Fatal(err)
 	}
 	return e
@@ -264,7 +265,7 @@ func TestSnapshotTPCC(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := engine.New(engine.ModeNormalForm, initial)
-	if err := e.ApplyAll(g.Transactions(20)); err != nil {
+	if err := e.ApplyAll(context.Background(), g.Transactions(20)); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer

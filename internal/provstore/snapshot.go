@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 
 	"hyperprov/internal/core"
 	"hyperprov/internal/db"
@@ -16,20 +17,49 @@ import (
 // snapshotMagic identifies the snapshot format (version 1).
 const snapshotMagic = "HPRV1\n"
 
+// Source is the engine surface the snapshot writer needs: the mode, the
+// schema, and one deterministic pass over every stored row. Both
+// engine.Engine and engine.ShardedEngine satisfy it (engine.DB embeds
+// it), and both stream rows in the same order, so the snapshot bytes
+// are independent of the shard count.
+type Source interface {
+	Mode() engine.Mode
+	Schema() *db.Schema
+	Rows(f func(rel string, t db.Tuple, ann *core.Expr))
+}
+
 // SaveSnapshot persists the engine's entire annotated database: the
 // schema, one shared expression node table (structurally deduplicated),
 // and every stored row — including tombstones — with a reference into
 // the table. The result can be restored with LoadSnapshot into either
-// engine mode.
-func SaveSnapshot(w io.Writer, e *engine.Engine) error {
+// engine mode. Expression walks use GOMAXPROCS workers; see
+// SaveSnapshotParallel for the determinism argument.
+func SaveSnapshot(w io.Writer, src Source) error {
+	return SaveSnapshotParallel(w, src, 0)
+}
+
+// SaveSnapshotParallel is SaveSnapshot with the expression encoding
+// spread over workers goroutines (0 = GOMAXPROCS). The row list is
+// collected in one src.Rows pass — a consistent cut under the source's
+// read lock(s), in deterministic order — then workers walk disjoint
+// chunks of the annotations into local node tables that merge
+// sequentially in chunk order. The merge assigns node ids in exactly
+// the first-visit order a sequential encode would use, so the output is
+// byte-identical for every worker count (the differential tests check
+// this), and byte-identical across engine implementations and shard
+// counts.
+func SaveSnapshotParallel(w io.Writer, src Source, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(snapshotMagic); err != nil {
 		return err
 	}
-	if err := bw.WriteByte(byte(e.Mode())); err != nil {
+	if err := bw.WriteByte(byte(src.Mode())); err != nil {
 		return err
 	}
-	schema := e.Schema()
+	schema := src.Schema()
 	names := schema.Names()
 	writeUvarint(bw, uint64(len(names)))
 	for _, name := range names {
@@ -42,35 +72,29 @@ func SaveSnapshot(w io.Writer, e *engine.Engine) error {
 		}
 	}
 
-	// First pass: encode every annotation into the shared node table and
-	// remember each row's node id. Engine.Rows iterates relations in
-	// schema order and rows in insertion order under one read lock, so
-	// the snapshot is a consistent cut (safe while transactions apply
-	// concurrently) and its bytes are deterministic: two saves of the
-	// same engine state are byte-identical.
+	// Collect the rows. Rows holds the engine's read lock(s) for the
+	// whole pass, so this is one consistent cut even while transactions
+	// apply concurrently; the collected expressions are immutable (the
+	// engine never mutates nodes in place), so encoding after the lock
+	// is released reads the same values.
+	type flatRow struct {
+		rel   string
+		tuple db.Tuple
+		ann   *core.Expr
+	}
+	var flat []flatRow
+	src.Rows(func(name string, t db.Tuple, ann *core.Expr) {
+		flat = append(flat, flatRow{rel: name, tuple: t, ann: ann})
+	})
+
+	anns := make([]*core.Expr, len(flat))
+	for i := range flat {
+		anns[i] = flat[i].ann
+	}
 	var table bytes.Buffer
 	enc := NewEncoder(&table)
-	type rowRef struct {
-		tuple db.Tuple
-		id    uint64
-	}
-	rows := make(map[string][]rowRef, len(names))
-	var encErr error
-	e.Rows(func(name string, t db.Tuple, ann *core.Expr) {
-		if encErr != nil {
-			return
-		}
-		id, err := enc.Add(ann)
-		if err != nil {
-			encErr = err
-			return
-		}
-		rows[name] = append(rows[name], rowRef{tuple: t, id: id})
-	})
-	if encErr != nil {
-		return encErr
-	}
-	if err := enc.Flush(); err != nil {
+	ids, err := encodeAll(enc, anns, workers)
+	if err != nil {
 		return err
 	}
 	writeUvarint(bw, enc.Len())
@@ -78,17 +102,23 @@ func SaveSnapshot(w io.Writer, e *engine.Engine) error {
 		return err
 	}
 
-	// Second pass: rows per relation.
+	// Rows per relation. Rows visits relations contiguously in schema
+	// order, so grouping flat indices by relation preserves row order.
+	byRel := make(map[string][]int, len(names))
+	for i := range flat {
+		byRel[flat[i].rel] = append(byRel[flat[i].rel], i)
+	}
 	for _, name := range names {
 		rel := schema.Relation(name)
-		writeUvarint(bw, uint64(len(rows[name])))
-		for _, rr := range rows[name] {
-			for i, v := range rr.tuple {
-				if err := writeValue(bw, rel.Attrs[i].Kind, v); err != nil {
+		idxs := byRel[name]
+		writeUvarint(bw, uint64(len(idxs)))
+		for _, i := range idxs {
+			for j, v := range flat[i].tuple {
+				if err := writeValue(bw, rel.Attrs[j].Kind, v); err != nil {
 					return err
 				}
 			}
-			writeUvarint(bw, rr.id)
+			writeUvarint(bw, ids[i])
 		}
 	}
 	return bw.Flush()
@@ -96,8 +126,10 @@ func SaveSnapshot(w io.Writer, e *engine.Engine) error {
 
 // LoadSnapshot restores an annotated database saved by SaveSnapshot.
 // The engine mode is taken from the snapshot; in normal-form mode every
-// restored annotation becomes the tuple's base expression.
-func LoadSnapshot(r io.Reader, opts ...engine.Option) (*engine.Engine, error) {
+// restored annotation becomes the tuple's base expression. Options pass
+// through to engine.OpenEmpty — engine.WithShards(n) restores into a
+// hash-sharded engine; the default is the plain single engine.
+func LoadSnapshot(r io.Reader, opts ...engine.Option) (engine.DB, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(snapshotMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -169,7 +201,7 @@ func LoadSnapshot(r io.Reader, opts ...engine.Option) (*engine.Engine, error) {
 		return nil, err
 	}
 
-	e := engine.NewEmpty(mode, schema, opts...)
+	e := engine.OpenEmpty(mode, schema, opts...)
 	for _, rel := range rels {
 		nRows, err := binary.ReadUvarint(br)
 		if err != nil {

@@ -1,8 +1,10 @@
 package server
 
 import (
+	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strconv"
 
 	"hyperprov/internal/core"
@@ -50,7 +52,7 @@ func (s *Server) handleSchema(w http.ResponseWriter, req *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, req *http.Request) {
 	e := s.Engine()
 	ist := core.InternStats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	stats := map[string]any{
 		"mode":         e.Mode().String(),
 		"rows":         e.NumRows(),
 		"support":      e.SupportSize(),
@@ -59,7 +61,16 @@ func (s *Server) handleStats(w http.ResponseWriter, req *http.Request) {
 		"internNodes":  ist.Nodes,
 		"internHits":   ist.Hits,
 		"internMisses": ist.Misses,
-	})
+	}
+	if se, ok := e.(*engine.ShardedEngine); ok {
+		st := se.Stats()
+		stats["shards"] = st.Shards
+		stats["shardRouted"] = st.Routed
+		stats["shardRendezvous"] = st.Rendezvous
+		stats["shardFanout"] = st.FanOut
+		stats["rowsPerShard"] = st.RowsPerShard
+	}
+	writeJSON(w, http.StatusOK, stats)
 }
 
 type annotationRequest struct {
@@ -90,18 +101,18 @@ type annotationResponse struct {
 func (s *Server) handleAnnotation(w http.ResponseWriter, req *http.Request) {
 	var ar annotationRequest
 	if err := readBody(w, req, &ar); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 		return
 	}
 	e := s.Engine()
 	rel := e.Schema().Relation(ar.Rel)
 	if rel == nil {
-		writeError(w, http.StatusNotFound, "unknown relation %q", ar.Rel)
+		writeError(w, http.StatusNotFound, codeUnknownRelation, "unknown relation %q", ar.Rel)
 		return
 	}
 	t, err := parseTuple(rel, ar.Tuple)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, codeBadTuple, "%v", err)
 		return
 	}
 	ann := e.Annotation(ar.Rel, t)
@@ -134,20 +145,53 @@ func annotNames(as []core.Annot) []string {
 	return out
 }
 
-func workersParam(req *http.Request) int {
-	if v := req.URL.Query().Get("workers"); v != "" {
-		if n, err := strconv.Atoi(v); err == nil {
-			return n
-		}
+// workersParam parses the optional ?workers= query parameter. A
+// non-numeric value is an error (the caller answers 400); numeric
+// values are clamped to [1, 4×GOMAXPROCS] so a client cannot request an
+// absurd goroutine count; absent means 0 (GOMAXPROCS).
+func workersParam(req *http.Request) (int, error) {
+	v := req.URL.Query().Get("workers")
+	if v == "" {
+		return 0, nil // GOMAXPROCS
 	}
-	return 0 // GOMAXPROCS
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("workers parameter %q is not an integer", v)
+	}
+	if n < 1 {
+		n = 1
+	}
+	if limit := 4 * runtime.GOMAXPROCS(0); n > limit {
+		n = limit
+	}
+	return n, nil
+}
+
+// restrictParallel runs the Boolean-valuation materialization shared by
+// the db and what-if endpoints, translating the workers parameter and
+// request-context cancellation into envelope errors. ok=false means the
+// error response has been written.
+func (s *Server) restrictParallel(w http.ResponseWriter, req *http.Request, env upstruct.Env[bool]) (*db.Database, bool) {
+	workers, err := workersParam(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
+		return nil, false
+	}
+	d, err := engine.BoolRestrictParallel(req.Context(), s.Engine(), env, workers)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, codeCanceled, "%v", err)
+		return nil, false
+	}
+	return d, true
 }
 
 // handleDB serves the live database — the all-true valuation — with
 // parallel evaluation.
 func (s *Server) handleDB(w http.ResponseWriter, req *http.Request) {
-	e := s.Engine()
-	d := engine.BoolRestrictParallel(e, func(core.Annot) bool { return true }, workersParam(req))
+	d, ok := s.restrictParallel(w, req, func(core.Annot) bool { return true })
+	if !ok {
+		return
+	}
 	writeJSON(w, http.StatusOK, dbJSON(d))
 }
 
@@ -161,19 +205,21 @@ type deletionRequest struct {
 func (s *Server) handleDeletion(w http.ResponseWriter, req *http.Request) {
 	var dr deletionRequest
 	if err := readBody(w, req, &dr); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 		return
 	}
 	if len(dr.Tuples) == 0 {
-		writeError(w, http.StatusBadRequest, "no tuple annotations given")
+		writeError(w, http.StatusBadRequest, codeBadRequest, "no tuple annotations given")
 		return
 	}
 	dead := make(map[core.Annot]bool, len(dr.Tuples))
 	for _, name := range dr.Tuples {
 		dead[core.TupleAnnot(name)] = false
 	}
-	e := s.Engine()
-	d := engine.BoolRestrictParallel(e, upstruct.MapEnv(dead, true), workersParam(req))
+	d, ok := s.restrictParallel(w, req, upstruct.MapEnv(dead, true))
+	if !ok {
+		return
+	}
 	writeJSON(w, http.StatusOK, dbJSON(d))
 }
 
@@ -186,19 +232,21 @@ type abortRequest struct {
 func (s *Server) handleAbort(w http.ResponseWriter, req *http.Request) {
 	var ar abortRequest
 	if err := readBody(w, req, &ar); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 		return
 	}
 	if len(ar.Labels) == 0 {
-		writeError(w, http.StatusBadRequest, "no transaction labels given")
+		writeError(w, http.StatusBadRequest, codeBadRequest, "no transaction labels given")
 		return
 	}
 	dead := make(map[core.Annot]bool, len(ar.Labels))
 	for _, l := range ar.Labels {
 		dead[core.QueryAnnot(l)] = false
 	}
-	e := s.Engine()
-	d := engine.BoolRestrictParallel(e, upstruct.MapEnv(dead, true), workersParam(req))
+	d, ok := s.restrictParallel(w, req, upstruct.MapEnv(dead, true))
+	if !ok {
+		return
+	}
 	writeJSON(w, http.StatusOK, dbJSON(d))
 }
 
@@ -211,7 +259,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, req *http.Request) {
 	req.Body = http.MaxBytesReader(w, req.Body, maxBodyBytes)
 	src, err := io.ReadAll(req.Body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "reading log: %v", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "reading log: %v", err)
 		return
 	}
 	e := s.Engine()
@@ -222,15 +270,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, req *http.Request) {
 	case "datalog":
 		txns, err = parser.ParseDatalogLog(e.Schema(), string(src))
 	default:
-		writeError(w, http.StatusBadRequest, "unknown syntax %q", syntax)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "unknown syntax %q", syntax)
 		return
 	}
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "parsing log: %v", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "parsing log: %v", err)
 		return
 	}
-	if err := e.ApplyAll(txns); err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "applying log: %v", err)
+	if err := e.ApplyAll(req.Context(), txns); err != nil {
+		writeEngineError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{
@@ -246,17 +294,28 @@ func (s *Server) handleSnapshotSave(w http.ResponseWriter, req *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	if err := provstore.SaveSnapshot(w, s.Engine()); err != nil {
 		// Headers are out; the truncated body fails the client's load.
-		writeError(w, http.StatusInternalServerError, "saving snapshot: %v", err)
+		writeError(w, http.StatusInternalServerError, codeInternal, "saving snapshot: %v", err)
 	}
 }
 
 // handleSnapshotLoad restores a snapshot and atomically swaps it in as
 // the served engine; in-flight requests finish against the old one.
+// ?shards=N restores into a hash-sharded engine (default: the single
+// engine); the snapshot bytes are identical either way.
 func (s *Server) handleSnapshotLoad(w http.ResponseWriter, req *http.Request) {
+	var opts []engine.Option
+	if v := req.URL.Query().Get("shards"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, codeBadRequest, "shards parameter %q is not a positive integer", v)
+			return
+		}
+		opts = append(opts, engine.WithShards(n))
+	}
 	req.Body = http.MaxBytesReader(w, req.Body, maxBodyBytes)
-	e, err := provstore.LoadSnapshot(req.Body)
+	e, err := provstore.LoadSnapshot(req.Body, opts...)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "loading snapshot: %v", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "loading snapshot: %v", err)
 		return
 	}
 	s.setEngine(e)

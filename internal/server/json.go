@@ -2,11 +2,13 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
 
 	"hyperprov/internal/db"
+	"hyperprov/internal/engine"
 )
 
 // writeJSON renders v with a status code; encoding errors past the
@@ -19,12 +21,49 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-type errorResponse struct {
-	Error string `json:"error"`
+// Machine-readable error codes of the JSON error envelope. Every error
+// response has the shape {"error":{"code":"...","message":"..."}}; the
+// code is stable for clients to branch on, the message is for humans.
+const (
+	codeBadRequest      = "bad_request"
+	codeUnknownRelation = "unknown_relation"
+	codeBadTuple        = "bad_tuple"
+	codeApplyFailed     = "apply_failed"
+	codeCanceled        = "canceled"
+	codeInternal        = "internal"
+	codeTimeout         = "timeout"
+)
+
+// timeoutBody is the body http.TimeoutHandler serves on deadline; it
+// must stay in sync with the envelope shape (it is written verbatim,
+// not through writeError).
+const timeoutBody = `{"error":{"code":"` + codeTimeout + `","message":"request timed out"}}`
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+type errorResponse struct {
+	Error errorBody `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: errorBody{Code: code, Message: fmt.Sprintf(format, args...)}})
+}
+
+// writeEngineError maps the engine's sentinel errors onto HTTP statuses
+// and envelope codes: unknown relation → 404, malformed tuple → 400,
+// anything else from applying a log → 422.
+func writeEngineError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, engine.ErrUnknownRelation):
+		writeError(w, http.StatusNotFound, codeUnknownRelation, "%v", err)
+	case errors.Is(err, engine.ErrBadTuple):
+		writeError(w, http.StatusBadRequest, codeBadTuple, "%v", err)
+	default:
+		writeError(w, http.StatusUnprocessableEntity, codeApplyFailed, "%v", err)
+	}
 }
 
 // valueJSON renders a db.Value as its natural JSON type.

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -134,7 +135,7 @@ func TestServeWhileIngesting(t *testing.T) {
 		t.Fatal(err)
 	}
 	ref := engine.New(engine.ModeNormalForm, refInitial, withNames)
-	if err := ref.ApplyAll(refTxns); err != nil {
+	if err := ref.ApplyAll(context.Background(), refTxns); err != nil {
 		t.Fatal(err)
 	}
 

@@ -16,11 +16,13 @@ const maxBodyBytes = 64 << 20
 // overrides it.
 const DefaultTimeout = 30 * time.Second
 
-// Server serves one provenance engine over HTTP. The zero value is not
+// Server serves one provenance engine over HTTP — either implementation
+// of engine.DB (the single-lock Engine or the hash-sharded
+// ShardedEngine) behind the same handlers. The zero value is not
 // usable; construct with New.
 type Server struct {
 	mu  sync.RWMutex // guards eng (snapshot load swaps the pointer)
-	eng *engine.Engine
+	eng engine.DB
 
 	metrics *metrics
 	timeout time.Duration
@@ -36,7 +38,7 @@ func WithTimeout(d time.Duration) Option {
 }
 
 // New builds a server around the engine.
-func New(eng *engine.Engine, opts ...Option) *Server {
+func New(eng engine.DB, opts ...Option) *Server {
 	s := &Server{eng: eng, metrics: newMetrics(), timeout: DefaultTimeout}
 	for _, o := range opts {
 		o(s)
@@ -59,7 +61,7 @@ func New(eng *engine.Engine, opts ...Option) *Server {
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	s.handler = mux
 	if s.timeout > 0 {
-		s.handler = http.TimeoutHandler(mux, s.timeout, `{"error":"request timed out"}`)
+		s.handler = http.TimeoutHandler(mux, s.timeout, timeoutBody)
 	}
 	return s
 }
@@ -69,13 +71,13 @@ func New(eng *engine.Engine, opts ...Option) *Server {
 func (s *Server) Handler() http.Handler { return s.handler }
 
 // Engine returns the currently served engine.
-func (s *Server) Engine() *engine.Engine {
+func (s *Server) Engine() engine.DB {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.eng
 }
 
-func (s *Server) setEngine(e *engine.Engine) {
+func (s *Server) setEngine(e engine.DB) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.eng = e

@@ -276,8 +276,8 @@ func TestServerErrors(t *testing.T) {
 	for _, c := range cases {
 		resp := c.do()
 		er := decode[errorResponse](t, resp)
-		if resp.StatusCode != c.status || er.Error == "" {
-			t.Errorf("%s: status %d (want %d), error %q", c.name, resp.StatusCode, c.status, er.Error)
+		if resp.StatusCode != c.status || er.Error.Message == "" || er.Error.Code == "" {
+			t.Errorf("%s: status %d (want %d), error %+v", c.name, resp.StatusCode, c.status, er.Error)
 		}
 	}
 

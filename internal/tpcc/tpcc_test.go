@@ -1,6 +1,7 @@
 package tpcc_test
 
 import (
+	"context"
 	"testing"
 
 	"hyperprov/internal/db"
@@ -148,7 +149,7 @@ func TestProvenanceOverTPCC(t *testing.T) {
 	}
 	for _, mode := range []engine.Mode{engine.ModeNaive, engine.ModeNormalForm} {
 		e := engine.New(mode, initial)
-		if err := e.ApplyAll(txns); err != nil {
+		if err := e.ApplyAll(context.Background(), txns); err != nil {
 			t.Fatal(err)
 		}
 		live := engine.LiveDB(e)

@@ -172,6 +172,81 @@ func Generate(cfg Config) (*db.Database, []db.Transaction, error) {
 	return d, txns, nil
 }
 
+// GeneratePinned builds an initial database and an update sequence in
+// which every selection is a fully pinned constant pattern: each delete
+// and modify names one concrete live tuple (tracked through a mirror of
+// the database state). Under the sharded engine such updates route to a
+// single shard and resolve with an O(1) point lookup instead of an
+// O(rows) scan, so this workload isolates the shard-routing fast path —
+// it is the input of the sharded-apply benchmarks.
+func GeneratePinned(cfg Config) (*db.Database, []db.Transaction, error) {
+	if cfg.QueriesPerTxn <= 0 {
+		cfg.QueriesPerTxn = 1
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	d := db.NewDatabase(Schema())
+	live := make([]db.Tuple, 0, cfg.Tuples)
+	for i := 0; i < cfg.Tuples; i++ {
+		t := db.Tuple{
+			db.I(int64(i)),
+			db.I(int64(i)),
+			db.S(cats[r.Intn(len(cats))]),
+			db.I(int64(r.Intn(100))),
+			db.S("payload"),
+		}
+		if err := d.InsertTuple("R", t); err != nil {
+			return nil, nil, err
+		}
+		live = append(live, t)
+	}
+	nextID := int64(cfg.Tuples)
+	// Modified tuples receive globally fresh val values so that a modify
+	// never collides with (and merges into) another live tuple: the
+	// mirror then remains an exact image of the database.
+	nextVal := int64(1_000_000)
+	var txns []db.Transaction
+	var cur *db.Transaction
+	for q := 0; q < cfg.Updates; q++ {
+		if cur == nil || len(cur.Updates) == cfg.QueriesPerTxn {
+			txns = append(txns, db.Transaction{Label: fmt.Sprintf("q%d", len(txns))})
+			cur = &txns[len(txns)-1]
+		}
+		op := r.Intn(3)
+		if len(live) == 0 {
+			op = 0
+		}
+		switch op {
+		case 0: // insert a fresh tuple
+			t := db.Tuple{
+				db.I(nextID),
+				db.I(nextID),
+				db.S(cats[r.Intn(len(cats))]),
+				db.I(int64(r.Intn(100))),
+				db.S("payload"),
+			}
+			nextID++
+			cur.Updates = append(cur.Updates, db.Insert("R", t))
+			live = append(live, t)
+		case 1: // delete one concrete live tuple
+			i := r.Intn(len(live))
+			t := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			cur.Updates = append(cur.Updates, db.Delete("R", db.ConstPattern(t)))
+		default: // modify one concrete live tuple's payload value
+			i := r.Intn(len(live))
+			t := live[i]
+			set := []db.SetClause{db.Keep(), db.Keep(), db.Keep(), db.SetTo(db.I(nextVal)), db.Keep()}
+			nt := append(db.Tuple(nil), t...)
+			nt[3] = db.I(nextVal)
+			nextVal++
+			live[i] = nt
+			cur.Updates = append(cur.Updates, db.Modify("R", db.ConstPattern(t), set))
+		}
+	}
+	return d, txns, nil
+}
+
 // PoolAnnotName names the annotation of the i'th pool tuple when engines
 // are constructed with InitialAnnotations (see InitialAnnotations).
 func PoolAnnotName(id int64) string { return fmt.Sprintf("x%d", id) }

@@ -1,6 +1,7 @@
 package workload_test
 
 import (
+	"context"
 	"testing"
 
 	"hyperprov/internal/core"
@@ -125,7 +126,7 @@ func TestProvenanceOverSyntheticWorkload(t *testing.T) {
 		e := engine.New(mode, initial, engine.WithInitialAnnotations(func(rel string, tu db.Tuple) core.Annot {
 			return core.TupleAnnot(workload.PoolAnnotName(tu[0].Int()))
 		}))
-		if err := e.ApplyAll(txns); err != nil {
+		if err := e.ApplyAll(context.Background(), txns); err != nil {
 			t.Fatal(err)
 		}
 		if !engine.LiveDB(e).Equal(plain) {
