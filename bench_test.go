@@ -425,3 +425,102 @@ func BenchmarkApplySharded(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkScanPlanner measures the cost-based scan planner on the
+// partially-pinned multi-column workload (workload.GenerateMultiColumn):
+// selections pin grp, grp+cat, or mix = with ≠, so the sharded
+// point-lookup fast path never applies and every update goes through
+// scan(). The "fullscan" variant is the paper's access path; "indexed"
+// builds the grp and cat indexes up front; "autoindex" starts cold and
+// lets the advisor build them after a few pinned scans. The speedup
+// sub-benchmark reports fullscan time over indexed time directly
+// (speedup_planner) — the posting lists touch ~Group rows where the
+// full scan walks all Tuples, so the ratio is algorithmic and grows
+// with the table. The tpcc_auto sub-benchmark replays the TPC-C
+// transaction mix (naturally partially pinned on warehouse/district
+// columns) cold-start against the advisor and reports the end-to-end
+// gain as speedup_tpcc_auto.
+func BenchmarkScanPlanner(b *testing.B) {
+	cfg := workload.Config{Tuples: 80000, Group: 50, Updates: 500, QueriesPerTxn: 2, Seed: 17}
+	initial, txns, err := workload.GenerateMultiColumn(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	apply := func(b *testing.B, e engine.DB) time.Duration {
+		b.Helper()
+		start := time.Now()
+		if err := e.ApplyAll(context.Background(), txns); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	openIndexed := func() engine.DB {
+		e := engine.New(engine.ModeNormalForm, initial)
+		for _, attr := range []string{"grp", "cat"} {
+			if err := e.BuildIndex("R", attr); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return e
+	}
+	variants := []struct {
+		name string
+		open func() engine.DB
+	}{
+		{"fullscan", func() engine.DB { return engine.New(engine.ModeNormalForm, initial) }},
+		{"indexed", openIndexed},
+		{"autoindex", func() engine.DB {
+			return engine.New(engine.ModeNormalForm, initial, engine.WithAutoIndex(4))
+		}},
+		{"indexed_shards8", func() engine.DB {
+			e := engine.NewSharded(engine.ModeNormalForm, initial, engine.WithShards(8))
+			for _, attr := range []string{"grp", "cat"} {
+				if err := e.BuildIndex("R", attr); err != nil {
+					b.Fatal(err)
+				}
+			}
+			return e
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var total time.Duration
+			for i := 0; i < b.N; i++ {
+				total += apply(b, v.open())
+			}
+			b.ReportMetric(float64(total.Nanoseconds())/float64(b.N), "planner_apply_ns")
+		})
+	}
+	b.Run("speedup", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tFull := apply(b, engine.New(engine.ModeNormalForm, initial))
+			tIdx := apply(b, openIndexed())
+			if tIdx > 0 {
+				b.ReportMetric(float64(tFull)/float64(tIdx), "speedup_planner")
+			}
+		}
+	})
+	b.Run("tpcc_auto", func(b *testing.B) {
+		tpccInitial, tpccTxns := tpccWorkload(b, 15000)
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			cold := engine.New(engine.ModeNormalForm, tpccInitial)
+			if err := cold.ApplyAll(context.Background(), tpccTxns); err != nil {
+				b.Fatal(err)
+			}
+			tFull := time.Since(start)
+			start = time.Now()
+			auto := engine.New(engine.ModeNormalForm, tpccInitial, engine.WithAutoIndex(4))
+			if err := auto.ApplyAll(context.Background(), tpccTxns); err != nil {
+				b.Fatal(err)
+			}
+			tAuto := time.Since(start)
+			if ps := auto.PlannerStats(); ps.AutoBuilds == 0 {
+				b.Fatal("advisor never fired on the TPC-C mix")
+			}
+			if tAuto > 0 {
+				b.ReportMetric(float64(tFull)/float64(tAuto), "speedup_tpcc_auto")
+			}
+		}
+	})
+}

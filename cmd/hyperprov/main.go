@@ -75,6 +75,7 @@ func main() {
 	saveSnap := flag.String("save-snapshot", "", "write the annotated database to this file after the run")
 	loadSnap := flag.String("load-snapshot", "", "restore an annotated database instead of loading CSV data (-data is then ignored)")
 	shards := flag.Int("shards", 1, "hash-shard the engine across N independent lock domains (1 = single engine)")
+	autoIndex := flag.Int("autoindex", 0, "auto-build a column index after N =-pinned scans without one (0 disables the advisor)")
 	flag.Parse()
 
 	if *loadSnap == "" && (len(data) == 0 || *logPath == "") {
@@ -86,7 +87,7 @@ func main() {
 		data: data, logPath: *logPath, syntax: *syntax, mode: *mode,
 		show: *show, abort: *abort, minimize: *minimize, all: *all,
 		explain: *explain, saveSnap: *saveSnap, loadSnap: *loadSnap,
-		shards: *shards,
+		shards: *shards, autoIndex: *autoIndex,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "hyperprov:", err)
@@ -105,6 +106,7 @@ type runConfig struct {
 	explain            bool
 	saveSnap, loadSnap string
 	shards             int
+	autoIndex          int
 }
 
 func parseMode(name string) (engine.Mode, error) {
@@ -120,9 +122,10 @@ func parseMode(name string) (engine.Mode, error) {
 
 // loadCSVEngine builds an engine from the -data CSV files, deriving
 // each relation schema from its header; it returns the engine and the
-// relation names in sorted order. shards > 1 selects the hash-sharded
-// engine — annotations and snapshots are identical either way.
-func loadCSVEngine(data dataFlags, modeName string, shards int) (engine.DB, []string, error) {
+// relation names in sorted order. Options select the sharded engine or
+// the index advisor — annotations and snapshots are identical in every
+// configuration.
+func loadCSVEngine(data dataFlags, modeName string, opts ...engine.Option) (engine.DB, []string, error) {
 	m, err := parseMode(modeName)
 	if err != nil {
 		return nil, nil, err
@@ -157,7 +160,7 @@ func loadCSVEngine(data dataFlags, modeName string, shards int) (engine.DB, []st
 			return nil, nil, err
 		}
 	}
-	return engine.Open(m, initial, engine.WithShards(shards)), names, nil
+	return engine.Open(m, initial, opts...), names, nil
 }
 
 // parseLog parses a transaction log in the given syntax.
@@ -177,20 +180,21 @@ func run(cfg runConfig) error {
 	var txns []db.Transaction
 	var names []string
 
+	opts := []engine.Option{engine.WithShards(cfg.shards), engine.WithAutoIndex(cfg.autoIndex)}
 	if cfg.loadSnap != "" {
 		f, err := os.Open(cfg.loadSnap)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		e, err = provstore.LoadSnapshot(f, engine.WithShards(cfg.shards))
+		e, err = provstore.LoadSnapshot(f, opts...)
 		if err != nil {
 			return err
 		}
 		names = e.Schema().Names()
 	} else {
 		var err error
-		e, names, err = loadCSVEngine(cfg.data, cfg.mode, cfg.shards)
+		e, names, err = loadCSVEngine(cfg.data, cfg.mode, opts...)
 		if err != nil {
 			return err
 		}

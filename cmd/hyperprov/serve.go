@@ -32,6 +32,7 @@ func runServe(args []string) error {
 	mode := fs.String("mode", "nf", "provenance mode: nf (normal form) or naive")
 	loadSnap := fs.String("load-snapshot", "", "restore an annotated database instead of loading CSV data (-data and -mode are then ignored)")
 	shards := fs.Int("shards", 1, "hash-shard the engine across N independent lock domains (1 = single engine)")
+	autoIndex := fs.Int("autoindex", 0, "auto-build a column index after N =-pinned scans without one (0 disables the advisor)")
 	timeout := fs.Duration("timeout", server.DefaultTimeout, "per-request timeout (0 disables)")
 	grace := fs.Duration("shutdown-grace", 10*time.Second, "how long in-flight requests may finish on shutdown")
 	if err := fs.Parse(args); err != nil {
@@ -42,20 +43,21 @@ func runServe(args []string) error {
 		return errors.New("need -data Rel=file.csv or -load-snapshot")
 	}
 
+	engOpts := []engine.Option{engine.WithShards(*shards), engine.WithAutoIndex(*autoIndex)}
 	var srv *server.Server
 	if *loadSnap != "" {
 		f, err := os.Open(*loadSnap)
 		if err != nil {
 			return err
 		}
-		e, err := provstore.LoadSnapshot(f, engine.WithShards(*shards))
+		e, err := provstore.LoadSnapshot(f, engOpts...)
 		f.Close()
 		if err != nil {
 			return err
 		}
 		srv = server.New(e, server.WithTimeout(*timeout))
 	} else {
-		e, _, err := loadCSVEngine(data, *mode, *shards)
+		e, _, err := loadCSVEngine(data, *mode, engOpts...)
 		if err != nil {
 			return err
 		}

@@ -160,6 +160,15 @@ type Option = engine.Option
 // Mode selects the provenance representation.
 type Mode = engine.Mode
 
+// IndexInfo describes one secondary index (see DB.IndexStats):
+// identity, manual-vs-advisor origin and posting-list volume.
+type IndexInfo = engine.IndexInfo
+
+// PlannerStats are the scan planner's cumulative counters: full vs
+// index vs intersection scans, advisor auto-builds and posting-list
+// compaction sweeps (see DB.PlannerStats).
+type PlannerStats = engine.PlannerStats
+
 // Engine modes: the definition-following construction with no axioms,
 // and the incrementally maintained normal form.
 const (
@@ -182,6 +191,11 @@ var (
 	WithEagerZeroAxioms    = engine.WithEagerZeroAxioms
 	WithInitialAnnotations = engine.WithInitialAnnotations
 	WithLiveMatching       = engine.WithLiveMatching
+	// WithAutoIndex enables the adaptive index advisor: after threshold
+	// scans arrive with a column =-pinned but unindexed, the engine
+	// builds that index automatically. Indexes are pure access-path
+	// choices — annotations and snapshot bytes are identical either way.
+	WithAutoIndex = engine.WithAutoIndex
 )
 
 // Provenance applications (Section 4 of the paper).

@@ -18,6 +18,12 @@ var (
 	// ErrBadTuple reports a tuple that does not conform to its relation
 	// schema.
 	ErrBadTuple = errors.New("bad tuple")
+	// ErrUnknownAttribute reports an index operation naming an attribute
+	// the relation schema does not contain.
+	ErrUnknownAttribute = errors.New("unknown attribute")
+	// ErrUnknownIndex reports a DropIndex against an index that does not
+	// exist.
+	ErrUnknownIndex = errors.New("unknown index")
 )
 
 // DB is the surface shared by the single-lock Engine and the
@@ -38,7 +44,16 @@ type DB interface {
 	ApplyTransaction(t *db.Transaction) error
 	ApplyAll(ctx context.Context, txns []db.Transaction) error
 	RestoreRow(rel string, t db.Tuple, ann *core.Expr) error
+
+	// Secondary indexing: indexes are pure access-path choices (the
+	// Theorem 5.3 normal form is per-row local, so results are
+	// byte-identical with or without them). Any number of per-column
+	// indexes may coexist per relation; IndexStats lists them and
+	// PlannerStats reports how scans were resolved.
 	BuildIndex(rel, attr string) error
+	DropIndex(rel, attr string) error
+	IndexStats() []IndexInfo
+	PlannerStats() PlannerStats
 
 	Annotation(rel string, t db.Tuple) *core.Expr
 	NF(rel string, t db.Tuple) *core.NF

@@ -49,6 +49,11 @@ type row struct {
 	// reproduces exactly the insertion order a single engine would have
 	// used, independent of shard scheduling.
 	seq uint64
+	// pos is the row's position in its table's list — unique per table
+	// and monotone in insertion order. Posting lists are kept sorted by
+	// pos so index scans visit rows in full-scan order, and pos doubles
+	// as the membership key for binary-search reinsertion.
+	pos int
 }
 
 type table struct {
@@ -61,6 +66,7 @@ type table struct {
 }
 
 func (t *table) add(key string, r *row) {
+	r.pos = len(t.list)
 	t.rows[key] = r
 	t.list = append(t.list, r)
 }
@@ -72,6 +78,7 @@ type config struct {
 	zeroAxioms bool
 	liveMatch  bool
 	shards     int
+	autoIndex  int
 	initAnnot  func(rel string, t db.Tuple) core.Annot
 }
 
@@ -119,6 +126,17 @@ func WithShards(n int) Option {
 	return func(c *config) { c.shards = n }
 }
 
+// WithAutoIndex enables the adaptive index advisor: once a column has
+// been pinned to an =-constant by threshold scans without an index of
+// its own, the engine builds the index automatically and the planner
+// starts using it (each shard of a sharded engine advises its own
+// partition). threshold <= 0 disables auto-indexing (the default);
+// manual BuildIndex works either way. Indexes never change results —
+// only access paths — so enabling this is always safe.
+func WithAutoIndex(threshold int) Option {
+	return func(c *config) { c.autoIndex = threshold }
+}
+
 // WithLiveMatching restricts update selections to semantically live
 // tuples instead of the paper's formal support (annotation ≠ 0, which
 // includes logically deleted tuples — see Figure 4, where the dead
@@ -142,8 +160,9 @@ func WithLiveMatching(on bool) Option {
 //
 // Concurrency: an Engine is safe for concurrent readers while
 // transactions are being applied, with transaction granularity.
-// ApplyTransaction, ApplyAll, RestoreRow, BuildIndex and MinimizeAll
-// take the write lock; Annotation, NF, EachRow, Rows, NumRows,
+// ApplyTransaction, ApplyAll, RestoreRow, BuildIndex, DropIndex and
+// MinimizeAll take the write lock; Annotation, NF, EachRow, Rows,
+// NumRows, IndexStats,
 // SupportSize, ProvSize and the package-level valuation entry points
 // (Specialize, SpecializeParallel, BoolRestrict*, …) take read locks,
 // so any number of provenance-usage queries can run against a
@@ -173,7 +192,9 @@ type Engine struct {
 	// lock), numbers newly created rows with global sequence numbers.
 	nextSeq func() uint64
 
-	indexes map[string]*index
+	// idx is the secondary-index manager: per-column hash indexes, the
+	// adaptive advisor and the planner counters (see index.go).
+	idx *indexManager
 }
 
 // New builds an engine in the given mode from an initial database. Each
@@ -204,7 +225,7 @@ func newShell(mode Mode, schema *db.Schema, cfg *config) *Engine {
 		cow:        cfg.cow,
 		zeroAxioms: cfg.zeroAxioms,
 		liveMatch:  cfg.liveMatch,
-		indexes:    make(map[string]*index),
+		idx:        newIndexManager(cfg.autoIndex),
 	}
 	for _, name := range schema.Names() {
 		e.tables[name] = &table{rel: schema.Relation(name), rows: make(map[string]*row)}
@@ -260,11 +281,12 @@ func (e *Engine) restoreRowLocked(rel string, t db.Tuple, ann *core.Expr) error 
 	}
 	key := t.Key()
 	r := tbl.rows[key]
-	if r == nil {
+	fresh := r == nil
+	wasMatchable := !fresh && e.matchable(r)
+	if fresh {
 		r = &row{tuple: t, txn: -1}
 		e.assignSeq(r)
 		tbl.add(key, r)
-		e.indexAdd(tbl, r)
 	}
 	if e.mode == ModeNaive {
 		r.expr = ann
@@ -274,6 +296,12 @@ func (e *Engine) restoreRowLocked(rel string, t db.Tuple, ann *core.Expr) error 
 		r.expr = nil
 	}
 	r.live = upstruct.Eval(ann, upstruct.Bool, func(core.Annot) bool { return true })
+	switch {
+	case fresh, !wasMatchable && e.matchable(r):
+		e.indexAdd(tbl, r)
+	case wasMatchable && !e.matchable(r):
+		e.indexDead(tbl, r)
+	}
 	return nil
 }
 
@@ -372,7 +400,9 @@ func (e *Engine) Apply(u db.Update) error {
 func (e *Engine) applyInsert(tbl *table, u db.Update) {
 	key := u.Row.Key()
 	r := tbl.rows[key]
-	if r == nil {
+	fresh := r == nil
+	wasMatchable := !fresh && e.matchable(r)
+	if fresh {
 		r = &row{tuple: u.Row, txn: -1}
 		if e.mode == ModeNaive {
 			r.expr = core.Zero()
@@ -381,7 +411,6 @@ func (e *Engine) applyInsert(tbl *table, u db.Update) {
 		}
 		e.assignSeq(r)
 		tbl.add(key, r)
-		e.indexAdd(tbl, r)
 	}
 	if e.mode == ModeNaive {
 		r.expr = e.simplify(core.PlusI(r.expr, core.Var(e.cur)))
@@ -389,24 +418,36 @@ func (e *Engine) applyInsert(tbl *table, u db.Update) {
 		r.nf.Insert(e.cur)
 	}
 	r.live = true
+	if fresh {
+		e.indexAdd(tbl, r)
+	} else if !wasMatchable {
+		// A tombstoned tuple came back to life: its posting entries may
+		// have been compacted away, so re-register it.
+		e.indexRevive(tbl, r)
+	}
 	e.touch(r)
 }
 
 func (e *Engine) applyDelete(tbl *table, u db.Update) {
 	for _, r := range e.scan(tbl, u) {
-		e.deleteRow(r)
+		e.deleteRow(tbl, r)
 	}
 }
 
 // deleteRow applies the current query as a deletion (−M for modify
-// sources) to one row.
-func (e *Engine) deleteRow(r *row) {
+// sources) to one row. Callers only pass matchable rows (scan and
+// lookupPinned filter), so a row that is unmatchable afterwards made a
+// real transition and its posting entries are marked dead.
+func (e *Engine) deleteRow(tbl *table, r *row) {
 	if e.mode == ModeNaive {
 		r.expr = e.simplify(core.Minus(r.expr, core.Var(e.cur)))
 	} else {
 		r.nf.Delete(e.cur)
 	}
 	r.live = false
+	if !e.matchable(r) {
+		e.indexDead(tbl, r)
+	}
 	e.touch(r)
 }
 
@@ -458,7 +499,9 @@ func (e *Engine) captureContribution(g *modGroup, src *row) {
 // row, creating the row if the target tuple was never stored.
 func (e *Engine) absorbModTarget(tbl *table, g *modGroup, key string, pe *core.Expr) {
 	r := tbl.rows[key]
-	if r == nil {
+	fresh := r == nil
+	wasMatchable := !fresh && e.matchable(r)
+	if fresh {
 		r = &row{tuple: g.target, txn: -1}
 		if e.mode == ModeNaive {
 			r.expr = core.Zero()
@@ -467,7 +510,6 @@ func (e *Engine) absorbModTarget(tbl *table, g *modGroup, key string, pe *core.E
 		}
 		e.assignSeq(r)
 		tbl.add(key, r)
-		e.indexAdd(tbl, r)
 	}
 	if e.mode == ModeNaive {
 		r.expr = e.simplify(core.PlusM(r.expr, core.DotM(core.Sum(g.raw...), pe)))
@@ -475,6 +517,11 @@ func (e *Engine) absorbModTarget(tbl *table, g *modGroup, key string, pe *core.E
 		r.nf.AbsorbMod(g.contrib, g.inserted, e.cur)
 	}
 	r.live = true
+	if fresh {
+		e.indexAdd(tbl, r)
+	} else if !wasMatchable {
+		e.indexRevive(tbl, r)
+	}
 	e.touch(r)
 }
 
@@ -501,7 +548,7 @@ func (e *Engine) applyModifySources(tbl *table, u db.Update, sources []*row) {
 	// Sources are deleted (−M p) after their pre-query annotations have
 	// been captured.
 	for _, src := range sources {
-		e.deleteRow(src)
+		e.deleteRow(tbl, src)
 	}
 	// Targets receive old +M ((Σ sources) ·M p); a target that is itself
 	// a source (necessarily a self-map) uses its post-deletion
@@ -754,9 +801,15 @@ func (e *Engine) minimizeAllLocked(ctx context.Context) (int64, error) {
 		}
 		for _, r := range tbl.rows {
 			if e.mode == ModeNormalForm {
+				wasMatchable := e.matchable(r)
 				m := core.Minimize(r.nf.ToExpr())
 				r.nf = core.NewNF(m)
 				n += m.Size()
+				// Minimization can collapse a zero-equivalent annotation
+				// to syntactic 0, taking the row out of the support.
+				if wasMatchable && !e.matchable(r) {
+					e.indexDead(tbl, r)
+				}
 			} else {
 				n += r.expr.Size()
 			}

@@ -1,0 +1,251 @@
+package engine_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hyperprov/internal/engine"
+	"hyperprov/internal/workload"
+)
+
+// indexConfig is one access-path configuration of the differential
+// matrix: how (and whether) indexes come into being.
+type indexConfig struct {
+	name   string
+	opts   []engine.Option // extra engine options (e.g. the advisor)
+	manual []string        // attributes of R to BuildIndex up front
+}
+
+func plannerConfigs() []indexConfig {
+	return []indexConfig{
+		{name: "noindex"},
+		{name: "manual", manual: []string{"id", "cat", "val"}},
+		{name: "autoindex", opts: []engine.Option{engine.WithAutoIndex(2)}},
+	}
+}
+
+// TestPlannerDifferential is the scan planner's correctness contract:
+// for random databases and random hyperplane transactions (constants, ≠
+// constraints and free variables mixed), annotations, streaming order
+// and snapshot bytes must be identical with indexes off, manually built
+// on every column, and advisor-built — across shards ∈ {1, 8}, both
+// provenance modes, and both matchability semantics.
+func TestPlannerDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(601))
+	for trial := 0; trial < 15; trial++ {
+		initial := randDB(r, 4+r.Intn(12))
+		txns := randTxns(r, 2, 2+r.Intn(4))
+		for _, mode := range []engine.Mode{engine.ModeNaive, engine.ModeNormalForm} {
+			for _, live := range []bool{false, true} {
+				base := engine.New(mode, initial, engine.WithLiveMatching(live))
+				if err := base.ApplyAll(context.Background(), txns); err != nil {
+					t.Fatal(err)
+				}
+				want := streamRows(base)
+				wantSnap := snapshotOf(t, base)
+				for _, cfg := range plannerConfigs() {
+					for _, shards := range []int{1, 8} {
+						label := fmt.Sprintf("trial %d %s live=%v %s shards=%d",
+							trial, mode, live, cfg.name, shards)
+						opts := append([]engine.Option{
+							engine.WithShards(shards),
+							engine.WithLiveMatching(live),
+						}, cfg.opts...)
+						e := engine.Open(mode, initial, opts...)
+						for _, attr := range cfg.manual {
+							if err := e.BuildIndex("R", attr); err != nil {
+								t.Fatalf("%s: BuildIndex: %v", label, err)
+							}
+						}
+						if err := e.ApplyAll(context.Background(), txns); err != nil {
+							t.Fatalf("%s: %v", label, err)
+						}
+						diffStreams(t, label, want, streamRows(e))
+						if !bytes.Equal(wantSnap, snapshotOf(t, e)) {
+							t.Fatalf("%s: snapshot bytes differ from unindexed single engine", label)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlannerDifferentialMultiColumn runs the partially-pinned workload
+// the planner is built for — big enough that the two-list
+// merge-intersection actually fires — and checks the same byte-identity
+// contract, plus that the interesting planner paths were really taken.
+func TestPlannerDifferentialMultiColumn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-column differential needs a few thousand rows")
+	}
+	wcfg := workload.Config{Tuples: 2000, Group: 200, Updates: 120, QueriesPerTxn: 4, Seed: 603}
+	initial, txns, err := workload.GenerateMultiColumn(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := engine.New(engine.ModeNormalForm, initial)
+	if err := base.ApplyAll(context.Background(), txns); err != nil {
+		t.Fatal(err)
+	}
+	want := streamRows(base)
+	wantSnap := snapshotOf(t, base)
+
+	for _, cfg := range plannerConfigs()[1:] { // manual, autoindex
+		for _, shards := range []int{1, 8} {
+			label := fmt.Sprintf("%s shards=%d", cfg.name, shards)
+			opts := append([]engine.Option{engine.WithShards(shards)}, cfg.opts...)
+			e := engine.Open(engine.ModeNormalForm, initial, opts...)
+			if cfg.name == "manual" {
+				// The workload pins grp and cat; id/val indexes would sit idle.
+				for _, attr := range []string{"grp", "cat"} {
+					if err := e.BuildIndex("R", attr); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if err := e.ApplyAll(context.Background(), txns); err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			diffStreams(t, label, want, streamRows(e))
+			if !bytes.Equal(wantSnap, snapshotOf(t, e)) {
+				t.Fatalf("%s: snapshot bytes differ", label)
+			}
+			ps := e.PlannerStats()
+			if ps.IndexScans == 0 {
+				t.Fatalf("%s: workload never index-scanned: %+v", label, ps)
+			}
+			if ps.FullScans == 0 {
+				t.Fatalf("%s: ≠-only selections never fell back to full scan: %+v", label, ps)
+			}
+			if cfg.name == "manual" && shards == 1 && ps.IntersectScans == 0 {
+				t.Fatalf("%s: grp+cat selections never merge-intersected: %+v", label, ps)
+			}
+			if cfg.name == "autoindex" && ps.AutoBuilds == 0 {
+				t.Fatalf("%s: advisor never built an index: %+v", label, ps)
+			}
+		}
+	}
+}
+
+// TestConcurrentAutoIndexStress drives a sharded engine with the
+// advisor enabled while readers hammer the statistics and annotation
+// endpoints and a maintenance goroutine builds and drops an index in a
+// loop. Run under -race (the CI race job does), this is the memory-model
+// contract for concurrent auto-index builds: scans mutate index state
+// only under each shard's write lock, the planner counters are atomics.
+func TestConcurrentAutoIndexStress(t *testing.T) {
+	wcfg := workload.Config{Tuples: 400, Group: 40, Updates: 200, QueriesPerTxn: 2, Seed: 607}
+	initial, txns, err := workload.GenerateMultiColumn(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.Open(engine.ModeNormalForm, initial,
+		engine.WithShards(8), engine.WithAutoIndex(2))
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() { // readers: stats, annotations, row streams
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				_ = e.PlannerStats()
+				_ = e.IndexStats()
+				_ = e.NumRows()
+				_ = e.ProvSize()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() { // builder/dropper racing the advisor
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if err := e.BuildIndex("R", "val"); err != nil {
+				t.Errorf("concurrent BuildIndex: %v", err)
+				return
+			}
+			if err := e.DropIndex("R", "val"); err != nil && !errors.Is(err, engine.ErrUnknownIndex) {
+				t.Errorf("concurrent DropIndex: %v", err)
+				return
+			}
+		}
+	}()
+
+	if err := e.ApplyAll(context.Background(), txns); err != nil {
+		t.Error(err)
+	}
+	close(done)
+	wg.Wait()
+
+	// The advisor must have fired somewhere, and the result must still
+	// match a quiet, unindexed run.
+	if ps := e.PlannerStats(); ps.AutoBuilds == 0 {
+		t.Fatalf("advisor never fired under concurrency: %+v", ps)
+	}
+	quiet := engine.New(engine.ModeNormalForm, initial)
+	if err := quiet.ApplyAll(context.Background(), txns); err != nil {
+		t.Fatal(err)
+	}
+	diffStreams(t, "concurrent auto-index", streamRows(quiet), streamRows(e))
+	if !bytes.Equal(snapshotOf(t, quiet), snapshotOf(t, e)) {
+		t.Fatal("snapshot bytes diverged after concurrent auto-index stress")
+	}
+}
+
+// TestShardedIndexStatsMerge: IndexStats on a sharded engine merges the
+// per-shard indexes into one row per (relation, attribute), and
+// PlannerStats sums the shard counters.
+func TestShardedIndexStatsMerge(t *testing.T) {
+	wcfg := workload.Config{Tuples: 200, Group: 20, Updates: 40, QueriesPerTxn: 2, Seed: 611}
+	initial, txns, err := workload.GenerateMultiColumn(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.Open(engine.ModeNormalForm, initial, engine.WithShards(4))
+	if err := e.BuildIndex("R", "grp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.BuildIndex("R", "cat"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ApplyAll(context.Background(), txns); err != nil {
+		t.Fatal(err)
+	}
+	infos := e.IndexStats()
+	if len(infos) != 2 {
+		t.Fatalf("want one merged row per index, got %d: %+v", len(infos), infos)
+	}
+	var totalEntries int
+	for _, info := range infos {
+		if info.Rel != "R" || (info.Attr != "grp" && info.Attr != "cat") {
+			t.Fatalf("unexpected merged index row: %+v", info)
+		}
+		if info.Auto {
+			t.Fatalf("manual index reported as auto: %+v", info)
+		}
+		totalEntries += info.Entries
+	}
+	if totalEntries == 0 {
+		t.Fatal("merged IndexStats reports no posting entries")
+	}
+	ps := e.PlannerStats()
+	if ps.IndexScans == 0 && ps.IntersectScans == 0 {
+		t.Fatalf("sharded PlannerStats summed to nothing: %+v", ps)
+	}
+}

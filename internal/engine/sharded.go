@@ -214,7 +214,7 @@ func (se *ShardedEngine) applyUpdateLocked(u db.Update, shards []int) error {
 		if pinned {
 			sh := se.shardForKey(keys[0])
 			if r := sh.lookupPinned(sh.tables[u.Rel], u, keys[0]); r != nil {
-				sh.deleteRow(r)
+				sh.deleteRow(sh.tables[u.Rel], r)
 			}
 			return nil
 		}
@@ -321,7 +321,7 @@ func (se *ShardedEngine) modifyAcross(u db.Update, sources []shardSource) {
 		s.sh.captureContribution(g, s.r)
 	}
 	for _, s := range sources {
-		s.sh.deleteRow(s.r)
+		s.sh.deleteRow(s.sh.tables[u.Rel], s.r)
 	}
 	for _, key := range order {
 		sh := se.shardForKey(key)
@@ -489,7 +489,7 @@ func (se *ShardedEngine) RestoreRow(rel string, t db.Tuple, ann *core.Expr) erro
 }
 
 // BuildIndex creates the hash index on every shard's partition of the
-// relation.
+// relation (each shard indexes exactly the rows it owns).
 func (se *ShardedEngine) BuildIndex(rel, attr string) error {
 	for _, sh := range se.shards {
 		if err := sh.BuildIndex(rel, attr); err != nil {
@@ -497,6 +497,80 @@ func (se *ShardedEngine) BuildIndex(rel, attr string) error {
 		}
 	}
 	return nil
+}
+
+// DropIndex removes the index from every shard that has it. Because the
+// advisor builds per shard, an auto-built index may exist on a strict
+// subset of shards; the drop succeeds if any shard held it and returns
+// ErrUnknownIndex only when none did.
+func (se *ShardedEngine) DropIndex(rel, attr string) error {
+	var firstErr error
+	dropped := false
+	for _, sh := range se.shards {
+		err := sh.DropIndex(rel, attr)
+		switch {
+		case err == nil:
+			dropped = true
+		case firstErr == nil:
+			firstErr = err
+		}
+	}
+	if dropped {
+		return nil
+	}
+	return firstErr
+}
+
+// IndexStats merges the per-shard index statistics by (relation,
+// attribute): keys, entries and dead counts sum over shards (shards
+// partition the rows, so per-shard posting lists are disjoint; distinct
+// values may repeat across shards and Keys counts per-shard lists). An
+// index is reported Auto when every shard holding it was advisor-built.
+func (se *ShardedEngine) IndexStats() []IndexInfo {
+	merged := make(map[string]*IndexInfo)
+	var order []string
+	for _, sh := range se.shards {
+		for _, info := range sh.IndexStats() {
+			k := info.Rel + "\x00" + info.Attr
+			m := merged[k]
+			if m == nil {
+				cp := info
+				merged[k] = &cp
+				order = append(order, k)
+				continue
+			}
+			m.Auto = m.Auto && info.Auto
+			m.Keys += info.Keys
+			m.Entries += info.Entries
+			m.Dead += info.Dead
+			m.Compactions += info.Compactions
+		}
+	}
+	out := make([]IndexInfo, 0, len(order))
+	for _, k := range order {
+		out = append(out, *merged[k])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rel != out[j].Rel {
+			return out[i].Rel < out[j].Rel
+		}
+		return out[i].Attr < out[j].Attr
+	})
+	return out
+}
+
+// PlannerStats sums the per-shard planner counters.
+func (se *ShardedEngine) PlannerStats() PlannerStats {
+	var ps PlannerStats
+	for _, sh := range se.shards {
+		s := sh.PlannerStats()
+		ps.FullScans += s.FullScans
+		ps.IndexScans += s.IndexScans
+		ps.IntersectScans += s.IntersectScans
+		ps.AutoBuilds += s.AutoBuilds
+		ps.Compactions += s.Compactions
+	}
+	return ps
 }
 
 // Annotation returns the provenance expression of the tuple, from the

@@ -62,6 +62,13 @@ func (s *Server) handleStats(w http.ResponseWriter, req *http.Request) {
 		"internHits":   ist.Hits,
 		"internMisses": ist.Misses,
 	}
+	ps := e.PlannerStats()
+	stats["plannerFullScans"] = ps.FullScans
+	stats["plannerIndexScans"] = ps.IndexScans
+	stats["plannerIntersectScans"] = ps.IntersectScans
+	stats["plannerAutoBuilds"] = ps.AutoBuilds
+	stats["plannerCompactions"] = ps.Compactions
+	stats["indexes"] = len(e.IndexStats())
 	if se, ok := e.(*engine.ShardedEngine); ok {
 		st := se.Stats()
 		stats["shards"] = st.Shards
@@ -71,6 +78,62 @@ func (s *Server) handleStats(w http.ResponseWriter, req *http.Request) {
 		stats["rowsPerShard"] = st.RowsPerShard
 	}
 	writeJSON(w, http.StatusOK, stats)
+}
+
+// handleIndexList reports every secondary index with its posting-list
+// volume, plus the planner's cumulative counters.
+func (s *Server) handleIndexList(w http.ResponseWriter, req *http.Request) {
+	e := s.Engine()
+	infos := e.IndexStats()
+	if infos == nil {
+		infos = []engine.IndexInfo{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"indexes": infos,
+		"planner": e.PlannerStats(),
+	})
+}
+
+type indexRequest struct {
+	Rel  string `json:"rel"`
+	Attr string `json:"attr"`
+}
+
+// handleIndexBuild creates a secondary index on {rel, attr}. Building
+// an index that already exists is a no-op success; unknown relations
+// and attributes answer 404 through the error envelope.
+func (s *Server) handleIndexBuild(w http.ResponseWriter, req *http.Request) {
+	var ir indexRequest
+	if err := readBody(w, req, &ir); err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
+		return
+	}
+	if ir.Rel == "" || ir.Attr == "" {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "need rel and attr")
+		return
+	}
+	e := s.Engine()
+	if err := e.BuildIndex(ir.Rel, ir.Attr); err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"indexes": e.IndexStats()})
+}
+
+// handleIndexDrop removes the index named by ?rel=&attr=; a missing
+// index answers 404 with code unknown_index.
+func (s *Server) handleIndexDrop(w http.ResponseWriter, req *http.Request) {
+	rel := req.URL.Query().Get("rel")
+	attr := req.URL.Query().Get("attr")
+	if rel == "" || attr == "" {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "need rel and attr query parameters")
+		return
+	}
+	if err := s.Engine().DropIndex(rel, attr); err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"dropped": true})
 }
 
 type annotationRequest struct {

@@ -25,13 +25,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // response has the shape {"error":{"code":"...","message":"..."}}; the
 // code is stable for clients to branch on, the message is for humans.
 const (
-	codeBadRequest      = "bad_request"
-	codeUnknownRelation = "unknown_relation"
-	codeBadTuple        = "bad_tuple"
-	codeApplyFailed     = "apply_failed"
-	codeCanceled        = "canceled"
-	codeInternal        = "internal"
-	codeTimeout         = "timeout"
+	codeBadRequest       = "bad_request"
+	codeUnknownRelation  = "unknown_relation"
+	codeUnknownAttribute = "unknown_attribute"
+	codeUnknownIndex     = "unknown_index"
+	codeBadTuple         = "bad_tuple"
+	codeApplyFailed      = "apply_failed"
+	codeCanceled         = "canceled"
+	codeInternal         = "internal"
+	codeTimeout          = "timeout"
 )
 
 // timeoutBody is the body http.TimeoutHandler serves on deadline; it
@@ -53,12 +55,16 @@ func writeError(w http.ResponseWriter, status int, code, format string, args ...
 }
 
 // writeEngineError maps the engine's sentinel errors onto HTTP statuses
-// and envelope codes: unknown relation → 404, malformed tuple → 400,
-// anything else from applying a log → 422.
+// and envelope codes: unknown relation / attribute / index → 404,
+// malformed tuple → 400, anything else from applying a log → 422.
 func writeEngineError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, engine.ErrUnknownRelation):
 		writeError(w, http.StatusNotFound, codeUnknownRelation, "%v", err)
+	case errors.Is(err, engine.ErrUnknownAttribute):
+		writeError(w, http.StatusNotFound, codeUnknownAttribute, "%v", err)
+	case errors.Is(err, engine.ErrUnknownIndex):
+		writeError(w, http.StatusNotFound, codeUnknownIndex, "%v", err)
 	case errors.Is(err, engine.ErrBadTuple):
 		writeError(w, http.StatusBadRequest, codeBadTuple, "%v", err)
 	default:

@@ -43,6 +43,12 @@ func New(eng engine.DB, opts ...Option) *Server {
 	for _, o := range opts {
 		o(s)
 	}
+	// Planner and index gauges live next to the endpoint counters in the
+	// same expvar map (served at /v1/metrics and, once published,
+	// /debug/vars). Func closures read through s.Engine() so a snapshot
+	// load swapping the engine swaps the gauges too.
+	s.metrics.m.Set("planner", expvar.Func(func() any { return s.Engine().PlannerStats() }))
+	s.metrics.m.Set("indexes", expvar.Func(func() any { return s.Engine().IndexStats() }))
 	mux := http.NewServeMux()
 	route := func(name, pattern string, h http.HandlerFunc) {
 		mux.Handle(pattern, s.metrics.instrument(name, h))
@@ -55,6 +61,9 @@ func New(eng engine.DB, opts ...Option) *Server {
 	route("whatif_deletion", "POST /v1/whatif/deletion", s.handleDeletion)
 	route("whatif_abort", "POST /v1/whatif/abort", s.handleAbort)
 	route("ingest", "POST /v1/ingest", s.handleIngest)
+	route("indexes_list", "GET /v1/indexes", s.handleIndexList)
+	route("indexes_build", "POST /v1/indexes", s.handleIndexBuild)
+	route("indexes_drop", "DELETE /v1/indexes", s.handleIndexDrop)
 	route("snapshot_save", "GET /v1/snapshot", s.handleSnapshotSave)
 	route("snapshot_load", "POST /v1/snapshot", s.handleSnapshotLoad)
 	mux.HandleFunc("GET /v1/metrics", s.metrics.serveHTTP)

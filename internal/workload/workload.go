@@ -247,6 +247,105 @@ func GeneratePinned(cfg Config) (*db.Database, []db.Transaction, error) {
 	return d, txns, nil
 }
 
+// GenerateMultiColumn builds an initial database and an update sequence
+// whose selections pin *some* columns — the workload the scan planner is
+// for. Tuples are spread over cfg.Tuples/cfg.Group grp values and the
+// four cat values; deletes and modifies draw their selection shape from
+// a fixed mix:
+//
+//   - grp pinned, everything else free (single-index scan),
+//   - grp and cat both pinned (multi-candidate: planner picks the
+//     shorter posting list, possibly intersecting),
+//   - grp pinned with a ≠ constraint on cat (mixed =/≠: the = column
+//     can use its index, the ≠ filters per row),
+//   - rarely, only a ≠ constraint on cat (no =-pinned column: the
+//     planner's full-scan fallback, excluding every cat so the shape
+//     costs a scan but matches nothing).
+//
+// No selection pins every attribute, so under a sharded engine every
+// delete/modify fans out and exercises per-shard scans rather than the
+// point-lookup routing fast path.
+func GenerateMultiColumn(cfg Config) (*db.Database, []db.Transaction, error) {
+	if cfg.Group <= 0 {
+		cfg.Group = 1
+	}
+	if cfg.QueriesPerTxn <= 0 {
+		cfg.QueriesPerTxn = 1
+	}
+	groups := cfg.Tuples / cfg.Group
+	if groups <= 0 {
+		groups = 1
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	d := db.NewDatabase(Schema())
+	for i := 0; i < cfg.Tuples; i++ {
+		t := db.Tuple{
+			db.I(int64(i)),
+			db.I(int64(i % groups)),
+			db.S(cats[i%len(cats)]),
+			db.I(int64(r.Intn(100))),
+			db.S("payload"),
+		}
+		if err := d.InsertTuple("R", t); err != nil {
+			return nil, nil, err
+		}
+	}
+	nextID := int64(cfg.Tuples)
+	var txns []db.Transaction
+	var cur *db.Transaction
+	for q := 0; q < cfg.Updates; q++ {
+		if cur == nil || len(cur.Updates) == cfg.QueriesPerTxn {
+			txns = append(txns, db.Transaction{Label: fmt.Sprintf("q%d", len(txns))})
+			cur = &txns[len(txns)-1]
+		}
+		grp := int64(r.Intn(groups))
+		cat := cats[r.Intn(len(cats))]
+		sel := db.Pattern{
+			db.AnyVar("id"),
+			db.Const(db.I(grp)),
+			db.AnyVar("cat"),
+			db.AnyVar("val"),
+			db.AnyVar("pad"),
+		}
+		switch shape := r.Intn(20); {
+		case shape < 5: // grp and cat both pinned
+			sel[2] = db.Const(db.S(cat))
+		case shape < 10: // grp pinned, cat ≠-constrained
+			sel[2] = db.VarNotEq("cat", db.S(cat))
+		case shape == 10: // ≠-only: no =-pinned column, full-scan fallback.
+			// Excluding every cat makes the selection match nothing, so
+			// the shape costs exactly one relation scan on every access
+			// path — it exercises the planner's fallback without the
+			// O(n) annotation churn a broad ≠ match would add to both
+			// sides of a comparison.
+			notEq := make([]db.Value, len(cats))
+			for i, c := range cats {
+				notEq[i] = db.S(c)
+			}
+			sel[1] = db.AnyVar("grp")
+			sel[2] = db.VarNotEq("cat", notEq...)
+		}
+		switch r.Intn(4) {
+		case 0: // insert a fresh tuple into the selected group
+			t := db.Tuple{
+				db.I(nextID),
+				db.I(grp),
+				db.S(cat),
+				db.I(int64(r.Intn(100))),
+				db.S("payload"),
+			}
+			nextID++
+			cur.Updates = append(cur.Updates, db.Insert("R", t))
+		case 1: // delete the selection
+			cur.Updates = append(cur.Updates, db.Delete("R", sel))
+		default: // modify the selection's payload value
+			set := []db.SetClause{db.Keep(), db.Keep(), db.Keep(), db.SetTo(db.I(int64(r.Intn(100)))), db.Keep()}
+			cur.Updates = append(cur.Updates, db.Modify("R", sel, set))
+		}
+	}
+	return d, txns, nil
+}
+
 // PoolAnnotName names the annotation of the i'th pool tuple when engines
 // are constructed with InitialAnnotations (see InitialAnnotations).
 func PoolAnnotName(id int64) string { return fmt.Sprintf("x%d", id) }

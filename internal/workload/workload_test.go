@@ -139,3 +139,76 @@ func TestProvenanceOverSyntheticWorkload(t *testing.T) {
 			sizes[engine.ModeNormalForm], sizes[engine.ModeNaive])
 	}
 }
+
+func TestGenerateMultiColumn(t *testing.T) {
+	cfg := workload.Config{Tuples: 800, Group: 80, Updates: 200, QueriesPerTxn: 4, Seed: 41}
+	d, txns, err := workload.GenerateMultiColumn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumTuples() != 800 {
+		t.Fatalf("tuples = %d, want 800", d.NumTuples())
+	}
+	if got := db.CountQueries(txns); got != 200 {
+		t.Fatalf("queries = %d, want 200", got)
+	}
+
+	// The selection mix must cover every planner path: single pinned
+	// column, two pinned columns, = mixed with ≠, and ≠-only — and no
+	// selection may pin every attribute (that would route to the
+	// point-lookup fast path and bypass the scan planner entirely).
+	var singlePin, doublePin, mixed, notEqOnly int
+	for i := range txns {
+		if err := txns[i].Validate(d.Schema()); err != nil {
+			t.Fatalf("transaction %d invalid: %v", i, err)
+		}
+		for _, u := range txns[i].Updates {
+			if u.Sel == nil { // inserts
+				continue
+			}
+			if _, pinned := u.Sel.PinnedTuple(); pinned {
+				t.Fatalf("selection %v pins every attribute", u.Sel)
+			}
+			var consts, notEqs int
+			for _, term := range u.Sel {
+				if term.IsConst() {
+					consts++
+				} else if len(term.NotEq()) > 0 {
+					notEqs++
+				}
+			}
+			switch {
+			case consts == 1 && notEqs == 0:
+				singlePin++
+			case consts == 2:
+				doublePin++
+			case consts == 1 && notEqs == 1:
+				mixed++
+			case consts == 0 && notEqs == 1:
+				notEqOnly++
+			}
+		}
+	}
+	if singlePin == 0 || doublePin == 0 || mixed == 0 || notEqOnly == 0 {
+		t.Fatalf("selection mix incomplete: single=%d double=%d mixed=%d noteq=%d",
+			singlePin, doublePin, mixed, notEqOnly)
+	}
+
+	// Replayable on the plain database and deterministic by seed.
+	if err := d.ApplyAll(txns); err != nil {
+		t.Fatal(err)
+	}
+	d2, t2, err := workload.GenerateMultiColumn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t2) != len(txns) {
+		t.Fatal("same config must generate identical workloads")
+	}
+	if err := d2.ApplyAll(t2); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Equal(d2) {
+		t.Fatal("same config must generate identical workloads")
+	}
+}
