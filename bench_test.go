@@ -26,6 +26,7 @@ import (
 	"hyperprov/internal/engine"
 	"hyperprov/internal/provstore"
 	"hyperprov/internal/tpcc"
+	"hyperprov/internal/wal"
 	"hyperprov/internal/workload"
 )
 
@@ -373,6 +374,47 @@ func BenchmarkProvstoreSnapshot(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkWALApply measures the durability tax: the synthetic workload
+// applied through the write-ahead-logged store at each sync policy,
+// next to the plain in-memory engine as the baseline. sync=never pays
+// only the encoding and buffered writes, sync=interval adds a
+// background fsync every 50ms, sync=always fsyncs inside every commit.
+func BenchmarkWALApply(b *testing.B) {
+	cfg := workload.Default(benchScale)
+	initial, txns := syntheticWorkload(b, cfg)
+	b.Run("inmemory", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := engine.New(engine.ModeNormalForm, initial)
+			if err := e.ApplyAll(context.Background(), txns); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, pol := range []wal.SyncPolicy{wal.SyncNever, wal.SyncInterval, wal.SyncAlways} {
+		b.Run("sync="+pol.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dir := b.TempDir()
+				b.StartTimer()
+				st, err := wal.Open(dir,
+					wal.WithMode(engine.ModeNormalForm),
+					wal.WithInitialDatabase(initial),
+					wal.WithSync(pol),
+				)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := st.ApplyAll(context.Background(), txns); err != nil {
+					b.Fatal(err)
+				}
+				if err := st.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkApplySharded measures batched transaction apply on the fully

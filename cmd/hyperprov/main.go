@@ -17,12 +17,18 @@
 // from provenance without re-running the log. -all includes tombstoned
 // tuples (annotations that evaluate to an absent tuple).
 //
+// With -data-dir the run is persistent: every transaction is written to
+// a checksummed write-ahead log before it is applied, and a later run
+// (or serve) on the same directory recovers the state exactly. -sync
+// picks the durability level (always, interval, never) and
+// -checkpoint-every the automatic checkpoint cadence.
+//
 // The serve subcommand exposes the engine over HTTP/JSON instead of
 // printing it (see serve.go and the README):
 //
 //	hyperprov serve -addr :8080 -data Products=products.csv [-log txns.sql] \
 //	          [-syntax sql|datalog] [-mode nf|naive] [-load-snapshot file] \
-//	          [-timeout 30s]
+//	          [-data-dir dir] [-sync always|interval|never] [-timeout 30s]
 package main
 
 import (
@@ -39,6 +45,7 @@ import (
 	"hyperprov/internal/parser"
 	"hyperprov/internal/provstore"
 	"hyperprov/internal/upstruct"
+	"hyperprov/internal/wal"
 )
 
 type dataFlags map[string]string
@@ -76,9 +83,13 @@ func main() {
 	loadSnap := flag.String("load-snapshot", "", "restore an annotated database instead of loading CSV data (-data is then ignored)")
 	shards := flag.Int("shards", 1, "hash-shard the engine across N independent lock domains (1 = single engine)")
 	autoIndex := flag.Int("autoindex", 0, "auto-build a column index after N =-pinned scans without one (0 disables the advisor)")
+	dataDir := flag.String("data-dir", "", "persist to a write-ahead-logged directory (bootstrapped from -data on first use, recovered afterwards)")
+	syncPolicy := flag.String("sync", "always", "WAL durability: always, interval, or never (with -data-dir)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint after N logged records, 0 = only when the run finishes (with -data-dir)")
 	flag.Parse()
 
-	if *loadSnap == "" && (len(data) == 0 || *logPath == "") {
+	persistent := *dataDir != ""
+	if *loadSnap == "" && !persistent && (len(data) == 0 || *logPath == "") {
 		fmt.Fprintln(os.Stderr, "usage: hyperprov -data Rel=file.csv -log txns.sql [flags]")
 		flag.PrintDefaults()
 		os.Exit(2)
@@ -88,6 +99,7 @@ func main() {
 		show: *show, abort: *abort, minimize: *minimize, all: *all,
 		explain: *explain, saveSnap: *saveSnap, loadSnap: *loadSnap,
 		shards: *shards, autoIndex: *autoIndex,
+		dataDir: *dataDir, syncPolicy: *syncPolicy, ckptEvery: *ckptEvery,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "hyperprov:", err)
@@ -107,6 +119,9 @@ type runConfig struct {
 	saveSnap, loadSnap string
 	shards             int
 	autoIndex          int
+	dataDir            string
+	syncPolicy         string
+	ckptEvery          int
 }
 
 func parseMode(name string) (engine.Mode, error) {
@@ -120,16 +135,10 @@ func parseMode(name string) (engine.Mode, error) {
 	}
 }
 
-// loadCSVEngine builds an engine from the -data CSV files, deriving
-// each relation schema from its header; it returns the engine and the
-// relation names in sorted order. Options select the sharded engine or
-// the index advisor — annotations and snapshots are identical in every
-// configuration.
-func loadCSVEngine(data dataFlags, modeName string, opts ...engine.Option) (engine.DB, []string, error) {
-	m, err := parseMode(modeName)
-	if err != nil {
-		return nil, nil, err
-	}
+// loadCSVDatabase builds the initial database from the -data CSV files,
+// deriving each relation schema from its header; it returns the
+// database and the relation names in sorted order.
+func loadCSVDatabase(data dataFlags) (*db.Database, []string, error) {
 	var names []string
 	for rel := range data {
 		names = append(names, rel)
@@ -160,7 +169,57 @@ func loadCSVEngine(data dataFlags, modeName string, opts ...engine.Option) (engi
 			return nil, nil, err
 		}
 	}
+	return initial, names, nil
+}
+
+// loadCSVEngine builds an in-memory engine from the -data CSV files.
+// Options select the sharded engine or the index advisor — annotations
+// and snapshots are identical in every configuration.
+func loadCSVEngine(data dataFlags, modeName string, opts ...engine.Option) (engine.DB, []string, error) {
+	m, err := parseMode(modeName)
+	if err != nil {
+		return nil, nil, err
+	}
+	initial, names, err := loadCSVDatabase(data)
+	if err != nil {
+		return nil, nil, err
+	}
 	return engine.Open(m, initial, opts...), names, nil
+}
+
+// openStore opens (or bootstraps) the persistent store in -data-dir.
+// CSV data, when given, seeds a fresh directory only; an existing one
+// recovers from its latest checkpoint plus the log suffix and the CSV
+// files are ignored.
+func openStore(dir, syncName, modeName string, ckptEvery int, data dataFlags, engOpts []engine.Option) (*wal.Store, []string, error) {
+	pol, err := wal.ParseSyncPolicy(syncName)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := parseMode(modeName)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := []wal.Option{
+		wal.WithMode(m),
+		wal.WithSync(pol),
+		wal.WithEngineOptions(engOpts...),
+	}
+	if ckptEvery > 0 {
+		opts = append(opts, wal.WithCheckpointEvery(uint64(ckptEvery)))
+	}
+	if len(data) > 0 {
+		initial, _, err := loadCSVDatabase(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		opts = append(opts, wal.WithInitialDatabase(initial))
+	}
+	st, err := wal.Open(dir, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, st.Schema().Names(), nil
 }
 
 // parseLog parses a transaction log in the given syntax.
@@ -181,7 +240,27 @@ func run(cfg runConfig) error {
 	var names []string
 
 	opts := []engine.Option{engine.WithShards(cfg.shards), engine.WithAutoIndex(cfg.autoIndex)}
-	if cfg.loadSnap != "" {
+	switch {
+	case cfg.dataDir != "":
+		if cfg.loadSnap != "" {
+			return fmt.Errorf("-load-snapshot cannot be combined with -data-dir (the directory has its own checkpoints)")
+		}
+		st, ns, err := openStore(cfg.dataDir, cfg.syncPolicy, cfg.mode, cfg.ckptEvery, cfg.data, opts)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			// Fold the whole run into one checkpoint so the next open
+			// starts from a snapshot instead of replaying the log.
+			if err := st.Checkpoint(); err != nil {
+				fmt.Fprintln(os.Stderr, "hyperprov: final checkpoint:", err)
+			}
+			if err := st.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "hyperprov: close:", err)
+			}
+		}()
+		e, names = st, ns
+	case cfg.loadSnap != "":
 		f, err := os.Open(cfg.loadSnap)
 		if err != nil {
 			return err
@@ -192,7 +271,7 @@ func run(cfg runConfig) error {
 			return err
 		}
 		names = e.Schema().Names()
-	} else {
+	default:
 		var err error
 		e, names, err = loadCSVEngine(cfg.data, cfg.mode, opts...)
 		if err != nil {

@@ -15,6 +15,7 @@ import (
 	"hyperprov/internal/engine"
 	"hyperprov/internal/provstore"
 	"hyperprov/internal/server"
+	"hyperprov/internal/wal"
 )
 
 // runServe implements the serve subcommand: it loads an annotated
@@ -35,17 +36,35 @@ func runServe(args []string) error {
 	autoIndex := fs.Int("autoindex", 0, "auto-build a column index after N =-pinned scans without one (0 disables the advisor)")
 	timeout := fs.Duration("timeout", server.DefaultTimeout, "per-request timeout (0 disables)")
 	grace := fs.Duration("shutdown-grace", 10*time.Second, "how long in-flight requests may finish on shutdown")
+	dataDir := fs.String("data-dir", "", "persist to a write-ahead-logged directory (bootstrapped from -data on first use, recovered afterwards)")
+	syncPolicy := fs.String("sync", "always", "WAL durability: always, interval, or never (with -data-dir)")
+	ckptEvery := fs.Int("checkpoint-every", 0, "checkpoint after N logged records, 0 = only via POST /v1/checkpoint and shutdown (with -data-dir)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *loadSnap == "" && len(data) == 0 {
+	if *loadSnap == "" && len(data) == 0 && *dataDir == "" {
 		fs.Usage()
-		return errors.New("need -data Rel=file.csv or -load-snapshot")
+		return errors.New("need -data Rel=file.csv, -load-snapshot, or -data-dir")
 	}
 
+	logger := log.New(os.Stderr, "hyperprov: ", log.LstdFlags)
 	engOpts := []engine.Option{engine.WithShards(*shards), engine.WithAutoIndex(*autoIndex)}
+	srvOpts := []server.Option{server.WithTimeout(*timeout), server.WithLogf(logger.Printf)}
 	var srv *server.Server
-	if *loadSnap != "" {
+	var store *wal.Store
+	switch {
+	case *dataDir != "":
+		if *loadSnap != "" {
+			return errors.New("-load-snapshot cannot be combined with -data-dir (the directory has its own checkpoints)")
+		}
+		st, _, err := openStore(*dataDir, *syncPolicy, *mode, *ckptEvery, data, engOpts)
+		if err != nil {
+			return err
+		}
+		store = st
+		srv = server.New(st, srvOpts...)
+		logger.Printf("persistent store %s at LSN %d (sync=%s)", *dataDir, st.Stats().LSN, *syncPolicy)
+	case *loadSnap != "":
 		f, err := os.Open(*loadSnap)
 		if err != nil {
 			return err
@@ -55,17 +74,15 @@ func runServe(args []string) error {
 		if err != nil {
 			return err
 		}
-		srv = server.New(e, server.WithTimeout(*timeout))
-	} else {
+		srv = server.New(e, srvOpts...)
+	default:
 		e, _, err := loadCSVEngine(data, *mode, engOpts...)
 		if err != nil {
 			return err
 		}
-		srv = server.New(e, server.WithTimeout(*timeout))
+		srv = server.New(e, srvOpts...)
 	}
 	srv.PublishExpvar("hyperprov")
-
-	logger := log.New(os.Stderr, "hyperprov: ", log.LstdFlags)
 	logger.Printf("serving %d rows (%s) on %s", srv.Engine().NumRows(), srv.Engine().Mode(), *addr)
 
 	// Background ingestion: the engine answers reads at transaction
@@ -93,6 +110,7 @@ func runServe(args []string) error {
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -109,6 +127,17 @@ func runServe(args []string) error {
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
+	}
+	if store != nil {
+		// One final checkpoint so the next start restores from a
+		// snapshot instead of replaying the whole log, then release the
+		// directory lock.
+		if err := store.Checkpoint(); err != nil {
+			logger.Printf("final checkpoint: %v", err)
+		}
+		if err := store.Close(); err != nil {
+			return fmt.Errorf("closing store: %w", err)
+		}
 	}
 	logger.Printf("bye")
 	return nil

@@ -1,0 +1,64 @@
+package hyperprov_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"hyperprov"
+)
+
+// TestFacadeDurableStore drives the persistent store through the public
+// facade: bootstrap from an initial database, apply a log, crash-free
+// close, reopen and verify the state — then check the typed errors are
+// reachable.
+func TestFacadeDurableStore(t *testing.T) {
+	dir := t.TempDir()
+	st, err := hyperprov.OpenDir(dir,
+		hyperprov.WithMode(hyperprov.ModeNormalForm),
+		hyperprov.WithInitialDatabase(exampleDB(t)),
+		hyperprov.WithSync(hyperprov.SyncAlways),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txns, err := hyperprov.ParseSQLLog(st.Schema(), `
+BEGIN p;
+UPDATE Products SET Category = 'Bicycles' WHERE Product = 'Kids mnt bike';
+COMMIT;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.ApplyAll(context.Background(), txns); err != nil {
+		t.Fatal(err)
+	}
+	wantRows := st.NumRows()
+
+	// A second open while the first holds the directory must fail typed.
+	if _, err := hyperprov.OpenDir(dir); !errors.Is(err, hyperprov.ErrLocked) {
+		t.Fatalf("concurrent open: err = %v, want ErrLocked", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.ApplyTransaction(&txns[0]); !errors.Is(err, hyperprov.ErrClosed) {
+		t.Fatalf("write after close: err = %v, want ErrClosed", err)
+	}
+
+	re, err := hyperprov.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.NumRows() != wantRows {
+		t.Fatalf("reopened store has %d rows, want %d", re.NumRows(), wantRows)
+	}
+	if got := re.Stats().LSN; got != 1 {
+		t.Fatalf("reopened store at LSN %d, want 1", got)
+	}
+	var pol hyperprov.SyncPolicy
+	if pol, err = hyperprov.ParseSyncPolicy("interval"); err != nil || pol != hyperprov.SyncInterval {
+		t.Fatalf("ParseSyncPolicy(interval) = %v, %v", pol, err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"hyperprov/internal/parser"
 	"hyperprov/internal/provstore"
 	"hyperprov/internal/upstruct"
+	"hyperprov/internal/wal"
 )
 
 // --- provenance expressions (internal/core) ----------------------------
@@ -241,6 +242,63 @@ func LoadSnapshot(r io.Reader, opts ...Option) (DB, error) {
 var (
 	WriteExpr = provstore.WriteExpr
 	ReadExpr  = provstore.ReadExpr
+)
+
+// --- durable storage (internal/wal) -------------------------------------
+
+// Store is the persistent engine: an in-memory engine.DB fronted by a
+// segmented, checksummed write-ahead log with periodic checkpoints in
+// the snapshot format. Every write is logged before it is applied and
+// acknowledged; OpenDir on the same directory recovers a state
+// byte-identical to the acknowledged history. A store that can no
+// longer reach its log degrades to read-only (writes answer
+// ErrReadOnly, reads keep serving).
+type Store = wal.Store
+
+// StoreOption configures OpenDir.
+type StoreOption = wal.Option
+
+// StoreStats are the durability counters of a Store (LSN, checkpoint
+// positions, sync and recovery counts, read-only state).
+type StoreStats = wal.StoreStats
+
+// SyncPolicy is the WAL durability level: fsync every commit, on a
+// timer, or never (leave it to the OS).
+type SyncPolicy = wal.SyncPolicy
+
+// Sync policies for WithSync.
+const (
+	SyncAlways   = wal.SyncAlways
+	SyncInterval = wal.SyncInterval
+	SyncNever    = wal.SyncNever
+)
+
+// OpenDir opens (or bootstraps) the persistent store in a directory; a
+// fresh directory needs WithSchema or WithInitialDatabase. The
+// directory is locked against concurrent opens.
+var OpenDir = wal.Open
+
+// Store options: bootstrap inputs (mode, schema or initial database,
+// engine options such as WithShards), durability (sync policy and
+// interval), and log shape (segment size, automatic checkpoint cadence).
+var (
+	WithMode            = wal.WithMode
+	WithSchema          = wal.WithSchema
+	WithInitialDatabase = wal.WithInitialDatabase
+	WithEngineOptions   = wal.WithEngineOptions
+	WithSync            = wal.WithSync
+	WithSyncInterval    = wal.WithSyncInterval
+	WithSegmentSize     = wal.WithSegmentSize
+	WithCheckpointEvery = wal.WithCheckpointEvery
+	ParseSyncPolicy     = wal.ParseSyncPolicy
+)
+
+// Typed failures of the persistent store.
+var (
+	ErrReadOnly = wal.ErrReadOnly
+	ErrLocked   = wal.ErrLocked
+	ErrCorrupt  = wal.ErrCorrupt
+	ErrClosed   = wal.ErrClosed
 )
 
 // --- Update-Structures (internal/upstruct) ------------------------------

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
@@ -20,6 +21,32 @@ const (
 	tagDotM  byte = 5
 	tagSum   byte = 6
 )
+
+// ErrMalformed wraps every structural decoding failure — bad magic,
+// unknown tags, implausible counts, out-of-range references — so
+// callers can branch on hostile or corrupt input without string
+// matching. Plain io errors (unexpected EOF) are not wrapped.
+var ErrMalformed = errors.New("provstore: malformed input")
+
+// Hard upper bounds on attacker-controlled uvarint counts. They exist
+// to classify garbage early with a typed error; the real defense
+// against allocation bombs is that every slice below grows only as
+// bytes actually arrive (capped preallocation + append).
+const (
+	maxStringLen = 1 << 24 // annotation names, relation/attribute names
+	maxSumArity  = 1 << 24 // children of one OpSum node
+	maxSchemaDim = 1 << 16 // relations in a schema, attributes in a relation
+)
+
+// prealloc bounds a claimed element count to a small initial capacity:
+// decoding loops append as elements actually decode, so a hostile count
+// cannot force a large up-front allocation.
+func prealloc(claimed, cap uint64) int {
+	if claimed < cap {
+		return int(claimed)
+	}
+	return int(cap)
+}
 
 // Encoder writes expressions into a shared node table with structural
 // deduplication: each distinct subterm is emitted once, with children
@@ -205,7 +232,7 @@ func (d *Decoder) ReadNodes(n uint64) error {
 
 func (d *Decoder) child(id uint64) (*core.Expr, error) {
 	if id >= uint64(len(d.nodes)) {
-		return nil, fmt.Errorf("provstore: forward node reference %d (have %d)", id, len(d.nodes))
+		return nil, fmt.Errorf("%w: forward node reference %d (have %d)", ErrMalformed, id, len(d.nodes))
 	}
 	return d.nodes[id], nil
 }
@@ -254,21 +281,26 @@ func (d *Decoder) readNode() error {
 		if err != nil {
 			return err
 		}
-		if n > 1<<24 {
-			return fmt.Errorf("provstore: implausible sum arity %d", n)
+		if n > maxSumArity {
+			return fmt.Errorf("%w: implausible sum arity %d", ErrMalformed, n)
 		}
-		kids := make([]*core.Expr, n)
-		for i := range kids {
-			if kids[i], err = d.readRef(); err != nil {
+		// Capped preallocation: each child reference costs at least one
+		// input byte, so the slice grows with the input, not with the
+		// claimed arity.
+		kids := make([]*core.Expr, 0, prealloc(n, 1024))
+		for i := uint64(0); i < n; i++ {
+			k, err := d.readRef()
+			if err != nil {
 				return err
 			}
+			kids = append(kids, k)
 		}
 		// Sum flattens and collapses; to preserve the encoded identity we
 		// rely on the encoder only emitting sums as they appear in
 		// expressions (already flat, ≥2 children).
 		d.nodes = append(d.nodes, core.Sum(kids...))
 	default:
-		return fmt.Errorf("provstore: unknown node tag %d", tag)
+		return fmt.Errorf("%w: unknown node tag %d", ErrMalformed, tag)
 	}
 	return nil
 }
@@ -282,18 +314,7 @@ func (d *Decoder) readRef() (*core.Expr, error) {
 }
 
 func (d *Decoder) readString() (string, error) {
-	n, err := binary.ReadUvarint(d.r)
-	if err != nil {
-		return "", err
-	}
-	if n > 1<<24 {
-		return "", fmt.Errorf("provstore: string length %d too large", n)
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(d.r, buf); err != nil {
-		return "", err
-	}
-	return string(buf), nil
+	return readString(d.r)
 }
 
 // Expr returns the decoded expression with the given node id.

@@ -45,6 +45,21 @@ func FuzzLoadSnapshot(f *testing.F) {
 	f.Add(sch)
 	f.Add([]byte("HPRV1\n"))
 	f.Add([]byte{})
+	// Truncations of a valid snapshot exercise every mid-structure EOF
+	// path; single-bit flips exercise the malformed-tag and bad-count
+	// paths with otherwise plausible surroundings.
+	for _, cut := range []int{7, len(sch) / 4, len(sch) / 2, len(sch) - 1} {
+		if cut > 0 && cut < len(sch) {
+			f.Add(sch[:cut])
+		}
+	}
+	for _, pos := range []int{8, len(sch) / 3, len(sch) / 2, len(sch) - 2} {
+		if pos > 0 && pos < len(sch) {
+			flipped := bytes.Clone(sch)
+			flipped[pos] ^= 0x40
+			f.Add(flipped)
+		}
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		e, err := provstore.LoadSnapshot(bytes.NewReader(data))
 		if err != nil {

@@ -1,0 +1,126 @@
+package provstore_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"hyperprov/internal/core"
+	"hyperprov/internal/engine"
+	"hyperprov/internal/provstore"
+)
+
+// uv appends a uvarint to b.
+func uv(b []byte, v uint64) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	return append(b, buf[:n]...)
+}
+
+// TestHostileCountsAreTyped feeds the decoders inputs whose uvarint
+// counts claim absurd sizes backed by almost no bytes. Each must fail
+// fast with ErrMalformed or an io error — no panic, and (checked
+// indirectly by running at all) no allocation proportional to the
+// claimed count.
+func TestHostileCountsAreTyped(t *testing.T) {
+	cases := map[string][]byte{
+		// WriteExpr header: node count 1, root 0, then a sum node
+		// claiming 2^20 children with no child bytes behind it.
+		"sum-arity-bomb": uv(append(uv(uv(nil, 1), 0), 6), 1<<20),
+		// Var node whose name claims 2^20 bytes backed by one.
+		"string-length-bomb": append(uv(append(uv(uv(nil, 1), 0), 1, 0), 1<<20), 'x'),
+		// Sum arity just over the hard cap.
+		"sum-arity-over-cap": uv(append(uv(uv(nil, 1), 0), 6), (1<<24)+1),
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := provstore.ReadExpr(bytes.NewReader(data))
+			if err == nil {
+				t.Fatal("hostile input accepted")
+			}
+		})
+	}
+
+	// The over-cap cases must carry the typed sentinel.
+	overCap := uv(append(uv(uv(nil, 1), 0), 6), (1<<24)+1)
+	if _, err := provstore.ReadExpr(bytes.NewReader(overCap)); !errors.Is(err, provstore.ErrMalformed) {
+		t.Fatalf("over-cap sum arity: err = %v, want ErrMalformed", err)
+	}
+	overLen := uv(append(uv(uv(nil, 1), 0), 1, 0), (1<<24)+1)
+	if _, err := provstore.ReadExpr(bytes.NewReader(overLen)); !errors.Is(err, provstore.ErrMalformed) {
+		t.Fatalf("over-cap string length: err = %v, want ErrMalformed", err)
+	}
+}
+
+// TestHostileSnapshotHeader checks the snapshot loader's structural
+// failures carry ErrMalformed.
+func TestHostileSnapshotHeader(t *testing.T) {
+	bad := func(b []byte) error {
+		_, err := provstore.LoadSnapshot(bytes.NewReader(b))
+		return err
+	}
+	if err := bad([]byte("NOPE!\nxxxx")); !errors.Is(err, provstore.ErrMalformed) {
+		t.Fatalf("bad magic: err = %v, want ErrMalformed", err)
+	}
+	if err := bad([]byte("HPRV1\n\xff")); !errors.Is(err, provstore.ErrMalformed) {
+		t.Fatalf("bad mode: err = %v, want ErrMalformed", err)
+	}
+	// Relation count bomb: mode byte then 2^40 relations.
+	hdr := uv(append([]byte("HPRV1\n"), byte(engine.ModeNormalForm)), 1<<40)
+	if err := bad(hdr); !errors.Is(err, provstore.ErrMalformed) {
+		t.Fatalf("relation count bomb: err = %v, want ErrMalformed", err)
+	}
+}
+
+// TestSnapshotTruncationsNeverPanic loads every prefix of a valid
+// snapshot: each must return an error (only the full image loads), and
+// none may panic.
+func TestSnapshotTruncationsNeverPanic(t *testing.T) {
+	full := exampleSnapshotBytesT(t)
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := provstore.LoadSnapshot(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d of %d accepted", cut, len(full))
+		}
+	}
+	if _, err := provstore.LoadSnapshot(bytes.NewReader(full)); err != nil {
+		t.Fatalf("full snapshot rejected: %v", err)
+	}
+}
+
+// TestSnapshotBitFlipsNeverPanic flips one bit in every byte of a valid
+// snapshot. A flip may still decode (many bytes are value payloads) but
+// must never panic; when it errors, the error must be a plain value.
+func TestSnapshotBitFlipsNeverPanic(t *testing.T) {
+	full := exampleSnapshotBytesT(t)
+	for pos := 0; pos < len(full); pos++ {
+		flipped := bytes.Clone(full)
+		flipped[pos] ^= 0x10
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on bit flip at byte %d: %v", pos, r)
+				}
+			}()
+			_, _ = provstore.LoadSnapshot(bytes.NewReader(flipped))
+		}()
+	}
+}
+
+func exampleSnapshotBytesT(t *testing.T) []byte {
+	t.Helper()
+	sch, err := dbSchemaForFuzz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.NewEmpty(engine.ModeNormalForm, sch)
+	ann := core.PlusI(core.TupleVar("x"), core.DotM(core.Sum(core.TupleVar("y"), core.QueryVar("q")), core.QueryVar("p")))
+	if err := e.RestoreRow("R", fuzzTuple(), ann); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := provstore.SaveSnapshot(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}

@@ -136,7 +136,7 @@ func LoadSnapshot(r io.Reader, opts ...engine.Option) (engine.DB, error) {
 		return nil, err
 	}
 	if string(magic) != snapshotMagic {
-		return nil, fmt.Errorf("provstore: bad snapshot magic %q", magic)
+		return nil, fmt.Errorf("%w: bad snapshot magic %q", ErrMalformed, magic)
 	}
 	modeByte, err := br.ReadByte()
 	if err != nil {
@@ -144,16 +144,16 @@ func LoadSnapshot(r io.Reader, opts ...engine.Option) (engine.DB, error) {
 	}
 	mode := engine.Mode(modeByte)
 	if mode != engine.ModeNaive && mode != engine.ModeNormalForm {
-		return nil, fmt.Errorf("provstore: unknown engine mode %d", modeByte)
+		return nil, fmt.Errorf("%w: unknown engine mode %d", ErrMalformed, modeByte)
 	}
 	nRels, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, err
 	}
-	if nRels > 1<<16 {
-		return nil, fmt.Errorf("provstore: implausible relation count %d", nRels)
+	if nRels > maxSchemaDim {
+		return nil, fmt.Errorf("%w: implausible relation count %d", ErrMalformed, nRels)
 	}
-	rels := make([]*db.RelationSchema, 0, nRels)
+	rels := make([]*db.RelationSchema, 0, prealloc(nRels, 256))
 	for i := uint64(0); i < nRels; i++ {
 		name, err := readString(br)
 		if err != nil {
@@ -163,10 +163,10 @@ func LoadSnapshot(r io.Reader, opts ...engine.Option) (engine.DB, error) {
 		if err != nil {
 			return nil, err
 		}
-		if nAttrs > 1<<16 {
-			return nil, fmt.Errorf("provstore: implausible attribute count %d", nAttrs)
+		if nAttrs > maxSchemaDim {
+			return nil, fmt.Errorf("%w: implausible attribute count %d", ErrMalformed, nAttrs)
 		}
-		attrs := make([]db.Attribute, 0, nAttrs)
+		attrs := make([]db.Attribute, 0, prealloc(nAttrs, 256))
 		for j := uint64(0); j < nAttrs; j++ {
 			aname, err := readString(br)
 			if err != nil {
@@ -194,7 +194,7 @@ func LoadSnapshot(r io.Reader, opts ...engine.Option) (engine.DB, error) {
 		return nil, err
 	}
 	if nNodes > 1<<40 {
-		return nil, fmt.Errorf("provstore: implausible node count %d", nNodes)
+		return nil, fmt.Errorf("%w: implausible node count %d", ErrMalformed, nNodes)
 	}
 	dec := NewDecoder(br)
 	if err := dec.ReadNodes(nNodes); err != nil {
@@ -243,17 +243,29 @@ func writeString(w *bufio.Writer, s string) {
 	_, _ = w.WriteString(s)
 }
 
+// readString reads a uvarint-length-prefixed string, growing the buffer
+// in bounded chunks as bytes actually arrive: a hostile length prefix
+// costs the attacker proportional input, not a proportional allocation.
 func readString(r *bufio.Reader) (string, error) {
 	n, err := binary.ReadUvarint(r)
 	if err != nil {
 		return "", err
 	}
-	if n > 1<<24 {
-		return "", fmt.Errorf("provstore: string length %d too large", n)
+	if n > maxStringLen {
+		return "", fmt.Errorf("%w: string length %d too large", ErrMalformed, n)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return "", err
+	const chunk = 64 << 10
+	buf := make([]byte, 0, prealloc(n, chunk))
+	for uint64(len(buf)) < n {
+		take := n - uint64(len(buf))
+		if take > chunk {
+			take = chunk
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, take)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return "", err
+		}
 	}
 	return string(buf), nil
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -13,10 +14,45 @@ import (
 	"hyperprov/internal/parser"
 	"hyperprov/internal/provstore"
 	"hyperprov/internal/upstruct"
+	"hyperprov/internal/wal"
 )
 
 func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// handleReadyz is the readiness probe: 200 while the served engine can
+// accept writes, 503 read_only once a persistent store has degraded
+// (reads keep answering on the other endpoints either way, so load
+// balancers can drain writes without killing the process).
+func (s *Server) handleReadyz(w http.ResponseWriter, req *http.Request) {
+	if st, ok := s.Engine().(*wal.Store); ok {
+		if st.ReadOnly() {
+			writeError(w, http.StatusServiceUnavailable, codeReadOnly, "persistent store is read-only: %v", st.Stats().ReadOnlyCause)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "persistent": true})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "persistent": false})
+}
+
+// handleCheckpoint forces a checkpoint of the persistent store: the
+// current engine state is written as a snapshot and fully-covered WAL
+// segments are pruned. Serving an in-memory engine answers 409
+// not_persistent; a degraded store answers 503 read_only.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, req *http.Request) {
+	st, ok := s.Engine().(*wal.Store)
+	if !ok {
+		writeError(w, http.StatusConflict, codeNotPersistent, "server is not running on a persistent store")
+		return
+	}
+	if err := st.Checkpoint(); err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	stats := st.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{"lsn": stats.LSN, "checkpointLSN": stats.CheckpointLSN})
 }
 
 type attrJSON struct {
@@ -69,7 +105,14 @@ func (s *Server) handleStats(w http.ResponseWriter, req *http.Request) {
 	stats["plannerAutoBuilds"] = ps.AutoBuilds
 	stats["plannerCompactions"] = ps.Compactions
 	stats["indexes"] = len(e.IndexStats())
-	if se, ok := e.(*engine.ShardedEngine); ok {
+	// A persistent store wraps the real engine: report its durability
+	// counters and look through it for the sharding gauges.
+	inner := e
+	if ws, ok := e.(*wal.Store); ok {
+		stats["wal"] = ws.Stats()
+		inner = ws.Underlying()
+	}
+	if se, ok := inner.(*engine.ShardedEngine); ok {
 		st := se.Stats()
 		stats["shards"] = st.Shards
 		stats["shardRouted"] = st.Routed
@@ -356,9 +399,29 @@ func (s *Server) handleIngest(w http.ResponseWriter, req *http.Request) {
 func (s *Server) handleSnapshotSave(w http.ResponseWriter, req *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	if err := provstore.SaveSnapshot(w, s.Engine()); err != nil {
-		// Headers are out; the truncated body fails the client's load.
-		writeError(w, http.StatusInternalServerError, codeInternal, "saving snapshot: %v", err)
+		// The 200 header and part of the binary body may already be on
+		// the wire, so a JSON error envelope appended here would corrupt
+		// the download into something that half-parses. Abort the
+		// connection instead: the client's load fails on the truncated
+		// stream.
+		s.metrics.m.Add("snapshot_save.aborts", 1)
+		panic(http.ErrAbortHandler)
 	}
+}
+
+// ctxReader propagates request-context cancellation into a blocking
+// body read, so a disconnected client stops a snapshot load promptly
+// instead of after the next short read.
+type ctxReader struct {
+	ctx context.Context
+	r   io.Reader
+}
+
+func (c ctxReader) Read(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return c.r.Read(p)
 }
 
 // handleSnapshotLoad restores a snapshot and atomically swaps it in as
@@ -366,6 +429,12 @@ func (s *Server) handleSnapshotSave(w http.ResponseWriter, req *http.Request) {
 // ?shards=N restores into a hash-sharded engine (default: the single
 // engine); the snapshot bytes are identical either way.
 func (s *Server) handleSnapshotLoad(w http.ResponseWriter, req *http.Request) {
+	if _, ok := s.Engine().(*wal.Store); ok {
+		// Swapping an in-memory engine over a persistent store would
+		// silently fork the served state from the WAL on disk.
+		writeError(w, http.StatusConflict, codeNotPersistent, "server is running on a persistent store; snapshot load would desync it from the log")
+		return
+	}
 	var opts []engine.Option
 	if v := req.URL.Query().Get("shards"); v != "" {
 		n, err := strconv.Atoi(v)
@@ -376,8 +445,12 @@ func (s *Server) handleSnapshotLoad(w http.ResponseWriter, req *http.Request) {
 		opts = append(opts, engine.WithShards(n))
 	}
 	req.Body = http.MaxBytesReader(w, req.Body, maxBodyBytes)
-	e, err := provstore.LoadSnapshot(req.Body, opts...)
+	e, err := provstore.LoadSnapshot(ctxReader{ctx: req.Context(), r: req.Body}, opts...)
 	if err != nil {
+		if req.Context().Err() != nil {
+			writeError(w, http.StatusServiceUnavailable, codeCanceled, "loading snapshot: %v", err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, codeBadRequest, "loading snapshot: %v", err)
 		return
 	}

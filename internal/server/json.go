@@ -9,6 +9,7 @@ import (
 
 	"hyperprov/internal/db"
 	"hyperprov/internal/engine"
+	"hyperprov/internal/wal"
 )
 
 // writeJSON renders v with a status code; encoding errors past the
@@ -34,6 +35,8 @@ const (
 	codeCanceled         = "canceled"
 	codeInternal         = "internal"
 	codeTimeout          = "timeout"
+	codeReadOnly         = "read_only"
+	codeNotPersistent    = "not_persistent"
 )
 
 // timeoutBody is the body http.TimeoutHandler serves on deadline; it
@@ -56,9 +59,12 @@ func writeError(w http.ResponseWriter, status int, code, format string, args ...
 
 // writeEngineError maps the engine's sentinel errors onto HTTP statuses
 // and envelope codes: unknown relation / attribute / index → 404,
-// malformed tuple → 400, anything else from applying a log → 422.
+// malformed tuple → 400, a degraded persistent store → 503, anything
+// else from applying a log → 422.
 func writeEngineError(w http.ResponseWriter, err error) {
 	switch {
+	case errors.Is(err, wal.ErrReadOnly):
+		writeError(w, http.StatusServiceUnavailable, codeReadOnly, "%v", err)
 	case errors.Is(err, engine.ErrUnknownRelation):
 		writeError(w, http.StatusNotFound, codeUnknownRelation, "%v", err)
 	case errors.Is(err, engine.ErrUnknownAttribute):

@@ -1,0 +1,34 @@
+package server
+
+import (
+	"net/http"
+	"runtime/debug"
+)
+
+// recoverPanics is the outermost-but-one middleware (inside the request
+// timeout): a panicking handler answers a 500 internal envelope instead
+// of killing the connection with an empty reply, and the panic is
+// counted under "panics" in the metrics map. http.ErrAbortHandler is
+// re-raised — it is the sanctioned way to abort a response whose
+// headers are already out (the snapshot download uses it), and
+// net/http suppresses its stack trace.
+func (s *Server) recoverPanics(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			if r == http.ErrAbortHandler {
+				panic(r)
+			}
+			s.metrics.m.Add("panics", 1)
+			s.logf("panic serving %s %s: %v\n%s", req.Method, req.URL.Path, r, debug.Stack())
+			// Best effort: if the handler already wrote headers this is
+			// a no-op on the status line and the client sees a truncated
+			// body, which still fails loudly on their side.
+			writeError(w, http.StatusInternalServerError, codeInternal, "internal server error")
+		}()
+		h.ServeHTTP(w, req)
+	})
+}

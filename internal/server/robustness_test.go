@@ -1,0 +1,307 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hyperprov/internal/db"
+	"hyperprov/internal/engine"
+	"hyperprov/internal/iofault"
+	"hyperprov/internal/wal"
+)
+
+// figure1Database rebuilds the Figure 1a Products instance for tests
+// that need a database value (the persistent store bootstraps from it).
+func figure1Database(t *testing.T) *db.Database {
+	t.Helper()
+	schema := db.MustSchema(db.MustRelationSchema("Products",
+		db.Attribute{Name: "Product", Kind: db.KindString},
+		db.Attribute{Name: "Category", Kind: db.KindString},
+		db.Attribute{Name: "Price", Kind: db.KindInt},
+	))
+	d := db.NewDatabase(schema)
+	for _, r := range []db.Tuple{
+		{db.S("Kids mnt bike"), db.S("Sport"), db.I(120)},
+		{db.S("Tennis Racket"), db.S("Sport"), db.I(70)},
+		{db.S("Kids mnt bike"), db.S("Kids"), db.I(120)},
+		{db.S("Children sneakers"), db.S("Fashion"), db.I(40)},
+	} {
+		if err := d.InsertTuple("Products", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+// TestRecoverPanicsMiddleware pins the panic contract: an arbitrary
+// panic answers the 500 internal envelope and bumps the counter, while
+// http.ErrAbortHandler passes through and kills the connection.
+func TestRecoverPanicsMiddleware(t *testing.T) {
+	s := New(figure1Engine(t, engine.ModeNormalForm), WithLogf(func(string, ...any) {}))
+
+	boom := s.recoverPanics(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		panic("boom")
+	}))
+	ts := httptest.NewServer(boom)
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler answered %d, want 500", resp.StatusCode)
+	}
+	body := decode[errorResponse](t, resp)
+	if body.Error.Code != codeInternal {
+		t.Fatalf("error code %q, want %q", body.Error.Code, codeInternal)
+	}
+	if got := s.metrics.m.Get("panics").String(); got != "1" {
+		t.Fatalf("panics counter = %s, want 1", got)
+	}
+
+	// ErrAbortHandler must re-panic (net/http turns it into a closed
+	// connection with no response).
+	abort := s.recoverPanics(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	ts2 := httptest.NewServer(abort)
+	defer ts2.Close()
+	if _, err := ts2.Client().Get(ts2.URL + "/"); err == nil {
+		t.Fatal("aborted handler produced a response, want a transport error")
+	}
+	if got := s.metrics.m.Get("panics").String(); got != "1" {
+		t.Fatalf("ErrAbortHandler bumped the panics counter: %s", got)
+	}
+}
+
+// failAfterWriter fails every Write after the first n bytes, simulating
+// a client that disconnects mid-download.
+type failAfterWriter struct {
+	http.ResponseWriter
+	n       int
+	written int
+}
+
+func (f *failAfterWriter) Write(p []byte) (int, error) {
+	if f.written >= f.n {
+		return 0, errors.New("client gone")
+	}
+	if f.written+len(p) > f.n {
+		p = p[:f.n-f.written]
+	}
+	n, _ := f.ResponseWriter.Write(p)
+	f.written += n
+	return n, errors.New("client gone")
+}
+
+// TestSnapshotSaveAbortsOnWriteError is the regression test for the
+// mid-stream failure path: the handler must abort the response via
+// http.ErrAbortHandler — never append a JSON error envelope to the 200
+// binary body, where it would corrupt the download.
+func TestSnapshotSaveAbortsOnWriteError(t *testing.T) {
+	s := New(figure1Engine(t, engine.ModeNormalForm), WithLogf(func(string, ...any) {}))
+	rec := httptest.NewRecorder()
+	w := &failAfterWriter{ResponseWriter: rec, n: 10}
+	req := httptest.NewRequest("GET", "/v1/snapshot", nil)
+
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		s.handleSnapshotSave(w, req)
+	}()
+	if recovered != http.ErrAbortHandler {
+		t.Fatalf("handler recovered %v, want http.ErrAbortHandler", recovered)
+	}
+	if body := rec.Body.String(); strings.Contains(body, `"error"`) {
+		t.Fatalf("JSON error envelope appended to binary body: %q", body)
+	}
+	if got := s.metrics.m.Get("snapshot_save.aborts").String(); got != "1" {
+		t.Fatalf("abort counter = %s, want 1", got)
+	}
+}
+
+// TestCheckpointNotPersistent: forcing a checkpoint on an in-memory
+// engine answers 409 not_persistent.
+func TestCheckpointNotPersistent(t *testing.T) {
+	srv := New(figure1Engine(t, engine.ModeNormalForm))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Post(ts.URL+"/v1/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("checkpoint on in-memory engine answered %d, want 409", resp.StatusCode)
+	}
+	if body := decode[errorResponse](t, resp); body.Error.Code != codeNotPersistent {
+		t.Fatalf("error code %q, want %q", body.Error.Code, codeNotPersistent)
+	}
+}
+
+// TestPersistentServerEndpoints runs the server over a wal.Store:
+// readiness reports persistence, ingest is durable across a reopen,
+// checkpoint works, stats carry the WAL counters, and snapshot load is
+// refused (it would desync the served state from the log).
+func TestPersistentServerEndpoints(t *testing.T) {
+	dir := t.TempDir()
+	st, err := wal.Open(dir,
+		wal.WithMode(engine.ModeNormalForm),
+		wal.WithInitialDatabase(figure1Database(t)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(st)
+	ts := httptest.NewServer(srv.Handler())
+	client := ts.Client()
+
+	resp, err := client.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready := decode[map[string]any](t, resp)
+	if ready["ok"] != true || ready["persistent"] != true {
+		t.Fatalf("readyz on persistent store: %v", ready)
+	}
+
+	resp, err = client.Post(ts.URL+"/v1/ingest?syntax=sql", "text/plain", strings.NewReader(figure1Log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ing := decode[map[string]int](t, resp); ing["transactions"] != 2 {
+		t.Fatalf("ingest reported %v", ing)
+	}
+
+	resp, err = client.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := decode[map[string]any](t, resp)
+	walStats, ok := stats["wal"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing wal section: %v", stats)
+	}
+	if walStats["lsn"].(float64) != 2 {
+		t.Fatalf("wal lsn %v after two transactions", walStats["lsn"])
+	}
+
+	resp, err = client.Post(ts.URL+"/v1/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := decode[map[string]any](t, resp)
+	if ck["checkpointLSN"].(float64) != 2 {
+		t.Fatalf("checkpoint answered %v", ck)
+	}
+
+	resp, err = client.Post(ts.URL+"/v1/snapshot", "application/octet-stream", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("snapshot load over persistent store answered %d, want 409", resp.StatusCode)
+	}
+	if body := decode[errorResponse](t, resp); body.Error.Code != codeNotPersistent {
+		t.Fatalf("error code %q, want %q", body.Error.Code, codeNotPersistent)
+	}
+
+	ts.Close()
+	wantRows := st.NumRows()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the ingested transactions survived.
+	re, err := wal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.NumRows() != wantRows {
+		t.Fatalf("reopened store has %d rows, want %d", re.NumRows(), wantRows)
+	}
+	if lsn := re.Stats().LSN; lsn != 2 {
+		t.Fatalf("reopened store at LSN %d, want 2", lsn)
+	}
+}
+
+// TestServerReadOnlyDegradation drives the store into read-only via an
+// injected fsync failure and checks the HTTP surface: writes answer 503
+// read_only, /readyz flips to 503, reads keep serving.
+func TestServerReadOnlyDegradation(t *testing.T) {
+	dir := t.TempDir()
+	fs := iofault.Wrap(wal.OSFS{})
+	st, err := wal.Open(dir,
+		wal.WithMode(engine.ModeNormalForm),
+		wal.WithInitialDatabase(figure1Database(t)),
+		wal.WithFS(fs),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srv := New(st)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	fs.Inject(iofault.Fault{Op: iofault.OpSync, Match: "wal-", Nth: 1, Mode: iofault.Fail})
+	resp, err := client.Post(ts.URL+"/v1/ingest?syntax=sql", "text/plain", strings.NewReader(figure1Log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("ingest on degraded store answered %d, want 503", resp.StatusCode)
+	}
+	if body := decode[errorResponse](t, resp); body.Error.Code != codeReadOnly {
+		t.Fatalf("error code %q, want %q", body.Error.Code, codeReadOnly)
+	}
+
+	resp, err = client.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz on degraded store answered %d, want 503", resp.StatusCode)
+	}
+	if body := decode[errorResponse](t, resp); body.Error.Code != codeReadOnly {
+		t.Fatalf("readyz error code %q, want %q", body.Error.Code, codeReadOnly)
+	}
+
+	resp, err = client.Post(ts.URL+"/v1/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("checkpoint on degraded store answered %d, want 503", resp.StatusCode)
+	}
+
+	// Reads still serve.
+	resp, err = client.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := decode[map[string]any](t, resp)
+	if stats["rows"].(float64) != 4 {
+		t.Fatalf("reads broken after degradation: %v", stats["rows"])
+	}
+	walStats := stats["wal"].(map[string]any)
+	if walStats["read_only"] != true {
+		t.Fatalf("stats do not report read-only: %v", walStats)
+	}
+}
+
+// TestSnapshotLoadHonorsContext: the load reader observes request
+// cancellation between reads.
+func TestSnapshotLoadHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := ctxReader{ctx: ctx, r: strings.NewReader("data")}
+	if _, err := r.Read(make([]byte, 4)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("read under canceled context: err = %v, want context.Canceled", err)
+	}
+}

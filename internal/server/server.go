@@ -2,11 +2,13 @@ package server
 
 import (
 	"expvar"
+	"log"
 	"net/http"
 	"sync"
 	"time"
 
 	"hyperprov/internal/engine"
+	"hyperprov/internal/wal"
 )
 
 // maxBodyBytes caps request bodies (JSON, logs and snapshots alike).
@@ -27,6 +29,7 @@ type Server struct {
 	metrics *metrics
 	timeout time.Duration
 	handler http.Handler
+	logf    func(format string, args ...any)
 }
 
 // Option configures a Server.
@@ -37,9 +40,15 @@ func WithTimeout(d time.Duration) Option {
 	return func(s *Server) { s.timeout = d }
 }
 
+// WithLogf sets the diagnostic logger (used for recovered panics).
+// The default is log.Printf; tests pass t.Logf or a no-op.
+func WithLogf(f func(format string, args ...any)) Option {
+	return func(s *Server) { s.logf = f }
+}
+
 // New builds a server around the engine.
 func New(eng engine.DB, opts ...Option) *Server {
-	s := &Server{eng: eng, metrics: newMetrics(), timeout: DefaultTimeout}
+	s := &Server{eng: eng, metrics: newMetrics(), timeout: DefaultTimeout, logf: log.Printf}
 	for _, o := range opts {
 		o(s)
 	}
@@ -49,11 +58,18 @@ func New(eng engine.DB, opts ...Option) *Server {
 	// load swapping the engine swaps the gauges too.
 	s.metrics.m.Set("planner", expvar.Func(func() any { return s.Engine().PlannerStats() }))
 	s.metrics.m.Set("indexes", expvar.Func(func() any { return s.Engine().IndexStats() }))
+	s.metrics.m.Set("wal", expvar.Func(func() any {
+		if st, ok := s.Engine().(*wal.Store); ok {
+			return st.Stats()
+		}
+		return nil
+	}))
 	mux := http.NewServeMux()
 	route := func(name, pattern string, h http.HandlerFunc) {
 		mux.Handle(pattern, s.metrics.instrument(name, h))
 	}
 	route("healthz", "GET /healthz", s.handleHealthz)
+	route("readyz", "GET /readyz", s.handleReadyz)
 	route("schema", "GET /v1/schema", s.handleSchema)
 	route("stats", "GET /v1/stats", s.handleStats)
 	route("annotation", "POST /v1/annotation", s.handleAnnotation)
@@ -66,11 +82,15 @@ func New(eng engine.DB, opts ...Option) *Server {
 	route("indexes_drop", "DELETE /v1/indexes", s.handleIndexDrop)
 	route("snapshot_save", "GET /v1/snapshot", s.handleSnapshotSave)
 	route("snapshot_load", "POST /v1/snapshot", s.handleSnapshotLoad)
+	route("checkpoint", "POST /v1/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /v1/metrics", s.metrics.serveHTTP)
 	mux.Handle("GET /debug/vars", expvar.Handler())
-	s.handler = mux
+	// Panic recovery sits inside the timeout handler so a panicking
+	// endpoint answers a typed 500 rather than an empty reply; the
+	// timeout handler still bounds the whole thing.
+	s.handler = s.recoverPanics(mux)
 	if s.timeout > 0 {
-		s.handler = http.TimeoutHandler(mux, s.timeout, timeoutBody)
+		s.handler = http.TimeoutHandler(s.handler, s.timeout, timeoutBody)
 	}
 	return s
 }

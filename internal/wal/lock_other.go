@@ -1,0 +1,25 @@
+//go:build !unix
+
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// lockDir on platforms without flock falls back to exclusive creation
+// of <dir>/LOCK. Unlike the flock version, a crashed process leaves the
+// file behind; the operator must remove it by hand.
+func lockDir(dir string) (release func(), err error) {
+	path := filepath.Join(dir, lockFileName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			return nil, fmt.Errorf("%w: %s (remove it if no other process is running)", ErrLocked, path)
+		}
+		return nil, err
+	}
+	f.Close()
+	return func() { _ = os.Remove(path) }, nil
+}

@@ -1,0 +1,135 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hyperprov/internal/db"
+	"hyperprov/internal/engine"
+)
+
+// metaMagic identifies the META file (format version 1).
+const metaMagic = "HPWM1\n"
+
+// errNoMeta reports a directory without a META file — a fresh store.
+var errNoMeta = errors.New("wal: no META file")
+
+// metaInfo is the store identity persisted once at bootstrap: the
+// provenance mode, the schema, and whether the bootstrap database had
+// rows (in which case a loadable checkpoint must exist — a WAL-only
+// recovery would silently drop the initial data).
+type metaInfo struct {
+	mode    engine.Mode
+	schema  *db.Schema
+	hasInit bool
+}
+
+// writeMeta persists the store identity via temp file + fsync + atomic
+// rename, like every other durable write in this package.
+func writeMeta(fs FS, dir string, mode engine.Mode, schema *db.Schema, hasInit bool) error {
+	var e recEncoder
+	e.buf.WriteString(metaMagic)
+	e.byte(byte(mode))
+	if hasInit {
+		e.byte(1)
+	} else {
+		e.byte(0)
+	}
+	names := schema.Names()
+	e.uvarint(uint64(len(names)))
+	for _, name := range names {
+		rel := schema.Relation(name)
+		e.str(rel.Name)
+		e.uvarint(uint64(len(rel.Attrs)))
+		for _, a := range rel.Attrs {
+			e.str(a.Name)
+			e.byte(byte(a.Kind))
+		}
+	}
+	tmp := filepath.Join(dir, "META.tmp")
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(e.buf.Bytes()); err != nil {
+		f.Close()
+		_ = fs.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		_ = fs.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = fs.Remove(tmp)
+		return err
+	}
+	if err := fs.Rename(tmp, filepath.Join(dir, metaName)); err != nil {
+		_ = fs.Remove(tmp)
+		return err
+	}
+	return fs.SyncDir(dir)
+}
+
+// readMeta loads the store identity; errNoMeta when absent.
+func readMeta(fs FS, dir string) (*metaInfo, error) {
+	data, err := fs.ReadFile(filepath.Join(dir, metaName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, errNoMeta
+		}
+		return nil, err
+	}
+	if len(data) < len(metaMagic) || string(data[:len(metaMagic)]) != metaMagic {
+		return nil, fmt.Errorf("%w: bad META magic", ErrCorrupt)
+	}
+	d := &recDecoder{r: bytes.NewReader(data[len(metaMagic):])}
+	mode, err := d.byte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated META", ErrCorrupt)
+	}
+	hasInit, err := d.byte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated META", ErrCorrupt)
+	}
+	nRels, err := d.count(maxWireCount, "relation")
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	rels := make([]*db.RelationSchema, 0, minU64(nRels, 1024))
+	for i := uint64(0); i < nRels; i++ {
+		name, err := d.str()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		nAttrs, err := d.count(maxWireArity, "attribute")
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		attrs := make([]db.Attribute, nAttrs)
+		for j := range attrs {
+			if attrs[j].Name, err = d.str(); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			kind, err := d.byte()
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			attrs[j].Kind = db.Kind(kind)
+		}
+		rel, err := db.NewRelationSchema(name, attrs...)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		rels = append(rels, rel)
+	}
+	schema, err := db.NewSchema(rels...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return &metaInfo{mode: engine.Mode(mode), schema: schema, hasInit: hasInit == 1}, nil
+}
