@@ -15,7 +15,9 @@
 // annotation. -abort prints instead the hypothetical database with the
 // given transactions aborted (their annotations set to false), computed
 // from provenance without re-running the log. -all includes tombstoned
-// tuples (annotations that evaluate to an absent tuple).
+// tuples (annotations that evaluate to an absent tuple). -as-of N
+// prints the database as it stood at the end of MVCC epoch N (epoch 0
+// is the initial load) via a pinned time-travel view.
 //
 // With -data-dir the run is persistent: every transaction is written to
 // a checksummed write-ahead log before it is applied, and a later run
@@ -86,6 +88,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "persist to a write-ahead-logged directory (bootstrapped from -data on first use, recovered afterwards)")
 	syncPolicy := flag.String("sync", "always", "WAL durability: always, interval, or never (with -data-dir)")
 	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint after N logged records, 0 = only when the run finishes (with -data-dir)")
+	asOf := flag.Int64("as-of", -1, "print the database as of this MVCC epoch instead of the latest state (-1 = latest; epoch 0 is the initial load, each applied batch commits one more)")
 	flag.Parse()
 
 	persistent := *dataDir != ""
@@ -100,6 +103,7 @@ func main() {
 		explain: *explain, saveSnap: *saveSnap, loadSnap: *loadSnap,
 		shards: *shards, autoIndex: *autoIndex,
 		dataDir: *dataDir, syncPolicy: *syncPolicy, ckptEvery: *ckptEvery,
+		asOf: *asOf,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "hyperprov:", err)
@@ -122,6 +126,7 @@ type runConfig struct {
 	dataDir            string
 	syncPolicy         string
 	ckptEvery          int
+	asOf               int64
 }
 
 func parseMode(name string) (engine.Mode, error) {
@@ -293,6 +298,18 @@ func run(cfg runConfig) error {
 		}
 	}
 
+	// Reads run against r: the live engine, or — under -as-of — a
+	// read-only MVCC view pinned at the end of the requested epoch.
+	var r engine.Reader = e
+	if cfg.asOf >= 0 {
+		h := engine.SeqEpoch(e.Horizon())
+		if uint64(cfg.asOf) > h {
+			return fmt.Errorf("-as-of epoch %d is beyond the committed horizon epoch %d", cfg.asOf, h)
+		}
+		r = e.At(engine.EpochSeq(uint64(cfg.asOf)))
+		fmt.Printf("-- database as of epoch %d (horizon epoch %d)\n", cfg.asOf, h)
+	}
+
 	env := func(core.Annot) bool { return true }
 	if cfg.abort != "" {
 		dead := make(map[core.Annot]bool)
@@ -308,7 +325,7 @@ func run(cfg runConfig) error {
 		printRels = []string{cfg.show}
 	}
 	for _, rel := range printRels {
-		if e.Schema().Relation(rel) == nil {
+		if r.Schema().Relation(rel) == nil {
 			return fmt.Errorf("unknown relation %s", rel)
 		}
 		fmt.Printf("== %s ==\n", rel)
@@ -318,7 +335,7 @@ func run(cfg runConfig) error {
 			ann   string
 		}
 		var lines []line
-		e.EachRow(rel, func(t db.Tuple, ann *core.Expr) {
+		r.EachRow(rel, func(t db.Tuple, ann *core.Expr) {
 			live := upstruct.Eval(ann, upstruct.Bool, env)
 			if !live && !cfg.all {
 				return
@@ -342,13 +359,15 @@ func run(cfg runConfig) error {
 		}
 	}
 	fmt.Printf("-- %d transactions, %d update queries, provenance size %d nodes (%s)\n",
-		len(txns), db.CountQueries(txns), e.ProvSize(), e.Mode())
+		len(txns), db.CountQueries(txns), r.ProvSize(), r.Mode())
 	if cfg.saveSnap != "" {
 		f, err := os.Create(cfg.saveSnap)
 		if err != nil {
 			return err
 		}
-		if err := provstore.SaveSnapshot(f, e); err != nil {
+		// Under -as-of the snapshot captures the pinned epoch, not the
+		// latest state.
+		if err := provstore.SaveSnapshot(f, r); err != nil {
 			f.Close()
 			return err
 		}

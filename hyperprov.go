@@ -143,10 +143,33 @@ var (
 // --- provenance engines (internal/engine) ------------------------------
 
 // DB is the interface shared by both provenance engines: the
-// single-lock Engine and the hash-sharded ShardedEngine. Open returns
+// single-writer Engine and the hash-sharded ShardedEngine. Open returns
 // one or the other; program against DB unless you need
 // implementation-specific calls.
 type DB = engine.DB
+
+// Reader is the lock-free read surface shared by live engines and
+// pinned time-travel views: annotation lookup, deterministic row
+// streaming and the size measures, all resolved against one committed
+// MVCC horizon.
+type Reader = engine.Reader
+
+// View is a read-only database pinned at one MVCC horizon, as returned
+// by DB.At: immutable no matter how many transactions commit after it
+// was taken.
+type View = engine.View
+
+// MVCCStats are the version-storage counters of an engine (committed
+// horizon, epochs allocated, row versions held).
+type MVCCStats = engine.MVCCStats
+
+// Horizon-sequence helpers: EpochSeq returns the horizon pinning
+// everything up to and including epoch k (pass it to DB.At); SeqEpoch
+// extracts the epoch from a horizon sequence.
+var (
+	EpochSeq = engine.EpochSeq
+	SeqEpoch = engine.SeqEpoch
+)
 
 // Engine is the single-lock provenance-tracking database.
 type Engine = engine.Engine
@@ -225,10 +248,11 @@ var (
 )
 
 // Provenance storage (package provstore): SaveSnapshot persists an
-// engine's annotated database with a structurally deduplicated
-// expression table; LoadSnapshot restores it. Both accept either engine
-// implementation, and the bytes are independent of the shard count.
-func SaveSnapshot(w io.Writer, e DB) error { return provstore.SaveSnapshot(w, e) }
+// annotated database — a live engine or a pinned time-travel View —
+// with a structurally deduplicated expression table; LoadSnapshot
+// restores it. Both accept either engine implementation, and the bytes
+// are independent of the shard count.
+func SaveSnapshot(w io.Writer, e Reader) error { return provstore.SaveSnapshot(w, e) }
 
 // LoadSnapshot restores an annotated database saved by SaveSnapshot.
 // Options pass through to Open — WithShards(n) restores into a
@@ -333,17 +357,18 @@ func Eval[T any](e *Expr, s upstruct.Structure[T], env func(Annot) T) T {
 	return upstruct.Eval(e, s, env)
 }
 
-// Specialize evaluates every stored annotation of the engine in the
-// given structure, streaming results to f; SpecializeParallel spreads
-// evaluation over workers goroutines (0 = GOMAXPROCS).
-func Specialize[T any](e DB, s upstruct.Structure[T], env func(Annot) T, f func(rel string, t Tuple, v T)) {
+// Specialize evaluates every stored annotation of the reader — a live
+// engine or a pinned View — in the given structure, streaming results
+// to f; SpecializeParallel spreads evaluation over workers goroutines
+// (0 = GOMAXPROCS).
+func Specialize[T any](e Reader, s upstruct.Structure[T], env func(Annot) T, f func(rel string, t Tuple, v T)) {
 	engine.Specialize(e, s, env, f)
 }
 
 // SpecializeParallel is Specialize with parallel row evaluation; f must
 // be safe for concurrent use. ctx cancels the pass at chunk boundaries
 // (nil means context.Background()).
-func SpecializeParallel[T any](ctx context.Context, e DB, s upstruct.Structure[T], env func(Annot) T, workers int, f func(rel string, t Tuple, v T)) error {
+func SpecializeParallel[T any](ctx context.Context, e Reader, s upstruct.Structure[T], env func(Annot) T, workers int, f func(rel string, t Tuple, v T)) error {
 	return engine.SpecializeParallel(ctx, e, s, env, workers, f)
 }
 

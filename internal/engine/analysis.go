@@ -14,7 +14,7 @@ import (
 // Section 4 ("which inputs and which transactions could affect this
 // tuple?"). Both slices are sorted by name. The tuple must be stored
 // (possibly as a tombstone); otherwise both results are nil.
-func Dependencies(e DB, rel string, t db.Tuple) (tuples, txns []core.Annot) {
+func Dependencies(e Reader, rel string, t db.Tuple) (tuples, txns []core.Annot) {
 	ann := e.Annotation(rel, t)
 	if ann == nil {
 		return nil, nil
@@ -42,7 +42,7 @@ func sortAnnots(as []core.Annot) {
 // revoked?"); candidates are a sound overapproximation of the rows whose
 // membership actually flips, which RefineImpact narrows by valuation.
 type Impact struct {
-	e     DB
+	e     Reader
 	index map[core.Annot][]impactRow
 }
 
@@ -51,10 +51,10 @@ type impactRow struct {
 	tuple db.Tuple
 }
 
-// BuildImpact scans every stored row once — under a single read lock
-// (all shard read locks for a ShardedEngine), so the index reflects one
-// consistent state — and indexes its annotation's basic annotations.
-func BuildImpact(e DB) *Impact {
+// BuildImpact scans every stored row once — against a single pinned
+// MVCC horizon, so the index reflects one consistent state — and
+// indexes its annotation's basic annotations.
+func BuildImpact(e Reader) *Impact {
 	im := &Impact{e: e, index: make(map[core.Annot][]impactRow)}
 	e.Rows(func(rel string, t db.Tuple, ann *core.Expr) {
 		for a := range ann.Annots(nil) {

@@ -14,19 +14,19 @@ import (
 // SpecializeParallel, and identical across both engine implementations
 // — never map order. This is the generic "provenance usage" operation
 // of Section 6: all applications below are thin wrappers over it, sound
-// by Proposition 4.2. The engine's read lock (all shard read locks for
-// a ShardedEngine) is held for the whole pass, so the streamed rows
-// form one consistent snapshot; f must not call back into the engine.
-func Specialize[T any](e DB, s upstruct.Structure[T], env upstruct.Env[T], f func(rel string, t db.Tuple, v T)) {
+// by Proposition 4.2. The MVCC horizon is pinned once on entry (the
+// view's own horizon when e is a View), so the streamed rows form one
+// consistent epoch snapshot, lock-free against concurrent writers.
+func Specialize[T any](e Reader, s upstruct.Structure[T], env upstruct.Env[T], f func(rel string, t db.Tuple, v T)) {
 	switch v := e.(type) {
 	case *Engine:
-		v.mu.RLock()
-		defer v.mu.RUnlock()
-		specialize(v, s, env, f)
+		specializeAt(v, v.Horizon(), s, env, f)
 	case *ShardedEngine:
-		v.rlockAll()
-		defer v.runlockAll()
-		specializeSharded(v, s, env, f)
+		specializeShardedAt(v, v.Horizon(), s, env, f)
+	case *engineView:
+		specializeAt(v.e, v.s, s, env, f)
+	case *shardedView:
+		specializeShardedAt(v.se, v.s, s, env, f)
 	default:
 		// Generic fallback over materialized annotations.
 		e.Rows(func(rel string, t db.Tuple, ann *core.Expr) {
@@ -35,35 +35,43 @@ func Specialize[T any](e DB, s upstruct.Structure[T], env upstruct.Env[T], f fun
 	}
 }
 
-// specialize is the lock-free core of Specialize; callers hold e.mu.
-func specialize[T any](e *Engine, s upstruct.Structure[T], env upstruct.Env[T], f func(rel string, t db.Tuple, v T)) {
+// evalVersion evaluates one resolved version in the structure.
+func evalVersion[T any](mode Mode, ver *version, s upstruct.Structure[T], env upstruct.Env[T]) T {
+	if mode == ModeNaive {
+		return upstruct.Eval(ver.expr, s, env)
+	}
+	return upstruct.EvalNF(ver.nf, s, env)
+}
+
+// specializeAt is the lock-free core of Specialize at one pinned
+// horizon.
+func specializeAt[T any](e *Engine, at uint64, s upstruct.Structure[T], env upstruct.Env[T], f func(rel string, t db.Tuple, v T)) {
 	for _, rel := range e.schema.Names() {
 		tbl := e.tables[rel]
-		for _, r := range tbl.list {
-			var v T
-			if e.mode == ModeNaive {
-				v = upstruct.Eval(r.expr, s, env)
-			} else {
-				v = upstruct.EvalNF(r.nf, s, env)
+		for _, r := range tbl.list.snapshot() {
+			if r.seq > at {
+				break // plain-engine lists are sequence-ordered
 			}
-			f(rel, r.tuple, v)
+			ver := r.at(at)
+			if ver == nil {
+				continue
+			}
+			f(rel, r.tuple, evalVersion(e.mode, ver, s, env))
 		}
 	}
 }
 
-// specializeSharded is the sharded core of Specialize: rows merge to
-// global insertion order before evaluation, so the stream is identical
-// to the single engine's. Callers hold all shard read locks.
-func specializeSharded[T any](se *ShardedEngine, s upstruct.Structure[T], env upstruct.Env[T], f func(rel string, t db.Tuple, v T)) {
+// specializeShardedAt is the sharded core of Specialize: rows merge to
+// global insertion order at the pinned horizon before evaluation, so
+// the stream is identical to the single engine's.
+func specializeShardedAt[T any](se *ShardedEngine, at uint64, s upstruct.Structure[T], env upstruct.Env[T], f func(rel string, t db.Tuple, v T)) {
 	for _, rel := range se.schema.Names() {
-		for _, r := range se.mergedRowsLocked(rel) {
-			var v T
-			if se.mode == ModeNaive {
-				v = upstruct.Eval(r.expr, s, env)
-			} else {
-				v = upstruct.EvalNF(r.nf, s, env)
+		for _, r := range se.mergedRowsAt(rel, at) {
+			ver := r.at(at)
+			if ver == nil {
+				continue
 			}
-			f(rel, r.tuple, v)
+			f(rel, r.tuple, evalVersion(se.mode, ver, s, env))
 		}
 	}
 }
@@ -71,7 +79,7 @@ func specializeSharded[T any](se *ShardedEngine, s upstruct.Structure[T], env up
 // BoolRestrict materializes the database selected by a Boolean
 // valuation: the result contains exactly the tuples whose provenance
 // evaluates to true.
-func BoolRestrict(e DB, env upstruct.Env[bool]) *db.Database {
+func BoolRestrict(e Reader, env upstruct.Env[bool]) *db.Database {
 	out := db.NewDatabase(e.Schema())
 	Specialize[bool](e, upstruct.Bool, env, func(rel string, t db.Tuple, v bool) {
 		if v {
@@ -86,7 +94,7 @@ func BoolRestrict(e DB, env upstruct.Env[bool]) *db.Database {
 // semantics of the transactions actually executed. It must equal the
 // result of the plain engine on the same input (the package tests use
 // this as the ground-truth oracle).
-func LiveDB(e DB) *db.Database {
+func LiveDB(e Reader) *db.Database {
 	return BoolRestrict(e, func(core.Annot) bool { return true })
 }
 
@@ -94,7 +102,7 @@ func LiveDB(e DB) *db.Database {
 // would the result be had these input tuples not been in the database?"
 // by assigning false to the given tuple annotations and true elsewhere —
 // without re-running the transactions.
-func DeletionPropagation(e DB, deleted ...core.Annot) *db.Database {
+func DeletionPropagation(e Reader, deleted ...core.Annot) *db.Database {
 	dead := make(map[core.Annot]bool, len(deleted))
 	for _, a := range deleted {
 		dead[a] = false
@@ -105,7 +113,7 @@ func DeletionPropagation(e DB, deleted ...core.Annot) *db.Database {
 // AbortTransactions answers "what would the result be had these
 // transactions been aborted?" by assigning false to the given
 // transaction labels.
-func AbortTransactions(e DB, labels ...string) *db.Database {
+func AbortTransactions(e Reader, labels ...string) *db.Database {
 	dead := make(map[core.Annot]bool, len(labels))
 	for _, l := range labels {
 		dead[core.QueryAnnot(l)] = false
@@ -118,7 +126,7 @@ func AbortTransactions(e DB, labels ...string) *db.Database {
 // credentials (e.g. country names), and the result maps every visible
 // tuple to the credentials that may see it. Tuples whose credential set
 // comes out empty are omitted.
-func AccessControl(e DB, env upstruct.Env[upstruct.Set]) map[string]map[string]upstruct.Set {
+func AccessControl(e Reader, env upstruct.Env[upstruct.Set]) map[string]map[string]upstruct.Set {
 	out := make(map[string]map[string]upstruct.Set)
 	Specialize[upstruct.Set](e, upstruct.Sets, env, func(rel string, t db.Tuple, v upstruct.Set) {
 		if v.Len() == 0 {
@@ -137,7 +145,7 @@ func AccessControl(e DB, env upstruct.Env[upstruct.Set]) map[string]map[string]u
 // Certify evaluates the certification semantics of Section 4.1 with
 // minimal trust level l: env assigns raw trust scores to annotations,
 // and the result is the database of tuples certified at that level.
-func Certify(e DB, l float64, env upstruct.Env[upstruct.Trust]) *db.Database {
+func Certify(e Reader, l float64, env upstruct.Env[upstruct.Trust]) *db.Database {
 	st := upstruct.TrustStructure{L: l}
 	out := db.NewDatabase(e.Schema())
 	Specialize[upstruct.Trust](e, st, env, func(rel string, t db.Tuple, v upstruct.Trust) {

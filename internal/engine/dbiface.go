@@ -26,24 +26,74 @@ var (
 	ErrUnknownIndex = errors.New("unknown index")
 )
 
-// DB is the surface shared by the single-lock Engine and the
-// hash-sharded ShardedEngine: annotated transaction application plus
-// the provenance-usage read side. Open returns one or the other
-// depending on WithShards; servers and applications program against
-// this interface.
-//
-// All read methods observe the database at transaction granularity, and
-// the streaming methods (EachRow, Rows) visit rows in the same
-// deterministic order on both implementations: relations in schema
-// order, rows in single-engine insertion order.
-type DB interface {
+// Reader is the provenance-usage read side shared by live engines and
+// pinned views: annotation lookup, deterministic row streaming and the
+// size measures. All methods resolve against one committed MVCC
+// horizon — the newest one for a live engine, the pinned one for a
+// View — lock-free, so they never block behind (or stall) a concurrent
+// ApplyAll. The streaming methods (EachRow, Rows) visit rows in the
+// same deterministic order on every implementation: relations in
+// schema order, rows in single-engine insertion order.
+type Reader interface {
 	Mode() Mode
 	Schema() *db.Schema
 	Relations() []string
 
+	Annotation(rel string, t db.Tuple) *core.Expr
+	NF(rel string, t db.Tuple) *core.NF
+	EachRow(rel string, f func(t db.Tuple, ann *core.Expr))
+	Rows(f func(rel string, t db.Tuple, ann *core.Expr))
+
+	// Select returns the tuples the hyperplane selection pattern matches
+	// at the reader's horizon, in insertion order, resolved through the
+	// scan planner: a secondary index whose recorded history covers the
+	// horizon serves the candidates (posting lists are interval-aware),
+	// otherwise the relation is walked with per-row version resolution.
+	Select(rel string, sel db.Pattern) ([]db.Tuple, error)
+
+	NumRows() int
+	SupportSize() int
+	ProvSize() int64
+	ProvDAGSize() int64
+}
+
+// View is a read-only database pinned at one horizon sequence, as
+// returned by DB.At: its reads are immutable — byte-identical no
+// matter how many transactions commit after the view was taken — and
+// lock-free. AsOf reports the pinned horizon (see EpochSeq/SeqEpoch).
+type View interface {
+	Reader
+	AsOf() uint64
+}
+
+// DB is the surface shared by the single-writer Engine and the
+// hash-sharded ShardedEngine: the Reader surface at the live horizon,
+// annotated transaction application, and MVCC time travel. Open
+// returns one or the other depending on WithShards; servers and
+// applications program against this interface.
+//
+// Writes observe transaction granularity: a transaction's effects
+// publish atomically to the read horizon at commit, and readers pin
+// that horizon on entry, so they see the database either before or
+// after a transaction, never mid-way.
+type DB interface {
+	Reader
+
 	ApplyTransaction(t *db.Transaction) error
 	ApplyAll(ctx context.Context, txns []db.Transaction) error
+	// ApplyBatch is ApplyAll reporting the durably applied prefix: on a
+	// cancelled or failed batch, txns[:applied] must not be replayed and
+	// txns[applied:] may be (WAL recovery and replication resume there).
+	ApplyBatch(ctx context.Context, txns []db.Transaction) (applied int, err error)
 	RestoreRow(rel string, t db.Tuple, ann *core.Expr) error
+
+	// MVCC time travel: At pins a read-only view at a horizon sequence
+	// (clamped to the committed Horizon and snapped to an epoch
+	// boundary; see EpochSeq), Horizon reports the newest committed
+	// horizon, and MVCCStats the version-storage counters.
+	At(seq uint64) View
+	Horizon() uint64
+	MVCCStats() MVCCStats
 
 	// Secondary indexing: indexes are pure access-path choices (the
 	// Theorem 5.3 normal form is per-row local, so results are
@@ -55,15 +105,6 @@ type DB interface {
 	IndexStats() []IndexInfo
 	PlannerStats() PlannerStats
 
-	Annotation(rel string, t db.Tuple) *core.Expr
-	NF(rel string, t db.Tuple) *core.NF
-	EachRow(rel string, f func(t db.Tuple, ann *core.Expr))
-	Rows(f func(rel string, t db.Tuple, ann *core.Expr))
-
-	NumRows() int
-	SupportSize() int
-	ProvSize() int64
-	ProvDAGSize() int64
 	MinimizeAll(ctx context.Context) (int64, error)
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"hyperprov/internal/core"
 	"hyperprov/internal/db"
@@ -34,41 +35,59 @@ func (m Mode) String() string {
 	}
 }
 
-// row is one stored tuple with its provenance. Exactly one of expr/nf is
-// used, depending on the engine mode. Rows are retained after logical
-// deletion (tombstones) so that provenance can be inspected and updates
-// can be undone by valuation.
+// row is one stored tuple together with its version chain (see
+// mvcc.go). Rows are retained after logical deletion (tombstones) so
+// that provenance can be inspected and updates can be undone by
+// valuation; the provenance itself lives in the versions reached
+// through head.
 type row struct {
 	tuple db.Tuple
-	expr  *core.Expr // ModeNaive
-	nf    *core.NF   // ModeNormalForm
-	txn   int        // last transaction that touched the row (freeze tracking)
-	live  bool       // set-semantics membership, maintained per update
-	// seq is a global creation sequence number assigned by the sharded
-	// engine (0 in a plain Engine): merging the per-shard lists by seq
-	// reproduces exactly the insertion order a single engine would have
-	// used, independent of shard scheduling.
+	txn   int // last transaction that touched the row (freeze tracking)
+	// seq is the row's global creation sequence number,
+	// epoch<<32|counter: the epoch is the transaction (or restore, or
+	// minimization pass) that created the row and the counter its
+	// creation index within that epoch. Sequence numbers are unique per
+	// engine — the plain engine numbers its own epochs, the sharded
+	// coordinator numbers across shards — so sorting by seq reproduces
+	// exactly the insertion order a single engine would have used, and
+	// a row is visible at horizon s iff seq ≤ s.
 	seq uint64
 	// pos is the row's position in its table's list — unique per table
 	// and monotone in insertion order. Posting lists are kept sorted by
 	// pos so index scans visit rows in full-scan order, and pos doubles
 	// as the membership key for binary-search reinsertion.
 	pos int
+	// head points at the newest version; readers resolve it against
+	// their pinned horizon with row.at.
+	head atomic.Pointer[version]
 }
 
 type table struct {
-	rel  *db.RelationSchema
-	rows map[string]*row
-	// list holds the rows in insertion order; rows are never removed
-	// (tombstones persist), so scans iterate it for determinism: the
-	// order of Σ summands must not depend on map iteration.
-	list []*row
+	rel *db.RelationSchema
+	// rows maps tuple keys to rows. Keys are never deleted (tombstones
+	// persist), which is exactly the access pattern sync.Map is fast
+	// for; readers look keys up lock-free while the (serialized) writer
+	// stores new rows.
+	rows sync.Map // string -> *row
+	// list holds the rows in insertion order; rows are never removed,
+	// and scans iterate it for determinism: the order of Σ summands
+	// must not depend on map iteration. The rowList publication order
+	// (element before length) makes concurrent lock-free reads safe.
+	list rowList
+}
+
+func (t *table) get(key string) *row {
+	v, ok := t.rows.Load(key)
+	if !ok {
+		return nil
+	}
+	return v.(*row)
 }
 
 func (t *table) add(key string, r *row) {
-	r.pos = len(t.list)
-	t.rows[key] = r
-	t.list = append(t.list, r)
+	r.pos = t.list.len()
+	t.rows.Store(key, r)
+	t.list.append(r)
 }
 
 // config collects the settings shared by both engines; Options mutate
@@ -158,20 +177,21 @@ func WithLiveMatching(on bool) Option {
 // initial database, then apply annotated transactions with
 // ApplyTransaction (or Begin/Apply/End for streaming use).
 //
-// Concurrency: an Engine is safe for concurrent readers while
-// transactions are being applied, with transaction granularity.
-// ApplyTransaction, ApplyAll, RestoreRow, BuildIndex, DropIndex and
-// MinimizeAll take the write lock; Annotation, NF, EachRow, Rows,
-// NumRows, IndexStats,
-// SupportSize, ProvSize and the package-level valuation entry points
-// (Specialize, SpecializeParallel, BoolRestrict*, …) take read locks,
-// so any number of provenance-usage queries can run against a
-// consistent state between transactions. The Begin/Apply/End streaming
-// path is deliberately lock-free — it is the single-goroutine hot path
-// the benchmarks measure — and must not be mixed with concurrent
-// readers; servers go through ApplyTransaction.
+// Concurrency: writers are still serialized — ApplyTransaction,
+// ApplyAll, RestoreRow, BuildIndex, DropIndex and MinimizeAll take the
+// write lock — but readers no longer lock at all. Annotation, NF,
+// EachRow, Rows, NumRows, SupportSize, ProvSize, ProvDAGSize, At and
+// the package-level valuation entry points (Specialize,
+// SpecializeParallel, BoolRestrict*, …) pin the committed horizon
+// (Horizon) on entry and resolve every row against the MVCC version
+// chains, so any number of provenance-usage queries run against a
+// consistent epoch snapshot while transactions commit concurrently —
+// no stop-the-world on any read path. At(seq) pins an older horizon
+// for time travel. The Begin/Apply/End streaming path remains the
+// single-goroutine hot path the benchmarks measure; servers go through
+// ApplyTransaction.
 type Engine struct {
-	mu sync.RWMutex
+	mu sync.RWMutex // serializes writers (readers are lock-free)
 
 	mode      Mode
 	schema    *db.Schema
@@ -187,6 +207,28 @@ type Engine struct {
 	inTxn   bool
 	txnNo   int
 	touched []*row
+
+	// epoch numbers this engine's own write epochs (transactions,
+	// restores, minimization passes) when no sharded coordinator is
+	// driving it; curEpoch is the epoch of the write in flight and
+	// seqLocal its creation counter. ownSeq records whether the current
+	// write allocated its own epoch (and must publish the horizon when
+	// it commits) or runs under a coordinator.
+	epoch    atomic.Uint64
+	curEpoch uint64
+	seqLocal uint64
+	ownSeq   bool
+
+	// visibleSeq is the committed read horizon: every version born at
+	// or before it is visible to readers. Initialized to
+	// EpochSeq(0) — the initial rows — and advanced (with release
+	// semantics, the readers' happens-before edge) when an own epoch
+	// commits. A coordinated shard never advances it; the sharded
+	// engine's epochTracker owns visibility then.
+	visibleSeq atomic.Uint64
+
+	// versions counts row versions ever created (MVCCStats).
+	versions atomic.Uint64
 
 	// nextSeq, when set (by the sharded coordinator, under the write
 	// lock), numbers newly created rows with global sequence numbers.
@@ -204,11 +246,15 @@ type Engine struct {
 func New(mode Mode, initial *db.Database, opts ...Option) *Engine {
 	cfg := newConfig(opts)
 	e := newShell(mode, initial.Schema(), cfg)
+	var seq uint64
 	for _, name := range e.schema.Names() {
 		tbl := e.tables[name]
 		for _, t := range initial.Instance(name).Tuples() {
 			a := e.freshAnnot(name, t)
-			tbl.add(t.Key(), newRow(mode, t, core.Var(a)))
+			r := newRow(mode, t, core.Var(a), seq)
+			seq++
+			e.versions.Add(1)
+			tbl.add(t.Key(), r)
 		}
 	}
 	return e
@@ -227,21 +273,24 @@ func newShell(mode Mode, schema *db.Schema, cfg *config) *Engine {
 		liveMatch:  cfg.liveMatch,
 		idx:        newIndexManager(cfg.autoIndex),
 	}
+	e.visibleSeq.Store(EpochSeq(0))
 	for _, name := range schema.Names() {
-		e.tables[name] = &table{rel: schema.Relation(name), rows: make(map[string]*row)}
+		e.tables[name] = &table{rel: schema.Relation(name)}
 	}
 	return e
 }
 
-// newRow builds a live initial row annotated with the given base
-// expression in the representation of the mode.
-func newRow(mode Mode, t db.Tuple, base *core.Expr) *row {
-	r := &row{tuple: t, txn: -1, live: true}
+// newRow builds a live initial row (epoch 0) annotated with the given
+// base expression in the representation of the mode.
+func newRow(mode Mode, t db.Tuple, base *core.Expr, seq uint64) *row {
+	r := &row{tuple: t, txn: -1, seq: seq}
+	v := &version{born: seq, live: true}
 	if mode == ModeNaive {
-		r.expr = base
+		v.expr = base
 	} else {
-		r.nf = core.NewNF(base)
+		v.nf = core.NewNF(base)
 	}
+	r.head.Store(v)
 	return r
 }
 
@@ -261,11 +310,30 @@ func NewEmpty(mode Mode, schema *db.Schema, opts ...Option) *Engine {
 // RestoreRow stores a tuple with an explicit annotation, overwriting any
 // existing row for the same tuple. It is the inverse of EachRow and is
 // used by snapshot loading (package provstore); it must not be called
-// inside a transaction.
+// inside a transaction. Each restore is its own write epoch.
 func (e *Engine) RestoreRow(rel string, t db.Tuple, ann *core.Expr) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.nextSeq == nil {
+		e.beginOwnEpoch()
+		err := e.restoreRowLocked(rel, t, ann)
+		e.commitOwnEpoch()
+		return err
+	}
 	return e.restoreRowLocked(rel, t, ann)
+}
+
+// beginOwnEpoch opens a self-allocated write epoch (no sharded
+// coordinator); commitOwnEpoch publishes it to readers.
+func (e *Engine) beginOwnEpoch() {
+	e.curEpoch = e.epoch.Add(1)
+	e.seqLocal = 0
+	e.ownSeq = true
+}
+
+func (e *Engine) commitOwnEpoch() {
+	e.ownSeq = false
+	e.visibleSeq.Store(EpochSeq(e.curEpoch))
 }
 
 func (e *Engine) restoreRowLocked(rel string, t db.Tuple, ann *core.Expr) error {
@@ -280,22 +348,24 @@ func (e *Engine) restoreRowLocked(rel string, t db.Tuple, ann *core.Expr) error 
 		return fmt.Errorf("engine: %w: %v", ErrBadTuple, err)
 	}
 	key := t.Key()
-	r := tbl.rows[key]
+	r := tbl.get(key)
 	fresh := r == nil
 	wasMatchable := !fresh && e.matchable(r)
 	if fresh {
-		r = &row{tuple: t, txn: -1}
-		e.assignSeq(r)
+		r = e.newVersionedRow(t)
+	}
+	v := e.mutable(r)
+	if e.mode == ModeNaive {
+		v.expr = ann
+		v.nf = nil
+	} else {
+		v.nf = core.NewNF(ann)
+		v.expr = nil
+	}
+	v.live = upstruct.Eval(ann, upstruct.Bool, func(core.Annot) bool { return true })
+	if fresh {
 		tbl.add(key, r)
 	}
-	if e.mode == ModeNaive {
-		r.expr = ann
-		r.nf = nil
-	} else {
-		r.nf = core.NewNF(ann)
-		r.expr = nil
-	}
-	r.live = upstruct.Eval(ann, upstruct.Bool, func(core.Annot) bool { return true })
 	switch {
 	case fresh, !wasMatchable && e.matchable(r):
 		e.indexAdd(tbl, r)
@@ -312,6 +382,9 @@ func (e *Engine) Mode() Mode { return e.mode }
 func (e *Engine) Schema() *db.Schema { return e.schema }
 
 // Begin starts a transaction whose queries carry the annotation label.
+// Unless a sharded coordinator installed its own numbering, the
+// transaction allocates the engine's next epoch; its effects become
+// visible to readers at End.
 func (e *Engine) Begin(label string) {
 	if e.inTxn {
 		panic("engine: Begin inside an open transaction")
@@ -319,23 +392,30 @@ func (e *Engine) Begin(label string) {
 	e.cur = core.QueryAnnot(label)
 	e.inTxn = true
 	e.touched = e.touched[:0]
+	if e.nextSeq == nil {
+		e.beginOwnEpoch()
+	}
 }
 
 // End closes the current transaction. In normal-form mode every touched
 // row is frozen so that the next transaction (with a different
-// annotation) layers on top.
+// annotation) layers on top. A self-numbered transaction publishes its
+// epoch to the read horizon here — commit, from the readers' view.
 func (e *Engine) End() {
 	if !e.inTxn {
 		panic("engine: End without Begin")
 	}
 	if e.mode == ModeNormalForm {
 		for _, r := range e.touched {
-			r.nf.Freeze()
+			r.latest().nf.Freeze()
 		}
 	}
 	e.inTxn = false
 	e.txnNo++
 	e.touched = e.touched[:0]
+	if e.ownSeq {
+		e.commitOwnEpoch()
+	}
 }
 
 func (e *Engine) touch(r *row) {
@@ -345,32 +425,72 @@ func (e *Engine) touch(r *row) {
 	}
 }
 
-// assignSeq numbers a newly created row when a sharded coordinator is
-// driving this engine; rows of a plain engine keep seq 0 (their
-// tbl.list position already is the insertion order).
+// assignSeq numbers a newly created row: with the sharded coordinator's
+// closure when one is installed, from the engine's own epoch and
+// creation counter otherwise — every row gets a unique, monotone
+// sequence number either way, so version order is total in the
+// single-engine path too.
 func (e *Engine) assignSeq(r *row) {
 	if e.nextSeq != nil {
 		r.seq = e.nextSeq()
+		return
 	}
+	r.seq = e.curEpoch<<32 | e.seqLocal
+	e.seqLocal++
 }
 
-// matchable reports whether a row is a candidate for update selections:
-// rows in the formal support by default, semantically live rows under
-// WithLiveMatching.
+// newVersionedRow creates a row with a zero-annotated first version
+// born at the row's creation sequence. The caller publishes it with
+// tbl.add (after any same-epoch mutation it performs through mutable —
+// in-flight versions are invisible to readers regardless, because
+// their epoch is beyond every committed horizon).
+func (e *Engine) newVersionedRow(t db.Tuple) *row {
+	r := &row{tuple: t, txn: -1}
+	e.assignSeq(r)
+	v := &version{born: r.seq}
+	if e.mode == ModeNaive {
+		v.expr = core.Zero()
+	} else {
+		v.nf = core.NewNF(core.Zero())
+	}
+	e.versions.Add(1)
+	r.head.Store(v)
+	return r
+}
+
+// mutable returns the version of r the current write epoch may mutate
+// in place: the head itself when this epoch already owns it, otherwise
+// a copy-on-write successor born at epoch<<32, atomically published as
+// the new head. Readers pinned at or before the previous epoch keep
+// resolving the old head — that is the whole MVCC invariant.
+func (e *Engine) mutable(r *row) *version {
+	v := r.head.Load()
+	if v.born>>32 == e.curEpoch {
+		return v
+	}
+	nv := &version{prev: v, born: e.curEpoch << 32, expr: v.expr, live: v.live}
+	if v.nf != nil {
+		nv.nf = v.nf.Clone()
+	}
+	e.versions.Add(1)
+	r.head.Store(nv)
+	return nv
+}
+
+// matchable reports whether a row is a candidate for update selections
+// in the writer's view: rows in the formal support by default,
+// semantically live rows under WithLiveMatching.
 func (e *Engine) matchable(r *row) bool {
-	if e.liveMatch {
-		return r.live
-	}
-	return r.inSupport(e.mode)
+	return e.matchableV(r.latest())
 }
 
-// inSupport reports whether the row is in the relation per Section 3.1:
-// its annotation is not syntactically 0.
-func (r *row) inSupport(mode Mode) bool {
-	if mode == ModeNaive {
-		return !r.expr.IsZero()
+// matchableV is matchable over an already-resolved version (the
+// writer's head or a reader's horizon-pinned version).
+func (e *Engine) matchableV(v *version) bool {
+	if e.liveMatch {
+		return v.live
 	}
-	return !r.nf.IsZero()
+	return v.inSupport(e.mode)
 }
 
 // Apply executes one update query of the current transaction.
@@ -399,25 +519,20 @@ func (e *Engine) Apply(u db.Update) error {
 
 func (e *Engine) applyInsert(tbl *table, u db.Update) {
 	key := u.Row.Key()
-	r := tbl.rows[key]
+	r := tbl.get(key)
 	fresh := r == nil
 	wasMatchable := !fresh && e.matchable(r)
 	if fresh {
-		r = &row{tuple: u.Row, txn: -1}
-		if e.mode == ModeNaive {
-			r.expr = core.Zero()
-		} else {
-			r.nf = core.NewNF(core.Zero())
-		}
-		e.assignSeq(r)
+		r = e.newVersionedRow(u.Row)
 		tbl.add(key, r)
 	}
+	v := e.mutable(r)
 	if e.mode == ModeNaive {
-		r.expr = e.simplify(core.PlusI(r.expr, core.Var(e.cur)))
+		v.expr = e.simplify(core.PlusI(v.expr, core.Var(e.cur)))
 	} else {
-		r.nf.Insert(e.cur)
+		v.nf.Insert(e.cur)
 	}
-	r.live = true
+	v.live = true
 	if fresh {
 		e.indexAdd(tbl, r)
 	} else if !wasMatchable {
@@ -439,12 +554,13 @@ func (e *Engine) applyDelete(tbl *table, u db.Update) {
 // lookupPinned filter), so a row that is unmatchable afterwards made a
 // real transition and its posting entries are marked dead.
 func (e *Engine) deleteRow(tbl *table, r *row) {
+	v := e.mutable(r)
 	if e.mode == ModeNaive {
-		r.expr = e.simplify(core.Minus(r.expr, core.Var(e.cur)))
+		v.expr = e.simplify(core.Minus(v.expr, core.Var(e.cur)))
 	} else {
-		r.nf.Delete(e.cur)
+		v.nf.Delete(e.cur)
 	}
-	r.live = false
+	v.live = false
 	if !e.matchable(r) {
 		e.indexDead(tbl, r)
 	}
@@ -456,7 +572,7 @@ func (e *Engine) deleteRow(tbl *table, r *row) {
 // the row stored under the pinned key can match, so the full scan
 // reduces to a map lookup.
 func (e *Engine) lookupPinned(tbl *table, u db.Update, key string) *row {
-	r := tbl.rows[key]
+	r := tbl.get(key)
 	if r == nil || !e.matchable(r) || !u.MatchesTuple(r.tuple) {
 		return nil
 	}
@@ -482,14 +598,15 @@ func (e *Engine) applyModify(tbl *table, u db.Update) {
 // its target group (naive: the raw expression, deep-copied under cow;
 // normal form: the flattened Contribution).
 func (e *Engine) captureContribution(g *modGroup, src *row) {
+	v := src.latest()
 	if e.mode == ModeNaive {
-		contrib := src.expr
+		contrib := v.expr
 		if e.cow {
 			contrib = contrib.DeepCopy()
 		}
 		g.raw = append(g.raw, contrib)
 	} else {
-		c, ins := src.nf.Contribution()
+		c, ins := v.nf.Contribution()
 		g.contrib = append(g.contrib, c...)
 		g.inserted = g.inserted || ins
 	}
@@ -498,25 +615,20 @@ func (e *Engine) captureContribution(g *modGroup, src *row) {
 // absorbModTarget applies a completed modification group to its target
 // row, creating the row if the target tuple was never stored.
 func (e *Engine) absorbModTarget(tbl *table, g *modGroup, key string, pe *core.Expr) {
-	r := tbl.rows[key]
+	r := tbl.get(key)
 	fresh := r == nil
 	wasMatchable := !fresh && e.matchable(r)
 	if fresh {
-		r = &row{tuple: g.target, txn: -1}
-		if e.mode == ModeNaive {
-			r.expr = core.Zero()
-		} else {
-			r.nf = core.NewNF(core.Zero())
-		}
-		e.assignSeq(r)
+		r = e.newVersionedRow(g.target)
 		tbl.add(key, r)
 	}
+	v := e.mutable(r)
 	if e.mode == ModeNaive {
-		r.expr = e.simplify(core.PlusM(r.expr, core.DotM(core.Sum(g.raw...), pe)))
+		v.expr = e.simplify(core.PlusM(v.expr, core.DotM(core.Sum(g.raw...), pe)))
 	} else {
-		r.nf.AbsorbMod(g.contrib, g.inserted, e.cur)
+		v.nf.AbsorbMod(g.contrib, g.inserted, e.cur)
 	}
-	r.live = true
+	v.live = true
 	if fresh {
 		e.indexAdd(tbl, r)
 	} else if !wasMatchable {
@@ -566,7 +678,8 @@ func (e *Engine) simplify(x *core.Expr) *core.Expr {
 }
 
 // ApplyTransaction runs a whole transaction (Begin, all queries, End)
-// under the write lock: concurrent readers observe the database either
+// under the write lock. Its effects publish atomically to the read
+// horizon at End: concurrent readers observe the database either
 // before or after the transaction, never mid-way.
 func (e *Engine) ApplyTransaction(t *db.Transaction) error {
 	e.mu.Lock()
@@ -587,231 +700,157 @@ func (e *Engine) applyTransactionLocked(t *db.Transaction) error {
 }
 
 // ApplyAll runs a sequence of transactions. The write lock is taken per
-// transaction, so concurrent readers interleave at transaction
-// boundaries during bulk ingestion; ctx is checked between transactions
-// and aborts the remainder of the batch when cancelled.
+// transaction, so readers observe transaction-granular progress during
+// bulk ingestion; ctx is checked between transactions and aborts the
+// remainder of the batch when cancelled. See ApplyBatch to learn how
+// many transactions a cancelled or failed batch durably applied.
 func (e *Engine) ApplyAll(ctx context.Context, txns []db.Transaction) error {
+	_, err := e.ApplyBatch(ctx, txns)
+	return err
+}
+
+// ApplyBatch is ApplyAll reporting progress: it returns the number of
+// leading transactions durably applied (and visible to readers). On a
+// nil error applied == len(txns); after a cancellation or failure the
+// caller can resume from txns[applied:] without double-applying —
+// transaction applied+1 itself was not executed (it failed before
+// mutating anything, or was never started).
+func (e *Engine) ApplyBatch(ctx context.Context, txns []db.Transaction) (applied int, err error) {
 	for i := range txns {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
-				return err
+				return i, err
 			}
 		}
 		if err := e.ApplyTransaction(&txns[i]); err != nil {
-			return err
+			return i, err
 		}
 	}
-	return nil
+	return len(txns), nil
 }
 
-// Annotation returns the provenance expression of the tuple, or nil if
-// the tuple was never stored. In normal-form mode the expression is
-// materialized from the NF representation.
+// Annotation returns the provenance expression of the tuple at the
+// committed horizon, or nil if the tuple was never stored. In
+// normal-form mode the expression is materialized from the NF
+// representation. Lock-free: concurrent transactions never block it.
 func (e *Engine) Annotation(rel string, t db.Tuple) *core.Expr {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	tbl := e.tables[rel]
-	if tbl == nil {
-		return nil
-	}
-	r := tbl.rows[t.Key()]
-	if r == nil {
-		return nil
-	}
-	if e.mode == ModeNaive {
-		return r.expr
-	}
-	return r.nf.ToExpr()
+	return e.annotationAt(rel, t, e.Horizon())
 }
 
-// NF returns the normal-form value of the tuple in ModeNormalForm, or
-// nil. The returned NF must not be mutated.
+// NF returns the normal-form value of the tuple in ModeNormalForm at
+// the committed horizon, or nil. The returned NF must not be mutated.
 func (e *Engine) NF(rel string, t db.Tuple) *core.NF {
-	if e.mode != ModeNormalForm {
-		return nil
-	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	tbl := e.tables[rel]
-	if tbl == nil {
-		return nil
-	}
-	r := tbl.rows[t.Key()]
-	if r == nil {
-		return nil
-	}
-	return r.nf
+	return e.nfAt(rel, t, e.Horizon())
 }
 
-// EachRow calls f for every stored row of the relation (including
-// tombstones outside the support) with its tuple and annotation, in
-// deterministic insertion order (tbl.list, the same order Specialize
-// and SpecializeParallel stream rows) — never map order, so snapshot
-// bytes and streamed results are stable across runs. In normal-form
-// mode annotations are materialized per call. f must not call back into
-// the engine (the read lock is held).
+// EachRow calls f for every row of the relation visible at the
+// committed horizon (including tombstones outside the support) with its
+// tuple and annotation, in deterministic insertion order (the table
+// list, the same order Specialize and SpecializeParallel stream rows) —
+// never map order, so snapshot bytes and streamed results are stable
+// across runs. In normal-form mode annotations are materialized per
+// call. The pass is lock-free and the horizon is pinned on entry, so
+// the visited rows form one consistent epoch snapshot even while
+// transactions commit concurrently; f may freely call back into the
+// engine.
 func (e *Engine) EachRow(rel string, f func(t db.Tuple, ann *core.Expr)) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	e.eachRow(rel, f)
+	e.eachRowAt(rel, e.Horizon(), f)
 }
 
-func (e *Engine) eachRow(rel string, f func(t db.Tuple, ann *core.Expr)) {
-	tbl := e.tables[rel]
-	if tbl == nil {
-		return
-	}
-	for _, r := range tbl.list {
-		if e.mode == ModeNaive {
-			f(r.tuple, r.expr)
-		} else {
-			f(r.tuple, r.nf.ToExpr())
-		}
-	}
-}
-
-// Rows calls f for every stored row of every relation — relations in
-// schema order, rows in insertion order — under a single read lock, so
-// the visited rows form one consistent snapshot even while transactions
-// are applied concurrently. Snapshot saving uses this. f must not call
-// back into the engine.
+// Rows calls f for every row visible at the committed horizon —
+// relations in schema order, rows in insertion order — with the horizon
+// pinned once for the whole pass, so the visited rows form one
+// consistent snapshot even while transactions are applied concurrently.
+// Snapshot saving uses this.
 func (e *Engine) Rows(f func(rel string, t db.Tuple, ann *core.Expr)) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	for _, rel := range e.schema.Names() {
-		name := rel
-		e.eachRow(name, func(t db.Tuple, ann *core.Expr) { f(name, t, ann) })
-	}
+	e.rowsAt(e.Horizon(), f)
 }
 
 // Relations returns the relation names in schema order.
 func (e *Engine) Relations() []string { return e.schema.Names() }
 
-// NumRows reports the total number of stored rows, including tombstones
-// and tuples outside the support (the paper's "database size" under
-// provenance tracking, which exceeds the plain database by ~2% on
-// TPC-C).
+// NumRows reports the total number of rows visible at the committed
+// horizon, including tombstones and tuples outside the support (the
+// paper's "database size" under provenance tracking, which exceeds the
+// plain database by ~2% on TPC-C).
 func (e *Engine) NumRows() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.numRowsLocked()
+	return e.numRowsAt(e.Horizon())
 }
 
-func (e *Engine) numRowsLocked() int {
-	n := 0
-	for _, tbl := range e.tables {
-		n += len(tbl.rows)
-	}
-	return n
-}
-
-// SupportSize reports the number of rows whose annotation is not
-// syntactically zero.
+// SupportSize reports the number of visible rows whose annotation is
+// not syntactically zero.
 func (e *Engine) SupportSize() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.supportSizeLocked()
-}
-
-func (e *Engine) supportSizeLocked() int {
-	n := 0
-	for _, tbl := range e.tables {
-		for _, r := range tbl.rows {
-			if r.inSupport(e.mode) {
-				n++
-			}
-		}
-	}
-	return n
+	return e.supportSizeAt(e.Horizon())
 }
 
 // ProvSize reports the total provenance size (tree size summed over all
-// stored rows) — the size measure of the paper's Section 6.
+// visible rows) — the size measure of the paper's Section 6.
 func (e *Engine) ProvSize() int64 {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.provSizeLocked()
-}
-
-func (e *Engine) provSizeLocked() int64 {
-	var n int64
-	for _, tbl := range e.tables {
-		for _, r := range tbl.rows {
-			if e.mode == ModeNaive {
-				n += r.expr.Size()
-			} else {
-				n += r.nf.Size()
-			}
-		}
-	}
-	return n
+	return e.provSizeAt(e.Horizon())
 }
 
 // ProvDAGSize reports the number of distinct expression nodes backing
-// all stored annotations: shared subterms — shared within a row, across
-// rows, and across relations — are counted once. With hash-consed
-// expressions this is the number of nodes actually held in memory for
-// this engine's provenance, the companion measure to ProvSize's
-// per-occurrence tree count (the paper's Fig. 7b/8b report the latter;
-// the stats endpoint reports both).
+// all visible annotations: shared subterms — shared within a row,
+// across rows, and across relations — are counted once. With
+// hash-consed expressions this is the number of nodes actually held in
+// memory for this engine's provenance, the companion measure to
+// ProvSize's per-occurrence tree count (the paper's Fig. 7b/8b report
+// the latter; the stats endpoint reports both).
 func (e *Engine) ProvDAGSize() int64 {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	seen := make(map[*core.Expr]struct{})
-	return e.provDAGSizeLocked(seen)
-}
-
-// provDAGSizeLocked counts distinct nodes into a shared seen set, so a
-// sharded engine can union the per-shard counts without double-counting
-// nodes shared across shards.
-func (e *Engine) provDAGSizeLocked(seen map[*core.Expr]struct{}) int64 {
-	var n int64
-	for _, tbl := range e.tables {
-		for _, r := range tbl.rows {
-			if e.mode == ModeNaive {
-				n += r.expr.DAGSizeInto(seen)
-			} else {
-				n += r.nf.ToExpr().DAGSizeInto(seen)
-			}
-		}
-	}
-	return n
+	return e.provDAGSizeAt(make(map[*core.Expr]struct{}), e.Horizon())
 }
 
 // MinimizeAll applies the zero-axiom post-processing of Proposition 5.5
 // to every stored annotation (normal-form mode only; the naive mode is
 // deliberately axiom-free). It returns the provenance size after
-// minimization. ctx is checked between relations; a cancelled pass
-// leaves already-minimized rows minimized (minimization is idempotent
-// and preserves equivalence, so a partial pass is still a correct
-// state).
+// minimization. The pass is one write epoch: rows whose annotation
+// actually shrinks get a new version, so pinned views taken before the
+// pass keep reading the unminimized history. ctx is checked between
+// relations; a cancelled pass leaves already-minimized rows minimized
+// (minimization is idempotent and preserves equivalence, so a partial
+// pass is still a correct state).
 func (e *Engine) MinimizeAll(ctx context.Context) (int64, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.nextSeq == nil {
+		e.beginOwnEpoch()
+		n, err := e.minimizeAllLocked(ctx)
+		e.commitOwnEpoch()
+		return n, err
+	}
 	return e.minimizeAllLocked(ctx)
 }
 
 func (e *Engine) minimizeAllLocked(ctx context.Context) (int64, error) {
 	var n int64
-	for _, tbl := range e.tables {
+	for _, name := range e.schema.Names() {
+		tbl := e.tables[name]
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
 				return n, err
 			}
 		}
-		for _, r := range tbl.rows {
-			if e.mode == ModeNormalForm {
-				wasMatchable := e.matchable(r)
-				m := core.Minimize(r.nf.ToExpr())
-				r.nf = core.NewNF(m)
-				n += m.Size()
-				// Minimization can collapse a zero-equivalent annotation
-				// to syntactic 0, taking the row out of the support.
-				if wasMatchable && !e.matchable(r) {
-					e.indexDead(tbl, r)
-				}
-			} else {
-				n += r.expr.Size()
+		for _, r := range tbl.list.snapshot() {
+			v := r.latest()
+			if e.mode != ModeNormalForm {
+				n += v.expr.Size()
+				continue
+			}
+			old := v.nf.ToExpr()
+			m := core.Minimize(old)
+			n += m.Size()
+			if m == old {
+				// Hash-consing makes no-op minimizations pointer-equal:
+				// skip the version churn for already-minimal rows.
+				continue
+			}
+			wasMatchable := e.matchableV(v)
+			nv := e.mutable(r)
+			nv.nf = core.NewNF(m)
+			// Minimization can collapse a zero-equivalent annotation
+			// to syntactic 0, taking the row out of the support.
+			if wasMatchable && !e.matchableV(nv) {
+				e.indexDead(tbl, r)
 			}
 		}
 	}

@@ -98,6 +98,16 @@ type colIndex struct {
 	entries int    // posting entries currently stored, across all lists
 	dead    int    // dead entries awaiting compaction, across all lists
 	sweeps  uint64 // compaction sweeps run
+	// Interval-awareness (MVCC): an index proves completeness only for
+	// the horizons whose matchable set it has fully observed. since is
+	// the earliest such horizon — the build itself skips rows that are
+	// unmatchable at build time, which may have been matchable at older
+	// epochs — and compacted records that a sweep has dropped entries
+	// since, losing history above since too. scanAt uses the index for a
+	// pinned horizon s iff s ≥ since and !compacted, and falls back to a
+	// full scan otherwise.
+	since     uint64
+	compacted bool
 }
 
 // tableIndexes holds every index of one relation plus the advisor's
@@ -193,10 +203,23 @@ func (m *indexManager) stats() PlannerStats {
 func (e *Engine) BuildIndex(rel, attr string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.buildIndexLocked(rel, attr, false)
+	return e.buildIndexLocked(rel, attr, false, e.sinceSeq())
 }
 
-func (e *Engine) buildIndexLocked(rel, attr string, auto bool) error {
+// sinceSeq over-approximates the horizon from which an index built now
+// covers the matchable set: the committed horizon, or the write epoch
+// in flight when the build happens inside one (auto-builds do; a
+// coordinated shard's own visibleSeq is stale, so curEpoch — the
+// coordinator's epoch — carries the right scale there).
+func (e *Engine) sinceSeq() uint64 {
+	s := e.visibleSeq.Load()
+	if c := EpochSeq(e.curEpoch); c > s {
+		s = c
+	}
+	return s
+}
+
+func (e *Engine) buildIndexLocked(rel, attr string, auto bool, since uint64) error {
 	tbl := e.tables[rel]
 	if tbl == nil {
 		return fmt.Errorf("engine: %w %s", ErrUnknownRelation, rel)
@@ -212,7 +235,7 @@ func (e *Engine) buildIndexLocked(rel, attr string, auto bool) error {
 		}
 		return nil
 	}
-	e.buildColIndexLocked(tbl, ti, col, auto)
+	e.buildColIndexLocked(tbl, ti, col, auto, since)
 	return nil
 }
 
@@ -221,14 +244,15 @@ func (e *Engine) buildIndexLocked(rel, attr string, auto bool) error {
 // zeros) are skipped — they are exactly what compaction would drop —
 // and re-enter their lists if they ever become matchable again (see
 // indexRevive).
-func (e *Engine) buildColIndexLocked(tbl *table, ti *tableIndexes, col int, auto bool) *colIndex {
+func (e *Engine) buildColIndexLocked(tbl *table, ti *tableIndexes, col int, auto bool, since uint64) *colIndex {
 	ix := &colIndex{
 		col:     col,
 		attr:    tbl.rel.Attrs[col].Name,
 		auto:    auto,
+		since:   since,
 		byValue: make(map[db.Value]*postingList),
 	}
-	for _, r := range tbl.list {
+	for _, r := range tbl.list.snapshot() {
 		if !e.matchable(r) {
 			continue
 		}
@@ -396,6 +420,12 @@ func (e *Engine) compact(ix *colIndex, pl *postingList) {
 	ix.dead -= pl.dead
 	pl.dead = 0
 	ix.sweeps++
+	if dropped > 0 {
+		// Dropped entries lose index-completeness for historical
+		// horizons; pinned-epoch scans fall back to full scans from now
+		// on (see scanAt).
+		ix.compacted = true
+	}
 	e.idx.compactions.Add(1)
 }
 
@@ -434,7 +464,7 @@ func (e *Engine) scan(tbl *table, u db.Update) []*row {
 			if e.idx.threshold > 0 {
 				ti.scans[i]++
 				if ti.scans[i] >= e.idx.threshold {
-					ix = e.buildColIndexLocked(tbl, ti, i, true)
+					ix = e.buildColIndexLocked(tbl, ti, i, true, e.sinceSeq())
 					e.idx.autoBuilds.Add(1)
 				}
 			}
@@ -472,7 +502,7 @@ func (e *Engine) scan(tbl *table, u db.Update) []*row {
 // fullScan is the paper's access path: walk the whole relation in
 // insertion order.
 func (e *Engine) fullScan(tbl *table, u db.Update) []*row {
-	return e.filterRows(tbl.list, u)
+	return e.filterRows(tbl.list.snapshot(), u)
 }
 
 // filterRows applies matchability and the full selection to candidate
@@ -483,6 +513,117 @@ func (e *Engine) filterRows(rows []*row, u db.Update) []*row {
 		if e.matchable(r) && u.MatchesTuple(r.tuple) {
 			out = append(out, r)
 		}
+	}
+	return out
+}
+
+// scanAt is the planner at a pinned horizon: it returns the rows the
+// selection would have applied to as of sequence s, in the same
+// deterministic order scan would have produced then. Posting lists are
+// interval-aware — entries are never removed except by compaction, so
+// an index whose history is intact (s ≥ since, never compacted) still
+// proves completeness for old horizons, and the absent-list shortcut
+// still proves emptiness; otherwise the scan falls back to the full
+// list with per-row version resolution. Unlike the lock-free read
+// paths, scanAt takes the read lock: index structures are writer-owned
+// and mutated in place, and pinned-epoch planning is rare enough that
+// transaction-granular blocking is acceptable. The advisor never runs
+// here (historical scans must not mutate planner state beyond the
+// counters).
+func (e *Engine) scanAt(tbl *table, u db.Update, s uint64) []*row {
+	if s == latestMark {
+		return e.scan(tbl, u)
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if ti := e.idx.tables[tbl.rel.Name]; ti != nil {
+		var best, second *postingList
+		usable := true
+		for i, term := range u.Sel {
+			if !term.IsConst() {
+				continue
+			}
+			ix := ti.cols[i]
+			if ix == nil {
+				continue
+			}
+			if ix.compacted || s < ix.since {
+				usable = false
+				break
+			}
+			pl := ix.byValue[term.Value()]
+			if pl == nil {
+				// No row was ever matchable with this value while the
+				// index was live, so the selection matches nothing at any
+				// covered horizon.
+				e.idx.indexScans.Add(1)
+				return nil
+			}
+			switch {
+			case best == nil || len(pl.rows) < len(best.rows):
+				best, second = pl, best
+			case second == nil || len(pl.rows) < len(second.rows):
+				second = pl
+			}
+		}
+		if usable && best != nil {
+			if second != nil && len(best.rows) >= minIntersectLen &&
+				len(second.rows) <= maxIntersectRatio*len(best.rows) {
+				e.idx.intersectScans.Add(1)
+				return e.filterRowsAt(intersectByPos(best.rows, second.rows), u, s)
+			}
+			e.idx.indexScans.Add(1)
+			return e.filterRowsAt(best.rows, u, s)
+		}
+	}
+	e.idx.fullScans.Add(1)
+	return e.filterRowsAt(tbl.list.snapshot(), u, s)
+}
+
+// Select implements Reader: the tuples the selection pattern matches
+// at the committed horizon, in insertion order, through the planner.
+func (e *Engine) Select(rel string, sel db.Pattern) ([]db.Tuple, error) {
+	return e.selectAt(rel, sel, e.Horizon())
+}
+
+// selectAt resolves a selection at a pinned horizon and materializes
+// the matched tuples.
+func (e *Engine) selectAt(rel string, sel db.Pattern, s uint64) ([]db.Tuple, error) {
+	rows, err := e.selectRowsAt(rel, sel, s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]db.Tuple, len(rows))
+	for i, r := range rows {
+		out[i] = r.tuple
+	}
+	return out, nil
+}
+
+// selectRowsAt validates the pattern and runs the pinned-horizon
+// planner over it. The pattern is wrapped as a deletion solely because
+// deletions are the pure-selection update shape the planner consumes.
+func (e *Engine) selectRowsAt(rel string, sel db.Pattern, s uint64) ([]*row, error) {
+	tbl := e.tables[rel]
+	if tbl == nil {
+		return nil, fmt.Errorf("engine: %w %s", ErrUnknownRelation, rel)
+	}
+	u := db.Delete(rel, sel)
+	if err := u.Validate(e.schema); err != nil {
+		return nil, fmt.Errorf("engine: %w: %v", ErrBadTuple, err)
+	}
+	return e.scanAt(tbl, u, s), nil
+}
+
+// filterRowsAt is filterRows against the versions visible at horizon s.
+func (e *Engine) filterRowsAt(rows []*row, u db.Update, s uint64) []*row {
+	var out []*row
+	for _, r := range rows {
+		v := r.at(s)
+		if v == nil || !e.matchableV(v) || !u.MatchesTuple(r.tuple) {
+			continue
+		}
+		out = append(out, r)
 	}
 	return out
 }

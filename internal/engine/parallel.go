@@ -10,48 +10,76 @@ import (
 )
 
 // rowChunk is one relation-homogeneous slice of rows handed to a
-// specialization worker.
+// specialization worker, together with the horizon its rows must be
+// resolved at.
 type rowChunk struct {
 	rel  string
+	at   uint64
 	rows []*row
 }
 
-// chunksLocked splits every relation's row list into up to workers
-// pieces, in deterministic order (schema order, then row order within
-// the relation). The caller holds e.mu.
-func (e *Engine) chunksLocked(workers int) []rowChunk {
+// chunksAt splits every relation's visible rows at horizon s into up to
+// workers pieces, in deterministic order (schema order, then row order
+// within the relation). Lock-free: the lists are snapshotted and rows
+// beyond the horizon excluded up front, so workers only resolve
+// versions.
+func (e *Engine) chunksAt(workers int, s uint64) []rowChunk {
 	var chunks []rowChunk
 	for _, rel := range e.schema.Names() {
-		rows := e.tables[rel].list
+		rows := e.tables[rel].list.snapshot()
+		// Visible rows form a prefix (plain-engine lists are
+		// sequence-ordered).
+		n := len(rows)
+		for n > 0 && rows[n-1].seq > s {
+			n--
+		}
+		rows = rows[:n]
 		per := (len(rows) + workers - 1) / workers
 		if per == 0 {
 			continue
 		}
 		for start := 0; start < len(rows); start += per {
 			end := min(start+per, len(rows))
-			chunks = append(chunks, rowChunk{rel: rel, rows: rows[start:end]})
+			chunks = append(chunks, rowChunk{rel: rel, at: s, rows: rows[start:end]})
 		}
 	}
 	return chunks
 }
 
-// chunksLocked splits the shard-merged row lists (global insertion
-// order) into up to workers pieces per relation. The caller holds all
-// shard locks.
-func (se *ShardedEngine) chunksLocked(workers int) []rowChunk {
+// chunksAt splits the shard-merged visible rows (global insertion
+// order at horizon s) into up to workers pieces per relation.
+func (se *ShardedEngine) chunksAt(workers int, s uint64) []rowChunk {
 	var chunks []rowChunk
 	for _, rel := range se.schema.Names() {
-		rows := se.mergedRowsLocked(rel)
+		rows := se.mergedRowsAt(rel, s)
 		per := (len(rows) + workers - 1) / workers
 		if per == 0 {
 			continue
 		}
 		for start := 0; start < len(rows); start += per {
 			end := min(start+per, len(rows))
-			chunks = append(chunks, rowChunk{rel: rel, rows: rows[start:end]})
+			chunks = append(chunks, rowChunk{rel: rel, at: s, rows: rows[start:end]})
 		}
 	}
 	return chunks
+}
+
+// readerChunks resolves a Reader to its chunk list and mode, or
+// ok=false for foreign implementations that must use the generic
+// fallback.
+func readerChunks(e Reader, workers int) (chunks []rowChunk, mode Mode, ok bool) {
+	switch v := e.(type) {
+	case *Engine:
+		return v.chunksAt(workers, v.Horizon()), v.mode, true
+	case *ShardedEngine:
+		return v.chunksAt(workers, v.Horizon()), v.mode, true
+	case *engineView:
+		return v.e.chunksAt(workers, v.s), v.e.mode, true
+	case *shardedView:
+		return v.se.chunksAt(workers, v.s), v.se.mode, true
+	default:
+		return nil, 0, false
+	}
 }
 
 // SpecializeParallel is Specialize with row evaluation spread over
@@ -59,49 +87,30 @@ func (se *ShardedEngine) chunksLocked(workers int) []rowChunk {
 // the structure's operations must be pure, so evaluation parallelizes
 // trivially; f is called from multiple goroutines and must be safe for
 // concurrent use (or accumulate per-chunk as BoolRestrictParallel
-// does). ctx is checked at chunk boundaries before dispatch; on
-// cancellation the pass stops early — chunks already dispatched still
-// complete — and ctx.Err() is returned. This is a beyond-the-paper
-// extension: provenance usage is the measurement of Figures 7c/8c, and
-// valuation is embarrassingly parallel, unlike the re-execution
-// baseline.
-func SpecializeParallel[T any](ctx context.Context, e DB, s upstruct.Structure[T], env upstruct.Env[T], workers int, f func(rel string, t db.Tuple, v T)) error {
+// does). The MVCC horizon is pinned once at entry (a View's own pinned
+// horizon is used as-is), so the pass is lock-free and consistent
+// against concurrent writers. ctx is checked at chunk boundaries
+// before dispatch; on cancellation the pass stops early — chunks
+// already dispatched still complete — and ctx.Err() is returned. This
+// is a beyond-the-paper extension: provenance usage is the measurement
+// of Figures 7c/8c, and valuation is embarrassingly parallel, unlike
+// the re-execution baseline.
+func SpecializeParallel[T any](ctx context.Context, e Reader, s upstruct.Structure[T], env upstruct.Env[T], workers int, f func(rel string, t db.Tuple, v T)) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	switch v := e.(type) {
-	case *Engine:
-		v.mu.RLock()
-		defer v.mu.RUnlock()
-		if workers == 1 {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			specialize(v, s, env, f)
-			return nil
-		}
-		return specializeChunks(ctx, v.chunksLocked(workers), v.mode, s, env, f)
-	case *ShardedEngine:
-		v.rlockAll()
-		defer v.runlockAll()
-		if workers == 1 {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			specializeSharded(v, s, env, f)
-			return nil
-		}
-		return specializeChunks(ctx, v.chunksLocked(workers), v.mode, s, env, f)
-	default:
+	chunks, mode, ok := readerChunks(e, workers)
+	if !ok || workers == 1 {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		Specialize(e, s, env, f)
 		return nil
 	}
+	return specializeChunks(ctx, chunks, mode, s, env, f)
 }
 
 func specializeChunks[T any](ctx context.Context, chunks []rowChunk, mode Mode, s upstruct.Structure[T], env upstruct.Env[T], f func(rel string, t db.Tuple, v T)) error {
@@ -114,13 +123,11 @@ func specializeChunks[T any](ctx context.Context, chunks []rowChunk, mode Mode, 
 		go func(c rowChunk) {
 			defer wg.Done()
 			for _, r := range c.rows {
-				var v T
-				if mode == ModeNaive {
-					v = upstruct.Eval(r.expr, s, env)
-				} else {
-					v = upstruct.EvalNF(r.nf, s, env)
+				ver := r.at(c.at)
+				if ver == nil {
+					continue
 				}
-				f(c.rel, r.tuple, v)
+				f(c.rel, r.tuple, evalVersion(mode, ver, s, env))
 			}
 		}(chunks[i])
 	}
@@ -132,38 +139,25 @@ func specializeChunks[T any](ctx context.Context, chunks []rowChunk, mode Mode, 
 // valuation using parallel evaluation. Workers accumulate hits into
 // private buffers (no shared state on the hot path) that are merged in
 // chunk order at the end, so the result's insertion order matches the
-// sequential BoolRestrict on either engine. env must be safe for
-// concurrent use (pure functions and MapEnv lookups are). ctx is
+// sequential BoolRestrict on either engine (or view). env must be safe
+// for concurrent use (pure functions and MapEnv lookups are). The
+// horizon is pinned once at entry; the pass is lock-free. ctx is
 // checked at chunk boundaries; on cancellation, (nil, ctx.Err()) is
 // returned.
-func BoolRestrictParallel(ctx context.Context, e DB, env upstruct.Env[bool], workers int) (*db.Database, error) {
+func BoolRestrictParallel(ctx context.Context, e Reader, env upstruct.Env[bool], workers int) (*db.Database, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	var (
-		chunks []rowChunk
-		mode   Mode
-		unlock func()
-	)
-	switch v := e.(type) {
-	case *Engine:
-		v.mu.RLock()
-		unlock = v.mu.RUnlock
-		chunks, mode = v.chunksLocked(workers), v.mode
-	case *ShardedEngine:
-		v.rlockAll()
-		unlock = v.runlockAll
-		chunks, mode = v.chunksLocked(workers), v.mode
-	default:
+	chunks, mode, ok := readerChunks(e, workers)
+	if !ok {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		return BoolRestrict(e, env), nil
 	}
-	defer unlock()
 	hits := make([][]db.Tuple, len(chunks))
 	var wg sync.WaitGroup
 	for i := range chunks {
@@ -176,13 +170,11 @@ func BoolRestrictParallel(ctx context.Context, e DB, env upstruct.Env[bool], wor
 			c := chunks[i]
 			local := make([]db.Tuple, 0, len(c.rows))
 			for _, r := range c.rows {
-				var v bool
-				if mode == ModeNaive {
-					v = upstruct.Eval(r.expr, upstruct.Bool, env)
-				} else {
-					v = upstruct.EvalNF(r.nf, upstruct.Bool, env)
+				ver := r.at(c.at)
+				if ver == nil {
+					continue
 				}
-				if v {
+				if evalVersion(mode, ver, upstruct.Bool, env) {
 					local = append(local, r.tuple)
 				}
 			}

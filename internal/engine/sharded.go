@@ -13,9 +13,9 @@ import (
 
 // ShardedEngine partitions every relation's rows across N shards by
 // FNV hash of the row key (db.ShardOf over db.Tuple.Key). Each shard is
-// a full Engine — its own table maps behind its own RWMutex — so shards
-// are independent lock domains and transactions touching disjoint
-// shards apply concurrently.
+// a full Engine — its own table maps behind its own write lock — so
+// shards are independent lock domains and transactions touching
+// disjoint shards apply concurrently.
 //
 // Updates route by constraint analysis (db.Update.RouteKeys): an update
 // whose =-constant constraints pin the key attributes goes to exactly
@@ -30,16 +30,23 @@ import (
 // order before the targets absorb it, reproducing the single engine's
 // Σ summand order exactly.
 //
+// Reads are lock-free: shard workers commit epochs out of dispatch
+// order, so the engine-level epochTracker only advances the read
+// horizon to epoch k once every epoch ≤ k has committed, and readers
+// resolve the per-shard MVCC version chains against that pinned
+// horizon (a coordinated shard's own visibleSeq is never advanced —
+// the tracker owns visibility).
+//
 // Equivalence contract (checked by the differential tests): for the
 // same initial database and transaction log, a ShardedEngine holds
 // row-for-row identical annotations to a single Engine — the same
 // interned expression pointers — streams rows in the same order, and
-// produces byte-identical snapshots, for any shard count. The mechanism
-// is a global row sequence number: rows of transaction k carry
-// seq = k<<32 | i (i counting creations within the transaction, in
-// update order), so merging the per-shard lists by seq reconstructs the
-// insertion order a single engine would have used, independent of how
-// transactions were scheduled across shards.
+// produces byte-identical snapshots, for any shard count, at every
+// committed epoch. The mechanism is a global row sequence number: rows
+// of transaction k carry seq = k<<32 | i (i counting creations within
+// the transaction, in update order), so merging the per-shard lists by
+// seq reconstructs the insertion order a single engine would have
+// used, independent of how transactions were scheduled across shards.
 type ShardedEngine struct {
 	mode   Mode
 	schema *db.Schema
@@ -49,6 +56,10 @@ type ShardedEngine struct {
 	// epoch numbers transactions (and snapshot restores) in dispatch
 	// order; it is the high half of every row sequence number.
 	epoch atomic.Uint64
+
+	// tracker converts out-of-order epoch commits into the monotone
+	// read horizon (see mvcc.go).
+	tracker epochTracker
 
 	routedTxns     atomic.Uint64 // pinned to a single shard
 	rendezvousTxns atomic.Uint64 // pinned, spanning several shards
@@ -64,6 +75,7 @@ func NewSharded(mode Mode, initial *db.Database, opts ...Option) *ShardedEngine 
 	cfg := newConfig(opts)
 	schema := initial.Schema()
 	se := &ShardedEngine{mode: mode, schema: schema}
+	se.tracker.init()
 	for i := 0; i < cfg.shards; i++ {
 		se.shards = append(se.shards, newShell(mode, schema, cfg))
 	}
@@ -75,10 +87,10 @@ func NewSharded(mode Mode, initial *db.Database, opts ...Option) *ShardedEngine 
 	for _, name := range schema.Names() {
 		for _, t := range initial.Instance(name).Tuples() {
 			a := se.shards[0].freshAnnot(name, t)
-			r := newRow(mode, t, core.Var(a))
-			r.seq = seq
+			r := newRow(mode, t, core.Var(a), seq)
 			seq++
 			sh := se.shardForKey(t.Key())
+			sh.versions.Add(1)
 			sh.tables[name].add(t.Key(), r)
 		}
 	}
@@ -113,18 +125,6 @@ func (se *ShardedEngine) lockShards(shards []int) {
 func (se *ShardedEngine) unlockShards(shards []int) {
 	for _, si := range shards {
 		se.shards[si].mu.Unlock()
-	}
-}
-
-func (se *ShardedEngine) rlockAll() {
-	for _, sh := range se.shards {
-		sh.mu.RLock()
-	}
-}
-
-func (se *ShardedEngine) runlockAll() {
-	for _, sh := range se.shards {
-		sh.mu.RUnlock()
 	}
 }
 
@@ -169,7 +169,8 @@ func (se *ShardedEngine) countTxn(shards []int, pinned bool) {
 // holds every involved shard's write lock. Begin/End bracket the
 // transaction on every involved shard, so normal-form freezing stays
 // per-shard consistent, and a shared sequence closure numbers the rows
-// created by the transaction in update order.
+// created by the transaction in update order. The caller commits the
+// epoch to the tracker after releasing the locks.
 func (se *ShardedEngine) execLocked(t *db.Transaction, shards []int, epoch uint64) error {
 	var local uint64
 	next := func() uint64 {
@@ -180,6 +181,7 @@ func (se *ShardedEngine) execLocked(t *db.Transaction, shards []int, epoch uint6
 	for _, si := range shards {
 		sh := se.shards[si]
 		sh.nextSeq = next
+		sh.curEpoch = epoch
 		sh.Begin(t.Label)
 	}
 	var err error
@@ -331,20 +333,25 @@ func (se *ShardedEngine) modifyAcross(u db.Update, sources []shardSource) {
 
 // ApplyTransaction runs a whole transaction under the write locks of
 // exactly the shards it can touch; transactions over disjoint shards
-// proceed concurrently.
+// proceed concurrently. The transaction's epoch commits to the tracker
+// after the locks are released, advancing the read horizon once every
+// earlier epoch has also committed.
 func (se *ShardedEngine) ApplyTransaction(t *db.Transaction) error {
 	shards, pinned := se.analyze(t)
 	se.countTxn(shards, pinned)
 	epoch := se.epoch.Add(1)
 	se.lockShards(shards)
-	defer se.unlockShards(shards)
-	return se.execLocked(t, shards, epoch)
+	err := se.execLocked(t, shards, epoch)
+	se.unlockShards(shards)
+	se.tracker.commit(epoch)
+	return err
 }
 
 // shardTask is one transaction in flight through the ApplyAll worker
 // pool.
 type shardTask struct {
 	txn    *db.Transaction
+	idx    int // position in the batch (ApplyBatch progress tracking)
 	epoch  uint64
 	shards []int
 	// pending counts the involved workers that have not yet reached the
@@ -352,6 +359,42 @@ type shardTask struct {
 	// epoch barrier), then closes done.
 	pending atomic.Int32
 	done    chan struct{}
+}
+
+// batchTracker tracks which batch positions applied successfully and
+// reports the length of the contiguous applied prefix.
+type batchTracker struct {
+	mu   sync.Mutex
+	done map[int]struct{}
+	low  int // txns[0:low] all applied
+}
+
+func newBatchTracker() *batchTracker {
+	return &batchTracker{done: make(map[int]struct{})}
+}
+
+func (t *batchTracker) complete(i int) {
+	t.mu.Lock()
+	if i != t.low {
+		t.done[i] = struct{}{}
+		t.mu.Unlock()
+		return
+	}
+	t.low++
+	for {
+		if _, ok := t.done[t.low]; !ok {
+			break
+		}
+		delete(t.done, t.low)
+		t.low++
+	}
+	t.mu.Unlock()
+}
+
+func (t *batchTracker) prefix() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.low
 }
 
 // ApplyAll pipelines a batch of transactions through one worker per
@@ -368,8 +411,23 @@ type shardTask struct {
 // transactions already dispatched still complete, and the first error
 // in dispatch order is returned. Per-shard routing statistics merge
 // deterministically (see Stats) because classification happens on the
-// dispatcher, in log order.
+// dispatcher, in log order. See ApplyBatch to learn how many
+// transactions a cancelled or failed batch durably applied.
 func (se *ShardedEngine) ApplyAll(ctx context.Context, txns []db.Transaction) error {
+	_, err := se.ApplyBatch(ctx, txns)
+	return err
+}
+
+// ApplyBatch is ApplyAll reporting progress: it returns the length of
+// the contiguous batch prefix durably applied (and visible to
+// readers). On a nil error applied == len(txns); after a cancellation
+// or failure, txns[:applied] need not be replayed — WAL recovery and
+// replication resume from txns[applied:]. Because shard workers
+// complete out of log order, transactions after the failed one may
+// also have applied (they are deliberately not counted: the prefix is
+// the resumable part), and transactions enqueued but skipped after the
+// first failure never execute.
+func (se *ShardedEngine) ApplyBatch(ctx context.Context, txns []db.Transaction) (applied int, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -377,13 +435,13 @@ func (se *ShardedEngine) ApplyAll(ctx context.Context, txns []db.Transaction) er
 	if n == 1 {
 		for i := range txns {
 			if err := ctx.Err(); err != nil {
-				return err
+				return i, err
 			}
 			if err := se.ApplyTransaction(&txns[i]); err != nil {
-				return err
+				return i, err
 			}
 		}
-		return nil
+		return len(txns), nil
 	}
 
 	var (
@@ -403,6 +461,7 @@ func (se *ShardedEngine) ApplyAll(ctx context.Context, txns []db.Transaction) er
 		defer errMu.Unlock()
 		return firstErr != nil
 	}
+	bt := newBatchTracker()
 
 	queues := make([]chan *shardTask, n)
 	for i := range queues {
@@ -415,15 +474,21 @@ func (se *ShardedEngine) ApplyAll(ctx context.Context, txns []db.Transaction) er
 			defer wg.Done()
 			for tk := range queues[si] {
 				if len(tk.shards) == 1 {
+					// Skipped tasks still commit their epoch: the horizon
+					// must not stall behind an epoch that will never run.
 					if failed() {
+						se.tracker.commit(tk.epoch)
 						continue
 					}
 					sh := se.shards[si]
 					sh.mu.Lock()
 					err := se.execLocked(tk.txn, tk.shards, tk.epoch)
 					sh.mu.Unlock()
+					se.tracker.commit(tk.epoch)
 					if err != nil {
 						fail(tk.epoch, err)
+					} else {
+						bt.complete(tk.idx)
 					}
 					continue
 				}
@@ -439,8 +504,11 @@ func (se *ShardedEngine) ApplyAll(ctx context.Context, txns []db.Transaction) er
 					se.unlockShards(tk.shards)
 					if err != nil {
 						fail(tk.epoch, err)
+					} else {
+						bt.complete(tk.idx)
 					}
 				}
+				se.tracker.commit(tk.epoch)
 				close(tk.done)
 			}
 		}(si)
@@ -452,7 +520,7 @@ func (se *ShardedEngine) ApplyAll(ctx context.Context, txns []db.Transaction) er
 		}
 		shards, pinned := se.analyze(&txns[i])
 		se.countTxn(shards, pinned)
-		tk := &shardTask{txn: &txns[i], epoch: se.epoch.Add(1), shards: shards}
+		tk := &shardTask{txn: &txns[i], idx: i, epoch: se.epoch.Add(1), shards: shards}
 		if len(shards) > 1 {
 			tk.pending.Store(int32(len(shards)))
 			tk.done = make(chan struct{})
@@ -466,37 +534,74 @@ func (se *ShardedEngine) ApplyAll(ctx context.Context, txns []db.Transaction) er
 	}
 	wg.Wait()
 
+	applied = bt.prefix()
 	errMu.Lock()
-	err := firstErr
+	err = firstErr
 	errMu.Unlock()
 	if err != nil {
-		return err
+		return applied, err
 	}
-	return ctx.Err()
+	return applied, ctx.Err()
 }
 
 // RestoreRow stores a tuple with an explicit annotation on the shard
-// owning its key (see Engine.RestoreRow).
+// owning its key (see Engine.RestoreRow). Each restore is its own
+// epoch, committed to the tracker like a transaction.
 func (se *ShardedEngine) RestoreRow(rel string, t db.Tuple, ann *core.Expr) error {
 	sh := se.shardForKey(t.Key())
 	epoch := se.epoch.Add(1)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	sh.nextSeq = func() uint64 { return epoch << 32 }
+	sh.curEpoch = epoch
 	err := sh.restoreRowLocked(rel, t, ann)
 	sh.nextSeq = nil
+	sh.mu.Unlock()
+	se.tracker.commit(epoch)
 	return err
 }
 
 // BuildIndex creates the hash index on every shard's partition of the
-// relation (each shard indexes exactly the rows it owns).
+// relation (each shard indexes exactly the rows it owns). All shards
+// record the same history watermark — the newest epoch allocated
+// anywhere, not the last epoch the individual shard saw — so a
+// historical scan never mistakes an index built after an epoch for one
+// that covers it.
 func (se *ShardedEngine) BuildIndex(rel, attr string) error {
+	since := EpochSeq(se.epoch.Load())
 	for _, sh := range se.shards {
-		if err := sh.BuildIndex(rel, attr); err != nil {
+		sh.mu.Lock()
+		err := sh.buildIndexLocked(rel, attr, false, since)
+		sh.mu.Unlock()
+		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// Select implements Reader: per-shard planner scans at the committed
+// horizon, merged to global insertion order.
+func (se *ShardedEngine) Select(rel string, sel db.Pattern) ([]db.Tuple, error) {
+	return se.selectAt(rel, sel, se.Horizon())
+}
+
+func (se *ShardedEngine) selectAt(rel string, sel db.Pattern, s uint64) ([]db.Tuple, error) {
+	var all []*row
+	for _, sh := range se.shards {
+		rows, err := sh.selectRowsAt(rel, sel, s)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, rows...)
+	}
+	// Shard-local scans come back in shard insertion order; sequence
+	// numbers are globally unique and define the merged order.
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	out := make([]db.Tuple, len(all))
+	for i, r := range all {
+		out[i] = r.tuple
+	}
+	return out, nil
 }
 
 // DropIndex removes the index from every shard that has it. Because the
@@ -573,71 +678,78 @@ func (se *ShardedEngine) PlannerStats() PlannerStats {
 	return ps
 }
 
-// Annotation returns the provenance expression of the tuple, from the
-// shard owning its key.
+// Annotation returns the provenance expression of the tuple at the
+// committed horizon, from the shard owning its key. Lock-free.
 func (se *ShardedEngine) Annotation(rel string, t db.Tuple) *core.Expr {
-	return se.shardForKey(t.Key()).Annotation(rel, t)
+	return se.shardForKey(t.Key()).annotationAt(rel, t, se.Horizon())
 }
 
-// NF returns the normal-form value of the tuple in ModeNormalForm, or
-// nil.
+// NF returns the normal-form value of the tuple in ModeNormalForm at
+// the committed horizon, or nil.
 func (se *ShardedEngine) NF(rel string, t db.Tuple) *core.NF {
-	return se.shardForKey(t.Key()).NF(rel, t)
+	return se.shardForKey(t.Key()).nfAt(rel, t, se.Horizon())
 }
 
-// mergedRowsLocked returns every stored row of the relation across all
-// shards, ordered by global sequence number — exactly the insertion
-// order of the equivalent single engine. Callers hold all shard locks.
-func (se *ShardedEngine) mergedRowsLocked(rel string) []*row {
-	total := 0
+// mergedRowsAt returns every row of the relation visible at horizon s
+// across all shards, ordered by global sequence number — exactly the
+// insertion order of the equivalent single engine at that epoch.
+// Lock-free: per-shard lists are snapshotted and visibility-filtered
+// before the merge (a shard's list is not seq-sorted in general —
+// epochs are allocated before shard locks are taken — so the merge
+// sorts the union rather than assuming per-shard order).
+func (se *ShardedEngine) mergedRowsAt(rel string, s uint64) []*row {
+	var out []*row
 	for _, sh := range se.shards {
-		total += len(sh.tables[rel].list)
-	}
-	out := make([]*row, 0, total)
-	for _, sh := range se.shards {
-		out = append(out, sh.tables[rel].list...)
+		for _, r := range sh.tables[rel].list.snapshot() {
+			if r.seq <= s {
+				out = append(out, r)
+			}
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
 	return out
 }
 
-func (se *ShardedEngine) eachRowLocked(rel string, f func(t db.Tuple, ann *core.Expr)) {
+func (se *ShardedEngine) eachRowAt(rel string, s uint64, f func(t db.Tuple, ann *core.Expr)) {
 	if se.schema.Relation(rel) == nil {
 		return
 	}
-	for _, r := range se.mergedRowsLocked(rel) {
-		if se.mode == ModeNaive {
-			f(r.tuple, r.expr)
-		} else {
-			f(r.tuple, r.nf.ToExpr())
+	for _, r := range se.mergedRowsAt(rel, s) {
+		v := r.at(s)
+		if v == nil {
+			continue
 		}
+		f(r.tuple, v.annotation(se.mode))
 	}
 }
 
-// EachRow calls f for every stored row of the relation in the same
-// deterministic order as the single engine (global insertion order,
-// merged across shards). All shard read locks are held for the pass.
-func (se *ShardedEngine) EachRow(rel string, f func(t db.Tuple, ann *core.Expr)) {
-	se.rlockAll()
-	defer se.runlockAll()
-	se.eachRowLocked(rel, f)
-}
-
-// Rows calls f for every stored row of every relation — relations in
-// schema order, rows in global insertion order — under all shard read
-// locks, so the visited rows form one consistent cut across shards.
-func (se *ShardedEngine) Rows(f func(rel string, t db.Tuple, ann *core.Expr)) {
-	se.rlockAll()
-	defer se.runlockAll()
+func (se *ShardedEngine) rowsAt(s uint64, f func(rel string, t db.Tuple, ann *core.Expr)) {
 	for _, rel := range se.schema.Names() {
 		name := rel
-		se.eachRowLocked(name, func(t db.Tuple, ann *core.Expr) { f(name, t, ann) })
+		se.eachRowAt(name, s, func(t db.Tuple, ann *core.Expr) { f(name, t, ann) })
 	}
 }
 
-// perShardInt64 evaluates f on every shard concurrently (the caller
-// holds all shard locks) and returns the per-shard results in shard
-// order — a deterministic merge regardless of completion order.
+// EachRow calls f for every row of the relation visible at the
+// committed horizon, in the same deterministic order as the single
+// engine (global insertion order, merged across shards). The horizon is
+// pinned on entry; the pass is lock-free.
+func (se *ShardedEngine) EachRow(rel string, f func(t db.Tuple, ann *core.Expr)) {
+	se.eachRowAt(rel, se.Horizon(), f)
+}
+
+// Rows calls f for every row visible at the committed horizon —
+// relations in schema order, rows in global insertion order — against
+// one horizon pinned for the whole pass, so the visited rows form one
+// consistent cut across shards even while transactions commit
+// concurrently.
+func (se *ShardedEngine) Rows(f func(rel string, t db.Tuple, ann *core.Expr)) {
+	se.rowsAt(se.Horizon(), f)
+}
+
+// perShardInt64 evaluates f on every shard concurrently and returns the
+// per-shard results in shard order — a deterministic merge regardless
+// of completion order.
 func (se *ShardedEngine) perShardInt64(f func(sh *Engine) int64) []int64 {
 	out := make([]int64, len(se.shards))
 	var wg sync.WaitGroup
@@ -652,46 +764,45 @@ func (se *ShardedEngine) perShardInt64(f func(sh *Engine) int64) []int64 {
 	return out
 }
 
-// NumRows reports the total number of stored rows across all shards.
-func (se *ShardedEngine) NumRows() int {
-	se.rlockAll()
-	defer se.runlockAll()
+func (se *ShardedEngine) numRowsAt(s uint64) int {
 	var n int64
-	for _, c := range se.perShardInt64(func(sh *Engine) int64 { return int64(sh.numRowsLocked()) }) {
+	for _, c := range se.perShardInt64(func(sh *Engine) int64 { return int64(sh.numRowsAt(s)) }) {
 		n += c
 	}
 	return int(n)
 }
 
-// SupportSize reports the number of rows whose annotation is not
-// syntactically zero, shard-parallel.
-func (se *ShardedEngine) SupportSize() int {
-	se.rlockAll()
-	defer se.runlockAll()
+func (se *ShardedEngine) supportSizeAt(s uint64) int {
 	var n int64
-	for _, c := range se.perShardInt64(func(sh *Engine) int64 { return int64(sh.supportSizeLocked()) }) {
+	for _, c := range se.perShardInt64(func(sh *Engine) int64 { return int64(sh.supportSizeAt(s)) }) {
 		n += c
 	}
 	return int(n)
 }
 
-// ProvSize reports the total provenance tree size, shard-parallel.
-func (se *ShardedEngine) ProvSize() int64 {
-	se.rlockAll()
-	defer se.runlockAll()
+func (se *ShardedEngine) provSizeAt(s uint64) int64 {
 	var n int64
-	for _, c := range se.perShardInt64(func(sh *Engine) int64 { return sh.provSizeLocked() }) {
+	for _, c := range se.perShardInt64(func(sh *Engine) int64 { return sh.provSizeAt(s) }) {
 		n += c
 	}
 	return n
 }
 
-// ProvDAGSize reports the number of distinct expression nodes backing
-// all annotations: shards count their partitions in parallel into
-// private seen sets, whose union dedupes nodes shared across shards.
-func (se *ShardedEngine) ProvDAGSize() int64 {
-	se.rlockAll()
-	defer se.runlockAll()
+// NumRows reports the total number of rows visible at the committed
+// horizon across all shards.
+func (se *ShardedEngine) NumRows() int { return se.numRowsAt(se.Horizon()) }
+
+// SupportSize reports the number of visible rows whose annotation is
+// not syntactically zero, shard-parallel.
+func (se *ShardedEngine) SupportSize() int { return se.supportSizeAt(se.Horizon()) }
+
+// ProvSize reports the total provenance tree size, shard-parallel.
+func (se *ShardedEngine) ProvSize() int64 { return se.provSizeAt(se.Horizon()) }
+
+// provDAGSizeAt counts distinct expression nodes at horizon s: shards
+// count their partitions in parallel into private seen sets, whose
+// union dedupes nodes shared across shards.
+func (se *ShardedEngine) provDAGSizeAt(s uint64) int64 {
 	sets := make([]map[*core.Expr]struct{}, len(se.shards))
 	var wg sync.WaitGroup
 	for i, sh := range se.shards {
@@ -699,30 +810,37 @@ func (se *ShardedEngine) ProvDAGSize() int64 {
 		go func(i int, sh *Engine) {
 			defer wg.Done()
 			sets[i] = make(map[*core.Expr]struct{})
-			sh.provDAGSizeLocked(sets[i])
+			sh.provDAGSizeAt(sets[i], s)
 		}(i, sh)
 	}
 	wg.Wait()
 	union := sets[0]
-	for _, s := range sets[1:] {
-		for x := range s {
+	for _, set := range sets[1:] {
+		for x := range set {
 			union[x] = struct{}{}
 		}
 	}
 	return int64(len(union))
 }
 
+// ProvDAGSize reports the number of distinct expression nodes backing
+// all visible annotations.
+func (se *ShardedEngine) ProvDAGSize() int64 { return se.provDAGSizeAt(se.Horizon()) }
+
 // MinimizeAll minimizes every shard's partition in parallel under all
 // write locks; ctx is checked at shard boundaries (each shard checks
-// between its relations). The per-shard sizes merge by summation —
-// deterministic regardless of completion order.
+// between its relations). The pass is one write epoch across all
+// shards, so pinned views taken before it keep reading the unminimized
+// history. The per-shard sizes merge by summation — deterministic
+// regardless of completion order.
 func (se *ShardedEngine) MinimizeAll(ctx context.Context) (int64, error) {
+	epoch := se.epoch.Add(1)
 	se.lockShards(se.all)
-	defer se.unlockShards(se.all)
 	errs := make([]error, len(se.shards))
 	sizes := make([]int64, len(se.shards))
 	var wg sync.WaitGroup
 	for i, sh := range se.shards {
+		sh.curEpoch = epoch
 		wg.Add(1)
 		go func(i int, sh *Engine) {
 			defer wg.Done()
@@ -730,6 +848,8 @@ func (se *ShardedEngine) MinimizeAll(ctx context.Context) (int64, error) {
 		}(i, sh)
 	}
 	wg.Wait()
+	se.unlockShards(se.all)
+	se.tracker.commit(epoch)
 	var n int64
 	for _, s := range sizes {
 		n += s
@@ -752,8 +872,9 @@ type ShardedStats struct {
 	RowsPerShard []int
 }
 
-// Stats reports routing counters and per-shard row counts, merged in
-// shard order (deterministic for a quiescent engine).
+// Stats reports routing counters and per-shard row counts at the
+// committed horizon, merged in shard order (deterministic for a
+// quiescent engine).
 func (se *ShardedEngine) Stats() ShardedStats {
 	st := ShardedStats{
 		Shards:     len(se.shards),
@@ -761,9 +882,10 @@ func (se *ShardedEngine) Stats() ShardedStats {
 		Rendezvous: se.rendezvousTxns.Load(),
 		FanOut:     se.fanoutTxns.Load(),
 	}
+	h := se.Horizon()
 	st.RowsPerShard = make([]int, len(se.shards))
 	for i, sh := range se.shards {
-		st.RowsPerShard[i] = sh.NumRows()
+		st.RowsPerShard[i] = sh.numRowsAt(h)
 	}
 	return st
 }

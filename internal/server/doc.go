@@ -4,13 +4,19 @@
 // and transaction-abortion what-ifs), snapshot save/load, and ingestion
 // of SQL or datalog transaction logs.
 //
-// Concurrency model: the engine's RWMutex makes every read endpoint
-// safe while /v1/ingest applies transactions — readers observe the
-// database at transaction granularity, never mid-transaction. The
-// server adds one more lock of its own, guarding the engine *pointer*
-// only: loading a snapshot over POST /v1/snapshot atomically swaps in
-// the restored engine, and in-flight requests keep using the engine
-// they started with.
+// Concurrency model: read endpoints pin the engine's committed MVCC
+// horizon at entry and run lock-free against its version chains, so
+// they never block behind (or stall) /v1/ingest — readers observe the
+// database at batch-commit granularity, never mid-transaction, and a
+// long read streams one consistent epoch snapshot end to end. (An
+// earlier revision serialized reads against writes with the engine's
+// RWMutex; that description is superseded — there is no longer a
+// reader-visible engine lock.) The endpoints that time-travel accept
+// ?as_of=N to run against the database as of epoch N. The server holds
+// no lock of its own either: the engine reference is an atomic pointer
+// captured once per request, so loading a snapshot over POST
+// /v1/snapshot swaps the served engine while in-flight requests keep
+// streaming from the one they started with.
 //
 // Every endpoint is instrumented with expvar-compatible counters
 // (<endpoint>.requests, <endpoint>.errors, <endpoint>.latency_us),

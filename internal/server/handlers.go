@@ -84,19 +84,28 @@ func (s *Server) handleSchema(w http.ResponseWriter, req *http.Request) {
 // paper's per-occurrence tree count (Fig. 7b/8b), provDagSize the
 // number of distinct hash-consed nodes backing this engine's
 // annotations (the memory actually held), and the intern* fields are
-// the process-global intern table counters.
+// the process-global intern table counters. The mvcc* fields report
+// the committed read horizon (what a reader entering now would pin)
+// and version-storage volume; engineGeneration counts snapshot-load
+// swaps (see Server.EngineGeneration).
 func (s *Server) handleStats(w http.ResponseWriter, req *http.Request) {
 	e := s.Engine()
 	ist := core.InternStats()
+	ms := e.MVCCStats()
 	stats := map[string]any{
-		"mode":         e.Mode().String(),
-		"rows":         e.NumRows(),
-		"support":      e.SupportSize(),
-		"provSize":     e.ProvSize(),
-		"provDagSize":  e.ProvDAGSize(),
-		"internNodes":  ist.Nodes,
-		"internHits":   ist.Hits,
-		"internMisses": ist.Misses,
+		"mode":             e.Mode().String(),
+		"rows":             e.NumRows(),
+		"support":          e.SupportSize(),
+		"provSize":         e.ProvSize(),
+		"provDagSize":      e.ProvDAGSize(),
+		"internNodes":      ist.Nodes,
+		"internHits":       ist.Hits,
+		"internMisses":     ist.Misses,
+		"engineGeneration": s.EngineGeneration(),
+		"mvccHorizonEpoch": ms.HorizonEpoch,
+		"mvccHorizonSeq":   ms.HorizonSeq,
+		"mvccEpochs":       ms.Epochs,
+		"mvccVersions":     ms.Versions,
 	}
 	ps := e.PlannerStats()
 	stats["plannerFullScans"] = ps.FullScans
@@ -179,6 +188,31 @@ func (s *Server) handleIndexDrop(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"dropped": true})
 }
 
+// asOfReader resolves the optional ?as_of= query parameter (an epoch
+// number, as reported by mvccHorizonEpoch in /v1/stats) to the reader
+// the request runs against: the live engine when absent, an MVCC view
+// pinned at the end of that epoch otherwise. Time travel is free —
+// views share the engine's version chains — and lock-free against
+// concurrent ingestion. Epochs beyond the committed horizon answer
+// 400; ok=false means the error response has been written.
+func (s *Server) asOfReader(w http.ResponseWriter, req *http.Request) (engine.Reader, bool) {
+	e := s.Engine()
+	v := req.URL.Query().Get("as_of")
+	if v == "" {
+		return e, true
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "as_of parameter %q is not an epoch number", v)
+		return nil, false
+	}
+	if h := engine.SeqEpoch(e.Horizon()); n > h {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "as_of epoch %d is beyond the committed horizon epoch %d", n, h)
+		return nil, false
+	}
+	return e.At(engine.EpochSeq(n)), true
+}
+
 type annotationRequest struct {
 	Rel      string `json:"rel"`
 	Tuple    []any  `json:"tuple"`
@@ -203,14 +237,18 @@ type annotationResponse struct {
 // handleAnnotation answers "why is this tuple (not) in the database?":
 // the stored provenance expression, its liveness under the all-true
 // valuation, its input-tuple and transaction dependencies, and
-// optionally the Explain rendering.
+// optionally the Explain rendering. ?as_of=N answers against the
+// database as of epoch N — "why was this tuple here then?".
 func (s *Server) handleAnnotation(w http.ResponseWriter, req *http.Request) {
 	var ar annotationRequest
 	if err := readBody(w, req, &ar); err != nil {
 		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 		return
 	}
-	e := s.Engine()
+	e, ok := s.asOfReader(w, req)
+	if !ok {
+		return
+	}
 	rel := e.Schema().Relation(ar.Rel)
 	if rel == nil {
 		writeError(w, http.StatusNotFound, codeUnknownRelation, "unknown relation %q", ar.Rel)
@@ -274,16 +312,17 @@ func workersParam(req *http.Request) (int, error) {
 }
 
 // restrictParallel runs the Boolean-valuation materialization shared by
-// the db and what-if endpoints, translating the workers parameter and
+// the db and what-if endpoints — against the live engine or an ?as_of=
+// view, resolved by the caller — translating the workers parameter and
 // request-context cancellation into envelope errors. ok=false means the
 // error response has been written.
-func (s *Server) restrictParallel(w http.ResponseWriter, req *http.Request, env upstruct.Env[bool]) (*db.Database, bool) {
+func (s *Server) restrictParallel(w http.ResponseWriter, req *http.Request, e engine.Reader, env upstruct.Env[bool]) (*db.Database, bool) {
 	workers, err := workersParam(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 		return nil, false
 	}
-	d, err := engine.BoolRestrictParallel(req.Context(), s.Engine(), env, workers)
+	d, err := engine.BoolRestrictParallel(req.Context(), e, env, workers)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, codeCanceled, "%v", err)
 		return nil, false
@@ -292,9 +331,13 @@ func (s *Server) restrictParallel(w http.ResponseWriter, req *http.Request, env 
 }
 
 // handleDB serves the live database — the all-true valuation — with
-// parallel evaluation.
+// parallel evaluation. ?as_of=N serves the database as of epoch N.
 func (s *Server) handleDB(w http.ResponseWriter, req *http.Request) {
-	d, ok := s.restrictParallel(w, req, func(core.Annot) bool { return true })
+	e, ok := s.asOfReader(w, req)
+	if !ok {
+		return
+	}
+	d, ok := s.restrictParallel(w, req, e, func(core.Annot) bool { return true })
 	if !ok {
 		return
 	}
@@ -307,7 +350,8 @@ type deletionRequest struct {
 
 // handleDeletion answers the Section 4.1 deletion-propagation what-if:
 // the database had the named input-tuple annotations never existed,
-// computed by valuation without re-running the log.
+// computed by valuation without re-running the log. ?as_of=N asks the
+// hypothetical against the database as of epoch N.
 func (s *Server) handleDeletion(w http.ResponseWriter, req *http.Request) {
 	var dr deletionRequest
 	if err := readBody(w, req, &dr); err != nil {
@@ -318,11 +362,15 @@ func (s *Server) handleDeletion(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, codeBadRequest, "no tuple annotations given")
 		return
 	}
+	e, ok := s.asOfReader(w, req)
+	if !ok {
+		return
+	}
 	dead := make(map[core.Annot]bool, len(dr.Tuples))
 	for _, name := range dr.Tuples {
 		dead[core.TupleAnnot(name)] = false
 	}
-	d, ok := s.restrictParallel(w, req, upstruct.MapEnv(dead, true))
+	d, ok := s.restrictParallel(w, req, e, upstruct.MapEnv(dead, true))
 	if !ok {
 		return
 	}
@@ -334,7 +382,8 @@ type abortRequest struct {
 }
 
 // handleAbort answers the transaction-abortion what-if: the database
-// had the labelled transactions been aborted.
+// had the labelled transactions been aborted. ?as_of=N asks the
+// hypothetical against the database as of epoch N.
 func (s *Server) handleAbort(w http.ResponseWriter, req *http.Request) {
 	var ar abortRequest
 	if err := readBody(w, req, &ar); err != nil {
@@ -345,11 +394,15 @@ func (s *Server) handleAbort(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, codeBadRequest, "no transaction labels given")
 		return
 	}
+	e, ok := s.asOfReader(w, req)
+	if !ok {
+		return
+	}
 	dead := make(map[core.Annot]bool, len(ar.Labels))
 	for _, l := range ar.Labels {
 		dead[core.QueryAnnot(l)] = false
 	}
-	d, ok := s.restrictParallel(w, req, upstruct.MapEnv(dead, true))
+	d, ok := s.restrictParallel(w, req, e, upstruct.MapEnv(dead, true))
 	if !ok {
 		return
 	}
@@ -358,9 +411,11 @@ func (s *Server) handleAbort(w http.ResponseWriter, req *http.Request) {
 
 // handleIngest parses the request body as a transaction log (SQL
 // fragment by default, ?syntax=datalog for the paper's notation) and
-// applies it. The engine write lock is taken per transaction, so read
-// endpoints keep answering — at transaction granularity — while a large
-// log streams in.
+// applies it. Read endpoints pin the MVCC horizon at entry and never
+// block while a large log streams in; each batch publishes atomically
+// when it commits. The response (and, on failure or client
+// disconnection, the error envelope) reports how many transactions
+// were durably applied — the caller may safely resubmit the rest.
 func (s *Server) handleIngest(w http.ResponseWriter, req *http.Request) {
 	req.Body = http.MaxBytesReader(w, req.Body, maxBodyBytes)
 	src, err := io.ReadAll(req.Body)
@@ -383,22 +438,29 @@ func (s *Server) handleIngest(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, codeBadRequest, "parsing log: %v", err)
 		return
 	}
-	if err := e.ApplyAll(req.Context(), txns); err != nil {
-		writeEngineError(w, err)
+	applied, err := e.ApplyBatch(req.Context(), txns)
+	if err != nil {
+		writeEngineErrorApplied(w, err, applied)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{
 		"transactions": len(txns),
+		"applied":      applied,
 		"queries":      db.CountQueries(txns),
 	})
 }
 
 // handleSnapshotSave streams the annotated database in the provstore
-// binary format — one consistent cut under the engine read lock, with
-// deterministic bytes.
+// binary format — one consistent MVCC cut pinned at entry, with
+// deterministic bytes. ?as_of=N streams the database as it stood at
+// the end of epoch N.
 func (s *Server) handleSnapshotSave(w http.ResponseWriter, req *http.Request) {
+	e, ok := s.asOfReader(w, req)
+	if !ok {
+		return
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	if err := provstore.SaveSnapshot(w, s.Engine()); err != nil {
+	if err := provstore.SaveSnapshot(w, e); err != nil {
 		// The 200 header and part of the binary body may already be on
 		// the wire, so a JSON error envelope appended here would corrupt
 		// the download into something that half-parses. Abort the

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -47,6 +48,10 @@ const timeoutBody = `{"error":{"code":"` + codeTimeout + `","message":"request t
 type errorBody struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// Applied, present only on partial batch failures, counts the
+	// transactions durably applied before the error: txns[:applied]
+	// must not be resubmitted, txns[applied:] may be.
+	Applied *int `json:"applied,omitempty"`
 }
 
 type errorResponse struct {
@@ -57,25 +62,44 @@ func writeError(w http.ResponseWriter, status int, code, format string, args ...
 	writeJSON(w, status, errorResponse{Error: errorBody{Code: code, Message: fmt.Sprintf(format, args...)}})
 }
 
-// writeEngineError maps the engine's sentinel errors onto HTTP statuses
-// and envelope codes: unknown relation / attribute / index → 404,
-// malformed tuple → 400, a degraded persistent store → 503, anything
-// else from applying a log → 422.
-func writeEngineError(w http.ResponseWriter, err error) {
+// engineErrorStatus maps the engine's sentinel errors onto HTTP
+// statuses and envelope codes: unknown relation / attribute / index →
+// 404, malformed tuple → 400, a degraded persistent store → 503,
+// cancellation → 503, anything else from applying a log → 422.
+func engineErrorStatus(err error) (int, string) {
 	switch {
 	case errors.Is(err, wal.ErrReadOnly):
-		writeError(w, http.StatusServiceUnavailable, codeReadOnly, "%v", err)
+		return http.StatusServiceUnavailable, codeReadOnly
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable, codeCanceled
 	case errors.Is(err, engine.ErrUnknownRelation):
-		writeError(w, http.StatusNotFound, codeUnknownRelation, "%v", err)
+		return http.StatusNotFound, codeUnknownRelation
 	case errors.Is(err, engine.ErrUnknownAttribute):
-		writeError(w, http.StatusNotFound, codeUnknownAttribute, "%v", err)
+		return http.StatusNotFound, codeUnknownAttribute
 	case errors.Is(err, engine.ErrUnknownIndex):
-		writeError(w, http.StatusNotFound, codeUnknownIndex, "%v", err)
+		return http.StatusNotFound, codeUnknownIndex
 	case errors.Is(err, engine.ErrBadTuple):
-		writeError(w, http.StatusBadRequest, codeBadTuple, "%v", err)
+		return http.StatusBadRequest, codeBadTuple
 	default:
-		writeError(w, http.StatusUnprocessableEntity, codeApplyFailed, "%v", err)
+		return http.StatusUnprocessableEntity, codeApplyFailed
 	}
+}
+
+func writeEngineError(w http.ResponseWriter, err error) {
+	status, code := engineErrorStatus(err)
+	writeError(w, status, code, "%v", err)
+}
+
+// writeEngineErrorApplied is writeEngineError for partial batch
+// failures: the envelope carries the durably-applied prefix length so
+// the client knows where to resume.
+func writeEngineErrorApplied(w http.ResponseWriter, err error, applied int) {
+	status, code := engineErrorStatus(err)
+	writeJSON(w, status, errorResponse{Error: errorBody{
+		Code:    code,
+		Message: fmt.Sprintf("%v", err),
+		Applied: &applied,
+	}})
 }
 
 // valueJSON renders a db.Value as its natural JSON type.

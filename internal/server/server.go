@@ -4,7 +4,7 @@ import (
 	"expvar"
 	"log"
 	"net/http"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"hyperprov/internal/engine"
@@ -18,13 +18,23 @@ const maxBodyBytes = 64 << 20
 // overrides it.
 const DefaultTimeout = 30 * time.Second
 
+// engineRef pairs the served engine with its swap generation. Handlers
+// load the ref once at entry, so a concurrent snapshot load never
+// splits one request across two engines — and because the ref is an
+// atomic pointer, a slow reader pinned on the old engine's MVCC
+// horizon keeps streaming from it without blocking the swap (or being
+// blocked by it).
+type engineRef struct {
+	db  engine.DB
+	gen uint64
+}
+
 // Server serves one provenance engine over HTTP — either implementation
 // of engine.DB (the single-lock Engine or the hash-sharded
 // ShardedEngine) behind the same handlers. The zero value is not
 // usable; construct with New.
 type Server struct {
-	mu  sync.RWMutex // guards eng (snapshot load swaps the pointer)
-	eng engine.DB
+	eng atomic.Pointer[engineRef] // swapped whole by snapshot load
 
 	metrics *metrics
 	timeout time.Duration
@@ -48,7 +58,8 @@ func WithLogf(f func(format string, args ...any)) Option {
 
 // New builds a server around the engine.
 func New(eng engine.DB, opts ...Option) *Server {
-	s := &Server{eng: eng, metrics: newMetrics(), timeout: DefaultTimeout, logf: log.Printf}
+	s := &Server{metrics: newMetrics(), timeout: DefaultTimeout, logf: log.Printf}
+	s.eng.Store(&engineRef{db: eng, gen: 1})
 	for _, o := range opts {
 		o(s)
 	}
@@ -99,17 +110,24 @@ func New(eng engine.DB, opts ...Option) *Server {
 // request timeout).
 func (s *Server) Handler() http.Handler { return s.handler }
 
-// Engine returns the currently served engine.
-func (s *Server) Engine() engine.DB {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.eng
-}
+// Engine returns the currently served engine. Lock-free: callers that
+// need a consistent engine across several calls must capture the
+// result once (handlers do, at entry) rather than call Engine
+// repeatedly.
+func (s *Server) Engine() engine.DB { return s.eng.Load().db }
+
+// EngineGeneration reports how many engines this server has served: 1
+// for the engine it was constructed with, +1 per snapshot load. Reads
+// that captured an earlier generation keep answering from it.
+func (s *Server) EngineGeneration() uint64 { return s.eng.Load().gen }
 
 func (s *Server) setEngine(e engine.DB) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.eng = e
+	for {
+		old := s.eng.Load()
+		if s.eng.CompareAndSwap(old, &engineRef{db: e, gen: old.gen + 1}) {
+			return
+		}
+	}
 }
 
 // ExpvarMap returns the per-endpoint counter map, for publishing under

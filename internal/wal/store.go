@@ -542,27 +542,38 @@ const applyAllChunk = 256
 // fsync per chunk under SyncAlways (group commit). ctx is checked at
 // chunk boundaries only, so every logged record is fully applied — a
 // cancelled batch never leaves the log ahead of the engine by a
-// half-applied chunk.
+// half-applied chunk. See ApplyBatch to learn how many transactions a
+// cancelled or failed batch durably applied.
 func (s *Store) ApplyAll(ctx context.Context, txns []db.Transaction) error {
+	_, err := s.ApplyBatch(ctx, txns)
+	return err
+}
+
+// ApplyBatch is ApplyAll reporting the durably applied (logged and
+// applied) prefix: after a cancellation or failure, recovery and
+// replication resume from txns[applied:] without double-applying.
+func (s *Store) ApplyBatch(ctx context.Context, txns []db.Transaction) (applied int, err error) {
 	for len(txns) > 0 {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
-				return err
+				return applied, err
 			}
 		}
 		n := len(txns)
 		if n > applyAllChunk {
 			n = applyAllChunk
 		}
-		if err := s.applyChunk(txns[:n]); err != nil {
-			return err
+		k, err := s.applyChunk(txns[:n])
+		applied += k
+		if err != nil {
+			return applied, err
 		}
 		txns = txns[n:]
 	}
-	return nil
+	return applied, nil
 }
 
-func (s *Store) applyChunk(chunk []db.Transaction) error {
+func (s *Store) applyChunk(chunk []db.Transaction) (applied int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	firstBad := len(chunk)
@@ -578,23 +589,23 @@ func (s *Store) applyChunk(chunk []db.Transaction) error {
 			payloads[i] = encodeTxn(&chunk[i])
 		}
 		if err := s.appendLocked(payloads...); err != nil {
-			return err
+			return 0, err
 		}
 		// Validated above: cannot fail, so the sharded engine's
 		// stop-on-error nondeterminism is unreachable here.
-		err := s.eng.ApplyAll(context.Background(), chunk)
+		applied, err = s.eng.ApplyBatch(context.Background(), chunk)
 		s.maybeCheckpointLocked()
-		return err
+		return applied, err
 	}
 	// A transaction in this chunk will fail its static checks: fall
 	// back to the sequential path, stopping at the first error exactly
 	// like engine.ApplyAll does.
 	for i := 0; i <= firstBad && i < len(chunk); i++ {
 		if err := s.applyTxnLocked(&chunk[i]); err != nil {
-			return err
+			return i, err
 		}
 	}
-	return nil
+	return firstBad + 1, nil
 }
 
 // RestoreRow validates statically, logs, then applies. Invalid calls
@@ -906,6 +917,11 @@ func (s *Store) EachRow(rel string, f func(t db.Tuple, ann *core.Expr)) { s.eng.
 // Rows implements engine.DB.
 func (s *Store) Rows(f func(rel string, t db.Tuple, ann *core.Expr)) { s.eng.Rows(f) }
 
+// Select implements engine.DB.
+func (s *Store) Select(rel string, sel db.Pattern) ([]db.Tuple, error) {
+	return s.eng.Select(rel, sel)
+}
+
 // NumRows implements engine.DB.
 func (s *Store) NumRows() int { return s.eng.NumRows() }
 
@@ -917,3 +933,16 @@ func (s *Store) ProvSize() int64 { return s.eng.ProvSize() }
 
 // ProvDAGSize implements engine.DB.
 func (s *Store) ProvDAGSize() int64 { return s.eng.ProvDAGSize() }
+
+// At implements engine.DB: a pinned read-only view of the underlying
+// engine. Views do not read the log, so the history they can pin starts
+// at the state the engine was recovered (or opened) with — epochs from
+// a previous process life are replayed into the recovery horizon, not
+// preserved individually.
+func (s *Store) At(seq uint64) engine.View { return s.eng.At(seq) }
+
+// Horizon implements engine.DB.
+func (s *Store) Horizon() uint64 { return s.eng.Horizon() }
+
+// MVCCStats implements engine.DB.
+func (s *Store) MVCCStats() engine.MVCCStats { return s.eng.MVCCStats() }
