@@ -39,6 +39,7 @@ func runServe(args []string) error {
 	dataDir := fs.String("data-dir", "", "persist to a write-ahead-logged directory (bootstrapped from -data on first use, recovered afterwards)")
 	syncPolicy := fs.String("sync", "always", "WAL durability: always, interval, or never (with -data-dir)")
 	ckptEvery := fs.Int("checkpoint-every", 0, "checkpoint after N logged records, 0 = only via POST /v1/checkpoint and shutdown (with -data-dir)")
+	follow := fs.String("follow", "", "run as a read replica of the leader at this base URL (e.g. http://leader:8080); requires -data-dir, refuses writes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -46,13 +47,44 @@ func runServe(args []string) error {
 		fs.Usage()
 		return errors.New("need -data Rel=file.csv, -load-snapshot, or -data-dir")
 	}
+	if *follow != "" {
+		switch {
+		case *dataDir == "":
+			return errors.New("-follow needs -data-dir for the replica's local WAL")
+		case len(data) > 0, *loadSnap != "", *logPath != "":
+			return errors.New("-follow replicates from the leader; -data, -load-snapshot and -log do not apply")
+		}
+	}
 
 	logger := log.New(os.Stderr, "hyperprov: ", log.LstdFlags)
 	engOpts := []engine.Option{engine.WithShards(*shards), engine.WithAutoIndex(*autoIndex)}
 	srvOpts := []server.Option{server.WithTimeout(*timeout), server.WithLogf(logger.Printf)}
 	var srv *server.Server
 	var store *wal.Store
+	var follower *wal.Follower
 	switch {
+	case *follow != "":
+		sp, err := wal.ParseSyncPolicy(*syncPolicy)
+		if err != nil {
+			return err
+		}
+		walOpts := []wal.Option{
+			wal.WithSync(sp),
+			wal.WithCheckpointEvery(uint64(*ckptEvery)),
+			wal.WithEngineOptions(engOpts...),
+		}
+		// Bound only the initial bootstrap wait; once the local engine
+		// exists the follower reconnects forever on its own.
+		bootCtx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		fl, err := wal.OpenFollower(bootCtx, *dataDir, wal.HTTPSource(*follow, nil), walOpts...)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("opening follower: %w", err)
+		}
+		follower = fl
+		srv = server.New(fl, srvOpts...)
+		rs := fl.ReplicaStats()
+		logger.Printf("following %s from %s at LSN %d (leader LSN %d)", *follow, *dataDir, rs.AppliedLSN, rs.LeaderLSN)
 	case *dataDir != "":
 		if *loadSnap != "" {
 			return errors.New("-load-snapshot cannot be combined with -data-dir (the directory has its own checkpoints)")
@@ -123,6 +155,10 @@ func runServe(args []string) error {
 	}
 	stop()
 	logger.Printf("shutting down (grace %v)", *grace)
+	// Replication streams never end on their own and would hold
+	// Shutdown for the whole grace period; cut them first — followers
+	// redial once the leader is back.
+	srv.DrainStreams()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
@@ -137,6 +173,11 @@ func runServe(args []string) error {
 		}
 		if err := store.Close(); err != nil {
 			return fmt.Errorf("closing store: %w", err)
+		}
+	}
+	if follower != nil {
+		if err := follower.Close(); err != nil {
+			return fmt.Errorf("closing follower: %w", err)
 		}
 	}
 	logger.Printf("bye")

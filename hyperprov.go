@@ -325,6 +325,37 @@ var (
 	ErrClosed   = wal.ErrClosed
 )
 
+// --- replication (internal/wal) ------------------------------------------
+
+// Follower is a read replica of a Store: it tails the leader's
+// replication stream into a local WAL directory (promotable to leader
+// by reopening it with OpenDir), serves the full read surface at its
+// replayed MVCC horizon, and refuses writes with ErrFollower.
+type Follower = wal.Follower
+
+// FollowerStats is a follower's replication-lag summary.
+type FollowerStats = wal.FollowerStats
+
+// StreamSource dials one replication stream; HTTPSource is the
+// production implementation against a leader's HTTP endpoint.
+type StreamSource = wal.StreamSource
+
+// OpenFollower opens a directory as a replica of the leader behind the
+// StreamSource and starts the apply loop.
+var OpenFollower = wal.OpenFollower
+
+// HTTPSource dials GET <base>/v1/replication/stream on a leader.
+var HTTPSource = wal.HTTPSource
+
+// Replication failures.
+var (
+	// ErrFollower reports a write attempted on a follower.
+	ErrFollower = wal.ErrFollower
+	// ErrStreamCorrupt reports a damaged replication frame; followers
+	// reconnect and resume from their durably applied position.
+	ErrStreamCorrupt = wal.ErrStreamCorrupt
+)
+
 // --- Update-Structures (internal/upstruct) ------------------------------
 
 // Structure is an Update-Structure: concrete semantics for UP[X].

@@ -93,6 +93,10 @@ type DB interface {
 	// horizon, and MVCCStats the version-storage counters.
 	At(seq uint64) View
 	Horizon() uint64
+	// WaitHorizon blocks until the committed horizon reaches seq or ctx
+	// is done — the notification edge replication followers and fenced
+	// reads build on instead of polling Horizon.
+	WaitHorizon(ctx context.Context, seq uint64) error
 	MVCCStats() MVCCStats
 
 	// Secondary indexing: indexes are pure access-path choices (the

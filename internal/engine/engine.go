@@ -227,6 +227,9 @@ type Engine struct {
 	// engine's epochTracker owns visibility then.
 	visibleSeq atomic.Uint64
 
+	// hzNote wakes WaitHorizon callers after each visibleSeq advance.
+	hzNote horizonNote
+
 	// versions counts row versions ever created (MVCCStats).
 	versions atomic.Uint64
 
@@ -334,6 +337,7 @@ func (e *Engine) beginOwnEpoch() {
 func (e *Engine) commitOwnEpoch() {
 	e.ownSeq = false
 	e.visibleSeq.Store(EpochSeq(e.curEpoch))
+	e.hzNote.wake()
 }
 
 func (e *Engine) restoreRowLocked(rel string, t db.Tuple, ann *core.Expr) error {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -182,6 +183,7 @@ type epochTracker struct {
 	done    map[uint64]struct{}
 	low     uint64 // epochs 1..low have all committed
 	horizon atomic.Uint64
+	note    horizonNote
 }
 
 func (t *epochTracker) init() {
@@ -206,6 +208,59 @@ func (t *epochTracker) commit(epoch uint64) {
 	}
 	t.horizon.Store(EpochSeq(t.low))
 	t.mu.Unlock()
+	t.note.wake()
+}
+
+// horizonNote publishes horizon advances to blocked waiters. The write
+// paths are single-threaded per engine (or funneled through the epoch
+// tracker), so wake is called once per committed epoch — cheap next to
+// the commit itself — while readers that never wait never touch it.
+// The bell channel is closed on every advance and lazily re-armed, so a
+// waiter loops: check the horizon, grab the bell, check again, sleep.
+type horizonNote struct {
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+// wake releases every current waiter. Called after the horizon store,
+// so a woken waiter re-reading the horizon observes the new value.
+func (n *horizonNote) wake() {
+	n.mu.Lock()
+	if n.ch != nil {
+		close(n.ch)
+		n.ch = nil
+	}
+	n.mu.Unlock()
+}
+
+// bell returns a channel closed at the next horizon advance.
+func (n *horizonNote) bell() <-chan struct{} {
+	n.mu.Lock()
+	if n.ch == nil {
+		n.ch = make(chan struct{})
+	}
+	ch := n.ch
+	n.mu.Unlock()
+	return ch
+}
+
+// waitHorizon blocks until horizon() >= seq or ctx is done. The
+// check-subscribe-recheck order closes the race with a concurrent wake.
+func (n *horizonNote) waitHorizon(ctx context.Context, horizon func() uint64, seq uint64) error {
+	for {
+		if horizon() >= seq {
+			return nil
+		}
+		bell := n.bell()
+		if horizon() >= seq {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-bell:
+		}
+	}
 }
 
 // MVCCStats reports the version-storage state of an engine.
@@ -224,6 +279,15 @@ type MVCCStats struct {
 // Horizon returns the newest committed read horizon; At(Horizon())
 // pins the current state.
 func (e *Engine) Horizon() uint64 { return e.visibleSeq.Load() }
+
+// WaitHorizon blocks until the committed horizon reaches seq or ctx is
+// done. This is the horizon-publication hook replication followers (and
+// fenced reads) build on: a follower replaying a leader's log can park
+// readers until the epoch they demand has been replayed, without
+// polling. Sequences that are already visible return immediately.
+func (e *Engine) WaitHorizon(ctx context.Context, seq uint64) error {
+	return e.hzNote.waitHorizon(ctx, e.Horizon, seq)
+}
 
 // At returns a read-only view of the database at the given horizon
 // sequence (see EpochSeq), clamped to the committed horizon and snapped
@@ -249,6 +313,12 @@ func (e *Engine) MVCCStats() MVCCStats {
 // the largest sequence s such that every epoch ≤ SeqEpoch(s) has
 // committed on every shard it touched.
 func (se *ShardedEngine) Horizon() uint64 { return se.tracker.horizon.Load() }
+
+// WaitHorizon blocks until the cross-shard committed horizon reaches
+// seq or ctx is done (see Engine.WaitHorizon).
+func (se *ShardedEngine) WaitHorizon(ctx context.Context, seq uint64) error {
+	return se.tracker.note.waitHorizon(ctx, se.Horizon, seq)
+}
 
 // At returns a read-only view of the sharded database at the given
 // horizon sequence (see Engine.At).
@@ -300,9 +370,9 @@ func (v *engineView) Select(rel string, sel db.Pattern) ([]db.Tuple, error) {
 	return v.e.selectAt(rel, sel, v.s)
 }
 
-func (v *engineView) NumRows() int      { return v.e.numRowsAt(v.s) }
-func (v *engineView) SupportSize() int  { return v.e.supportSizeAt(v.s) }
-func (v *engineView) ProvSize() int64   { return v.e.provSizeAt(v.s) }
+func (v *engineView) NumRows() int     { return v.e.numRowsAt(v.s) }
+func (v *engineView) SupportSize() int { return v.e.supportSizeAt(v.s) }
+func (v *engineView) ProvSize() int64  { return v.e.provSizeAt(v.s) }
 func (v *engineView) ProvDAGSize() int64 {
 	return v.e.provDAGSizeAt(make(map[*core.Expr]struct{}), v.s)
 }

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"time"
 
 	"hyperprov/internal/core"
 	"hyperprov/internal/db"
@@ -24,17 +25,67 @@ func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
 // handleReadyz is the readiness probe: 200 while the served engine can
 // accept writes, 503 read_only once a persistent store has degraded
 // (reads keep answering on the other endpoints either way, so load
-// balancers can drain writes without killing the process).
+// balancers can drain writes without killing the process). A follower
+// answers 503 syncing — with its current lag — until its first full
+// checkpoint replay and catch-up complete, so a balancer never routes
+// reads to a replica that has not yet reached the leader's state.
 func (s *Server) handleReadyz(w http.ResponseWriter, req *http.Request) {
-	if st, ok := s.Engine().(*wal.Store); ok {
-		if st.ReadOnly() {
-			writeError(w, http.StatusServiceUnavailable, codeReadOnly, "persistent store is read-only: %v", st.Stats().ReadOnlyCause)
+	switch e := s.Engine().(type) {
+	case *wal.Store:
+		if e.ReadOnly() {
+			writeError(w, http.StatusServiceUnavailable, codeReadOnly, "persistent store is read-only: %v", e.Stats().ReadOnlyCause)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "persistent": true})
+	case *wal.Follower:
+		rs := e.ReplicaStats()
+		if !rs.Ready {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"ok": false, "follower": true,
+				"error": errorBody{Code: codeSyncing, Message: "follower has not finished its initial sync"},
+				"lag":   map[string]uint64{"records": rs.LagRecords, "epochs": rs.LagEpochs},
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ok": true, "persistent": true, "follower": true,
+			"lag": map[string]uint64{"records": rs.LagRecords, "epochs": rs.LagEpochs},
+		})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "persistent": false})
+	}
+}
+
+// handleReplicationStream is the leader's replication endpoint: it
+// streams the follower handshake (hello, optionally a checkpoint
+// bootstrap) followed by the live CRC-framed record feed, resuming at
+// ?from=N. The response flushes after every frame and lives until the
+// follower disconnects; it is mounted outside the request timeout.
+func (s *Server) handleReplicationStream(w http.ResponseWriter, req *http.Request) {
+	st, ok := s.Engine().(*wal.Store)
+	if !ok {
+		writeError(w, http.StatusConflict, codeNotPersistent, "replication needs a persistent leader store")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "persistent": false})
+	var from uint64
+	if v := req.URL.Query().Get("from"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, codeBadRequest, "from parameter %q is not an LSN", v)
+			return
+		}
+		from = n
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	// The stream runs until the follower disconnects or DrainStreams
+	// cancels it for shutdown; either way the follower redials and
+	// resumes, so errors here just end the response.
+	ctx, cancel := context.WithCancel(req.Context())
+	defer cancel()
+	defer context.AfterFunc(s.drainCtx, cancel)()
+	if err := st.ServeStream(ctx, w, from); err != nil {
+		s.metrics.m.Add("replication_stream.drops", 1)
+	}
 }
 
 // handleCheckpoint forces a checkpoint of the persistent store: the
@@ -42,6 +93,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, req *http.Request) {
 // segments are pruned. Serving an in-memory engine answers 409
 // not_persistent; a degraded store answers 503 read_only.
 func (s *Server) handleCheckpoint(w http.ResponseWriter, req *http.Request) {
+	if _, ok := s.Engine().(*wal.Follower); ok {
+		writeError(w, http.StatusForbidden, codeFollower, "server is a replication follower; checkpoint the leader")
+		return
+	}
 	st, ok := s.Engine().(*wal.Store)
 	if !ok {
 		writeError(w, http.StatusConflict, codeNotPersistent, "server is not running on a persistent store")
@@ -115,11 +170,17 @@ func (s *Server) handleStats(w http.ResponseWriter, req *http.Request) {
 	stats["plannerCompactions"] = ps.Compactions
 	stats["indexes"] = len(e.IndexStats())
 	// A persistent store wraps the real engine: report its durability
-	// counters and look through it for the sharding gauges.
+	// counters and look through it for the sharding gauges. A follower
+	// adds its replication-lag section on top.
 	inner := e
 	if ws, ok := e.(*wal.Store); ok {
 		stats["wal"] = ws.Stats()
 		inner = ws.Underlying()
+	}
+	if fl, ok := e.(*wal.Follower); ok {
+		stats["wal"] = fl.WALStats()
+		stats["replication"] = fl.ReplicaStats()
+		inner = fl.Underlying()
 	}
 	if se, ok := inner.(*engine.ShardedEngine); ok {
 		st := se.Stats()
@@ -188,6 +249,12 @@ func (s *Server) handleIndexDrop(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"dropped": true})
 }
 
+// minEpochWait bounds how long a ?min_epoch= fenced read blocks for the
+// horizon to catch up before answering 503 replica_lagging. Long enough
+// to absorb normal replication lag, short enough that a stalled replica
+// fails fast.
+const minEpochWait = time.Second
+
 // asOfReader resolves the optional ?as_of= query parameter (an epoch
 // number, as reported by mvccHorizonEpoch in /v1/stats) to the reader
 // the request runs against: the live engine when absent, an MVCC view
@@ -195,8 +262,33 @@ func (s *Server) handleIndexDrop(w http.ResponseWriter, req *http.Request) {
 // views share the engine's version chains — and lock-free against
 // concurrent ingestion. Epochs beyond the committed horizon answer
 // 400; ok=false means the error response has been written.
+//
+// ?min_epoch=N fences stale reads: the request proceeds only once the
+// serving engine's committed horizon covers epoch N, waiting up to
+// minEpochWait and then answering 503 replica_lagging. On a follower
+// this is the read-your-writes guard — a client that wrote through the
+// leader (observing its mvccHorizonEpoch) passes that epoch here and
+// never reads a replica state older than its own write; on the leader
+// the fence is satisfied immediately.
 func (s *Server) asOfReader(w http.ResponseWriter, req *http.Request) (engine.Reader, bool) {
 	e := s.Engine()
+	if v := req.URL.Query().Get("min_epoch"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, codeBadRequest, "min_epoch parameter %q is not an epoch number", v)
+			return nil, false
+		}
+		seq := engine.EpochSeq(n)
+		if e.Horizon() < seq {
+			ctx, cancel := context.WithTimeout(req.Context(), minEpochWait)
+			_ = e.WaitHorizon(ctx, seq)
+			cancel()
+		}
+		if h := engine.SeqEpoch(e.Horizon()); h < n {
+			writeError(w, http.StatusServiceUnavailable, codeReplicaLagging, "committed horizon epoch %d has not reached min_epoch %d", h, n)
+			return nil, false
+		}
+	}
 	v := req.URL.Query().Get("as_of")
 	if v == "" {
 		return e, true
@@ -495,6 +587,12 @@ func (s *Server) handleSnapshotLoad(w http.ResponseWriter, req *http.Request) {
 		// Swapping an in-memory engine over a persistent store would
 		// silently fork the served state from the WAL on disk.
 		writeError(w, http.StatusConflict, codeNotPersistent, "server is running on a persistent store; snapshot load would desync it from the log")
+		return
+	}
+	if _, ok := s.Engine().(*wal.Follower); ok {
+		// Same desync hazard, plus the apply loop would keep writing to
+		// the store the swap just abandoned.
+		writeError(w, http.StatusForbidden, codeFollower, "server is a replication follower; its state comes from the leader")
 		return
 	}
 	var opts []engine.Option

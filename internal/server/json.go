@@ -38,6 +38,9 @@ const (
 	codeTimeout          = "timeout"
 	codeReadOnly         = "read_only"
 	codeNotPersistent    = "not_persistent"
+	codeFollower         = "follower"
+	codeSyncing          = "syncing"
+	codeReplicaLagging   = "replica_lagging"
 )
 
 // timeoutBody is the body http.TimeoutHandler serves on deadline; it
@@ -68,6 +71,8 @@ func writeError(w http.ResponseWriter, status int, code, format string, args ...
 // cancellation → 503, anything else from applying a log → 422.
 func engineErrorStatus(err error) (int, string) {
 	switch {
+	case errors.Is(err, wal.ErrFollower):
+		return http.StatusForbidden, codeFollower
 	case errors.Is(err, wal.ErrReadOnly):
 		return http.StatusServiceUnavailable, codeReadOnly
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"expvar"
 	"log"
 	"net/http"
@@ -40,6 +41,12 @@ type Server struct {
 	timeout time.Duration
 	handler http.Handler
 	logf    func(format string, args ...any)
+
+	// drainCtx is canceled by DrainStreams to end the long-lived
+	// replication stream responses, which would otherwise hold
+	// http.Server.Shutdown for the whole grace period.
+	drainCtx    context.Context
+	drainCancel context.CancelFunc
 }
 
 // Option configures a Server.
@@ -59,6 +66,7 @@ func WithLogf(f func(format string, args ...any)) Option {
 // New builds a server around the engine.
 func New(eng engine.DB, opts ...Option) *Server {
 	s := &Server{metrics: newMetrics(), timeout: DefaultTimeout, logf: log.Printf}
+	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
 	s.eng.Store(&engineRef{db: eng, gen: 1})
 	for _, o := range opts {
 		o(s)
@@ -70,8 +78,17 @@ func New(eng engine.DB, opts ...Option) *Server {
 	s.metrics.m.Set("planner", expvar.Func(func() any { return s.Engine().PlannerStats() }))
 	s.metrics.m.Set("indexes", expvar.Func(func() any { return s.Engine().IndexStats() }))
 	s.metrics.m.Set("wal", expvar.Func(func() any {
-		if st, ok := s.Engine().(*wal.Store); ok {
-			return st.Stats()
+		switch e := s.Engine().(type) {
+		case *wal.Store:
+			return e.Stats()
+		case *wal.Follower:
+			return e.WALStats()
+		}
+		return nil
+	}))
+	s.metrics.m.Set("replication", expvar.Func(func() any {
+		if f, ok := s.Engine().(*wal.Follower); ok {
+			return f.ReplicaStats()
 		}
 		return nil
 	}))
@@ -99,16 +116,37 @@ func New(eng engine.DB, opts ...Option) *Server {
 	// Panic recovery sits inside the timeout handler so a panicking
 	// endpoint answers a typed 500 rather than an empty reply; the
 	// timeout handler still bounds the whole thing.
-	s.handler = s.recoverPanics(mux)
+	inner := s.recoverPanics(mux)
 	if s.timeout > 0 {
-		s.handler = http.TimeoutHandler(s.handler, s.timeout, timeoutBody)
+		inner = http.TimeoutHandler(inner, s.timeout, timeoutBody)
 	}
+	// The replication stream is a long-lived flushed response, so it
+	// mounts outside the timeout handler (which buffers bodies and would
+	// both break flushing and kill the stream at the deadline). It gets
+	// its own panic recovery and a plain request counter; the
+	// statusRecorder wrapper is skipped because it hides http.Flusher.
+	root := http.NewServeMux()
+	root.Handle("GET /v1/replication/stream", s.recoverPanics(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		s.metrics.m.Add("replication_stream.requests", 1)
+		s.handleReplicationStream(w, req)
+	})))
+	root.Handle("/", inner)
+	s.handler = root
 	return s
 }
 
 // Handler returns the root handler (routes wrapped with metrics and the
 // request timeout).
 func (s *Server) Handler() http.Handler { return s.handler }
+
+// DrainStreams ends every replication stream this server is feeding
+// (and cuts short any that arrive afterwards), sending followers back
+// to redialing. Call it before
+// http.Server.Shutdown: stream responses are infinite, so a graceful
+// shutdown would otherwise block on them until the grace period
+// expires. Followers treat the drop exactly like a leader restart and
+// reconnect on their own once the leader is back.
+func (s *Server) DrainStreams() { s.drainCancel() }
 
 // Engine returns the currently served engine. Lock-free: callers that
 // need a consistent engine across several calls must capture the

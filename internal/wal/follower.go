@@ -1,0 +1,741 @@
+package wal
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyperprov/internal/core"
+	"hyperprov/internal/db"
+	"hyperprov/internal/engine"
+	"hyperprov/internal/provstore"
+)
+
+// ErrFollower reports a write attempted on a replication follower.
+// Followers serve the full read surface; writes go to the leader.
+var ErrFollower = errors.New("wal: store is a replication follower (read-only; write to the leader)")
+
+// Follower is a read replica: it tails a leader's replication stream,
+// persists every record into a local WAL directory laid out exactly
+// like a leader's (so a follower can be promoted by reopening the
+// directory with Open), and applies records through the same replay
+// path recovery uses — byte-identical state at every record boundary,
+// so snapshots and the whole read surface agree with the leader. MVCC
+// epochs pin the same transaction boundaries, numbered from the
+// follower's bootstrap point (epoch numbering is per process life,
+// exactly as with Store recovery).
+//
+// It implements engine.DB: the read surface delegates to the replayed
+// engine at its committed horizon; every write returns ErrFollower.
+//
+// Internally the follower is a single-goroutine engine loop fed by a
+// channel message service: a reader goroutine per connection decodes
+// CRC-checked frames into a channel, and the apply loop — the only
+// goroutine that touches the store — consumes them. Disconnects,
+// corrupt frames and leader restarts all collapse to the same path:
+// drop the connection and redial from the durably applied LSN.
+type Follower struct {
+	dir string
+	src StreamSource
+	o   options
+
+	core atomic.Pointer[Store] // nil until bootstrapped
+
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	bootCh  chan struct{} // closed once an engine exists
+	closeMu sync.Mutex
+	closed  bool
+
+	// ready is monotonic per process life: set once the applied LSN
+	// reaches the target announced by the first successful handshake.
+	ready       atomic.Bool
+	targetMu    sync.Mutex
+	haveTarget  bool
+	syncTarget  uint64
+	leaderLSN   atomic.Uint64
+	leaderHrz   atomic.Uint64
+	reconnects  atomic.Uint64
+	resyncs     atomic.Uint64
+	records     atomic.Uint64
+	lastErr     atomic.Value // string
+	releaseOnly func()       // dir lock before a core exists
+}
+
+var _ engine.DB = (*Follower)(nil)
+
+// FollowerStats is the replication lag summary a follower exposes.
+type FollowerStats struct {
+	Ready          bool   `json:"ready"`
+	AppliedLSN     uint64 `json:"applied_lsn"`
+	LeaderLSN      uint64 `json:"leader_lsn"`
+	LagRecords     uint64 `json:"lag_records"`
+	Epoch          uint64 `json:"epoch"`
+	LeaderEpoch    uint64 `json:"leader_epoch"`
+	LagEpochs      uint64 `json:"lag_epochs"`
+	SyncTarget     uint64 `json:"sync_target"`
+	Reconnects     uint64 `json:"reconnects"`
+	Resyncs        uint64 `json:"resyncs"`
+	RecordsApplied uint64 `json:"records_applied"`
+	LastError      string `json:"last_error,omitempty"`
+}
+
+// OpenFollower opens dir as a replica of the leader behind src and
+// starts the apply loop. If dir already holds replicated state it is
+// recovered first (exactly like a leader restart) and streaming resumes
+// from the durably applied LSN — history is never re-streamed unless
+// the leader has pruned it. A fresh directory blocks until the first
+// handshake succeeds so the returned Follower always has an engine to
+// read from; ctx bounds only that initial wait. Close stops the loop.
+//
+// Options are the local-durability subset: sync policy, segment size,
+// checkpoint cadence, engine options, FS. Mode and schema come from the
+// leader.
+func OpenFollower(ctx context.Context, dir string, src StreamSource, opts ...Option) (*Follower, error) {
+	o := options{
+		mode:      engine.ModeNormalForm,
+		sync:      SyncAlways,
+		interval:  50 * time.Millisecond,
+		segSize:   16 << 20,
+		heartbeat: 500 * time.Millisecond,
+		fs:        OSFS{},
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.segSize < 1<<10 {
+		o.segSize = 1 << 10
+	}
+	if err := o.fs.MkdirAll(dir); err != nil {
+		return nil, err
+	}
+	release, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	f := &Follower{dir: dir, src: src, o: o, bootCh: make(chan struct{})}
+	meta, err := readMeta(o.fs, dir)
+	switch {
+	case errors.Is(err, errNoMeta):
+		// Fresh directory: the first handshake supplies the identity.
+		f.releaseOnly = release
+	case err != nil:
+		release()
+		return nil, err
+	default:
+		s := &Store{dir: dir, fs: o.fs, release: release, opts: o}
+		if err := s.recover(meta); err != nil {
+			release()
+			return nil, err
+		}
+		s.startSyncLoop()
+		f.core.Store(s)
+		close(f.bootCh)
+	}
+	loopCtx, cancel := context.WithCancel(context.Background())
+	f.cancel = cancel
+	f.wg.Add(1)
+	go f.run(loopCtx)
+	select {
+	case <-f.bootCh:
+		return f, nil
+	case <-ctx.Done():
+		f.Close()
+		return nil, fmt.Errorf("wal: follower bootstrap: %w", ctx.Err())
+	}
+}
+
+// run redials the leader until the follower closes, with capped
+// exponential backoff that resets whenever a session makes progress.
+func (f *Follower) run(ctx context.Context) {
+	defer f.wg.Done()
+	backoff := 50 * time.Millisecond
+	for ctx.Err() == nil {
+		progressed, err := f.streamOnce(ctx)
+		if ctx.Err() != nil {
+			return
+		}
+		if err != nil && !errors.Is(err, io.EOF) {
+			f.lastErr.Store(err.Error())
+		}
+		f.reconnects.Add(1)
+		if progressed {
+			backoff = 50 * time.Millisecond
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+}
+
+// followerMsg is one decoded frame (or the reader's terminal error)
+// delivered to the apply loop.
+type followerMsg struct {
+	payload []byte
+	err     error
+}
+
+// streamOnce runs one replication session: dial, handshake, apply until
+// the connection drops. It reports whether any message was applied
+// (for backoff reset).
+func (f *Follower) streamOnce(ctx context.Context) (progressed bool, err error) {
+	from := uint64(0)
+	if s := f.core.Load(); s != nil {
+		from = s.LSN()
+	}
+	rc, err := f.src(ctx, from)
+	if err != nil {
+		return false, err
+	}
+	defer rc.Close()
+
+	// Message service: the reader decodes frames into msgs; the apply
+	// loop below is the single goroutine that touches the store. done
+	// unblocks the reader if the apply loop bails first.
+	msgs := make(chan followerMsg, 64)
+	done := make(chan struct{})
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		fr := newFrameReader(rc)
+		for {
+			p, rerr := fr.readMsg()
+			m := followerMsg{payload: p, err: rerr}
+			select {
+			case msgs <- m:
+			case <-done:
+				return
+			}
+			if rerr != nil {
+				return
+			}
+		}
+	}()
+	defer rwg.Wait()
+	defer close(done)
+
+	next := func() ([]byte, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case m := <-msgs:
+			return m.payload, m.err
+		}
+	}
+
+	// Handshake: hello first, always.
+	p, err := next()
+	if err != nil {
+		return false, err
+	}
+	if len(p) == 0 || p[0] != msgHello {
+		return false, fmt.Errorf("%w: expected hello, got message type %d", ErrStreamCorrupt, msgType(p))
+	}
+	hello, err := decodeHello(&recDecoder{r: bytes.NewReader(p[1:])})
+	if err != nil {
+		return false, fmt.Errorf("%w: bad hello: %v", ErrStreamCorrupt, err)
+	}
+	var ckpt []byte
+	if hello.resync {
+		if ckpt, err = f.collectCheckpoint(next, hello.snapLSN); err != nil {
+			return false, err
+		}
+	}
+	if err := f.installHello(hello, ckpt); err != nil {
+		return false, err
+	}
+	progressed = hello.resync // a shipped checkpoint is progress
+	f.observeLeader(hello.target, hello.horizon)
+	f.setFirstTarget(hello.target)
+	f.checkReady()
+
+	s := f.core.Load()
+	for {
+		p, err := next()
+		if err != nil {
+			return progressed, err
+		}
+		switch msgType(p) {
+		case msgRecord:
+			d := &recDecoder{r: bytes.NewReader(p[1:])}
+			lsn, err := d.uvarint()
+			if err != nil {
+				return progressed, fmt.Errorf("%w: bad record frame: %v", ErrStreamCorrupt, err)
+			}
+			payload := p[len(p)-d.r.Len():]
+			if want := s.LSN(); lsn != want {
+				return progressed, fmt.Errorf("%w: record LSN %d, expected %d", ErrStreamCorrupt, lsn, want)
+			}
+			if err := s.applyReplicated(payload); err != nil {
+				return progressed, err
+			}
+			progressed = true
+			f.records.Add(1)
+			f.observeLeader(lsn+1, 0)
+			f.checkReady()
+		case msgHeartbeat:
+			d := &recDecoder{r: bytes.NewReader(p[1:])}
+			lsn, err := d.uvarint()
+			if err != nil {
+				return progressed, fmt.Errorf("%w: bad heartbeat: %v", ErrStreamCorrupt, err)
+			}
+			horizon, err := d.uvarint()
+			if err != nil {
+				return progressed, fmt.Errorf("%w: bad heartbeat: %v", ErrStreamCorrupt, err)
+			}
+			f.observeLeader(lsn, horizon)
+			f.checkReady()
+		default:
+			return progressed, fmt.Errorf("%w: unexpected message type %d mid-stream", ErrStreamCorrupt, msgType(p))
+		}
+	}
+}
+
+func msgType(p []byte) byte {
+	if len(p) == 0 {
+		return 0
+	}
+	return p[0]
+}
+
+// collectCheckpoint drains ckptChunk frames until ckptDone, verifying
+// the done marker names the LSN the hello promised.
+func (f *Follower) collectCheckpoint(next func() ([]byte, error), snapLSN uint64) ([]byte, error) {
+	var buf bytes.Buffer
+	for {
+		p, err := next()
+		if err != nil {
+			return nil, err
+		}
+		switch msgType(p) {
+		case msgCkptChunk:
+			buf.Write(p[1:])
+		case msgCkptDone:
+			d := &recDecoder{r: bytes.NewReader(p[1:])}
+			lsn, err := d.uvarint()
+			if err != nil || lsn != snapLSN {
+				return nil, fmt.Errorf("%w: checkpoint done marker mismatch", ErrStreamCorrupt)
+			}
+			return buf.Bytes(), nil
+		default:
+			return nil, fmt.Errorf("%w: message type %d inside checkpoint bootstrap", ErrStreamCorrupt, msgType(p))
+		}
+	}
+}
+
+// installHello establishes or rebuilds the local core per the
+// handshake: bootstrap an empty store for an incremental stream from
+// zero, install the shipped checkpoint for a resync (discarding any
+// divergent or superseded local state), or nothing for a plain resume.
+func (f *Follower) installHello(hello helloMsg, ckpt []byte) error {
+	s := f.core.Load()
+	switch {
+	case hello.resync:
+		if s == nil {
+			ns, err := newFollowerCore(f.dir, f.releaseOnly, f.o)
+			if err != nil {
+				return err
+			}
+			s = ns
+		}
+		// On error the Store shell is discarded; the directory lock stays
+		// with f.releaseOnly (when no core exists yet) so the retry can
+		// build a fresh shell.
+		if err := s.resyncFromCheckpoint(hello.mode, hello.schema, hello.snapLSN, ckpt); err != nil {
+			return err
+		}
+		f.resyncs.Add(1)
+	case s == nil:
+		// Incremental from zero: the leader bootstrapped empty, so an
+		// empty local engine plus the record stream reproduces it.
+		ns, err := newFollowerCore(f.dir, f.releaseOnly, f.o)
+		if err != nil {
+			return err
+		}
+		if err := ns.bootstrapEmptyFollower(hello.mode, hello.schema); err != nil {
+			return err
+		}
+		s = ns
+	default:
+		return nil // plain incremental resume
+	}
+	if f.core.Load() == nil {
+		s.startSyncLoop()
+		f.core.Store(s)
+		f.releaseOnly = nil
+		close(f.bootCh)
+	}
+	return nil
+}
+
+func (f *Follower) observeLeader(lsn, horizon uint64) {
+	for {
+		cur := f.leaderLSN.Load()
+		if lsn <= cur || f.leaderLSN.CompareAndSwap(cur, lsn) {
+			break
+		}
+	}
+	for horizon != 0 {
+		cur := f.leaderHrz.Load()
+		if horizon <= cur || f.leaderHrz.CompareAndSwap(cur, horizon) {
+			break
+		}
+	}
+}
+
+// setFirstTarget pins the initial-sync goal: the leader LSN announced
+// by the first successful handshake of this process life.
+func (f *Follower) setFirstTarget(target uint64) {
+	f.targetMu.Lock()
+	if !f.haveTarget {
+		f.haveTarget = true
+		f.syncTarget = target
+	}
+	f.targetMu.Unlock()
+}
+
+func (f *Follower) checkReady() {
+	if f.ready.Load() {
+		return
+	}
+	f.targetMu.Lock()
+	have, target := f.haveTarget, f.syncTarget
+	f.targetMu.Unlock()
+	s := f.core.Load()
+	if have && s != nil && s.LSN() >= target {
+		f.ready.Store(true)
+	}
+}
+
+// Ready reports whether the follower finished its initial sync: the
+// engine exists and the applied LSN reached the leader LSN announced
+// by the first handshake. Monotonic for the life of the process.
+func (f *Follower) Ready() bool { return f.ready.Load() }
+
+// ReplicaStats summarizes replication lag and session health.
+func (f *Follower) ReplicaStats() FollowerStats {
+	st := FollowerStats{
+		Ready:          f.ready.Load(),
+		LeaderLSN:      f.leaderLSN.Load(),
+		Reconnects:     f.reconnects.Load(),
+		Resyncs:        f.resyncs.Load(),
+		RecordsApplied: f.records.Load(),
+	}
+	f.targetMu.Lock()
+	st.SyncTarget = f.syncTarget
+	f.targetMu.Unlock()
+	if s := f.core.Load(); s != nil {
+		st.AppliedLSN = s.LSN()
+		st.Epoch = engine.SeqEpoch(s.Horizon())
+	}
+	if st.LeaderLSN > st.AppliedLSN {
+		st.LagRecords = st.LeaderLSN - st.AppliedLSN
+	}
+	st.LeaderEpoch = engine.SeqEpoch(f.leaderHrz.Load())
+	// Epoch numbering is per process life (recovery and resync replay
+	// history into the recovery horizon), so Epoch and LeaderEpoch are
+	// separate domains offset by the bootstrap point — they cannot be
+	// subtracted. Unapplied records are the epoch lag: every logged
+	// record allocates exactly one write epoch, except index DDL.
+	st.LagEpochs = st.LagRecords
+	if e, ok := f.lastErr.Load().(string); ok {
+		st.LastError = e
+	}
+	return st
+}
+
+// WALStats exposes the local durability counters (the follower's own
+// log and checkpoints).
+func (f *Follower) WALStats() StoreStats {
+	if s := f.core.Load(); s != nil {
+		return s.Stats()
+	}
+	return StoreStats{Dir: f.dir}
+}
+
+// Dir returns the local data directory.
+func (f *Follower) Dir() string { return f.dir }
+
+// Close stops the apply loop and closes the local store.
+func (f *Follower) Close() error {
+	f.closeMu.Lock()
+	defer f.closeMu.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	f.cancel()
+	f.wg.Wait()
+	if s := f.core.Load(); s != nil {
+		return s.Close()
+	}
+	if f.releaseOnly != nil {
+		f.releaseOnly()
+	}
+	return nil
+}
+
+// Crash stops the apply loop and abandons the local store without
+// flushing or syncing, simulating follower process death mid-apply.
+// Test hook, mirroring Store.Crash.
+func (f *Follower) Crash() {
+	f.closeMu.Lock()
+	defer f.closeMu.Unlock()
+	if f.closed {
+		return
+	}
+	f.closed = true
+	f.cancel()
+	f.wg.Wait()
+	if s := f.core.Load(); s != nil {
+		s.Crash()
+		return
+	}
+	if f.releaseOnly != nil {
+		f.releaseOnly()
+	}
+}
+
+// db returns the core store; OpenFollower only returns once it exists,
+// so read delegation never sees nil.
+func (f *Follower) db() *Store { return f.core.Load() }
+
+// --- engine.DB: reads delegate, writes refuse ---------------------------
+
+// Mode implements engine.DB.
+func (f *Follower) Mode() engine.Mode { return f.db().Mode() }
+
+// Schema implements engine.DB.
+func (f *Follower) Schema() *db.Schema { return f.db().Schema() }
+
+// Relations implements engine.DB.
+func (f *Follower) Relations() []string { return f.db().Relations() }
+
+// Annotation implements engine.DB.
+func (f *Follower) Annotation(rel string, t db.Tuple) *core.Expr { return f.db().Annotation(rel, t) }
+
+// NF implements engine.DB.
+func (f *Follower) NF(rel string, t db.Tuple) *core.NF { return f.db().NF(rel, t) }
+
+// EachRow implements engine.DB.
+func (f *Follower) EachRow(rel string, fn func(t db.Tuple, ann *core.Expr)) { f.db().EachRow(rel, fn) }
+
+// Rows implements engine.DB.
+func (f *Follower) Rows(fn func(rel string, t db.Tuple, ann *core.Expr)) { f.db().Rows(fn) }
+
+// Select implements engine.DB.
+func (f *Follower) Select(rel string, sel db.Pattern) ([]db.Tuple, error) {
+	return f.db().Select(rel, sel)
+}
+
+// NumRows implements engine.DB.
+func (f *Follower) NumRows() int { return f.db().NumRows() }
+
+// SupportSize implements engine.DB.
+func (f *Follower) SupportSize() int { return f.db().SupportSize() }
+
+// ProvSize implements engine.DB.
+func (f *Follower) ProvSize() int64 { return f.db().ProvSize() }
+
+// ProvDAGSize implements engine.DB.
+func (f *Follower) ProvDAGSize() int64 { return f.db().ProvDAGSize() }
+
+// At implements engine.DB.
+func (f *Follower) At(seq uint64) engine.View { return f.db().At(seq) }
+
+// Horizon implements engine.DB.
+func (f *Follower) Horizon() uint64 { return f.db().Horizon() }
+
+// WaitHorizon implements engine.DB.
+func (f *Follower) WaitHorizon(ctx context.Context, seq uint64) error {
+	return f.db().WaitHorizon(ctx, seq)
+}
+
+// MVCCStats implements engine.DB.
+func (f *Follower) MVCCStats() engine.MVCCStats { return f.db().MVCCStats() }
+
+// IndexStats implements engine.DB.
+func (f *Follower) IndexStats() []engine.IndexInfo { return f.db().IndexStats() }
+
+// PlannerStats implements engine.DB.
+func (f *Follower) PlannerStats() engine.PlannerStats { return f.db().PlannerStats() }
+
+// Underlying exposes the replayed engine for diagnostics, mirroring
+// Store.Underlying.
+func (f *Follower) Underlying() engine.DB { return f.db().Underlying() }
+
+// ApplyTransaction implements engine.DB; followers refuse writes.
+func (f *Follower) ApplyTransaction(*db.Transaction) error { return ErrFollower }
+
+// ApplyAll implements engine.DB; followers refuse writes.
+func (f *Follower) ApplyAll(context.Context, []db.Transaction) error { return ErrFollower }
+
+// ApplyBatch implements engine.DB; followers refuse writes.
+func (f *Follower) ApplyBatch(context.Context, []db.Transaction) (int, error) {
+	return 0, ErrFollower
+}
+
+// RestoreRow implements engine.DB; followers refuse writes.
+func (f *Follower) RestoreRow(string, db.Tuple, *core.Expr) error { return ErrFollower }
+
+// BuildIndex implements engine.DB; followers refuse writes. (Index
+// builds replicate from the leader like every other logged record.)
+func (f *Follower) BuildIndex(string, string) error { return ErrFollower }
+
+// DropIndex implements engine.DB; followers refuse writes.
+func (f *Follower) DropIndex(string, string) error { return ErrFollower }
+
+// MinimizeAll implements engine.DB; followers refuse writes.
+func (f *Follower) MinimizeAll(context.Context) (int64, error) { return 0, ErrFollower }
+
+// --- follower-side store plumbing ---------------------------------------
+
+// LSN returns the next LSN the log will assign (== records durably
+// appended since the origin).
+func (s *Store) LSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lsn
+}
+
+// applyReplicated appends one replicated record to the local log and
+// applies it, validating the payload decodes before anything is
+// persisted — a corrupt payload must fail the session, not poison the
+// local WAL. Runs the same replay path recovery uses, so follower state
+// is byte-identical to a leader that logged the same records.
+func (s *Store) applyReplicated(payload []byte) error {
+	rec, err := decodeRecord(payload)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrStreamCorrupt, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendLocked(payload); err != nil {
+		return err
+	}
+	if err := s.applyDecoded(rec); err != nil {
+		return err
+	}
+	s.maybeCheckpointLocked()
+	return nil
+}
+
+// newFollowerCore shapes a Store over a fresh (META-less) follower
+// directory. The caller supplies the identity via
+// bootstrapEmptyFollower or resyncFromCheckpoint before using it.
+func newFollowerCore(dir string, release func(), o options) (*Store, error) {
+	if release == nil {
+		return nil, fmt.Errorf("wal: follower core already established")
+	}
+	return &Store{dir: dir, fs: o.fs, release: release, opts: o}, nil
+}
+
+// bootstrapEmptyFollower initialises a follower directory for an
+// incremental-from-zero stream: META plus an empty engine, exactly the
+// layout a leader bootstrap with no initial rows produces.
+func (s *Store) bootstrapEmptyFollower(mode engine.Mode, schema *db.Schema) error {
+	s.setEngine(engine.OpenEmpty(mode, schema, s.opts.engOpts...))
+	if err := writeMeta(s.fs, s.dir, mode, schema, false); err != nil {
+		return err
+	}
+	lw, err := openLogWriter(s.fs, s.dir, s.opts.segSize, 0, 0, 0, 0)
+	if err != nil {
+		return err
+	}
+	s.lw = lw
+	return nil
+}
+
+// resyncFromCheckpoint replaces the local state with the leader's
+// shipped checkpoint at snapLSN and restarts the log there. Local
+// segments are deleted first (they are either superseded or divergent),
+// then the checkpoint lands via temp+rename, then stale checkpoints
+// go — ordered so a crash at any point leaves a directory that either
+// recovers to a consistent prefix or resyncs again on reconnect, never
+// one that replays divergent records on top of the new checkpoint.
+func (s *Store) resyncFromCheckpoint(mode engine.Mode, schema *db.Schema, snapLSN uint64, ckpt []byte) error {
+	eng, err := provstore.LoadSnapshot(bytes.NewReader(ckpt), s.opts.engOpts...)
+	if err != nil {
+		return fmt.Errorf("%w: shipped checkpoint: %v", ErrStreamCorrupt, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lw != nil {
+		s.lw.crash()
+		s.lw = nil
+	}
+	names, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		if _, ok := parseSeqName(name, segPrefix, segSuffix); ok {
+			if err := s.fs.Remove(filepath.Join(s.dir, name)); err != nil {
+				return err
+			}
+		}
+	}
+	if err := writeBlobAtomic(s.fs, s.dir, ckptName(snapLSN), ckpt); err != nil {
+		return err
+	}
+	if err := writeMeta(s.fs, s.dir, mode, schema, true); err != nil {
+		return err
+	}
+	for _, name := range names {
+		if v, ok := parseSeqName(name, ckptPrefix, ckptSuffix); ok && v != snapLSN {
+			_ = s.fs.Remove(filepath.Join(s.dir, name))
+		}
+	}
+	_ = s.fs.SyncDir(s.dir)
+	lw, err := openLogWriter(s.fs, s.dir, s.opts.segSize, 0, 0, 0, snapLSN)
+	if err != nil {
+		return err
+	}
+	s.setEngine(eng)
+	s.lw = lw
+	s.lsn = snapLSN
+	s.ckptLSN = snapLSN
+	s.sinceCkpt = 0
+	s.hasInit = true
+	return nil
+}
+
+// writeBlobAtomic lands data at name via temp file + fsync + rename.
+func writeBlobAtomic(fs FS, dir, name string, data []byte) error {
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		_ = fs.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		_ = fs.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = fs.Remove(tmp)
+		return err
+	}
+	if err := fs.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		_ = fs.Remove(tmp)
+		return err
+	}
+	return fs.SyncDir(dir)
+}

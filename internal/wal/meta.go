@@ -27,17 +27,10 @@ type metaInfo struct {
 	hasInit bool
 }
 
-// writeMeta persists the store identity via temp file + fsync + atomic
-// rename, like every other durable write in this package.
-func writeMeta(fs FS, dir string, mode engine.Mode, schema *db.Schema, hasInit bool) error {
-	var e recEncoder
-	e.buf.WriteString(metaMagic)
-	e.byte(byte(mode))
-	if hasInit {
-		e.byte(1)
-	} else {
-		e.byte(0)
-	}
+// encodeSchema appends the canonical schema encoding — shared by the
+// META file and the replication handshake, so a follower bootstraps
+// exactly the identity a local bootstrap would persist.
+func encodeSchema(e *recEncoder, schema *db.Schema) {
 	names := schema.Names()
 	e.uvarint(uint64(len(names)))
 	for _, name := range names {
@@ -49,6 +42,57 @@ func writeMeta(fs FS, dir string, mode engine.Mode, schema *db.Schema, hasInit b
 			e.byte(byte(a.Kind))
 		}
 	}
+}
+
+// decodeSchema reads the canonical schema encoding with the usual
+// hostile-input bounds.
+func decodeSchema(d *recDecoder) (*db.Schema, error) {
+	nRels, err := d.count(maxWireCount, "relation")
+	if err != nil {
+		return nil, err
+	}
+	rels := make([]*db.RelationSchema, 0, minU64(nRels, 1024))
+	for i := uint64(0); i < nRels; i++ {
+		name, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		nAttrs, err := d.count(maxWireArity, "attribute")
+		if err != nil {
+			return nil, err
+		}
+		attrs := make([]db.Attribute, nAttrs)
+		for j := range attrs {
+			if attrs[j].Name, err = d.str(); err != nil {
+				return nil, err
+			}
+			kind, err := d.byte()
+			if err != nil {
+				return nil, err
+			}
+			attrs[j].Kind = db.Kind(kind)
+		}
+		rel, err := db.NewRelationSchema(name, attrs...)
+		if err != nil {
+			return nil, err
+		}
+		rels = append(rels, rel)
+	}
+	return db.NewSchema(rels...)
+}
+
+// writeMeta persists the store identity via temp file + fsync + atomic
+// rename, like every other durable write in this package.
+func writeMeta(fs FS, dir string, mode engine.Mode, schema *db.Schema, hasInit bool) error {
+	var e recEncoder
+	e.buf.WriteString(metaMagic)
+	e.byte(byte(mode))
+	if hasInit {
+		e.byte(1)
+	} else {
+		e.byte(0)
+	}
+	encodeSchema(&e, schema)
 	tmp := filepath.Join(dir, "META.tmp")
 	f, err := fs.Create(tmp)
 	if err != nil {
@@ -96,38 +140,7 @@ func readMeta(fs FS, dir string) (*metaInfo, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: truncated META", ErrCorrupt)
 	}
-	nRels, err := d.count(maxWireCount, "relation")
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
-	}
-	rels := make([]*db.RelationSchema, 0, minU64(nRels, 1024))
-	for i := uint64(0); i < nRels; i++ {
-		name, err := d.str()
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
-		}
-		nAttrs, err := d.count(maxWireArity, "attribute")
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
-		}
-		attrs := make([]db.Attribute, nAttrs)
-		for j := range attrs {
-			if attrs[j].Name, err = d.str(); err != nil {
-				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
-			}
-			kind, err := d.byte()
-			if err != nil {
-				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
-			}
-			attrs[j].Kind = db.Kind(kind)
-		}
-		rel, err := db.NewRelationSchema(name, attrs...)
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
-		}
-		rels = append(rels, rel)
-	}
-	schema, err := db.NewSchema(rels...)
+	schema, err := decodeSchema(d)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}

@@ -1,0 +1,295 @@
+package wal_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hyperprov/internal/engine"
+	"hyperprov/internal/iofault"
+	"hyperprov/internal/wal"
+	"hyperprov/internal/workload"
+)
+
+// damageMode says how damagedSource hurts the first connection.
+type damageMode int
+
+const (
+	// cutAfter drops the connection after N bytes — mid-frame it is a
+	// torn frame, on a boundary a clean EOF; the follower must treat
+	// both as a disconnect and resume.
+	cutAfter damageMode = iota
+	// flipAfter flips one bit at byte N — the framed CRC must catch it
+	// and the follower must drop the session before applying the frame.
+	flipAfter
+)
+
+func (m damageMode) String() string {
+	if m == cutAfter {
+		return "cut"
+	}
+	return "flip"
+}
+
+// damagedSource wraps a StreamSource so that the FIRST connection is
+// damaged at byte offset n; every later dial passes through clean, so
+// the follower's reconnect logic gets a fair chance to converge.
+func damagedSource(src wal.StreamSource, mode damageMode, n int) (wal.StreamSource, *atomic.Bool) {
+	var used, tripped atomic.Bool
+	wrapped := func(ctx context.Context, from uint64) (io.ReadCloser, error) {
+		rc, err := src(ctx, from)
+		if err != nil || !used.CompareAndSwap(false, true) {
+			return rc, err
+		}
+		return &damagedReader{rc: rc, mode: mode, left: n, tripped: &tripped}, nil
+	}
+	return wrapped, &tripped
+}
+
+type damagedReader struct {
+	rc      io.ReadCloser
+	mode    damageMode
+	left    int // bytes until the damage point
+	tripped *atomic.Bool
+}
+
+func (d *damagedReader) Read(p []byte) (int, error) {
+	if d.mode == cutAfter {
+		if d.left <= 0 {
+			d.tripped.Store(true)
+			return 0, io.EOF
+		}
+		if len(p) > d.left {
+			p = p[:d.left]
+		}
+		n, err := d.rc.Read(p)
+		d.left -= n
+		return n, err
+	}
+	n, err := d.rc.Read(p)
+	if d.left < n {
+		if d.left >= 0 {
+			p[d.left] ^= 0x40
+			d.tripped.Store(true)
+		}
+		d.left = -1
+	} else {
+		d.left -= n
+	}
+	return n, err
+}
+
+func (d *damagedReader) Close() error { return d.rc.Close() }
+
+// TestReplicationStreamDamage sweeps torn and bit-flipped replication
+// streams across byte offsets that land in the handshake, the shipped
+// checkpoint, and the record stream. Whatever breaks, the follower may
+// never apply a damaged frame; it must reconnect and converge to
+// byte-identical state.
+func TestReplicationStreamDamage(t *testing.T) {
+	initial, txns, err := tinyWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := wal.Open(t.TempDir(),
+		wal.WithMode(engine.ModeNormalForm),
+		wal.WithInitialDatabase(initial),
+		wal.WithSync(wal.SyncNever),
+		wal.WithSegmentSize(2048),
+		wal.WithHeartbeatEvery(10*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.ApplyAll(context.Background(), txns); err != nil {
+		t.Fatal(err)
+	}
+	want := snapshotOf(t, st)
+	_, src := startLeaderServer(t, st)
+
+	for _, mode := range []damageMode{cutAfter, flipAfter} {
+		// Offsets chosen to land inside the hello, inside the checkpoint
+		// bootstrap (it is tens of KB), and around record frames.
+		for _, off := range []int{0, 1, 7, 64, 300, 4 << 10, 40 << 10, 200 << 10} {
+			t.Run(mode.String()+"/"+itoa(off), func(t *testing.T) {
+				bad, tripped := damagedSource(src, mode, off)
+				f := openTestFollower(t, t.TempDir(), bad, wal.WithSync(wal.SyncNever))
+				waitApplied(t, f, uint64(len(txns)))
+				requireSameBytes(t, "after damage", want, snapshotOf(t, f))
+				requireSameReads(t, "after damage", st, f)
+				if tripped.Load() {
+					if rs := f.ReplicaStats(); rs.Reconnects == 0 {
+						t.Fatalf("damage tripped but follower never reconnected: %+v", rs)
+					}
+				}
+			})
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// TestApplyBatchPrefixReplication is the applied-prefix convergence
+// test: the leader dies mid-batch (an injected fsync failure fails the
+// batch's second group commit), and the follower must converge to
+// exactly the durably-applied prefix the leader acknowledged — never a
+// record beyond it — and then, after the leader crash-recovers (which
+// may legitimately extend the durable prefix with flushed-but-unacked
+// records), to exactly the recovered prefix.
+func TestApplyBatchPrefixReplication(t *testing.T) {
+	// > 256 updates so ApplyBatch spans two group commits and the
+	// injected failure lands mid-batch with a nonzero applied prefix.
+	initial, txns, err := workload.Generate(workload.Config{
+		Tuples: 120, Pool: 16, Group: 2, Updates: 320,
+		QueriesPerTxn: 1, MergeRatio: 0.2, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := iofault.Wrap(wal.OSFS{})
+	ldir := t.TempDir()
+	st, err := wal.Open(ldir,
+		wal.WithMode(engine.ModeNormalForm),
+		wal.WithInitialDatabase(initial),
+		wal.WithFS(fs),
+		wal.WithSync(wal.SyncAlways),
+		wal.WithHeartbeatEvery(10*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	lp, src := startLeaderServer(t, st)
+
+	if err := st.ApplyAll(context.Background(), txns[:10]); err != nil {
+		t.Fatal(err)
+	}
+	f := openTestFollower(t, t.TempDir(), src, wal.WithSync(wal.SyncNever))
+	waitApplied(t, f, 10)
+
+	// The first group commit (256 txns) succeeds, the second fsync fails:
+	// the batch reports applied=256 and the store degrades read-only.
+	fs.Inject(iofault.Fault{Op: iofault.OpSync, Match: "wal-", Nth: 2, Mode: iofault.Fail})
+	applied, err := st.ApplyBatch(context.Background(), txns[10:])
+	if err == nil {
+		t.Fatal("ApplyBatch succeeded past an injected fsync failure")
+	}
+	if !errors.Is(err, wal.ErrReadOnly) || !errors.Is(err, iofault.ErrInjected) {
+		t.Fatalf("batch error = %v, want ErrReadOnly wrapping the injected fault", err)
+	}
+	if applied != 256 {
+		t.Fatalf("applied prefix = %d, want 256 (one full group commit)", applied)
+	}
+	durable := st.Stats().LSN
+	if durable != uint64(10+applied) {
+		t.Fatalf("leader LSN %d, want %d", durable, 10+applied)
+	}
+
+	// The follower converges to the acknowledged prefix — and stays
+	// there: heartbeats keep arriving from the degraded leader, but no
+	// record past the prefix may ever be streamed.
+	waitApplied(t, f, durable)
+	time.Sleep(50 * time.Millisecond)
+	if got := f.ReplicaStats().AppliedLSN; got != durable {
+		t.Fatalf("follower at LSN %d, durable prefix is %d", got, durable)
+	}
+	oracle := oracleAt(t, engine.ModeNormalForm, initial, txns, 10+applied)
+	requireSameBytes(t, "acked prefix", snapshotOf(t, oracle), snapshotOf(t, f))
+
+	// Kill the degraded leader and crash-recover it. Records of the
+	// failed commit that reached the OS before the fsync failure may
+	// survive, so the recovered prefix is >= the acked one; the follower
+	// must resume incrementally and land on exactly that prefix.
+	st.Crash()
+	re, err := wal.Open(ldir, wal.WithSync(wal.SyncAlways))
+	if err != nil {
+		t.Fatalf("leader recovery: %v", err)
+	}
+	defer re.Close()
+	recovered := re.Stats().LSN
+	if recovered < durable || recovered > uint64(len(txns)) {
+		t.Fatalf("recovered LSN %d outside [%d, %d]", recovered, durable, len(txns))
+	}
+	lp.st.Store(re)
+	waitApplied(t, f, recovered)
+	time.Sleep(50 * time.Millisecond)
+	if got := f.ReplicaStats().AppliedLSN; got != recovered {
+		t.Fatalf("follower at LSN %d after leader recovery, want %d", got, recovered)
+	}
+	oracle = oracleAt(t, engine.ModeNormalForm, initial, txns, int(recovered))
+	requireSameBytes(t, "recovered prefix", snapshotOf(t, oracle), snapshotOf(t, f))
+	requireSameBytes(t, "leader/follower", snapshotOf(t, re), snapshotOf(t, f))
+}
+
+// TestFollowerCrashRecovery restarts a follower uncleanly (Crash, no
+// Close) and verifies the reopened follower recovers its local prefix
+// like any store — then resumes replication and converges. The local
+// dir is also promotable: wal.Open on it must recover the same state.
+func TestFollowerCrashRecovery(t *testing.T) {
+	initial, txns := smallWorkload(t)
+	st, err := wal.Open(t.TempDir(),
+		wal.WithMode(engine.ModeNormalForm),
+		wal.WithInitialDatabase(initial),
+		wal.WithSync(wal.SyncNever),
+		wal.WithHeartbeatEvery(10*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	_, src := startLeaderServer(t, st)
+	half := len(txns) / 2
+	if err := st.ApplyAll(context.Background(), txns[:half]); err != nil {
+		t.Fatal(err)
+	}
+
+	fdir := t.TempDir()
+	f := openTestFollower(t, fdir, src, wal.WithSync(wal.SyncAlways))
+	waitApplied(t, f, uint64(half))
+	// Simulate a follower process crash: tear down the local store
+	// without syncing or releasing gracefully. With SyncAlways every
+	// applied record is already durable.
+	f.Crash()
+
+	// Promotability: the follower dir recovers under plain wal.Open.
+	pr, err := wal.Open(fdir)
+	if err != nil {
+		t.Fatalf("promote follower dir: %v", err)
+	}
+	plsn := pr.Stats().LSN
+	if plsn != uint64(half) {
+		t.Fatalf("promoted LSN %d, want %d (SyncAlways follower)", plsn, half)
+	}
+	oracle := oracleAt(t, engine.ModeNormalForm, initial, txns, int(plsn))
+	requireSameBytes(t, "promoted dir", snapshotOf(t, oracle), snapshotOf(t, pr))
+	pr.Crash()
+
+	// Leader moves on; a reopened follower resumes and converges.
+	for i := half; i < len(txns); i++ {
+		if err := st.ApplyTransaction(&txns[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	re := openTestFollower(t, fdir, src, wal.WithSync(wal.SyncNever))
+	waitApplied(t, re, uint64(len(txns)))
+	if rs := re.ReplicaStats(); rs.Resyncs != 0 {
+		t.Fatalf("crash-recovered follower resynced %d times; want incremental resume", rs.Resyncs)
+	}
+	requireSameBytes(t, "after crash recovery", snapshotOf(t, st), snapshotOf(t, re))
+}

@@ -1,0 +1,529 @@
+package wal_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hyperprov/internal/core"
+	"hyperprov/internal/db"
+	"hyperprov/internal/engine"
+	"hyperprov/internal/wal"
+	"hyperprov/internal/workload"
+)
+
+// pinnedWorkload generates the fully pinned update sequence (every
+// selection names one concrete live tuple), the shard-routing fast path.
+func pinnedWorkload(t *testing.T) (*db.Database, []db.Transaction) {
+	t.Helper()
+	initial, txns, err := workload.GeneratePinned(workload.Config{
+		Tuples: 300, Pool: 30, Group: 3, Updates: 150,
+		QueriesPerTxn: 3, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return initial, txns
+}
+
+// leaderProxy serves a store's replication stream over HTTP, the same
+// transport production followers use. The store pointer is swappable so
+// fault tests can crash and reopen the leader behind a stable URL.
+type leaderProxy struct {
+	st atomic.Pointer[wal.Store]
+}
+
+func (lp *leaderProxy) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	from, err := strconv.ParseUint(req.URL.Query().Get("from"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad from", http.StatusBadRequest)
+		return
+	}
+	_ = lp.st.Load().ServeStream(req.Context(), w, from)
+}
+
+// startLeaderServer exposes st's replication stream on a loopback HTTP
+// server and returns the swappable proxy plus a StreamSource dialing it.
+func startLeaderServer(t *testing.T, st *wal.Store) (*leaderProxy, wal.StreamSource) {
+	t.Helper()
+	lp := &leaderProxy{}
+	lp.st.Store(st)
+	ts := httptest.NewServer(lp)
+	t.Cleanup(ts.Close)
+	return lp, wal.HTTPSource(ts.URL, nil)
+}
+
+// openTestFollower opens a follower of src in its own temp dir with a
+// bounded bootstrap wait and closes it with the test.
+func openTestFollower(t *testing.T, dir string, src wal.StreamSource, opts ...wal.Option) *wal.Follower {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	f, err := wal.OpenFollower(ctx, dir, src, opts...)
+	if err != nil {
+		t.Fatalf("OpenFollower: %v", err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// waitApplied blocks until the follower's applied LSN reaches lsn.
+func waitApplied(t *testing.T, f *wal.Follower, lsn uint64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if f.ReplicaStats().AppliedLSN >= lsn {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	rs := f.ReplicaStats()
+	t.Fatalf("follower stuck at LSN %d waiting for %d (leader %d, last error %q)",
+		rs.AppliedLSN, lsn, rs.LeaderLSN, rs.LastError)
+}
+
+// nfString renders an NF's observable shape for comparison. Naive-mode
+// engines answer nil NFs; nil must compare equal to nil.
+func nfString(n *core.NF) string {
+	if n == nil {
+		return "<nil>"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "k%d|%s|%s", n.Kind(), n.Base(), n.P())
+	for _, e := range n.Sum() {
+		fmt.Fprintf(&b, "|%s", e)
+	}
+	return b.String()
+}
+
+// requireSameReads compares the full read API of two readers: relation
+// lists, every row with its annotation and NF, and a full-wildcard
+// Select per relation. Row order is the engine's deterministic
+// streaming order, so identical state must yield identical walks.
+func requireSameReads(t *testing.T, label string, want, got engine.Reader) {
+	t.Helper()
+	if w, g := want.NumRows(), got.NumRows(); w != g {
+		t.Fatalf("%s: NumRows %d vs %d", label, w, g)
+	}
+	if w, g := want.SupportSize(), got.SupportSize(); w != g {
+		t.Fatalf("%s: SupportSize %d vs %d", label, w, g)
+	}
+	rels := want.Relations()
+	if g := got.Relations(); len(g) != len(rels) {
+		t.Fatalf("%s: %d relations vs %d", label, len(rels), len(g))
+	}
+	type row struct{ key, ann string }
+	for _, rel := range rels {
+		var wantRows, gotRows []row
+		want.EachRow(rel, func(tp db.Tuple, ann *core.Expr) {
+			wantRows = append(wantRows, row{tp.Key(), ann.String()})
+		})
+		got.EachRow(rel, func(tp db.Tuple, ann *core.Expr) {
+			gotRows = append(gotRows, row{tp.Key(), ann.String()})
+		})
+		if len(wantRows) != len(gotRows) {
+			t.Fatalf("%s: %s has %d rows vs %d", label, rel, len(wantRows), len(gotRows))
+		}
+		for i := range wantRows {
+			if wantRows[i] != gotRows[i] {
+				t.Fatalf("%s: %s row %d differs:\n  leader   %v\n  follower %v",
+					label, rel, i, wantRows[i], gotRows[i])
+			}
+		}
+		// NF agreement on a sample of rows (NF is derived per lookup, so
+		// checking every row of every relation would dominate the test).
+		var tuples []db.Tuple
+		want.EachRow(rel, func(tp db.Tuple, _ *core.Expr) { tuples = append(tuples, tp) })
+		for i := 0; i < len(tuples); i += 1 + len(tuples)/16 {
+			w, g := nfString(want.NF(rel, tuples[i])), nfString(got.NF(rel, tuples[i]))
+			if w != g {
+				t.Fatalf("%s: %s NF(%s) differs:\n  leader   %s\n  follower %s",
+					label, rel, tuples[i].Key(), w, g)
+			}
+		}
+		// Full-wildcard Select through the scan planner.
+		schema := want.Schema().Relation(rel)
+		pat := make(db.Pattern, len(schema.Attrs))
+		for i := range pat {
+			pat[i] = db.AnyVar(fmt.Sprintf("x%d", i))
+		}
+		ws, err := want.Select(rel, pat)
+		if err != nil {
+			t.Fatalf("%s: leader Select(%s): %v", label, rel, err)
+		}
+		gs, err := got.Select(rel, pat)
+		if err != nil {
+			t.Fatalf("%s: follower Select(%s): %v", label, rel, err)
+		}
+		if len(ws) != len(gs) {
+			t.Fatalf("%s: Select(%s) %d tuples vs %d", label, rel, len(ws), len(gs))
+		}
+		for i := range ws {
+			if ws[i].Key() != gs[i].Key() {
+				t.Fatalf("%s: Select(%s)[%d] %s vs %s", label, rel, i, ws[i].Key(), gs[i].Key())
+			}
+		}
+	}
+}
+
+// TestReplicationDifferential is the tentpole acceptance test of the
+// replication subsystem: a follower bootstrapped from a live leader
+// mid-workload, then fed the rest over the stream, must answer the
+// entire read API byte-identically to the leader — snapshots,
+// annotations, NFs, Selects, and ?as_of= time travel at every epoch —
+// swept over shard counts, both provenance modes, and three workloads.
+func TestReplicationDifferential(t *testing.T) {
+	type load struct {
+		name string
+		gen  func(t *testing.T) (*db.Database, []db.Transaction)
+	}
+	loads := []load{{"random", smallWorkload}, {"pinned", pinnedWorkload}, {"tpcc", tpccWorkload}}
+	for _, ld := range loads {
+		for _, mode := range modes {
+			for _, shards := range []int{1, 8} {
+				name := fmt.Sprintf("%s/%s/shards=%d", ld.name, modeName(mode), shards)
+				t.Run(name, func(t *testing.T) {
+					initial, txns := ld.gen(t)
+					st, err := wal.Open(t.TempDir(),
+						wal.WithMode(mode),
+						wal.WithInitialDatabase(initial),
+						wal.WithEngineOptions(engine.WithShards(shards)),
+						wal.WithSync(wal.SyncNever),
+						wal.WithSegmentSize(4096),
+						wal.WithCheckpointEvery(40),
+						wal.WithHeartbeatEvery(20*time.Millisecond),
+					)
+					if err != nil {
+						t.Fatalf("open leader: %v", err)
+					}
+					defer st.Close()
+
+					// First half before the follower exists: it arrives via
+					// checkpoint bootstrap + disk catch-up, not the live tail.
+					half := len(txns) / 2
+					if err := st.ApplyAll(context.Background(), txns[:half]); err != nil {
+						t.Fatalf("ApplyAll: %v", err)
+					}
+					_, src := startLeaderServer(t, st)
+					// The follower runs with the opposite shard count
+					// (replicated state is engine-shape independent) and
+					// never checkpoints locally, so its bootstrap point
+					// stays readable below.
+					f := openTestFollower(t, t.TempDir(), src,
+						wal.WithEngineOptions(engine.WithShards(9-shards)),
+						wal.WithSync(wal.SyncNever),
+						wal.WithSegmentSize(4096),
+					)
+					// Second half lands while the follower is streaming live.
+					for i := half; i < len(txns); i++ {
+						if err := st.ApplyTransaction(&txns[i]); err != nil {
+							t.Fatalf("ApplyTransaction %d: %v", i, err)
+						}
+					}
+					waitApplied(t, f, st.Stats().LSN)
+
+					if !f.Ready() {
+						t.Fatal("caught-up follower is not ready")
+					}
+					requireSameBytes(t, "live state", snapshotOf(t, st), snapshotOf(t, f))
+					requireSameReads(t, "live state", st, f)
+
+					// Time travel: epoch numbering is per process life, so
+					// absolute epochs differ (the follower's bootstrap from
+					// the checkpoint at LSN c consumed its own epochs), but
+					// every record replicated after the bootstrap advanced
+					// both engines by exactly one write epoch. Views k
+					// epochs below the two horizons therefore pin the same
+					// record boundary and must agree row for row.
+					leaderEpoch := engine.SeqEpoch(st.Horizon())
+					followerEpoch := engine.SeqEpoch(f.Horizon())
+					c := f.WALStats().CheckpointLSN // bootstrap point: no local checkpoints ran
+					span := uint64(len(txns)) - c
+					for _, k := range []uint64{0, 1, span / 2, span - 1} {
+						if k >= span || k > leaderEpoch || k > followerEpoch {
+							continue
+						}
+						requireSameReads(t, fmt.Sprintf("as_of horizon-%d", k),
+							st.At(engine.EpochSeq(leaderEpoch-k)), f.At(engine.EpochSeq(followerEpoch-k)))
+					}
+
+					rs := f.ReplicaStats()
+					if rs.AppliedLSN != uint64(len(txns)) {
+						t.Fatalf("follower applied %d, want %d", rs.AppliedLSN, len(txns))
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestFollowerRestartResume pins the resume contract: a follower that
+// closed cleanly and reopens against a leader that kept writing resumes
+// incrementally from its durable LSN — no resync, no re-streamed
+// history — and converges to equality.
+func TestFollowerRestartResume(t *testing.T) {
+	initial, txns := smallWorkload(t)
+	st, err := wal.Open(t.TempDir(),
+		wal.WithMode(engine.ModeNormalForm),
+		wal.WithInitialDatabase(initial),
+		wal.WithSync(wal.SyncNever),
+		wal.WithSegmentSize(4096),
+		wal.WithHeartbeatEvery(20*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	_, src := startLeaderServer(t, st)
+
+	half := len(txns) / 2
+	if err := st.ApplyAll(context.Background(), txns[:half]); err != nil {
+		t.Fatal(err)
+	}
+	fdir := t.TempDir()
+	f := openTestFollower(t, fdir, src, wal.WithSync(wal.SyncNever))
+	waitApplied(t, f, uint64(half))
+	if rs := f.ReplicaStats(); rs.Resyncs != 1 {
+		// The first connect of a fresh follower to a bootstrapped leader
+		// is always a checkpoint resync.
+		t.Fatalf("fresh follower resyncs = %d, want 1", rs.Resyncs)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Leader keeps writing while the follower is down.
+	for i := half; i < len(txns); i++ {
+		if err := st.ApplyTransaction(&txns[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	re := openTestFollower(t, fdir, src, wal.WithSync(wal.SyncNever))
+	waitApplied(t, re, uint64(len(txns)))
+	if rs := re.ReplicaStats(); rs.Resyncs != 0 {
+		t.Fatalf("restarted follower resynced %d times; want incremental resume", rs.Resyncs)
+	}
+	// The records counter trails the published LSN by one increment, so
+	// poll it to its settled value before requiring exactness.
+	missed := uint64(len(txns) - half)
+	deadline := time.Now().Add(5 * time.Second)
+	for re.ReplicaStats().RecordsApplied < missed && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := re.ReplicaStats().RecordsApplied; got != missed {
+		t.Fatalf("restarted follower applied %d records, want exactly the missed %d (no re-streaming)",
+			got, missed)
+	}
+	requireSameBytes(t, "after restart", snapshotOf(t, st), snapshotOf(t, re))
+	requireSameReads(t, "after restart", st, re)
+}
+
+// TestFollowerResyncAfterPrune covers the pruned-suffix path: a
+// follower that was down while the leader checkpointed past its resume
+// point gets a full checkpoint resync (its stale local state is
+// discarded) and still converges to equality.
+func TestFollowerResyncAfterPrune(t *testing.T) {
+	initial, txns := smallWorkload(t)
+	st, err := wal.Open(t.TempDir(),
+		wal.WithMode(engine.ModeNormalForm),
+		wal.WithInitialDatabase(initial),
+		wal.WithSync(wal.SyncNever),
+		wal.WithSegmentSize(2048),
+		wal.WithHeartbeatEvery(20*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	_, src := startLeaderServer(t, st)
+
+	half := len(txns) / 2
+	if err := st.ApplyAll(context.Background(), txns[:half]); err != nil {
+		t.Fatal(err)
+	}
+	fdir := t.TempDir()
+	f := openTestFollower(t, fdir, src, wal.WithSync(wal.SyncNever))
+	waitApplied(t, f, uint64(half))
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The closed follower's serving session unregisters asynchronously
+	// (the leader notices the dropped connection); wait it out so its
+	// position no longer fences pruning.
+	deadline := time.Now().Add(10 * time.Second)
+	for st.Stats().ActiveStreams != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := st.Stats().ActiveStreams; n != 0 {
+		t.Fatalf("leader still has %d active streams after follower close", n)
+	}
+
+	// With no streams registered the checkpoint prunes every covered
+	// segment; the follower's resume point is gone.
+	for i := half; i < len(txns); i++ {
+		if err := st.ApplyTransaction(&txns[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openTestFollower(t, fdir, src, wal.WithSync(wal.SyncNever))
+	waitApplied(t, re, uint64(len(txns)))
+	if rs := re.ReplicaStats(); rs.Resyncs == 0 {
+		t.Fatal("follower resumed incrementally from a pruned position")
+	}
+	if stats := st.Stats(); stats.ResyncsServed == 0 {
+		t.Fatal("leader served no resync")
+	}
+	requireSameBytes(t, "after prune resync", snapshotOf(t, st), snapshotOf(t, re))
+	requireSameReads(t, "after prune resync", st, re)
+}
+
+// TestLeaderCheckpointDuringStream races checkpoints (which prune
+// segments) against an attached live stream: the stream's position
+// fences pruning, so the follower must keep converging incrementally —
+// no resync after the initial bootstrap — across repeated checkpoints.
+func TestLeaderCheckpointDuringStream(t *testing.T) {
+	initial, txns := smallWorkload(t)
+	st, err := wal.Open(t.TempDir(),
+		wal.WithMode(engine.ModeNormalForm),
+		wal.WithInitialDatabase(initial),
+		wal.WithSync(wal.SyncNever),
+		wal.WithSegmentSize(1024),
+		wal.WithHeartbeatEvery(10*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	_, src := startLeaderServer(t, st)
+	f := openTestFollower(t, t.TempDir(), src, wal.WithSync(wal.SyncNever))
+	boot := f.ReplicaStats().Resyncs
+
+	for i := range txns {
+		if err := st.ApplyTransaction(&txns[i]); err != nil {
+			t.Fatal(err)
+		}
+		if i%10 == 9 {
+			if err := st.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	waitApplied(t, f, uint64(len(txns)))
+	if rs := f.ReplicaStats(); rs.Resyncs != boot {
+		t.Fatalf("checkpoints forced %d resyncs on an attached stream", rs.Resyncs-boot)
+	}
+	requireSameBytes(t, "checkpoint race", snapshotOf(t, st), snapshotOf(t, f))
+	requireSameReads(t, "checkpoint race", st, f)
+}
+
+// TestFollowerRefusesWrites pins the write-rejection contract: every
+// mutating engine.DB method answers ErrFollower, and reads keep
+// working afterwards.
+func TestFollowerRefusesWrites(t *testing.T) {
+	initial, txns := smallWorkload(t)
+	st, err := wal.Open(t.TempDir(),
+		wal.WithMode(engine.ModeNormalForm),
+		wal.WithInitialDatabase(initial),
+		wal.WithSync(wal.SyncNever),
+		wal.WithHeartbeatEvery(20*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.ApplyAll(context.Background(), txns[:10]); err != nil {
+		t.Fatal(err)
+	}
+	_, src := startLeaderServer(t, st)
+	f := openTestFollower(t, t.TempDir(), src, wal.WithSync(wal.SyncNever))
+	waitApplied(t, f, 10)
+
+	ctx := context.Background()
+	checks := map[string]error{
+		"ApplyTransaction": f.ApplyTransaction(&txns[10]),
+		"ApplyAll":         f.ApplyAll(ctx, txns[10:12]),
+		"RestoreRow":       f.RestoreRow("nope", nil, nil),
+		"BuildIndex":       f.BuildIndex("nope", "nope"),
+		"DropIndex":        f.DropIndex("nope", "nope"),
+	}
+	if _, err := f.ApplyBatch(ctx, txns[10:12]); err != nil {
+		checks["ApplyBatch"] = err
+	} else {
+		t.Fatal("ApplyBatch succeeded on a follower")
+	}
+	if _, err := f.MinimizeAll(ctx); err != nil {
+		checks["MinimizeAll"] = err
+	} else {
+		t.Fatal("MinimizeAll succeeded on a follower")
+	}
+	for name, err := range checks {
+		if err != wal.ErrFollower {
+			t.Fatalf("%s: err = %v, want ErrFollower", name, err)
+		}
+	}
+	if f.NumRows() == 0 {
+		t.Fatal("reads broke after refused writes")
+	}
+	if rs := f.ReplicaStats(); rs.AppliedLSN != 10 {
+		t.Fatalf("refused writes moved the applied LSN to %d", rs.AppliedLSN)
+	}
+}
+
+// BenchmarkReplicaLag measures end-to-end replication throughput: the
+// wall time for a follower to observe, persist and apply transactions
+// committed on a live leader, reported as the time per replicated
+// transaction (commit on the leader through visible on the follower).
+func BenchmarkReplicaLag(b *testing.B) {
+	initial, txns, err := workload.Generate(workload.Config{
+		Tuples: 300, Pool: 30, Group: 3, Updates: 256,
+		QueriesPerTxn: 3, MergeRatio: 0.2, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := wal.Open(b.TempDir(),
+		wal.WithMode(engine.ModeNormalForm),
+		wal.WithInitialDatabase(initial),
+		wal.WithSync(wal.SyncNever),
+		wal.WithHeartbeatEvery(20*time.Millisecond),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	lp := &leaderProxy{}
+	lp.st.Store(st)
+	ts := httptest.NewServer(lp)
+	defer ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	f, err := wal.OpenFollower(ctx, b.TempDir(), wal.HTTPSource(ts.URL, nil), wal.WithSync(wal.SyncNever))
+	cancel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := txns[i%len(txns)]
+		if err := st.ApplyTransaction(&tx); err != nil {
+			b.Fatal(err)
+		}
+		target := st.Stats().LSN
+		for f.ReplicaStats().AppliedLSN < target {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}

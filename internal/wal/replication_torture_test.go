@@ -1,0 +1,367 @@
+package wal_test
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hyperprov/internal/engine"
+	"hyperprov/internal/wal"
+)
+
+// Environment plumbing of the replication torture harness. Each child
+// test re-execs the test binary with one of these set.
+const (
+	replFollowerDirEnv = "HYPERPROV_REPL_FOLLOWER_DIR"
+	replLeaderURLEnv   = "HYPERPROV_REPL_LEADER_URL"
+	replTargetEnv      = "HYPERPROV_REPL_TARGET"
+	replLeaderDirEnv   = "HYPERPROV_REPL_LEADER_DIR"
+)
+
+// TestReplFollowerTortureChildProcess is the re-exec target of the
+// follower-kill torture: it opens (or crash-recovers) the follower
+// directory against the parent's leader, prints "APPLIED <n>" as the
+// durably applied LSN advances, and "DONE" once it reaches the target —
+// then exits via Crash, never a clean close.
+func TestReplFollowerTortureChildProcess(t *testing.T) {
+	dir := os.Getenv(replFollowerDirEnv)
+	if dir == "" {
+		t.Skip("torture child: run by TestReplicationFollowerKillTorture")
+	}
+	leader := os.Getenv(replLeaderURLEnv)
+	target, err := strconv.ParseUint(os.Getenv(replTargetEnv), 10, 64)
+	if err != nil {
+		fmt.Printf("CHILD-ERR bad target: %v\n", err)
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	f, err := wal.OpenFollower(ctx, dir, wal.HTTPSource(leader, nil), wal.WithSync(wal.SyncAlways))
+	if err != nil {
+		fmt.Printf("CHILD-ERR open: %v\n", err)
+		t.Fatalf("open: %v", err)
+	}
+	last := f.ReplicaStats().AppliedLSN
+	fmt.Printf("RECOVERED %d\n", last)
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		n := f.ReplicaStats().AppliedLSN
+		if n != last {
+			last = n
+			fmt.Printf("APPLIED %d\n", n)
+		}
+		if n >= target {
+			fmt.Println("DONE")
+			f.Crash()
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Printf("CHILD-ERR timeout at %d of %d\n", last, target)
+	t.Fatalf("timeout at %d of %d", last, target)
+}
+
+// TestReplicationFollowerKillTorture SIGKILLs a follower process
+// mid-sync, repeatedly, while the leader keeps committing. After every
+// kill the follower's directory must crash-recover to a clean prefix of
+// the leader's history — every APPLIED the child reported survived,
+// nothing beyond the leader's log exists, and the state is
+// byte-identical to the oracle at the recovered LSN. The final round
+// runs to full convergence.
+func TestReplicationFollowerKillTorture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess torture test")
+	}
+	if os.Getenv(replFollowerDirEnv) != "" || os.Getenv(replLeaderDirEnv) != "" {
+		t.Skip("already in torture child")
+	}
+	initial, txns := smallWorkload(t)
+	st, err := wal.Open(t.TempDir(),
+		wal.WithMode(engine.ModeNormalForm),
+		wal.WithInitialDatabase(initial),
+		wal.WithSync(wal.SyncNever),
+		wal.WithSegmentSize(2048),
+		wal.WithCheckpointEvery(23),
+		wal.WithHeartbeatEvery(20*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	lp := &leaderProxy{}
+	lp.st.Store(st)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: lp}
+	go srv.Serve(ln)
+	defer srv.Close()
+	leaderURL := "http://" + ln.Addr().String()
+
+	// The leader commits continuously in the background while children
+	// sync and die.
+	writerDone := make(chan error, 1)
+	go func() {
+		for i := range txns {
+			if err := st.ApplyTransaction(&txns[i]); err != nil {
+				writerDone <- fmt.Errorf("apply %d: %w", i, err)
+				return
+			}
+			time.Sleep(4 * time.Millisecond)
+		}
+		writerDone <- nil
+	}()
+	defer func() {
+		if err := <-writerDone; err != nil {
+			t.Errorf("leader writer: %v", err)
+		}
+	}()
+
+	fdir := t.TempDir()
+	lastApplied := uint64(0)
+	for round := 0; round < 4; round++ {
+		final := round == 3
+		cmd := exec.Command(os.Args[0], "-test.run=TestReplFollowerTortureChildProcess$", "-test.v")
+		cmd.Env = append(os.Environ(),
+			replFollowerDirEnv+"="+fdir,
+			replLeaderURLEnv+"="+leaderURL,
+			replTargetEnv+"="+strconv.Itoa(len(txns)),
+		)
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stderr = cmd.Stdout
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		killAfter := lastApplied + 6 + uint64(round)*5
+		done := false
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "APPLIED "):
+				n, err := strconv.ParseUint(strings.TrimPrefix(line, "APPLIED "), 10, 64)
+				if err != nil {
+					t.Fatalf("bad line %q", line)
+				}
+				lastApplied = n
+				if !final && n >= killAfter {
+					_ = cmd.Process.Kill()
+				}
+			case strings.HasPrefix(line, "RECOVERED "):
+				n, _ := strconv.ParseUint(strings.TrimPrefix(line, "RECOVERED "), 10, 64)
+				if n < lastApplied {
+					t.Fatalf("round %d: child recovered %d, but %d were applied durably", round, n, lastApplied)
+				}
+				lastApplied = n
+			case line == "DONE":
+				done = true
+			case strings.HasPrefix(line, "CHILD-ERR"):
+				t.Fatalf("round %d: %s", round, line)
+			}
+		}
+		werr := cmd.Wait()
+		if final && !done {
+			t.Fatalf("final round: child did not converge: %v", werr)
+		}
+		time.Sleep(10 * time.Millisecond)
+
+		// The killed follower's directory is a plain WAL directory: it
+		// must recover (under wal.Open, proving promotability) to a
+		// prefix of the leader's history, byte-identical to the oracle.
+		re, err := wal.Open(fdir)
+		if err != nil {
+			t.Fatalf("round %d: reopen follower dir: %v", round, err)
+		}
+		lsn := re.Stats().LSN
+		if lsn < lastApplied {
+			t.Fatalf("round %d: silent loss: child applied %d, dir recovered %d", round, lastApplied, lsn)
+		}
+		if lsn > uint64(len(txns)) {
+			t.Fatalf("round %d: follower dir has %d records, leader only ever wrote %d", round, lsn, len(txns))
+		}
+		oracle := oracleAt(t, engine.ModeNormalForm, initial, txns, int(lsn))
+		requireSameBytes(t, fmt.Sprintf("round %d", round), snapshotOf(t, oracle), snapshotOf(t, re))
+		re.Crash()
+		lastApplied = lsn
+		if final && lsn != uint64(len(txns)) {
+			t.Fatalf("final round: converged to %d of %d", lsn, len(txns))
+		}
+	}
+}
+
+// TestReplLeaderTortureChildProcess is the re-exec target of the
+// leader-kill torture: it opens (or crash-recovers) the leader store,
+// serves the replication stream on a fresh loopback port (printed as
+// "PORT <p>"), applies the workload from the recovered LSN printing
+// "ACK <n>" per record, then parks until the parent kills it.
+func TestReplLeaderTortureChildProcess(t *testing.T) {
+	dir := os.Getenv(replLeaderDirEnv)
+	if dir == "" {
+		t.Skip("torture child: run by TestReplicationLeaderKillTorture")
+	}
+	initial, txns := smallWorkload(t)
+	st, err := wal.Open(dir,
+		wal.WithMode(engine.ModeNormalForm),
+		wal.WithInitialDatabase(initial),
+		wal.WithSync(wal.SyncAlways),
+		wal.WithSegmentSize(2048),
+		wal.WithCheckpointEvery(23),
+		wal.WithHeartbeatEvery(20*time.Millisecond),
+	)
+	if err != nil {
+		fmt.Printf("CHILD-ERR open: %v\n", err)
+		t.Fatalf("open: %v", err)
+	}
+	start := st.Stats().LSN
+	fmt.Printf("RECOVERED %d\n", start)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Printf("CHILD-ERR listen: %v\n", err)
+		t.Fatal(err)
+	}
+	go http.Serve(ln, http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		from, _ := strconv.ParseUint(req.URL.Query().Get("from"), 10, 64)
+		_ = st.ServeStream(req.Context(), w, from)
+	}))
+	fmt.Printf("PORT %d\n", ln.Addr().(*net.TCPAddr).Port)
+	for i := int(start); i < len(txns); i++ {
+		if err := st.ApplyTransaction(&txns[i]); err != nil {
+			fmt.Printf("CHILD-ERR apply %d: %v\n", i, err)
+			t.Fatalf("apply %d: %v", i, err)
+		}
+		fmt.Printf("ACK %d\n", i+1)
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Println("DONE")
+	// Keep serving the stream until the parent kills us.
+	time.Sleep(2 * time.Minute)
+}
+
+// TestReplicationLeaderKillTorture SIGKILLs the leader process
+// mid-commit, repeatedly, under a live in-process follower. The
+// invariant: the follower never diverges from a durably-applied leader
+// prefix — after every kill its state is byte-identical to the oracle
+// at its applied LSN, and the crash-recovered leader's log is always at
+// or ahead of that LSN. The final round converges to full equality.
+func TestReplicationLeaderKillTorture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess torture test")
+	}
+	if os.Getenv(replFollowerDirEnv) != "" || os.Getenv(replLeaderDirEnv) != "" {
+		t.Skip("already in torture child")
+	}
+	initial, txns := smallWorkload(t)
+	ldir := t.TempDir()
+
+	// The leader's port changes across restarts; the follower redials
+	// through this indirection.
+	var base atomic.Value // string URL
+	src := func(ctx context.Context, from uint64) (io.ReadCloser, error) {
+		return wal.HTTPSource(base.Load().(string), nil)(ctx, from)
+	}
+
+	var follower *wal.Follower
+	lastAck := uint64(0)
+	for round := 0; round < 4; round++ {
+		final := round == 3
+		cmd := exec.Command(os.Args[0], "-test.run=TestReplLeaderTortureChildProcess$", "-test.v")
+		cmd.Env = append(os.Environ(), replLeaderDirEnv+"="+ldir)
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stderr = cmd.Stdout
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		killAfter := lastAck + 6 + uint64(round)*5
+		done := false
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "PORT "):
+				p := strings.TrimPrefix(line, "PORT ")
+				base.Store("http://127.0.0.1:" + p)
+				if follower == nil {
+					ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+					follower, err = wal.OpenFollower(ctx, t.TempDir(), src, wal.WithSync(wal.SyncNever))
+					cancel()
+					if err != nil {
+						t.Fatalf("open follower: %v", err)
+					}
+					defer follower.Close()
+				}
+			case strings.HasPrefix(line, "ACK "):
+				n, err := strconv.ParseUint(strings.TrimPrefix(line, "ACK "), 10, 64)
+				if err != nil {
+					t.Fatalf("bad line %q", line)
+				}
+				lastAck = n
+				if !final && n >= killAfter {
+					_ = cmd.Process.Kill()
+				}
+			case strings.HasPrefix(line, "RECOVERED "):
+				n, _ := strconv.ParseUint(strings.TrimPrefix(line, "RECOVERED "), 10, 64)
+				if n < lastAck {
+					t.Fatalf("round %d: leader recovered %d, but %d were acked", round, n, lastAck)
+				}
+				if follower != nil {
+					if k := follower.ReplicaStats().AppliedLSN; n < k {
+						t.Fatalf("round %d: leader recovered %d, behind the follower at %d — replicated unsynced records", round, n, k)
+					}
+				}
+				lastAck = n
+			case line == "DONE":
+				done = true
+				// Converge, then bring the leader down for the last time.
+				waitApplied(t, follower, uint64(len(txns)))
+				_ = cmd.Process.Kill()
+			case strings.HasPrefix(line, "CHILD-ERR"):
+				t.Fatalf("round %d: %s", round, line)
+			}
+		}
+		werr := cmd.Wait()
+		if final && !done {
+			t.Fatalf("final round: leader child did not finish: %v", werr)
+		}
+		time.Sleep(10 * time.Millisecond)
+
+		// With the leader dead, the follower must sit on a consistent
+		// durably-applied prefix: wait for the apply loop to quiesce,
+		// then compare against the oracle at exactly its LSN.
+		var k uint64
+		for {
+			k = follower.ReplicaStats().AppliedLSN
+			time.Sleep(50 * time.Millisecond)
+			if follower.ReplicaStats().AppliedLSN == k {
+				break
+			}
+		}
+		if k < lastAck && final {
+			t.Fatalf("final round: follower at %d, leader acked %d", k, lastAck)
+		}
+		if k > uint64(len(txns)) {
+			t.Fatalf("round %d: follower at %d, only %d records exist", round, k, len(txns))
+		}
+		oracle := oracleAt(t, engine.ModeNormalForm, initial, txns, int(k))
+		requireSameBytes(t, fmt.Sprintf("round %d (LSN %d)", round, k), snapshotOf(t, oracle), snapshotOf(t, follower))
+	}
+	if got := follower.ReplicaStats().AppliedLSN; got != uint64(len(txns)) {
+		t.Fatalf("follower converged to %d of %d", got, len(txns))
+	}
+}

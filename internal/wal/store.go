@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -78,15 +79,16 @@ func ParseSyncPolicy(s string) (SyncPolicy, error) {
 
 // options collects Open configuration.
 type options struct {
-	mode     engine.Mode
-	schema   *db.Schema
-	initial  *db.Database
-	engOpts  []engine.Option
-	sync     SyncPolicy
-	interval time.Duration
-	segSize  int64
-	ckptEach uint64
-	fs       FS
+	mode      engine.Mode
+	schema    *db.Schema
+	initial   *db.Database
+	engOpts   []engine.Option
+	sync      SyncPolicy
+	interval  time.Duration
+	segSize   int64
+	ckptEach  uint64
+	heartbeat time.Duration
+	fs        FS
 }
 
 // Option configures Open.
@@ -125,6 +127,11 @@ func WithSegmentSize(n int64) Option { return func(o *options) { o.segSize = n }
 // records (0, the default, disables automatic checkpoints).
 func WithCheckpointEvery(n uint64) Option { return func(o *options) { o.ckptEach = n } }
 
+// WithHeartbeatEvery sets how often an idle replication stream sends a
+// heartbeat frame (default 500ms). Heartbeats carry the leader LSN and
+// committed horizon, so followers can report lag even with no writes.
+func WithHeartbeatEvery(d time.Duration) Option { return func(o *options) { o.heartbeat = d } }
+
 // WithFS substitutes the filesystem — the fault-injection hook.
 func WithFS(fs FS) Option { return func(o *options) { o.fs = fs } }
 
@@ -137,14 +144,23 @@ type Store struct {
 	dir string
 	fs  FS
 
-	mu        sync.Mutex
-	eng       engine.DB
+	mu sync.Mutex
+	// eng holds the served engine behind an atomic pointer: writers
+	// (bootstrap, recovery, follower resync) swap it under mu, but the
+	// lock-free read surface loads it without the lock — a follower
+	// resync replacing the engine must not race pinned readers.
+	eng       atomic.Pointer[engine.DB]
 	lw        *logWriter
 	lsn       uint64 // next LSN to assign
 	ckptLSN   uint64 // records below this are in the latest checkpoint
 	sinceCkpt uint64
 	closed    bool
 	release   func() // directory lock
+	hasInit   bool   // bootstrap database had rows (lives in META)
+
+	// Replication: registered follower streams. Each handle's position
+	// fences log pruning; attached handles receive committed records.
+	streams map[*streamHandle]struct{}
 
 	readOnly atomic.Bool
 	roCause  atomic.Value // error
@@ -162,9 +178,27 @@ type Store struct {
 	replayed  uint64 // set once during Open
 	truncated int64  // torn-tail bytes discarded during Open
 	recovered bool
+
+	// replication counters
+	streamsServed  atomic.Uint64
+	resyncsServed  atomic.Uint64
+	streamLagDrops atomic.Uint64
 }
 
 var _ engine.DB = (*Store)(nil)
+
+// engine loads the served engine without taking mu — the read
+// delegation surface is lock-free, exactly like the engine itself.
+func (s *Store) engine() engine.DB {
+	if p := s.eng.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// setEngine swaps the served engine. Callers hold mu (or, during
+// Open/bootstrap, have exclusive ownership of the store).
+func (s *Store) setEngine(e engine.DB) { s.eng.Store(&e) }
 
 // StoreStats is a point-in-time summary of the durability subsystem.
 type StoreStats struct {
@@ -181,6 +215,12 @@ type StoreStats struct {
 	TruncatedTail  int64  `json:"truncated_tail_bytes"`
 	ReadOnly       bool   `json:"read_only"`
 	ReadOnlyCause  string `json:"read_only_cause,omitempty"`
+
+	// Leader-side replication counters.
+	ActiveStreams  int    `json:"active_streams"`
+	StreamsServed  uint64 `json:"streams_served"`
+	ResyncsServed  uint64 `json:"resyncs_served"`
+	StreamLagDrops uint64 `json:"stream_lag_drops"`
 }
 
 // Open opens (or bootstraps) the persistent store in dir. A fresh
@@ -190,17 +230,21 @@ type StoreStats struct {
 // store.
 func Open(dir string, opts ...Option) (*Store, error) {
 	o := options{
-		mode:     engine.ModeNormalForm,
-		sync:     SyncAlways,
-		interval: 50 * time.Millisecond,
-		segSize:  16 << 20,
-		fs:       OSFS{},
+		mode:      engine.ModeNormalForm,
+		sync:      SyncAlways,
+		interval:  50 * time.Millisecond,
+		segSize:   16 << 20,
+		heartbeat: 500 * time.Millisecond,
+		fs:        OSFS{},
 	}
 	for _, opt := range opts {
 		opt(&o)
 	}
 	if o.segSize < 1<<10 {
 		o.segSize = 1 << 10
+	}
+	if o.heartbeat <= 0 {
+		o.heartbeat = 500 * time.Millisecond
 	}
 	if err := o.fs.MkdirAll(dir); err != nil {
 		return nil, err
@@ -214,12 +258,19 @@ func Open(dir string, opts ...Option) (*Store, error) {
 		release()
 		return nil, err
 	}
-	if o.sync == SyncInterval {
-		s.stopSync = make(chan struct{})
-		s.syncWG.Add(1)
-		go s.syncLoop()
-	}
+	s.startSyncLoop()
 	return s, nil
+}
+
+// startSyncLoop launches the SyncInterval timer when the policy asks
+// for one. No-op for the other policies.
+func (s *Store) startSyncLoop() {
+	if s.opts.sync != SyncInterval {
+		return
+	}
+	s.stopSync = make(chan struct{})
+	s.syncWG.Add(1)
+	go s.syncLoop()
 }
 
 func (s *Store) open() error {
@@ -274,8 +325,8 @@ func (s *Store) bootstrap() error {
 		}
 		initial = db.NewDatabase(s.opts.schema)
 	}
-	s.eng = engine.Open(s.opts.mode, initial, s.opts.engOpts...)
-	hasInit := s.eng.NumRows() > 0
+	s.setEngine(engine.Open(s.opts.mode, initial, s.opts.engOpts...))
+	hasInit := s.engine().NumRows() > 0
 	if hasInit {
 		// The bootstrap rows exist only in memory; a checkpoint is the
 		// sole durable copy, so its failure fails Open.
@@ -283,9 +334,10 @@ func (s *Store) bootstrap() error {
 			return fmt.Errorf("wal: initial checkpoint: %w", err)
 		}
 	}
-	if err := writeMeta(s.fs, s.dir, s.eng.Mode(), s.eng.Schema(), hasInit); err != nil {
+	if err := writeMeta(s.fs, s.dir, s.engine().Mode(), s.engine().Schema(), hasInit); err != nil {
 		return err
 	}
+	s.hasInit = hasInit
 	lw, err := openLogWriter(s.fs, s.dir, s.opts.segSize, 0, 0, 0, 0)
 	if err != nil {
 		return err
@@ -299,6 +351,7 @@ func (s *Store) bootstrap() error {
 // anywhere else is ErrCorrupt.
 func (s *Store) recover(meta *metaInfo) error {
 	s.recovered = true
+	s.hasInit = meta.hasInit
 	ckptSeqs, err := listSeqFiles(s.fs, s.dir, ckptPrefix, ckptSuffix)
 	if err != nil {
 		return err
@@ -308,7 +361,7 @@ func (s *Store) recover(meta *metaInfo) error {
 	// segment-chain walk below verifies against replayStart.
 	var replayStart uint64
 	var loadErr error
-	s.eng = nil
+	s.setEngine(nil)
 	for i := len(ckptSeqs) - 1; i >= 0; i-- {
 		data, err := s.fs.ReadFile(filepath.Join(s.dir, ckptName(ckptSeqs[i])))
 		if err != nil {
@@ -320,18 +373,18 @@ func (s *Store) recover(meta *metaInfo) error {
 			loadErr = err
 			continue
 		}
-		s.eng = eng
+		s.setEngine(eng)
 		replayStart = ckptSeqs[i]
 		break
 	}
-	if s.eng == nil {
+	if s.engine() == nil {
 		if len(ckptSeqs) > 0 {
 			return fmt.Errorf("%w: no loadable checkpoint: %v", ErrCorrupt, loadErr)
 		}
 		if meta.hasInit {
 			return fmt.Errorf("%w: initial checkpoint is missing", ErrCorrupt)
 		}
-		s.eng = engine.OpenEmpty(meta.mode, meta.schema, s.opts.engOpts...)
+		s.setEngine(engine.OpenEmpty(meta.mode, meta.schema, s.opts.engOpts...))
 	}
 
 	segs, err := listSeqFiles(s.fs, s.dir, segPrefix, segSuffix)
@@ -418,21 +471,27 @@ func (s *Store) replayRecord(payload []byte) error {
 	if err != nil {
 		return err
 	}
+	return s.applyDecoded(rec)
+}
+
+// applyDecoded applies one already-decoded record to the engine — the
+// shared tail of recovery replay and replicated apply.
+func (s *Store) applyDecoded(rec *Record) error {
 	switch rec.Type {
 	case recTxn:
-		_ = s.eng.ApplyTransaction(rec.Txn)
+		_ = s.engine().ApplyTransaction(rec.Txn)
 	case recRestore:
-		if err := s.eng.RestoreRow(rec.Rel, rec.Tuple, rec.Ann); err != nil {
+		if err := s.engine().RestoreRow(rec.Rel, rec.Tuple, rec.Ann); err != nil {
 			return err
 		}
 	case recMinimize:
-		if _, err := s.eng.MinimizeAll(context.Background()); err != nil {
+		if _, err := s.engine().MinimizeAll(context.Background()); err != nil {
 			return err
 		}
 	case recBuildIndex:
-		_ = s.eng.BuildIndex(rec.Rel, rec.Attr)
+		_ = s.engine().BuildIndex(rec.Rel, rec.Attr)
 	case recDropIndex:
-		_ = s.eng.DropIndex(rec.Rel, rec.Attr)
+		_ = s.engine().DropIndex(rec.Rel, rec.Attr)
 	}
 	return nil
 }
@@ -489,9 +548,12 @@ func (s *Store) appendLocked(payloads ...[]byte) error {
 	if err := s.commitLocked(); err != nil {
 		return s.degradeLocked(err)
 	}
+	base := s.lsn
 	s.lsn += uint64(len(payloads))
 	s.sinceCkpt += uint64(len(payloads))
 	s.appended.Add(uint64(len(payloads)))
+	// Committed (flushed at minimum): safe to fan out to followers.
+	s.publishStreamLocked(base, payloads)
 	return nil
 }
 
@@ -501,7 +563,7 @@ func (s *Store) appendLocked(payloads ...[]byte) error {
 // fail are applied sequentially so the engine's partial-effect
 // semantics — and its error text — are preserved exactly.
 func (s *Store) checkTxn(t *db.Transaction) bool {
-	schema := s.eng.Schema()
+	schema := s.engine().Schema()
 	for i := range t.Updates {
 		u := &t.Updates[i]
 		if schema.Relation(u.Rel) == nil {
@@ -530,7 +592,7 @@ func (s *Store) applyTxnLocked(t *db.Transaction) error {
 	if err := s.appendLocked(encodeTxn(t)); err != nil {
 		return err
 	}
-	err := s.eng.ApplyTransaction(t)
+	err := s.engine().ApplyTransaction(t)
 	s.maybeCheckpointLocked()
 	return err
 }
@@ -593,7 +655,7 @@ func (s *Store) applyChunk(chunk []db.Transaction) (applied int, err error) {
 		}
 		// Validated above: cannot fail, so the sharded engine's
 		// stop-on-error nondeterminism is unreachable here.
-		applied, err = s.eng.ApplyBatch(context.Background(), chunk)
+		applied, err = s.engine().ApplyBatch(context.Background(), chunk)
 		s.maybeCheckpointLocked()
 		return applied, err
 	}
@@ -613,9 +675,9 @@ func (s *Store) applyChunk(chunk []db.Transaction) (applied int, err error) {
 func (s *Store) RestoreRow(rel string, t db.Tuple, ann *core.Expr) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	r := s.eng.Schema().Relation(rel)
+	r := s.engine().Schema().Relation(rel)
 	if r == nil || t.Conforms(r) != nil {
-		return s.eng.RestoreRow(rel, t, ann)
+		return s.engine().RestoreRow(rel, t, ann)
 	}
 	payload, err := encodeRestore(rel, t, ann)
 	if err != nil {
@@ -624,7 +686,7 @@ func (s *Store) RestoreRow(rel string, t db.Tuple, ann *core.Expr) error {
 	if err := s.appendLocked(payload); err != nil {
 		return err
 	}
-	if err := s.eng.RestoreRow(rel, t, ann); err != nil {
+	if err := s.engine().RestoreRow(rel, t, ann); err != nil {
 		return err
 	}
 	s.maybeCheckpointLocked()
@@ -645,7 +707,7 @@ func (s *Store) MinimizeAll(ctx context.Context) (int64, error) {
 	if s.readOnly.Load() {
 		return 0, s.roError()
 	}
-	n, err := s.eng.MinimizeAll(ctx)
+	n, err := s.engine().MinimizeAll(ctx)
 	if err != nil {
 		return n, err
 	}
@@ -668,7 +730,7 @@ func (s *Store) BuildIndex(rel, attr string) error {
 	if s.readOnly.Load() {
 		return s.roError()
 	}
-	if err := s.eng.BuildIndex(rel, attr); err != nil {
+	if err := s.engine().BuildIndex(rel, attr); err != nil {
 		return err
 	}
 	return s.appendLocked(encodeIndexOp(recBuildIndex, rel, attr))
@@ -684,7 +746,7 @@ func (s *Store) DropIndex(rel, attr string) error {
 	if s.readOnly.Load() {
 		return s.roError()
 	}
-	if err := s.eng.DropIndex(rel, attr); err != nil {
+	if err := s.engine().DropIndex(rel, attr); err != nil {
 		return err
 	}
 	return s.appendLocked(encodeIndexOp(recDropIndex, rel, attr))
@@ -700,7 +762,7 @@ func (s *Store) writeCheckpoint(lsn uint64) error {
 	if err != nil {
 		return err
 	}
-	if err := provstore.SaveSnapshot(f, s.eng); err != nil {
+	if err := provstore.SaveSnapshot(f, s.engine()); err != nil {
 		f.Close()
 		_ = s.fs.Remove(tmp)
 		return err
@@ -753,10 +815,34 @@ func (s *Store) checkpointLocked() error {
 			return s.degradeLocked(err)
 		}
 	}
+	// Active replication streams fence pruning: a segment is deleted
+	// only if every record it can hold precedes the slowest stream's
+	// position, so a follower catching up from disk never has its
+	// segment removed mid-read.
+	fence := s.minStreamPosLocked()
 	if names, err := s.fs.ReadDir(s.dir); err == nil {
+		var starts []uint64
+		for _, name := range names {
+			if v, ok := parseSeqName(name, segPrefix, segSuffix); ok {
+				starts = append(starts, v)
+			}
+		}
+		sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+		segEnd := func(v uint64) uint64 {
+			// A segment's records end where the next one starts; the
+			// live segment (start == lsn after the rotate above) always
+			// bounds the last old one.
+			i := sort.Search(len(starts), func(i int) bool { return starts[i] > v })
+			if i < len(starts) {
+				return starts[i]
+			}
+			return lsn
+		}
 		for _, name := range names {
 			if v, ok := parseSeqName(name, segPrefix, segSuffix); ok && v < lsn && v != s.lw.start {
-				_ = s.fs.Remove(filepath.Join(s.dir, name))
+				if segEnd(v) <= fence {
+					_ = s.fs.Remove(filepath.Join(s.dir, name))
+				}
 			}
 			if v, ok := parseSeqName(name, ckptPrefix, ckptSuffix); ok && v < lsn {
 				_ = s.fs.Remove(filepath.Join(s.dir, name))
@@ -822,6 +908,7 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.closeStreamsLocked()
 	var err error
 	if !s.readOnly.Load() {
 		err = s.lw.close()
@@ -849,13 +936,14 @@ func (s *Store) Crash() {
 		return
 	}
 	s.closed = true
+	s.closeStreamsLocked()
 	s.lw.crash()
 	s.release()
 }
 
 // Underlying exposes the wrapped engine for diagnostics (the server's
 // sharded-stats endpoint type-asserts on the concrete engine).
-func (s *Store) Underlying() engine.DB { return s.eng }
+func (s *Store) Underlying() engine.DB { return s.engine() }
 
 // Dir returns the data directory.
 func (s *Store) Dir() string { return s.dir }
@@ -867,6 +955,7 @@ func (s *Store) ReadOnly() bool { return s.readOnly.Load() }
 func (s *Store) Stats() StoreStats {
 	s.mu.Lock()
 	lsn, ckptLSN := s.lsn, s.ckptLSN
+	active := len(s.streams)
 	s.mu.Unlock()
 	st := StoreStats{
 		Dir:            s.dir,
@@ -881,6 +970,10 @@ func (s *Store) Stats() StoreStats {
 		Replayed:       s.replayed,
 		TruncatedTail:  s.truncated,
 		ReadOnly:       s.readOnly.Load(),
+		ActiveStreams:  active,
+		StreamsServed:  s.streamsServed.Load(),
+		ResyncsServed:  s.resyncsServed.Load(),
+		StreamLagDrops: s.streamLagDrops.Load(),
 	}
 	if cause, ok := s.roCause.Load().(error); ok {
 		st.ReadOnlyCause = cause.Error()
@@ -891,58 +984,63 @@ func (s *Store) Stats() StoreStats {
 // --- read side: pure delegation (the engine has its own locks) ----------
 
 // Mode implements engine.DB.
-func (s *Store) Mode() engine.Mode { return s.eng.Mode() }
+func (s *Store) Mode() engine.Mode { return s.engine().Mode() }
 
 // Schema implements engine.DB.
-func (s *Store) Schema() *db.Schema { return s.eng.Schema() }
+func (s *Store) Schema() *db.Schema { return s.engine().Schema() }
 
 // Relations implements engine.DB.
-func (s *Store) Relations() []string { return s.eng.Relations() }
+func (s *Store) Relations() []string { return s.engine().Relations() }
 
 // IndexStats implements engine.DB.
-func (s *Store) IndexStats() []engine.IndexInfo { return s.eng.IndexStats() }
+func (s *Store) IndexStats() []engine.IndexInfo { return s.engine().IndexStats() }
 
 // PlannerStats implements engine.DB.
-func (s *Store) PlannerStats() engine.PlannerStats { return s.eng.PlannerStats() }
+func (s *Store) PlannerStats() engine.PlannerStats { return s.engine().PlannerStats() }
 
 // Annotation implements engine.DB.
-func (s *Store) Annotation(rel string, t db.Tuple) *core.Expr { return s.eng.Annotation(rel, t) }
+func (s *Store) Annotation(rel string, t db.Tuple) *core.Expr { return s.engine().Annotation(rel, t) }
 
 // NF implements engine.DB.
-func (s *Store) NF(rel string, t db.Tuple) *core.NF { return s.eng.NF(rel, t) }
+func (s *Store) NF(rel string, t db.Tuple) *core.NF { return s.engine().NF(rel, t) }
 
 // EachRow implements engine.DB.
-func (s *Store) EachRow(rel string, f func(t db.Tuple, ann *core.Expr)) { s.eng.EachRow(rel, f) }
+func (s *Store) EachRow(rel string, f func(t db.Tuple, ann *core.Expr)) { s.engine().EachRow(rel, f) }
 
 // Rows implements engine.DB.
-func (s *Store) Rows(f func(rel string, t db.Tuple, ann *core.Expr)) { s.eng.Rows(f) }
+func (s *Store) Rows(f func(rel string, t db.Tuple, ann *core.Expr)) { s.engine().Rows(f) }
 
 // Select implements engine.DB.
 func (s *Store) Select(rel string, sel db.Pattern) ([]db.Tuple, error) {
-	return s.eng.Select(rel, sel)
+	return s.engine().Select(rel, sel)
 }
 
 // NumRows implements engine.DB.
-func (s *Store) NumRows() int { return s.eng.NumRows() }
+func (s *Store) NumRows() int { return s.engine().NumRows() }
 
 // SupportSize implements engine.DB.
-func (s *Store) SupportSize() int { return s.eng.SupportSize() }
+func (s *Store) SupportSize() int { return s.engine().SupportSize() }
 
 // ProvSize implements engine.DB.
-func (s *Store) ProvSize() int64 { return s.eng.ProvSize() }
+func (s *Store) ProvSize() int64 { return s.engine().ProvSize() }
 
 // ProvDAGSize implements engine.DB.
-func (s *Store) ProvDAGSize() int64 { return s.eng.ProvDAGSize() }
+func (s *Store) ProvDAGSize() int64 { return s.engine().ProvDAGSize() }
 
 // At implements engine.DB: a pinned read-only view of the underlying
 // engine. Views do not read the log, so the history they can pin starts
 // at the state the engine was recovered (or opened) with — epochs from
 // a previous process life are replayed into the recovery horizon, not
 // preserved individually.
-func (s *Store) At(seq uint64) engine.View { return s.eng.At(seq) }
+func (s *Store) At(seq uint64) engine.View { return s.engine().At(seq) }
 
 // Horizon implements engine.DB.
-func (s *Store) Horizon() uint64 { return s.eng.Horizon() }
+func (s *Store) Horizon() uint64 { return s.engine().Horizon() }
+
+// WaitHorizon implements engine.DB.
+func (s *Store) WaitHorizon(ctx context.Context, seq uint64) error {
+	return s.engine().WaitHorizon(ctx, seq)
+}
 
 // MVCCStats implements engine.DB.
-func (s *Store) MVCCStats() engine.MVCCStats { return s.eng.MVCCStats() }
+func (s *Store) MVCCStats() engine.MVCCStats { return s.engine().MVCCStats() }

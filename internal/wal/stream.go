@@ -1,0 +1,231 @@
+package wal
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"net/url"
+
+	"hyperprov/internal/db"
+	"hyperprov/internal/engine"
+)
+
+// Replication stream protocol.
+//
+// A follower connects with the LSN it wants to resume from; the leader
+// answers with a framed message stream over any byte transport (HTTP
+// in production, an in-process pipe in tests). Messages reuse the WAL
+// frame layout — | length u32 LE | CRC32C u32 LE | payload | — so the
+// same torn/corrupt classification applies; the first payload byte is
+// the message type:
+//
+//	hello      version, resync flag, mode, target LSN, horizon, snapshot LSN, schema
+//	ckptChunk  a slice of the bootstrap checkpoint (resync only)
+//	ckptDone   end of the bootstrap checkpoint
+//	record     LSN + one WAL record payload, exactly the leader's bytes
+//	heartbeat  leader LSN + committed horizon, sent when idle
+//
+// The hello message always comes first. With resync=0 the leader
+// resumes records at exactly the follower's requested LSN; with
+// resync=1 the requested suffix is no longer retained (pruned by a
+// checkpoint, or the follower is ahead of a leader that lost its tail)
+// and the leader instead ships its newest checkpoint followed by the
+// records after it — the follower discards local state and reloads.
+const (
+	streamVersion byte = 1
+
+	msgHello     byte = 1
+	msgCkptChunk byte = 2
+	msgCkptDone  byte = 3
+	msgRecord    byte = 4
+	msgHeartbeat byte = 5
+)
+
+// ckptChunkSize slices the bootstrap checkpoint into frames small
+// enough to interleave progress and keep per-frame buffers modest.
+const ckptChunkSize = 256 << 10
+
+// ErrStreamCorrupt reports a replication frame that failed its CRC or
+// decoded to garbage. Followers treat it like a dropped connection:
+// resume from the last durably applied LSN.
+var ErrStreamCorrupt = errors.New("wal: replication stream is corrupt")
+
+// helloMsg is the decoded handshake.
+type helloMsg struct {
+	resync  bool
+	mode    engine.Mode
+	target  uint64 // leader LSN at connect: the initial-sync goal
+	horizon uint64 // leader's committed MVCC horizon at connect
+	snapLSN uint64 // checkpoint LSN that follows (resync only)
+	schema  *db.Schema
+}
+
+func encodeHello(h helloMsg) []byte {
+	var e recEncoder
+	e.byte(msgHello)
+	e.byte(streamVersion)
+	if h.resync {
+		e.byte(1)
+	} else {
+		e.byte(0)
+	}
+	e.byte(byte(h.mode))
+	e.uvarint(h.target)
+	e.uvarint(h.horizon)
+	e.uvarint(h.snapLSN)
+	encodeSchema(&e, h.schema)
+	return e.buf.Bytes()
+}
+
+func decodeHello(d *recDecoder) (helloMsg, error) {
+	var h helloMsg
+	ver, err := d.byte()
+	if err != nil {
+		return h, err
+	}
+	if ver != streamVersion {
+		return h, fmt.Errorf("stream version %d, want %d", ver, streamVersion)
+	}
+	resync, err := d.byte()
+	if err != nil {
+		return h, err
+	}
+	h.resync = resync == 1
+	mode, err := d.byte()
+	if err != nil {
+		return h, err
+	}
+	h.mode = engine.Mode(mode)
+	if h.target, err = d.uvarint(); err != nil {
+		return h, err
+	}
+	if h.horizon, err = d.uvarint(); err != nil {
+		return h, err
+	}
+	if h.snapLSN, err = d.uvarint(); err != nil {
+		return h, err
+	}
+	if h.schema, err = decodeSchema(d); err != nil {
+		return h, err
+	}
+	return h, nil
+}
+
+func encodeStreamRecord(lsn uint64, payload []byte) []byte {
+	var e recEncoder
+	e.byte(msgRecord)
+	e.uvarint(lsn)
+	e.buf.Write(payload)
+	return e.buf.Bytes()
+}
+
+func encodeHeartbeat(lsn, horizon uint64) []byte {
+	var e recEncoder
+	e.byte(msgHeartbeat)
+	e.uvarint(lsn)
+	e.uvarint(horizon)
+	return e.buf.Bytes()
+}
+
+func encodeCkptDone(lsn uint64) []byte {
+	var e recEncoder
+	e.byte(msgCkptDone)
+	e.uvarint(lsn)
+	return e.buf.Bytes()
+}
+
+// frameWriter frames messages onto a transport, flushing after every
+// message when the transport supports it (HTTP response streaming).
+type frameWriter struct {
+	w   io.Writer
+	fl  http.Flusher
+	buf []byte
+}
+
+func (fw *frameWriter) writeMsg(payload []byte) error {
+	fw.buf = appendFrame(fw.buf[:0], payload)
+	if _, err := fw.w.Write(fw.buf); err != nil {
+		return err
+	}
+	if fw.fl != nil {
+		fw.fl.Flush()
+	}
+	return nil
+}
+
+// frameReader reads CRC-checked frames off a transport. Any damage —
+// short read, oversized length, CRC mismatch — is ErrStreamCorrupt;
+// a clean EOF between frames is io.EOF.
+type frameReader struct {
+	r   *bufio.Reader
+	hdr [frameHeaderSize]byte
+}
+
+func newFrameReader(r io.Reader) *frameReader {
+	return &frameReader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+func (fr *frameReader) readMsg() ([]byte, error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: truncated frame header: %v", ErrStreamCorrupt, err)
+	}
+	length := binary.LittleEndian.Uint32(fr.hdr[0:4])
+	sum := binary.LittleEndian.Uint32(fr.hdr[4:8])
+	if length > maxRecordLen {
+		return nil, fmt.Errorf("%w: implausible frame length %d", ErrStreamCorrupt, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		return nil, fmt.Errorf("%w: truncated frame payload: %v", ErrStreamCorrupt, err)
+	}
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, fmt.Errorf("%w: frame CRC mismatch", ErrStreamCorrupt)
+	}
+	return payload, nil
+}
+
+// StreamSource opens one replication stream resuming at from — the
+// follower's transport abstraction. Production followers use
+// HTTPSource; tests wire the leader's ServeStream through an
+// in-process pipe (optionally corrupting it) without a socket.
+type StreamSource func(ctx context.Context, from uint64) (io.ReadCloser, error)
+
+// HTTPSource is a StreamSource dialing a leader's replication endpoint
+// (GET <base>/v1/replication/stream?from=N). client may be nil for
+// http.DefaultClient; the request is expected to stream indefinitely,
+// so the client must not set an overall timeout.
+func HTTPSource(base string, client *http.Client) StreamSource {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return func(ctx context.Context, from uint64) (io.ReadCloser, error) {
+		u, err := url.Parse(base)
+		if err != nil {
+			return nil, err
+		}
+		u.Path = "/v1/replication/stream"
+		u.RawQuery = fmt.Sprintf("from=%d", from)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			return nil, fmt.Errorf("wal: leader answered %s: %s", resp.Status, body)
+		}
+		return resp.Body, nil
+	}
+}

@@ -378,4 +378,3 @@ func TestApplyErrorsAreDeterministic(t *testing.T) {
 	_ = oracle.ApplyTransaction(&bad)
 	requireSameBytes(t, "failed txns", snapshotOf(t, oracle), snapshotOf(t, re))
 }
-
