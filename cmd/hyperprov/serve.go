@@ -155,10 +155,11 @@ func runServe(args []string) error {
 	}
 	stop()
 	logger.Printf("shutting down (grace %v)", *grace)
-	// Replication streams never end on their own and would hold
-	// Shutdown for the whole grace period; cut them first — followers
-	// redial once the leader is back.
-	srv.DrainStreams()
+	// Replication and subscription streams never end on their own and
+	// would hold Shutdown for the whole grace period; cut them first —
+	// followers redial once the leader is back. Close also stops the
+	// subscription manager and uninstalls the engine's commit hook.
+	srv.Close()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {

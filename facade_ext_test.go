@@ -140,7 +140,7 @@ func TestFacadeParallelAndCodec(t *testing.T) {
 		t.Errorf("SpecializeParallel visited %d rows", m)
 	}
 
-	e := hyperprov.MinusOp(hyperprov.ExprVar(hyperprov.TupleAnnot("p1")), hyperprov.ExprVar(hyperprov.QueryAnnot("p")))
+	e := hyperprov.Minus(hyperprov.Var(hyperprov.TupleAnnot("p1")), hyperprov.Var(hyperprov.QueryAnnot("p")))
 	var buf bytes.Buffer
 	if err := hyperprov.WriteExpr(&buf, e); err != nil {
 		t.Fatal(err)

@@ -9,6 +9,7 @@ import (
 	"hyperprov/internal/engine"
 	"hyperprov/internal/parser"
 	"hyperprov/internal/provstore"
+	"hyperprov/internal/subscribe"
 	"hyperprov/internal/upstruct"
 	"hyperprov/internal/wal"
 )
@@ -60,17 +61,6 @@ var (
 	PlusM      = core.PlusM
 	DotM       = core.DotM
 	Sum        = core.Sum
-)
-
-// Deprecated constructor aliases, kept for source compatibility with
-// the pre-Open API.
-var (
-	// Deprecated: use Var.
-	ExprVar = core.Var
-	// Deprecated: use Minus.
-	MinusOp = core.Minus
-	// Deprecated: use Sum.
-	SumOf = core.Sum
 )
 
 // Rewriting: Normalize applies the Figure 6 rules exhaustively
@@ -355,6 +345,61 @@ var (
 	// reconnect and resume from their durably applied position.
 	ErrStreamCorrupt = wal.ErrStreamCorrupt
 )
+
+// --- live subscriptions (internal/subscribe) -----------------------------
+
+// CommitEvent is one message of the engine's change-notification bus:
+// a committed transaction (or restore/minimize/reset), the MVCC
+// horizon it advanced to, and the rows it touched. Install a
+// CommitHook with DB.SetCommitHook to consume the bus directly; hooks
+// run on the committing goroutine and must not block.
+type (
+	CommitEvent = engine.CommitEvent
+	CommitKind  = engine.CommitKind
+	CommitHook  = engine.CommitHook
+	RowRef      = engine.RowRef
+)
+
+// Commit-event kinds.
+const (
+	CommitTxn      = engine.CommitTxn
+	CommitRestore  = engine.CommitRestore
+	CommitMinimize = engine.CommitMinimize
+	CommitReset    = engine.CommitReset
+)
+
+// SubscriptionManager maintains live provenance subscriptions over the
+// commit-event bus: register a deletion-propagation or abort what-if,
+// or an annotation watch, once, and receive exact incremental deltas
+// as transactions commit. SubConn is one client connection (a bounded
+// frame queue), SubSpec the subscription description, SubFrame one
+// streamed message (ack/delta/resync/error). The HTTP surface at
+// /v1/subscribe speaks the same frames as ND-JSON or SSE.
+type (
+	SubscriptionManager = subscribe.Manager
+	SubConn             = subscribe.Conn
+	SubSpec             = subscribe.Spec
+	SubFrame            = subscribe.Frame
+	SubRow              = subscribe.Row
+	SubKind             = subscribe.Kind
+	SubscriptionStats   = subscribe.Stats
+)
+
+// Subscription kinds.
+const (
+	SubDeletion = subscribe.KindDeletion
+	SubAbort    = subscribe.KindAbort
+	SubWatch    = subscribe.KindWatch
+)
+
+// NewSubscriptionManager builds a manager over d and installs its
+// commit hook; call Close to uninstall it. One manager serves any
+// number of connections and subscriptions.
+var NewSubscriptionManager = subscribe.NewManager
+
+// ErrSubscriptionClosed reports a read from a subscription connection
+// whose manager or connection was closed.
+var ErrSubscriptionClosed = subscribe.ErrClosed
 
 // --- Update-Structures (internal/upstruct) ------------------------------
 

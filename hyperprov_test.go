@@ -102,10 +102,10 @@ func TestFacadeExpressionAPI(t *testing.T) {
 	if got, want := n.String(), "p1 - p"; got != want {
 		t.Errorf("Normalize = %q, want %q", got, want)
 	}
-	built := hyperprov.MinusOp(
-		hyperprov.PlusM(hyperprov.ExprVar(hyperprov.TupleAnnot("p1")),
-			hyperprov.DotM(hyperprov.ExprVar(hyperprov.TupleAnnot("p3")), hyperprov.ExprVar(hyperprov.QueryAnnot("p")))),
-		hyperprov.ExprVar(hyperprov.QueryAnnot("p")))
+	built := hyperprov.Minus(
+		hyperprov.PlusM(hyperprov.Var(hyperprov.TupleAnnot("p1")),
+			hyperprov.DotM(hyperprov.Var(hyperprov.TupleAnnot("p3")), hyperprov.Var(hyperprov.QueryAnnot("p")))),
+		hyperprov.Var(hyperprov.QueryAnnot("p")))
 	if !built.Equal(e) {
 		t.Error("constructor-built expression differs from the parsed one")
 	}
@@ -119,7 +119,7 @@ func TestFacadeExpressionAPI(t *testing.T) {
 	if hyperprov.SimplifyZero(hyperprov.PlusM(hyperprov.Zero(), e)) != e {
 		t.Error("SimplifyZero broken through the facade")
 	}
-	if hyperprov.SumOf().Op() != hyperprov.OpZero {
+	if hyperprov.Sum().Op() != hyperprov.OpZero {
 		t.Error("empty sum must be zero")
 	}
 }

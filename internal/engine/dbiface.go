@@ -109,6 +109,13 @@ type DB interface {
 	IndexStats() []IndexInfo
 	PlannerStats() PlannerStats
 
+	// SetCommitHook installs (or, with nil, removes) the change-
+	// notification subscriber: one CommitEvent per committed write
+	// epoch, in epoch order, delivered after the epoch became readable.
+	// See CommitHook for the (non-blocking) contract; internal/subscribe
+	// builds the live-subscription surface on top of this.
+	SetCommitHook(CommitHook)
+
 	MinimizeAll(ctx context.Context) (int64, error)
 }
 

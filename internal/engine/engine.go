@@ -208,6 +208,19 @@ type Engine struct {
 	txnNo   int
 	touched []*row
 
+	// hook, when installed, receives one CommitEvent per committed own
+	// epoch. evRows/evKind/evLabel accumulate the event of the epoch in
+	// flight; collectEv gates the accumulation — set from hook by Begin
+	// and the other own-epoch entry points, or forced on by the sharded
+	// coordinator, which harvests evRows itself (a coordinated shard
+	// never emits: the tracker owns event order then). All of these are
+	// guarded by mu.
+	hook      CommitHook
+	collectEv bool
+	evKind    CommitKind
+	evLabel   string
+	evRows    []RowRef
+
 	// epoch numbers this engine's own write epochs (transactions,
 	// restores, minimization passes) when no sharded coordinator is
 	// driving it; curEpoch is the epoch of the write in flight and
@@ -319,11 +332,31 @@ func (e *Engine) RestoreRow(rel string, t db.Tuple, ann *core.Expr) error {
 	defer e.mu.Unlock()
 	if e.nextSeq == nil {
 		e.beginOwnEpoch()
+		e.beginEvent(CommitRestore, "")
 		err := e.restoreRowLocked(rel, t, ann)
 		e.commitOwnEpoch()
 		return err
 	}
 	return e.restoreRowLocked(rel, t, ann)
+}
+
+// SetCommitHook installs (or, with nil, removes) the commit-event
+// subscriber. At most one hook is installed at a time; see CommitHook
+// for the contract it must honour. SetCommitHook waits for any write
+// in flight under the lock, so every epoch applied after it returns is
+// announced; it must not race the lock-free Begin/Apply/End streaming
+// path (which is single-goroutine by contract anyway).
+func (e *Engine) SetCommitHook(h CommitHook) {
+	e.mu.Lock()
+	e.hook = h
+	e.mu.Unlock()
+}
+
+// beginEvent opens event accumulation for an own epoch.
+func (e *Engine) beginEvent(kind CommitKind, label string) {
+	e.evKind, e.evLabel = kind, label
+	e.evRows = e.evRows[:0]
+	e.collectEv = e.hook != nil
 }
 
 // beginOwnEpoch opens a self-allocated write epoch (no sharded
@@ -338,6 +371,20 @@ func (e *Engine) commitOwnEpoch() {
 	e.ownSeq = false
 	e.visibleSeq.Store(EpochSeq(e.curEpoch))
 	e.hzNote.wake()
+	// The event fires after the horizon advance, so a subscriber reading
+	// At(ev.Seq) observes the committed epoch. Emission runs under the
+	// write lock, which is what serializes events into epoch order.
+	if e.hook != nil && e.collectEv {
+		e.hook(CommitEvent{
+			Epoch: e.curEpoch,
+			Seq:   EpochSeq(e.curEpoch),
+			Kind:  e.evKind,
+			Label: e.evLabel,
+			Rows:  e.evRows,
+		})
+		e.evRows = nil // ownership passed to the hook
+	}
+	e.collectEv = false
 }
 
 func (e *Engine) restoreRowLocked(rel string, t db.Tuple, ann *core.Expr) error {
@@ -376,6 +423,9 @@ func (e *Engine) restoreRowLocked(rel string, t db.Tuple, ann *core.Expr) error 
 	case wasMatchable && !e.matchable(r):
 		e.indexDead(tbl, r)
 	}
+	if e.collectEv {
+		e.evRows = append(e.evRows, RowRef{Rel: rel, Tuple: t})
+	}
 	return nil
 }
 
@@ -396,6 +446,7 @@ func (e *Engine) Begin(label string) {
 	e.cur = core.QueryAnnot(label)
 	e.inTxn = true
 	e.touched = e.touched[:0]
+	e.beginEvent(CommitTxn, label)
 	if e.nextSeq == nil {
 		e.beginOwnEpoch()
 	}
@@ -422,10 +473,15 @@ func (e *Engine) End() {
 	}
 }
 
-func (e *Engine) touch(r *row) {
+func (e *Engine) touch(tbl *table, r *row) {
 	if r.txn != e.txnNo {
 		r.txn = e.txnNo
 		e.touched = append(e.touched, r)
+		if e.collectEv {
+			// Piggybacking on the freeze-tracking dedup keeps each touched
+			// row in the event exactly once per epoch.
+			e.evRows = append(e.evRows, RowRef{Rel: tbl.rel.Name, Tuple: r.tuple})
+		}
 	}
 }
 
@@ -544,7 +600,7 @@ func (e *Engine) applyInsert(tbl *table, u db.Update) {
 		// have been compacted away, so re-register it.
 		e.indexRevive(tbl, r)
 	}
-	e.touch(r)
+	e.touch(tbl, r)
 }
 
 func (e *Engine) applyDelete(tbl *table, u db.Update) {
@@ -568,7 +624,7 @@ func (e *Engine) deleteRow(tbl *table, r *row) {
 	if !e.matchable(r) {
 		e.indexDead(tbl, r)
 	}
-	e.touch(r)
+	e.touch(tbl, r)
 }
 
 // lookupPinned returns the one candidate row of a selection whose
@@ -638,7 +694,7 @@ func (e *Engine) absorbModTarget(tbl *table, g *modGroup, key string, pe *core.E
 	} else if !wasMatchable {
 		e.indexRevive(tbl, r)
 	}
-	e.touch(r)
+	e.touch(tbl, r)
 }
 
 // applyModifySources runs a modification over the given source rows (in
@@ -818,6 +874,7 @@ func (e *Engine) MinimizeAll(ctx context.Context) (int64, error) {
 	defer e.mu.Unlock()
 	if e.nextSeq == nil {
 		e.beginOwnEpoch()
+		e.beginEvent(CommitMinimize, "")
 		n, err := e.minimizeAllLocked(ctx)
 		e.commitOwnEpoch()
 		return n, err
@@ -851,6 +908,9 @@ func (e *Engine) minimizeAllLocked(ctx context.Context) (int64, error) {
 			wasMatchable := e.matchableV(v)
 			nv := e.mutable(r)
 			nv.nf = core.NewNF(m)
+			if e.collectEv {
+				e.evRows = append(e.evRows, RowRef{Rel: name, Tuple: r.tuple})
+			}
 			// Minimization can collapse a zero-equivalent annotation
 			// to syntactic 0, taking the row out of the support.
 			if wasMatchable && !e.matchableV(nv) {

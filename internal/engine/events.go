@@ -1,0 +1,75 @@
+package engine
+
+import "hyperprov/internal/db"
+
+// Commit events are the engine's change-notification bus: every
+// committed write epoch — a transaction, a snapshot restore, a
+// minimization pass — is announced to an installed CommitHook exactly
+// once, in epoch order, immediately after the epoch became visible to
+// readers. Subscribers (internal/subscribe) use the events to maintain
+// registered what-ifs incrementally: Theorem 5.3 locality guarantees a
+// row's normal form depends only on that row's annotation and the query
+// annotation, so re-specializing exactly the rows named by an event
+// reproduces a from-scratch recompute at the event's horizon.
+
+// CommitKind says what kind of write epoch a CommitEvent announces.
+type CommitKind uint8
+
+const (
+	// CommitTxn is a committed transaction (ApplyTransaction / ApplyAll /
+	// ApplyBatch / Begin…End).
+	CommitTxn CommitKind = iota
+	// CommitRestore is a RestoreRow epoch (snapshot loading).
+	CommitRestore
+	// CommitMinimize is a MinimizeAll pass (annotations may have been
+	// rewritten to smaller equivalent forms).
+	CommitMinimize
+	// CommitReset announces that the database identity changed wholesale
+	// (engine swap behind a wal.Store, e.g. a follower resync): Rows is
+	// empty and subscribers must rebuild from scratch at Seq.
+	CommitReset
+)
+
+// String names the kind for logs and frames.
+func (k CommitKind) String() string {
+	switch k {
+	case CommitTxn:
+		return "txn"
+	case CommitRestore:
+		return "restore"
+	case CommitMinimize:
+		return "minimize"
+	case CommitReset:
+		return "reset"
+	default:
+		return "unknown"
+	}
+}
+
+// RowRef names one stored row: the relation and the tuple (the row key
+// is Tuple.Key()).
+type RowRef struct {
+	Rel   string
+	Tuple db.Tuple
+}
+
+// CommitEvent describes one committed write epoch. Rows lists every row
+// the epoch touched (created, annotated, deleted or rewritten), each at
+// most once; reading the database At(Seq) observes exactly the state
+// the event describes. Events arrive in strictly increasing Epoch
+// order per engine (followers renumber epochs from their own bootstrap,
+// so epoch values are engine-local).
+type CommitEvent struct {
+	Epoch uint64
+	Seq   uint64 // EpochSeq(Epoch): pass to DB.At to pin the post-event state
+	Kind  CommitKind
+	Label string // transaction label (CommitTxn only)
+	Rows  []RowRef
+}
+
+// CommitHook receives commit events. Hooks run on the committing
+// goroutine with engine-internal locks held: they must return quickly
+// and must never block or call back into the engine's write path
+// (reads are fine — they are lock-free). A hook that needs to do real
+// work hands the event to its own goroutine (see subscribe.Manager).
+type CommitHook func(CommitEvent)

@@ -184,6 +184,13 @@ type epochTracker struct {
 	low     uint64 // epochs 1..low have all committed
 	horizon atomic.Uint64
 	note    horizonNote
+
+	// emit, when set, is called under mu for every epoch the horizon
+	// newly covers, in increasing epoch order and after the horizon
+	// store — the in-order commit-event edge of the sharded engine,
+	// whose workers otherwise finish out of dispatch order. It must not
+	// block (see CommitHook).
+	emit func(epoch uint64)
 }
 
 func (t *epochTracker) init() {
@@ -198,6 +205,7 @@ func (t *epochTracker) commit(epoch uint64) {
 		t.mu.Unlock()
 		return
 	}
+	from := t.low
 	t.low++
 	for {
 		if _, ok := t.done[t.low+1]; !ok {
@@ -207,6 +215,11 @@ func (t *epochTracker) commit(epoch uint64) {
 		t.low++
 	}
 	t.horizon.Store(EpochSeq(t.low))
+	if t.emit != nil {
+		for k := from + 1; k <= t.low; k++ {
+			t.emit(k)
+		}
+	}
 	t.mu.Unlock()
 	t.note.wake()
 }

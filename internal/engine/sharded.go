@@ -61,6 +61,17 @@ type ShardedEngine struct {
 	// read horizon (see mvcc.go).
 	tracker epochTracker
 
+	// hook is the commit-event subscriber. Executing workers stash each
+	// epoch's event in pending (keyed by epoch) before committing the
+	// epoch to the tracker; the tracker's emit callback then delivers
+	// events in epoch order as the horizon advances. An epoch with no
+	// stashed event (a transaction skipped after a batch failure, or one
+	// applied while no hook was installed) emits as an empty CommitTxn so
+	// subscribers still see every epoch.
+	hook    atomic.Pointer[CommitHook]
+	pendMu  sync.Mutex
+	pending map[uint64]*CommitEvent
+
 	routedTxns     atomic.Uint64 // pinned to a single shard
 	rendezvousTxns atomic.Uint64 // pinned, spanning several shards
 	fanoutTxns     atomic.Uint64 // evaluated against every shard
@@ -76,6 +87,7 @@ func NewSharded(mode Mode, initial *db.Database, opts ...Option) *ShardedEngine 
 	schema := initial.Schema()
 	se := &ShardedEngine{mode: mode, schema: schema}
 	se.tracker.init()
+	se.tracker.emit = se.emitEpoch
 	for i := 0; i < cfg.shards; i++ {
 		se.shards = append(se.shards, newShell(mode, schema, cfg))
 	}
@@ -111,6 +123,52 @@ func (se *ShardedEngine) NumShards() int { return len(se.shards) }
 
 func (se *ShardedEngine) shardForKey(key string) *Engine {
 	return se.shards[db.ShardOf(key, len(se.shards))]
+}
+
+// SetCommitHook installs (or, with nil, removes) the commit-event
+// subscriber; see CommitHook for the contract.
+func (se *ShardedEngine) SetCommitHook(h CommitHook) {
+	if h == nil {
+		se.hook.Store(nil)
+		return
+	}
+	se.hook.Store(&h)
+}
+
+// stashEvent parks a completed epoch's event until the tracker's
+// horizon covers the epoch (emitEpoch delivers it then, in order).
+func (se *ShardedEngine) stashEvent(epoch uint64, ev CommitEvent) {
+	se.pendMu.Lock()
+	if se.pending == nil {
+		se.pending = make(map[uint64]*CommitEvent)
+	}
+	se.pending[epoch] = &ev
+	se.pendMu.Unlock()
+}
+
+// emitEpoch delivers one epoch's commit event. Called by the tracker
+// under its mutex, strictly in epoch order, after the horizon store —
+// so a subscriber reading At(ev.Seq) observes the committed epoch.
+func (se *ShardedEngine) emitEpoch(epoch uint64) {
+	se.pendMu.Lock()
+	ev, ok := se.pending[epoch]
+	delete(se.pending, epoch)
+	se.pendMu.Unlock()
+	hp := se.hook.Load()
+	if hp == nil {
+		return
+	}
+	if !ok {
+		// No stashed event: the epoch executed before the hook was
+		// installed (install races an in-flight apply). Announce it as a
+		// reset — the subscriber rebuilds from the horizon, which covers
+		// the epoch — rather than as an empty transaction that would
+		// silently skip its rows. (Epochs skipped after a batch failure
+		// stash an explicit empty event and never take this path.)
+		ev = &CommitEvent{Epoch: epoch, Kind: CommitReset}
+	}
+	ev.Seq = EpochSeq(epoch)
+	(*hp)(*ev)
 }
 
 // lockShards/unlockShards take the write locks of a sorted shard set in
@@ -178,11 +236,16 @@ func (se *ShardedEngine) execLocked(t *db.Transaction, shards []int, epoch uint6
 		local++
 		return s
 	}
+	collect := se.hook.Load() != nil
 	for _, si := range shards {
 		sh := se.shards[si]
 		sh.nextSeq = next
 		sh.curEpoch = epoch
 		sh.Begin(t.Label)
+		// Shards have no hook of their own; the coordinator forces event
+		// collection (after Begin, which reset evRows) and harvests the
+		// per-shard refs below, while the locks are still held.
+		sh.collectEv = collect
 	}
 	var err error
 	for i := range t.Updates {
@@ -191,10 +254,19 @@ func (se *ShardedEngine) execLocked(t *db.Transaction, shards []int, epoch uint6
 			break
 		}
 	}
+	var rows []RowRef
 	for _, si := range shards {
 		sh := se.shards[si]
 		sh.End()
 		sh.nextSeq = nil
+		if collect {
+			rows = append(rows, sh.evRows...)
+			sh.evRows = sh.evRows[:0]
+			sh.collectEv = false
+		}
+	}
+	if collect {
+		se.stashEvent(epoch, CommitEvent{Epoch: epoch, Kind: CommitTxn, Label: t.Label, Rows: rows})
 	}
 	return err
 }
@@ -477,6 +549,9 @@ func (se *ShardedEngine) ApplyBatch(ctx context.Context, txns []db.Transaction) 
 					// Skipped tasks still commit their epoch: the horizon
 					// must not stall behind an epoch that will never run.
 					if failed() {
+						if se.hook.Load() != nil {
+							se.stashEvent(tk.epoch, CommitEvent{Epoch: tk.epoch, Kind: CommitTxn})
+						}
 						se.tracker.commit(tk.epoch)
 						continue
 					}
@@ -507,6 +582,8 @@ func (se *ShardedEngine) ApplyBatch(ctx context.Context, txns []db.Transaction) 
 					} else {
 						bt.complete(tk.idx)
 					}
+				} else if se.hook.Load() != nil {
+					se.stashEvent(tk.epoch, CommitEvent{Epoch: tk.epoch, Kind: CommitTxn})
 				}
 				se.tracker.commit(tk.epoch)
 				close(tk.done)
@@ -549,13 +626,27 @@ func (se *ShardedEngine) ApplyBatch(ctx context.Context, txns []db.Transaction) 
 // epoch, committed to the tracker like a transaction.
 func (se *ShardedEngine) RestoreRow(rel string, t db.Tuple, ann *core.Expr) error {
 	sh := se.shardForKey(t.Key())
+	collect := se.hook.Load() != nil
 	epoch := se.epoch.Add(1)
 	sh.mu.Lock()
 	sh.nextSeq = func() uint64 { return epoch << 32 }
 	sh.curEpoch = epoch
+	if collect {
+		sh.evRows = sh.evRows[:0]
+		sh.collectEv = true
+	}
 	err := sh.restoreRowLocked(rel, t, ann)
+	var rows []RowRef
+	if collect {
+		rows = append(rows, sh.evRows...)
+		sh.evRows = sh.evRows[:0]
+		sh.collectEv = false
+	}
 	sh.nextSeq = nil
 	sh.mu.Unlock()
+	if collect {
+		se.stashEvent(epoch, CommitEvent{Epoch: epoch, Kind: CommitRestore, Rows: rows})
+	}
 	se.tracker.commit(epoch)
 	return err
 }
@@ -834,6 +925,7 @@ func (se *ShardedEngine) ProvDAGSize() int64 { return se.provDAGSizeAt(se.Horizo
 // history. The per-shard sizes merge by summation — deterministic
 // regardless of completion order.
 func (se *ShardedEngine) MinimizeAll(ctx context.Context) (int64, error) {
+	collect := se.hook.Load() != nil
 	epoch := se.epoch.Add(1)
 	se.lockShards(se.all)
 	errs := make([]error, len(se.shards))
@@ -841,6 +933,10 @@ func (se *ShardedEngine) MinimizeAll(ctx context.Context) (int64, error) {
 	var wg sync.WaitGroup
 	for i, sh := range se.shards {
 		sh.curEpoch = epoch
+		if collect {
+			sh.evRows = sh.evRows[:0]
+			sh.collectEv = true
+		}
 		wg.Add(1)
 		go func(i int, sh *Engine) {
 			defer wg.Done()
@@ -848,6 +944,15 @@ func (se *ShardedEngine) MinimizeAll(ctx context.Context) (int64, error) {
 		}(i, sh)
 	}
 	wg.Wait()
+	if collect {
+		var rows []RowRef
+		for _, sh := range se.shards {
+			rows = append(rows, sh.evRows...)
+			sh.evRows = sh.evRows[:0]
+			sh.collectEv = false
+		}
+		se.stashEvent(epoch, CommitEvent{Epoch: epoch, Kind: CommitMinimize, Rows: rows})
+	}
 	se.unlockShards(se.all)
 	se.tracker.commit(epoch)
 	var n int64

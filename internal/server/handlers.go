@@ -2,11 +2,8 @@ package server
 
 import (
 	"context"
-	"fmt"
 	"io"
 	"net/http"
-	"runtime"
-	"strconv"
 	"time"
 
 	"hyperprov/internal/core"
@@ -67,14 +64,10 @@ func (s *Server) handleReplicationStream(w http.ResponseWriter, req *http.Reques
 		writeError(w, http.StatusConflict, codeNotPersistent, "replication needs a persistent leader store")
 		return
 	}
-	var from uint64
-	if v := req.URL.Query().Get("from"); v != "" {
-		n, err := strconv.ParseUint(v, 10, 64)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, codeBadRequest, "from parameter %q is not an LSN", v)
-			return
-		}
-		from = n
+	from, _, err := uintQuery(req, "from", "an LSN")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
+		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	// The stream runs until the follower disconnects or DrainStreams
@@ -133,64 +126,6 @@ func (s *Server) handleSchema(w http.ResponseWriter, req *http.Request) {
 		rels = append(rels, rj)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"mode": e.Mode().String(), "relations": rels})
-}
-
-// handleStats reports the engine's size measures: provSize is the
-// paper's per-occurrence tree count (Fig. 7b/8b), provDagSize the
-// number of distinct hash-consed nodes backing this engine's
-// annotations (the memory actually held), and the intern* fields are
-// the process-global intern table counters. The mvcc* fields report
-// the committed read horizon (what a reader entering now would pin)
-// and version-storage volume; engineGeneration counts snapshot-load
-// swaps (see Server.EngineGeneration).
-func (s *Server) handleStats(w http.ResponseWriter, req *http.Request) {
-	e := s.Engine()
-	ist := core.InternStats()
-	ms := e.MVCCStats()
-	stats := map[string]any{
-		"mode":             e.Mode().String(),
-		"rows":             e.NumRows(),
-		"support":          e.SupportSize(),
-		"provSize":         e.ProvSize(),
-		"provDagSize":      e.ProvDAGSize(),
-		"internNodes":      ist.Nodes,
-		"internHits":       ist.Hits,
-		"internMisses":     ist.Misses,
-		"engineGeneration": s.EngineGeneration(),
-		"mvccHorizonEpoch": ms.HorizonEpoch,
-		"mvccHorizonSeq":   ms.HorizonSeq,
-		"mvccEpochs":       ms.Epochs,
-		"mvccVersions":     ms.Versions,
-	}
-	ps := e.PlannerStats()
-	stats["plannerFullScans"] = ps.FullScans
-	stats["plannerIndexScans"] = ps.IndexScans
-	stats["plannerIntersectScans"] = ps.IntersectScans
-	stats["plannerAutoBuilds"] = ps.AutoBuilds
-	stats["plannerCompactions"] = ps.Compactions
-	stats["indexes"] = len(e.IndexStats())
-	// A persistent store wraps the real engine: report its durability
-	// counters and look through it for the sharding gauges. A follower
-	// adds its replication-lag section on top.
-	inner := e
-	if ws, ok := e.(*wal.Store); ok {
-		stats["wal"] = ws.Stats()
-		inner = ws.Underlying()
-	}
-	if fl, ok := e.(*wal.Follower); ok {
-		stats["wal"] = fl.WALStats()
-		stats["replication"] = fl.ReplicaStats()
-		inner = fl.Underlying()
-	}
-	if se, ok := inner.(*engine.ShardedEngine); ok {
-		st := se.Stats()
-		stats["shards"] = st.Shards
-		stats["shardRouted"] = st.Routed
-		stats["shardRendezvous"] = st.Rendezvous
-		stats["shardFanout"] = st.FanOut
-		stats["rowsPerShard"] = st.RowsPerShard
-	}
-	writeJSON(w, http.StatusOK, stats)
 }
 
 // handleIndexList reports every secondary index with its posting-list
@@ -272,12 +207,10 @@ const minEpochWait = time.Second
 // the fence is satisfied immediately.
 func (s *Server) asOfReader(w http.ResponseWriter, req *http.Request) (engine.Reader, bool) {
 	e := s.Engine()
-	if v := req.URL.Query().Get("min_epoch"); v != "" {
-		n, err := strconv.ParseUint(v, 10, 64)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, codeBadRequest, "min_epoch parameter %q is not an epoch number", v)
-			return nil, false
-		}
+	if n, present, err := uintQuery(req, "min_epoch", "an epoch number"); err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
+		return nil, false
+	} else if present {
 		seq := engine.EpochSeq(n)
 		if e.Horizon() < seq {
 			ctx, cancel := context.WithTimeout(req.Context(), minEpochWait)
@@ -289,14 +222,13 @@ func (s *Server) asOfReader(w http.ResponseWriter, req *http.Request) (engine.Re
 			return nil, false
 		}
 	}
-	v := req.URL.Query().Get("as_of")
-	if v == "" {
-		return e, true
-	}
-	n, err := strconv.ParseUint(v, 10, 64)
+	n, present, err := uintQuery(req, "as_of", "an epoch number")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, "as_of parameter %q is not an epoch number", v)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 		return nil, false
+	}
+	if !present {
+		return e, true
 	}
 	if h := engine.SeqEpoch(e.Horizon()); n > h {
 		writeError(w, http.StatusBadRequest, codeBadRequest, "as_of epoch %d is beyond the committed horizon epoch %d", n, h)
@@ -379,28 +311,6 @@ func annotNames(as []core.Annot) []string {
 		out[i] = a.Name
 	}
 	return out
-}
-
-// workersParam parses the optional ?workers= query parameter. A
-// non-numeric value is an error (the caller answers 400); numeric
-// values are clamped to [1, 4×GOMAXPROCS] so a client cannot request an
-// absurd goroutine count; absent means 0 (GOMAXPROCS).
-func workersParam(req *http.Request) (int, error) {
-	v := req.URL.Query().Get("workers")
-	if v == "" {
-		return 0, nil // GOMAXPROCS
-	}
-	n, err := strconv.Atoi(v)
-	if err != nil {
-		return 0, fmt.Errorf("workers parameter %q is not an integer", v)
-	}
-	if n < 1 {
-		n = 1
-	}
-	if limit := 4 * runtime.GOMAXPROCS(0); n > limit {
-		n = limit
-	}
-	return n, nil
 }
 
 // restrictParallel runs the Boolean-valuation materialization shared by
@@ -596,12 +506,10 @@ func (s *Server) handleSnapshotLoad(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	var opts []engine.Option
-	if v := req.URL.Query().Get("shards"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 1 {
-			writeError(w, http.StatusBadRequest, codeBadRequest, "shards parameter %q is not a positive integer", v)
-			return
-		}
+	if n, present, err := posIntQuery(req, "shards", "a positive integer"); err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
+		return
+	} else if present {
 		opts = append(opts, engine.WithShards(n))
 	}
 	req.Body = http.MaxBytesReader(w, req.Body, maxBodyBytes)

@@ -41,6 +41,8 @@ const (
 	codeFollower         = "follower"
 	codeSyncing          = "syncing"
 	codeReplicaLagging   = "replica_lagging"
+	codeMethodNotAllowed = "method_not_allowed"
+	codeUnknownRoute     = "unknown_route"
 )
 
 // timeoutBody is the body http.TimeoutHandler serves on deadline; it

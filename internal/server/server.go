@@ -5,10 +5,13 @@ import (
 	"expvar"
 	"log"
 	"net/http"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"hyperprov/internal/engine"
+	"hyperprov/internal/subscribe"
 	"hyperprov/internal/wal"
 )
 
@@ -42,11 +45,17 @@ type Server struct {
 	handler http.Handler
 	logf    func(format string, args ...any)
 
+	// subs maintains the live provenance subscriptions served at
+	// /v1/subscribe, fed by the engine's commit-event bus. Snapshot
+	// loads rebind it to the new engine (see setEngine).
+	subs *subscribe.Manager
+
 	// drainCtx is canceled by DrainStreams to end the long-lived
-	// replication stream responses, which would otherwise hold
-	// http.Server.Shutdown for the whole grace period.
+	// replication and subscription stream responses, which would
+	// otherwise hold http.Server.Shutdown for the whole grace period.
 	drainCtx    context.Context
 	drainCancel context.CancelFunc
+	closeOnce   sync.Once
 }
 
 // Option configures a Server.
@@ -68,6 +77,7 @@ func New(eng engine.DB, opts ...Option) *Server {
 	s := &Server{metrics: newMetrics(), timeout: DefaultTimeout, logf: log.Printf}
 	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
 	s.eng.Store(&engineRef{db: eng, gen: 1})
+	s.subs = subscribe.NewManager(eng)
 	for _, o := range opts {
 		o(s)
 	}
@@ -92,8 +102,18 @@ func New(eng engine.DB, opts ...Option) *Server {
 		}
 		return nil
 	}))
+	// methodsByPath records every registered route so the fallback can
+	// distinguish a wrong method on a known path (405 + Allow) from an
+	// unknown path (404), both through the typed error envelope.
+	methodsByPath := map[string][]string{}
+	register := func(pattern string) {
+		if method, path, ok := strings.Cut(pattern, " "); ok {
+			methodsByPath[path] = append(methodsByPath[path], method)
+		}
+	}
 	mux := http.NewServeMux()
 	route := func(name, pattern string, h http.HandlerFunc) {
+		register(pattern)
 		mux.Handle(pattern, s.metrics.instrument(name, h))
 	}
 	route("healthz", "GET /healthz", s.handleHealthz)
@@ -111,7 +131,9 @@ func New(eng engine.DB, opts ...Option) *Server {
 	route("snapshot_save", "GET /v1/snapshot", s.handleSnapshotSave)
 	route("snapshot_load", "POST /v1/snapshot", s.handleSnapshotLoad)
 	route("checkpoint", "POST /v1/checkpoint", s.handleCheckpoint)
+	register("GET /v1/metrics")
 	mux.HandleFunc("GET /v1/metrics", s.metrics.serveHTTP)
+	register("GET /debug/vars")
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	// Panic recovery sits inside the timeout handler so a panicking
 	// endpoint answers a typed 500 rather than an empty reply; the
@@ -120,17 +142,43 @@ func New(eng engine.DB, opts ...Option) *Server {
 	if s.timeout > 0 {
 		inner = http.TimeoutHandler(inner, s.timeout, timeoutBody)
 	}
-	// The replication stream is a long-lived flushed response, so it
-	// mounts outside the timeout handler (which buffers bodies and would
-	// both break flushing and kill the stream at the deadline). It gets
-	// its own panic recovery and a plain request counter; the
-	// statusRecorder wrapper is skipped because it hides http.Flusher.
+	// The replication and subscription streams are long-lived flushed
+	// responses, so they mount outside the timeout handler (which
+	// buffers bodies and would both break flushing and kill the stream
+	// at the deadline). They get their own panic recovery and a plain
+	// request counter; the statusRecorder wrapper is skipped because it
+	// hides http.Flusher.
 	root := http.NewServeMux()
+	register("GET /v1/replication/stream")
 	root.Handle("GET /v1/replication/stream", s.recoverPanics(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		s.metrics.m.Add("replication_stream.requests", 1)
 		s.handleReplicationStream(w, req)
 	})))
-	root.Handle("/", inner)
+	subscribeHandler := s.recoverPanics(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		s.metrics.m.Add("subscribe.requests", 1)
+		s.handleSubscribe(w, req)
+	}))
+	register("GET /v1/subscribe")
+	root.Handle("GET /v1/subscribe", subscribeHandler)
+	register("POST /v1/subscribe")
+	root.Handle("POST /v1/subscribe", subscribeHandler)
+	// The fallback settles routing for everything the stream routes did
+	// not claim: requests matching an inner-mux pattern go through the
+	// timeout/panic chain; the rest answer a typed envelope — 405 with
+	// an Allow header when the path exists under other methods, 404
+	// otherwise (Go's mux would answer both as bare text).
+	root.Handle("/", http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if _, pattern := mux.Handler(req); pattern != "" {
+			inner.ServeHTTP(w, req)
+			return
+		}
+		if allow, known := methodsByPath[req.URL.Path]; known {
+			w.Header().Set("Allow", strings.Join(allow, ", "))
+			writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "method %s is not allowed for %s", req.Method, req.URL.Path)
+			return
+		}
+		writeError(w, http.StatusNotFound, codeUnknownRoute, "unknown route %s", req.URL.Path)
+	}))
 	s.handler = root
 	return s
 }
@@ -148,6 +196,23 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // reconnect on their own once the leader is back.
 func (s *Server) DrainStreams() { s.drainCancel() }
 
+// Close releases the server's background resources: it drains the
+// stream responses and shuts down the subscription manager (stopping
+// its dispatcher and uninstalling the engine's commit hook). The
+// HTTP handler keeps answering plain requests afterwards; call this
+// during process shutdown, after (or instead of) DrainStreams.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.drainCancel()
+		s.subs.Close()
+	})
+}
+
+// Subscriptions exposes the live-subscription manager, for process
+// embedders that want programmatic subscriptions next to the HTTP
+// surface.
+func (s *Server) Subscriptions() *subscribe.Manager { return s.subs }
+
 // Engine returns the currently served engine. Lock-free: callers that
 // need a consistent engine across several calls must capture the
 // result once (handlers do, at entry) rather than call Engine
@@ -163,6 +228,10 @@ func (s *Server) setEngine(e engine.DB) {
 	for {
 		old := s.eng.Load()
 		if s.eng.CompareAndSwap(old, &engineRef{db: e, gen: old.gen + 1}) {
+			// Move the subscription manager with the served engine: live
+			// subscriptions rebuild against the new state and their
+			// clients resync, instead of going silent on the old engine.
+			s.subs.Rebind(e)
 			return
 		}
 	}

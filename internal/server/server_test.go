@@ -37,9 +37,9 @@ func figure1Engine(t *testing.T, mode engine.Mode) *engine.Engine {
 		}
 	}
 	names := map[string]string{
-		"s18:Kids mnt bike|s5:Sport|i120":      "p1",
+		"s13:Kids mnt bike|s5:Sport|i120":      "p1",
 		"s13:Tennis Racket|s5:Sport|i70":       "p2",
-		"s18:Kids mnt bike|s4:Kids|i120":       "p3",
+		"s13:Kids mnt bike|s4:Kids|i120":       "p3",
 		"s17:Children sneakers|s7:Fashion|i40": "p4",
 	}
 	return engine.New(mode, d, engine.WithInitialAnnotations(func(rel string, tp db.Tuple) core.Annot {

@@ -1,0 +1,583 @@
+package subscribe
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hyperprov/internal/db"
+	"hyperprov/internal/engine"
+)
+
+// ErrClosed reports a read from a connection whose manager or connection
+// was closed.
+var ErrClosed = errors.New("subscribe: connection closed")
+
+// Frame is one message of the streaming protocol, in the JSON shape the
+// /v1/subscribe surface writes verbatim (ND-JSON lines or SSE data
+// payloads).
+//
+//   - "ack": a subscription was registered; Rows is its initial state at
+//     Epoch. Every later frame for the ID reflects commits after Epoch.
+//   - "delta": one committed transaction moved the subscription;
+//     Added/Removed/Changed list the member rows that entered, left, or
+//     (watches only) changed annotation.
+//   - "resync": the client's copy went stale — the server dropped at
+//     least one frame rather than block the write path — and Rows is the
+//     full state at Epoch, replacing everything previously received.
+//   - "error": terminal failure for the ID (or the whole stream when ID
+//     is empty).
+type Frame struct {
+	Type    string `json:"type"`
+	ID      string `json:"id,omitempty"`
+	Kind    Kind   `json:"kind,omitempty"`
+	Epoch   uint64 `json:"epoch"`
+	Label   string `json:"label,omitempty"`
+	Rows    []Row  `json:"rows,omitempty"`
+	Added   []Row  `json:"added,omitempty"`
+	Removed []Row  `json:"removed,omitempty"`
+	Changed []Row  `json:"changed,omitempty"`
+	Code    string `json:"code,omitempty"`
+	Message string `json:"message,omitempty"`
+}
+
+// Row is one member row in a frame.
+type Row struct {
+	Rel   string `json:"rel"`
+	Tuple []any  `json:"tuple"`
+	// Annotation is the row's provenance rendering (watch subscriptions
+	// only).
+	Annotation string `json:"annotation,omitempty"`
+}
+
+// item is one unit of dispatcher work: a commit event tagged with the
+// engine that produced it, or a sync barrier.
+type item struct {
+	src  engine.DB
+	ev   engine.CommitEvent
+	sync chan struct{}
+}
+
+// Manager maintains every live subscription against one engine.DB. It
+// consumes the engine's commit-event bus on a dedicated dispatcher
+// goroutine: the commit hook only enqueues onto a bounded channel (or,
+// on overflow, sets a lost flag and drops — the write path is never
+// blocked), and the dispatcher folds events into subscription states
+// and fans frames out to connections. A connection that does not keep
+// up loses frames, not correctness: its subscription is flagged for
+// resync and the next read returns a full snapshot.
+type Manager struct {
+	mu    sync.Mutex
+	d     engine.DB
+	relIx map[string]int
+	subs  []*sub
+	conns map[*Conn]struct{}
+	seq   int // auto-ID counter
+
+	items  chan item
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	closed bool
+
+	// lost is set when the bounded queue overflowed: at least one event
+	// was dropped, so every subscription state is suspect. The
+	// dispatcher repairs by rebuilding all states from the live horizon
+	// (exact — the horizon covers every dropped event).
+	lost atomic.Bool
+
+	nsubs    atomic.Int64
+	lastSeq  atomic.Uint64 // newest horizon the dispatcher has folded in
+	events   atomic.Uint64
+	qdrops   atomic.Uint64
+	deltas   atomic.Uint64
+	fanout   atomic.Uint64
+	cdrops   atomic.Uint64
+	resyncs  atomic.Uint64
+	rebuilds atomic.Uint64
+}
+
+// queueDepth bounds the hook→dispatcher channel; overflow costs a
+// rebuild, not a stall.
+const queueDepth = 256
+
+// defaultConnBuffer bounds a connection's frame queue when Attach is
+// given a non-positive buffer.
+const defaultConnBuffer = 64
+
+// NewManager builds a manager over d and installs its commit hook.
+// Close must be called to uninstall it and stop the dispatcher.
+func NewManager(d engine.DB) *Manager {
+	m := &Manager{
+		d:     d,
+		relIx: relIndex(d.Schema()),
+		conns: make(map[*Conn]struct{}),
+		items: make(chan item, queueDepth),
+		stop:  make(chan struct{}),
+	}
+	m.lastSeq.Store(d.Horizon())
+	m.wg.Add(1)
+	go m.dispatch()
+	d.SetCommitHook(m.hookFor(d))
+	return m
+}
+
+// hookFor tags events with the engine that produced them, so events
+// from an engine replaced by Rebind are recognized and dropped.
+func (m *Manager) hookFor(src engine.DB) engine.CommitHook {
+	return func(ev engine.CommitEvent) { m.onCommit(src, ev) }
+}
+
+// onCommit runs on the committing goroutine with engine locks held: it
+// must never block. Overflow drops the event and flags a rebuild.
+func (m *Manager) onCommit(src engine.DB, ev engine.CommitEvent) {
+	m.events.Add(1)
+	if m.nsubs.Load() == 0 && ev.Kind != engine.CommitReset {
+		// No subscriptions: just track the horizon; nothing to fold.
+		m.storeLastSeq(ev.Seq)
+		return
+	}
+	select {
+	case m.items <- item{src: src, ev: ev}:
+	default:
+		m.qdrops.Add(1)
+		m.lost.Store(true)
+	}
+}
+
+// storeLastSeq advances lastSeq monotonically (sharded engines may
+// report an epoch after a tracker batch already covered it).
+func (m *Manager) storeLastSeq(seq uint64) {
+	for {
+		cur := m.lastSeq.Load()
+		if seq <= cur || m.lastSeq.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+func (m *Manager) dispatch() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case it := <-m.items:
+			if it.sync != nil {
+				if m.lost.Swap(false) {
+					m.rebuild()
+				}
+				close(it.sync)
+				continue
+			}
+			if m.lost.Swap(false) {
+				// The rebuild horizon covers this event too; skip it.
+				m.rebuild()
+				continue
+			}
+			if it.ev.Kind == engine.CommitReset {
+				m.rebuild()
+				continue
+			}
+			m.applyEvent(it.src, it.ev)
+		}
+	}
+}
+
+// applyEvent folds one commit into every subscription at the event's
+// own horizon, so a burst of commits yields one exact delta per commit
+// rather than a merged diff.
+func (m *Manager) applyEvent(src engine.DB, ev engine.CommitEvent) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if src != m.d {
+		return // stale engine, already rebound away from
+	}
+	m.storeLastSeq(ev.Seq)
+	if len(m.subs) == 0 {
+		return
+	}
+	v := m.d.At(ev.Seq)
+	for _, s := range m.subs {
+		if ev.Seq <= s.since {
+			continue
+		}
+		d, n := s.apply(v, ev)
+		m.fanout.Add(n)
+		s.since = ev.Seq
+		if d == nil {
+			continue
+		}
+		m.deltas.Add(1)
+		if s.needResync {
+			continue // the pending snapshot will include this delta
+		}
+		f := Frame{
+			Type:    "delta",
+			ID:      s.spec.ID,
+			Kind:    s.spec.Kind,
+			Epoch:   ev.Epoch,
+			Label:   ev.Label,
+			Added:   m.rowsLocked(d.added),
+			Removed: m.rowsLocked(d.removed),
+			Changed: m.rowsLocked(d.changed),
+		}
+		if !s.conn.trySend(f) {
+			s.needResync = true
+			m.cdrops.Add(1)
+			s.conn.poke()
+		}
+	}
+}
+
+// rebuild re-primes every subscription from scratch at the live
+// horizon and flags all of them for resync. Called after a queue
+// overflow, an engine swap (CommitReset), or a Rebind.
+func (m *Manager) rebuild() {
+	m.rebuilds.Add(1)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.relIx = relIndex(m.d.Schema())
+	h := m.d.Horizon()
+	v := m.d.At(h)
+	for _, s := range m.subs {
+		s.prime(v)
+		s.since = h
+		s.needResync = true
+		s.conn.poke()
+	}
+	m.storeLastSeq(h)
+}
+
+// rowsLocked renders entries as frame rows in canonical order; callers
+// hold m.mu (for relIx).
+func (m *Manager) rowsLocked(es []*entry) []Row {
+	if len(es) == 0 {
+		return nil
+	}
+	sortEntries(es, m.relIx)
+	out := make([]Row, len(es))
+	for i, e := range es {
+		out[i] = Row{Rel: e.rel, Tuple: tupleJSON(e.tuple), Annotation: e.ann}
+	}
+	return out
+}
+
+func tupleJSON(t db.Tuple) []any {
+	out := make([]any, len(t))
+	for i, v := range t {
+		switch v.Kind() {
+		case db.KindString:
+			out[i] = v.Str()
+		case db.KindInt:
+			out[i] = v.Int()
+		case db.KindFloat:
+			out[i] = v.Float()
+		}
+	}
+	return out
+}
+
+// Sync blocks until the dispatcher has folded in every event enqueued
+// before the call (repairing any overflow first). Tests use it as a
+// barrier between ApplyAll and state assertions.
+func (m *Manager) Sync() {
+	ch := make(chan struct{})
+	select {
+	case m.items <- item{sync: ch}:
+	case <-m.stop:
+		return
+	}
+	select {
+	case <-ch:
+	case <-m.stop:
+	}
+}
+
+// Rebind switches the manager to a new engine (the snapshot-load path
+// replaces the server's engine wholesale): the old engine's hook is
+// removed, the new engine's installed, and every subscription is
+// rebuilt against the new engine. Events still in flight from the old
+// engine are dropped by source tag.
+func (m *Manager) Rebind(d engine.DB) {
+	m.mu.Lock()
+	if m.closed || d == m.d {
+		m.mu.Unlock()
+		return
+	}
+	old := m.d
+	m.d = d
+	m.mu.Unlock()
+	old.SetCommitHook(nil)
+	d.SetCommitHook(m.hookFor(d))
+	// Force a rebuild even if no further commits arrive on d. Blocking
+	// send is fine here: Rebind runs on a server goroutine, not the
+	// commit path, and the dispatcher always drains.
+	select {
+	case m.items <- item{src: d, ev: engine.CommitEvent{Kind: engine.CommitReset}}:
+	case <-m.stop:
+	}
+}
+
+// Close uninstalls the hook, stops the dispatcher and closes every
+// connection. Idempotent.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	d := m.d
+	conns := make([]*Conn, 0, len(m.conns))
+	for c := range m.conns {
+		conns = append(conns, c)
+	}
+	m.mu.Unlock()
+	d.SetCommitHook(nil)
+	close(m.stop)
+	m.wg.Wait()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Stats is the subscriptions section of /v1/stats. Field names are
+// stable (documented in DESIGN.md).
+type Stats struct {
+	// Subscriptions and Connections are the live registration counts.
+	Subscriptions int `json:"subscriptions"`
+	Connections   int `json:"connections"`
+	// Events counts commit events the engine delivered to the hook;
+	// EventDrops counts those dropped on queue overflow (each costing
+	// one rebuild, never a write-path stall).
+	Events     uint64 `json:"events"`
+	EventDrops uint64 `json:"eventDrops"`
+	// Deltas counts non-empty per-subscription deltas produced; Fanout
+	// counts row re-specializations performed across all subscriptions.
+	Deltas uint64 `json:"deltas"`
+	Fanout uint64 `json:"fanout"`
+	// FrameDrops counts frames dropped on slow connections, Resyncs the
+	// snapshot frames served to repair them, Rebuilds the from-scratch
+	// re-primes (overflow, engine swap, rebind).
+	FrameDrops uint64 `json:"frameDrops"`
+	Resyncs    uint64 `json:"resyncs"`
+	Rebuilds   uint64 `json:"rebuilds"`
+	// LagEpochs is how many committed epochs the dispatcher has not yet
+	// folded into subscription states.
+	LagEpochs uint64 `json:"lagEpochs"`
+}
+
+// StatsSnapshot reports the manager's counters.
+func (m *Manager) StatsSnapshot() Stats {
+	m.mu.Lock()
+	nsubs, nconns := len(m.subs), len(m.conns)
+	h := m.d.Horizon()
+	m.mu.Unlock()
+	st := Stats{
+		Subscriptions: nsubs,
+		Connections:   nconns,
+		Events:        m.events.Load(),
+		EventDrops:    m.qdrops.Load(),
+		Deltas:        m.deltas.Load(),
+		Fanout:        m.fanout.Load(),
+		FrameDrops:    m.cdrops.Load(),
+		Resyncs:       m.resyncs.Load(),
+		Rebuilds:      m.rebuilds.Load(),
+	}
+	if last := m.lastSeq.Load(); h > last {
+		st.LagEpochs = engine.SeqEpoch(h) - engine.SeqEpoch(last)
+	}
+	return st
+}
+
+// CanonicalState returns the canonical byte rendering of one live
+// subscription's incrementally maintained state — what the
+// differential tests compare against Recompute.
+func (m *Manager) CanonicalState(id string) ([]byte, uint64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range m.subs {
+		if s.spec.ID == id {
+			return canonical(s.entries(m.relIx)), s.since, true
+		}
+	}
+	return nil, 0, false
+}
+
+// Conn is one client connection: a bounded frame queue the dispatcher
+// fans out to, plus the wakeup plumbing for pull-based resync. A Conn
+// may carry any number of subscriptions.
+type Conn struct {
+	m  *Manager
+	ch chan Frame
+	// note wakes a blocked Next when a subscription was flagged for
+	// resync without a frame making it onto ch.
+	note   chan struct{}
+	closed chan struct{}
+	once   sync.Once
+}
+
+// Attach registers a new connection; buffer bounds its frame queue
+// (<= 0 selects the default). Returns nil if the manager is closed.
+func (m *Manager) Attach(buffer int) *Conn {
+	if buffer <= 0 {
+		buffer = defaultConnBuffer
+	}
+	c := &Conn{
+		m:      m,
+		ch:     make(chan Frame, buffer),
+		note:   make(chan struct{}, 1),
+		closed: make(chan struct{}),
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.conns[c] = struct{}{}
+	return c
+}
+
+func (c *Conn) trySend(f Frame) bool {
+	select {
+	case c.ch <- f:
+		return true
+	default:
+		return false
+	}
+}
+
+func (c *Conn) poke() {
+	select {
+	case c.note <- struct{}{}:
+	default:
+	}
+}
+
+// Subscribe registers a subscription on the connection and returns its
+// ack frame carrying the initial state. The caller must deliver the
+// ack before pumping Next: every queued frame for the ID reflects
+// commits after the ack's epoch.
+func (m *Manager) Subscribe(c *Conn, sp Spec) (Frame, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Frame{}, ErrClosed
+	}
+	if sp.ID == "" {
+		m.seq++
+		sp.ID = fmt.Sprintf("sub-%d", m.seq)
+	}
+	for _, s := range m.subs {
+		if s.conn == c && s.spec.ID == sp.ID {
+			return Frame{}, fmt.Errorf("duplicate subscription id %q", sp.ID)
+		}
+	}
+	s, err := compile(m.d.Schema(), sp)
+	if err != nil {
+		return Frame{}, err
+	}
+	h := m.d.Horizon()
+	s.prime(m.d.At(h))
+	s.since = h
+	s.conn = c
+	m.subs = append(m.subs, s)
+	m.nsubs.Store(int64(len(m.subs)))
+	return Frame{
+		Type:  "ack",
+		ID:    sp.ID,
+		Kind:  sp.Kind,
+		Epoch: engine.SeqEpoch(h),
+		Rows:  m.rowsLocked(s.entries(m.relIx)),
+	}, nil
+}
+
+// Unsubscribe removes one subscription from the connection.
+func (m *Manager) Unsubscribe(c *Conn, id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, s := range m.subs {
+		if s.conn == c && s.spec.ID == id {
+			m.subs = append(m.subs[:i], m.subs[i+1:]...)
+			m.nsubs.Store(int64(len(m.subs)))
+			return true
+		}
+	}
+	return false
+}
+
+// takeResync builds the pending resync frame for the connection's
+// first stale subscription, if any. Generated at read time — a client
+// behind on a quiet stream still repairs on its next read.
+func (m *Manager) takeResync(c *Conn) (Frame, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range m.subs {
+		if s.conn != c || !s.needResync {
+			continue
+		}
+		s.needResync = false
+		m.resyncs.Add(1)
+		return Frame{
+			Type:  "resync",
+			ID:    s.spec.ID,
+			Kind:  s.spec.Kind,
+			Epoch: engine.SeqEpoch(s.since),
+			Rows:  m.rowsLocked(s.entries(m.relIx)),
+		}, true
+	}
+	return Frame{}, false
+}
+
+// Next returns the connection's next frame, blocking until one is
+// available or ctx is done. Resync frames are generated here, at read
+// time, so a stale client repairs even when no further commits arrive.
+func (c *Conn) Next(ctx context.Context) (Frame, error) {
+	for {
+		select {
+		case f := <-c.ch:
+			return f, nil
+		default:
+		}
+		if f, ok := c.m.takeResync(c); ok {
+			return f, nil
+		}
+		select {
+		case f := <-c.ch:
+			return f, nil
+		case <-c.note:
+		case <-ctx.Done():
+			return Frame{}, ctx.Err()
+		case <-c.closed:
+			// Drain frames already queued before reporting closure.
+			select {
+			case f := <-c.ch:
+				return f, nil
+			default:
+			}
+			return Frame{}, ErrClosed
+		}
+	}
+}
+
+// Close detaches the connection and removes its subscriptions.
+// Idempotent; a blocked Next returns ErrClosed.
+func (c *Conn) Close() {
+	c.once.Do(func() {
+		m := c.m
+		m.mu.Lock()
+		delete(m.conns, c)
+		kept := m.subs[:0]
+		for _, s := range m.subs {
+			if s.conn != c {
+				kept = append(kept, s)
+			}
+		}
+		m.subs = kept
+		m.nsubs.Store(int64(len(m.subs)))
+		m.mu.Unlock()
+		close(c.closed)
+	})
+}

@@ -600,6 +600,14 @@ func (f *Follower) DropIndex(string, string) error { return ErrFollower }
 // MinimizeAll implements engine.DB; followers refuse writes.
 func (f *Follower) MinimizeAll(context.Context) (int64, error) { return 0, ErrFollower }
 
+// SetCommitHook implements engine.DB: the hook rides the replay loop —
+// each replicated record the follower applies emits commit events off
+// its local engine (with the follower's own epoch numbering), and a
+// resync that swaps the replayed engine announces itself as a
+// CommitReset. The core store persists across resyncs, so the hook
+// survives them.
+func (f *Follower) SetCommitHook(h engine.CommitHook) { f.db().SetCommitHook(h) }
+
 // --- follower-side store plumbing ---------------------------------------
 
 // LSN returns the next LSN the log will assign (== records durably

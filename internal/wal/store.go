@@ -183,6 +183,12 @@ type Store struct {
 	streamsServed  atomic.Uint64
 	resyncsServed  atomic.Uint64
 	streamLagDrops atomic.Uint64
+
+	// hook is the commit-event subscriber, re-installed on every engine
+	// this store serves (recovery and follower resyncs swap engines;
+	// the subscriber must not notice beyond a reset event).
+	hookMu sync.Mutex
+	hook   engine.CommitHook
 }
 
 var _ engine.DB = (*Store)(nil)
@@ -197,8 +203,35 @@ func (s *Store) engine() engine.DB {
 }
 
 // setEngine swaps the served engine. Callers hold mu (or, during
-// Open/bootstrap, have exclusive ownership of the store).
-func (s *Store) setEngine(e engine.DB) { s.eng.Store(&e) }
+// Open/bootstrap, have exclusive ownership of the store). A commit
+// hook installed on the store moves to the new engine, and the swap is
+// announced to it as a CommitReset at the new engine's horizon:
+// subscribers must rebuild, exactly as after a follower resync.
+func (s *Store) setEngine(e engine.DB) {
+	s.hookMu.Lock()
+	h := s.hook
+	s.hookMu.Unlock()
+	if e != nil && h != nil {
+		e.SetCommitHook(h)
+	}
+	s.eng.Store(&e)
+	if e != nil && h != nil {
+		hz := e.Horizon()
+		h(engine.CommitEvent{Kind: engine.CommitReset, Epoch: engine.SeqEpoch(hz), Seq: hz})
+	}
+}
+
+// SetCommitHook implements engine.DB: the hook is installed on the
+// engine currently served and survives engine swaps (recovery,
+// follower resync), each announced as a CommitReset.
+func (s *Store) SetCommitHook(h engine.CommitHook) {
+	s.hookMu.Lock()
+	s.hook = h
+	s.hookMu.Unlock()
+	if e := s.engine(); e != nil {
+		e.SetCommitHook(h)
+	}
+}
 
 // StoreStats is a point-in-time summary of the durability subsystem.
 type StoreStats struct {
