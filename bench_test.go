@@ -73,6 +73,13 @@ func runEngines(b *testing.B, initial *db.Database, txns []db.Transaction) {
 	// next to the paper's per-occurrence tree counts above.
 	b.ReportMetric(float64(lastNaiveDAG), "prov_naive_dag")
 	b.ReportMetric(float64(lastNFDAG), "prov_nf_dag")
+	// Process-cumulative GC pause percentiles, recorded into the bench
+	// artifact next to B/op (the allocation-free hot path shows up here
+	// as flat pause tails under load).
+	p50, p90, p99 := benchutil.GCPausePercentiles()
+	b.ReportMetric(p50, "gc_pause_p50_us")
+	b.ReportMetric(p90, "gc_pause_p90_us")
+	b.ReportMetric(p99, "gc_pause_p99_us")
 }
 
 // BenchmarkFig7_TPCC regenerates Figures 7a/7b: time and memory overhead

@@ -1,0 +1,204 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// artifact and gates metric regressions against a committed baseline.
+//
+//	go test -bench Fig8 -benchmem . | benchjson convert -o bench.json
+//	benchjson delta -baseline bench/baseline.json -match Fig8_Synthetic \
+//	    -metric B/op -max-regress 10 bench.json
+//
+// convert parses every "BenchmarkName-P  N  <value> <unit> ..." line
+// into {name, n, metrics{unit: value}}; custom b.ReportMetric pairs
+// (prov_nf, gc_pause_p99_us, ...) are captured the same way as ns/op,
+// B/op and allocs/op. delta compares one metric across matching
+// benchmarks and exits nonzero when the current value regresses past
+// the allowed percentage — CI commits bench/baseline.json and fails
+// the build when the Fig8 apply path regains allocations.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	N       int64              `json:"n"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the JSON artifact shape.
+type Report struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		n, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		fields := strings.Fields(m[3])
+		if len(fields)%2 != 0 {
+			return nil, fmt.Errorf("benchjson: odd metric fields in %q", sc.Text())
+		}
+		b := Benchmark{Name: m[1], N: n, Metrics: make(map[string]float64, len(fields)/2)}
+		for i := 0; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value %q in %q", fields[i], sc.Text())
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func load(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	if err := json.Unmarshal(raw, rep); err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// metric returns the named metric averaged over every benchmark whose
+// name matches re (multiple -count runs of one benchmark average out).
+func metric(rep *Report, re *regexp.Regexp, name string) (float64, int) {
+	var sum float64
+	var n int
+	for _, b := range rep.Benchmarks {
+		if !re.MatchString(b.Name) {
+			continue
+		}
+		if v, ok := b.Metrics[name]; ok {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / float64(n), n
+}
+
+func runConvert(args []string) error {
+	fs := flag.NewFlagSet("benchjson convert", flag.ExitOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	in := io.Reader(os.Stdin)
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	rep, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines in input")
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(*out, enc, 0o644)
+}
+
+func runDelta(args []string) error {
+	fs := flag.NewFlagSet("benchjson delta", flag.ExitOnError)
+	basePath := fs.String("baseline", "", "baseline JSON (required)")
+	match := fs.String("match", ".", "benchmark name regexp")
+	name := fs.String("metric", "B/op", "metric to compare")
+	maxRegress := fs.Float64("max-regress", 10, "allowed regression percent (current above baseline)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *basePath == "" || fs.NArg() != 1 {
+		return fmt.Errorf("usage: benchjson delta -baseline base.json [-match re] [-metric name] [-max-regress pct] current.json")
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		return err
+	}
+	base, err := load(*basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	bv, bn := metric(base, re, *name)
+	cv, cn := metric(cur, re, *name)
+	if bn == 0 {
+		return fmt.Errorf("benchjson: baseline has no %q for /%s/", *name, *match)
+	}
+	if cn == 0 {
+		return fmt.Errorf("benchjson: current run has no %q for /%s/", *name, *match)
+	}
+	deltaPct := 0.0
+	if bv != 0 {
+		deltaPct = (cv - bv) / bv * 100
+	}
+	fmt.Printf("benchjson: /%s/ %s: baseline %.1f, current %.1f (%+.1f%%, limit +%.1f%%)\n",
+		*match, *name, bv, cv, deltaPct, *maxRegress)
+	if deltaPct > *maxRegress {
+		return fmt.Errorf("benchjson: %s regressed %.1f%% (> %.1f%% allowed)", *name, deltaPct, *maxRegress)
+	}
+	return nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson convert|delta [flags]")
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "convert":
+		err = runConvert(os.Args[2:])
+	case "delta":
+		err = runDelta(os.Args[2:])
+	default:
+		err = fmt.Errorf("benchjson: unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,6 +41,7 @@ func runServe(args []string) error {
 	syncPolicy := fs.String("sync", "always", "WAL durability: always, interval, or never (with -data-dir)")
 	ckptEvery := fs.Int("checkpoint-every", 0, "checkpoint after N logged records, 0 = only via POST /v1/checkpoint and shutdown (with -data-dir)")
 	follow := fs.String("follow", "", "run as a read replica of the leader at this base URL (e.g. http://leader:8080); requires -data-dir, refuses writes")
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (heap and allocs profiles verify the zero-allocation read path)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -138,9 +140,24 @@ func runServe(args []string) error {
 		}()
 	}
 
+	handler := srv.Handler()
+	if *pprofOn {
+		// Opt-in profiling endpoints, mounted in front of the API handler
+		// so they bypass its request timeout (profiles stream for their
+		// whole -seconds window). The API is unaffected when -pprof is off.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		logger.Printf("pprof enabled at /debug/pprof/")
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}

@@ -1,0 +1,44 @@
+package benchutil
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// GCPausePercentiles samples the runtime's cumulative GC pause
+// histogram (/gc/pauses:seconds) and reports the p50/p90/p99 bucket
+// upper bounds in microseconds. Benchmarks report these next to B/op
+// so the bench artifact ties allocation pressure to observed pause
+// behavior. Returns zeros when the metric is unavailable.
+func GCPausePercentiles() (p50, p90, p99 float64) {
+	samples := []metrics.Sample{{Name: "/gc/pauses:seconds"}}
+	metrics.Read(samples)
+	if samples[0].Value.Kind() != metrics.KindFloat64Histogram {
+		return 0, 0, 0
+	}
+	h := samples[0].Value.Float64Histogram()
+	return pauseQuantile(h, 0.50) * 1e6, pauseQuantile(h, 0.90) * 1e6, pauseQuantile(h, 0.99) * 1e6
+}
+
+func pauseQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	need := uint64(math.Ceil(q * float64(total)))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= need {
+			hi := h.Buckets[i+1]
+			if math.IsInf(hi, 1) {
+				return h.Buckets[i]
+			}
+			return hi
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"sync/atomic"
 )
@@ -97,20 +96,18 @@ func TupleVar(name string) *Expr { return Var(TupleAnnot(name)) }
 func QueryVar(name string) *Expr { return Var(QueryAnnot(name)) }
 
 func binary(op Op, l, r *Expr) *Expr {
-	// The hash slice does not escape hashNode, so it stays on the stack;
-	// the child slice that the node keeps is only allocated once the
-	// allocation-free canonical lookup has missed.
-	h := hashNode(op, Annot{}, []*Expr{l, r})
+	// The fingerprint folds the children's cached hashes, so nested
+	// constructor chains (Sum over Minus over Var) hash two words per
+	// level instead of re-walking structure; the child slice the node
+	// keeps is only allocated once the canonical lookup has missed.
+	h := hashBinary(op, l.hash, r.hash)
 	if !l.interned || !r.interned {
 		// A raw (DeepCopy'd) child makes the parent raw: raw trees model
 		// the paper's unshared tree memory and must not pollute the
 		// intern table with nodes whose children are not canonical.
 		return &Expr{op: op, kids: []*Expr{l, r}, size: 1 + l.size + r.size, hash: h}
 	}
-	if e := interns.lookupBinary(op, l, r, h); e != nil {
-		return e
-	}
-	return interns.intern(op, Annot{}, []*Expr{l, r}, h)
+	return interns.internBinary(op, l, r, h)
 }
 
 // PlusI returns l +I r.
@@ -330,19 +327,50 @@ func SortedByHash(es []*Expr) []*Expr {
 	return out
 }
 
+// FNV-1a 64-bit parameters. The structural hash is computed with inline
+// arithmetic rather than hash/fnv so constructor calls allocate nothing;
+// the byte stream hashed — op, annotation kind, annotation name bytes,
+// then each child hash little-endian — is exactly the hash/fnv encoding
+// used by earlier versions, so hash values (and with them the
+// SortedByHash sum order and snapshot bytes) are unchanged.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
 func hashNode(op Op, ann Annot, kids []*Expr) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	buf[0] = byte(op)
-	buf[1] = byte(ann.Kind)
-	_, _ = h.Write(buf[:2])
-	_, _ = h.Write([]byte(ann.Name))
+	h := hashHeader(op, ann)
 	for _, k := range kids {
-		v := k.hash
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(v >> (8 * i))
-		}
-		_, _ = h.Write(buf[:8])
+		h = hashWord(h, k.hash)
 	}
-	return h.Sum64()
+	return h
+}
+
+// hashBinary is hashNode for a binary node given the child hashes
+// directly, so constructor chains hash child fingerprints without
+// materializing a kids slice.
+func hashBinary(op Op, lh, rh uint64) uint64 {
+	return hashWord(hashWord(hashHeader(op, Annot{}), lh), rh)
+}
+
+func hashHeader(op Op, ann Annot) uint64 {
+	h := fnvOffset64
+	h ^= uint64(op)
+	h *= fnvPrime64
+	h ^= uint64(ann.Kind)
+	h *= fnvPrime64
+	for i := 0; i < len(ann.Name); i++ {
+		h ^= uint64(ann.Name[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+func hashWord(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
 }

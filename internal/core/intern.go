@@ -31,11 +31,65 @@ import (
 // and child identity) before declaring a hit, so a hash collision costs
 // a bucket scan, never a wrong canonical node. TestInternForcedCollision
 // pins this down.
+//
+// Memory layout: canonical nodes are immortal (the table is append-only
+// for the process lifetime), which makes them ideal arena tenants. Each
+// shard slab-allocates its nodes from fixed-size chunks, so interning a
+// node costs one bump-pointer step instead of an individual heap object,
+// and the GC tracks thousands of nodes per allocation. Collision
+// overflow lists are chunked the same way (rare: they require a genuine
+// 64-bit fingerprint collision), so bucket growth never re-allocates a
+// slice.
 
 // internShardCount is the number of lock stripes of the intern table.
 // Power of two; 64 stripes keep contention negligible at GOMAXPROCS
 // well beyond typical core counts.
 const internShardCount = 64
+
+// arenaChunkLen is the number of Expr nodes per slab chunk.
+const arenaChunkLen = 1024
+
+// exprArena bump-allocates immortal Expr nodes from fixed-size chunks.
+// Chunks are never re-allocated or copied: published *Expr pointers stay
+// valid (the nodes embed atomic memo fields and must never move). All
+// access happens under the owning shard's write lock.
+type exprArena struct {
+	cur  []Expr // current chunk; len(cur) slots used, allocated lazily
+	used int
+}
+
+func (a *exprArena) alloc() *Expr {
+	if a.used == len(a.cur) {
+		a.cur = make([]Expr, arenaChunkLen)
+		a.used = 0
+	}
+	n := &a.cur[a.used]
+	a.used++
+	return n
+}
+
+// bucketChunkLen is the capacity of one collision-overflow chunk.
+const bucketChunkLen = 4
+
+// exprBucket is a chunked list of canonical nodes sharing one
+// fingerprint beyond the first: appends fill the newest chunk in place
+// and link a fresh chunk when full, so growth never copies.
+type exprBucket struct {
+	nodes [bucketChunkLen]*Expr
+	n     int
+	next  *exprBucket // older, always-full chunks
+}
+
+func (b *exprBucket) each(f func(*Expr) bool) *Expr {
+	for c := b; c != nil; c = c.next {
+		for i := 0; i < c.n; i++ {
+			if f(c.nodes[i]) {
+				return c.nodes[i]
+			}
+		}
+	}
+	return nil
+}
 
 type internShard struct {
 	mu sync.RWMutex
@@ -45,7 +99,20 @@ type internShard struct {
 	first map[uint64]*Expr
 	// rest holds any further canonical nodes under a fingerprint: only
 	// populated by a genuine 64-bit collision.
-	rest map[uint64][]*Expr
+	rest  map[uint64]*exprBucket
+	arena exprArena
+}
+
+// addRest appends a colliding node to the fingerprint's overflow bucket;
+// the caller holds the write lock.
+func (s *internShard) addRest(h uint64, n *Expr) {
+	b := s.rest[h]
+	if b == nil || b.n == bucketChunkLen {
+		b = &exprBucket{next: b}
+		s.rest[h] = b
+	}
+	b.nodes[b.n] = n
+	b.n++
 }
 
 type internTable struct {
@@ -61,14 +128,15 @@ func newInternTable() *internTable {
 	t := &internTable{}
 	for i := range t.shards {
 		t.shards[i].first = make(map[uint64]*Expr)
-		t.shards[i].rest = make(map[uint64][]*Expr)
+		t.shards[i].rest = make(map[uint64]*exprBucket)
 	}
 	return t
 }
 
 func (t *internTable) shard(h uint64) *internShard {
 	// Fold the high bits in so shard choice is not just the low bits of
-	// the FNV state.
+	// the FNV state. Callers compute the shard once per constructor call
+	// and reuse it across the read probe and the write path.
 	return &t.shards[(h^h>>32)&(internShardCount-1)]
 }
 
@@ -95,32 +163,33 @@ func sameNode(e *Expr, op Op, ann Annot, kids []*Expr) bool {
 func (t *internTable) intern(op Op, ann Annot, kids []*Expr, h uint64) *Expr {
 	s := t.shard(h)
 	s.mu.RLock()
-	if e := s.find(op, ann, kids, h); e != nil {
-		s.mu.RUnlock()
+	e := s.find(op, ann, kids, h)
+	s.mu.RUnlock()
+	if e != nil {
 		t.hits.Add(1)
 		return e
 	}
-	s.mu.RUnlock()
 
 	size := int64(1)
 	for _, k := range kids {
 		size += k.size
 	}
-	n := &Expr{op: op, ann: ann, kids: kids, size: size, hash: h, interned: true}
 
 	s.mu.Lock()
 	// Re-check under the write lock: another goroutine may have interned
-	// the same node between the two lock acquisitions; the loser's
-	// allocation is dropped so the canonical pointer stays unique.
+	// the same node between the two lock acquisitions; only the winner
+	// takes an arena slot, so the canonical pointer stays unique.
 	if e := s.find(op, ann, kids, h); e != nil {
 		s.mu.Unlock()
 		t.hits.Add(1)
 		return e
 	}
+	n := s.arena.alloc()
+	n.op, n.ann, n.kids, n.size, n.hash, n.interned = op, ann, kids, size, h, true
 	if _, taken := s.first[h]; !taken {
 		s.first[h] = n
 	} else {
-		s.rest[h] = append(s.rest[h], n)
+		s.addRest(h, n)
 	}
 	s.mu.Unlock()
 	t.nodes.Add(1)
@@ -135,41 +204,61 @@ func (s *internShard) find(op Op, ann Annot, kids []*Expr, h uint64) *Expr {
 		if sameNode(e, op, ann, kids) {
 			return e
 		}
-		for _, e := range s.rest[h] {
-			if sameNode(e, op, ann, kids) {
-				return e
-			}
+		if b := s.rest[h]; b != nil {
+			return b.each(func(e *Expr) bool { return sameNode(e, op, ann, kids) })
 		}
 	}
 	return nil
 }
 
-// lookupBinary returns the canonical node for op applied to the
-// canonical children l and r under the fingerprint h, or nil if none is
-// interned yet. Unlike intern it takes the children directly, so the
-// constructor hot path allocates nothing at all on a hit.
-func (t *internTable) lookupBinary(op Op, l, r *Expr, h uint64) *Expr {
-	binaryHit := func(e *Expr) bool {
+// findBinary is find for a binary node given its children directly, so
+// the probe needs no kids slice; the caller holds the shard lock.
+func (s *internShard) findBinary(op Op, l, r *Expr, h uint64) *Expr {
+	hit := func(e *Expr) bool {
 		return e.op == op && len(e.kids) == 2 && e.kids[0] == l && e.kids[1] == r
 	}
-	s := t.shard(h)
-	s.mu.RLock()
 	if e, ok := s.first[h]; ok {
-		if binaryHit(e) {
-			s.mu.RUnlock()
-			t.hits.Add(1)
+		if hit(e) {
 			return e
 		}
-		for _, e := range s.rest[h] {
-			if binaryHit(e) {
-				s.mu.RUnlock()
-				t.hits.Add(1)
-				return e
-			}
+		if b := s.rest[h]; b != nil {
+			return b.each(hit)
 		}
 	}
-	s.mu.RUnlock()
 	return nil
+}
+
+// internBinary returns the canonical node for op over the canonical
+// children l and r under the fingerprint h, interning on first sight.
+// The shard is resolved once for both the allocation-free hit probe and
+// the write path, and the kids slice is only allocated after a miss.
+func (t *internTable) internBinary(op Op, l, r *Expr, h uint64) *Expr {
+	s := t.shard(h)
+	s.mu.RLock()
+	e := s.findBinary(op, l, r, h)
+	s.mu.RUnlock()
+	if e != nil {
+		t.hits.Add(1)
+		return e
+	}
+
+	s.mu.Lock()
+	if e := s.findBinary(op, l, r, h); e != nil {
+		s.mu.Unlock()
+		t.hits.Add(1)
+		return e
+	}
+	n := s.arena.alloc()
+	n.op, n.kids, n.size, n.hash, n.interned = op, []*Expr{l, r}, 1+l.size+r.size, h, true
+	if _, taken := s.first[h]; !taken {
+		s.first[h] = n
+	} else {
+		s.addRest(h, n)
+	}
+	s.mu.Unlock()
+	t.nodes.Add(1)
+	t.misses.Add(1)
+	return n
 }
 
 // Interned reports whether e is a canonical node of the intern table

@@ -66,9 +66,24 @@ func TestInternForcedCollision(t *testing.T) {
 		t.Fatal("re-interning the colliding composite lost its canonical node")
 	}
 	sh := tab.shard(h)
-	if sh.first[h] == nil || len(sh.rest[h]) != 2 {
+	rest := 0
+	if b := sh.rest[h]; b != nil {
+		b.each(func(*Expr) bool { rest++; return false })
+	}
+	if sh.first[h] == nil || rest != 2 {
 		t.Fatalf("collision bucket holds first=%v rest=%d, want one first and two overflow nodes",
-			sh.first[h], len(sh.rest[h]))
+			sh.first[h], rest)
+	}
+	// Overflow past one chunk must link a new chunk, not drop nodes.
+	for i := 0; i < 2*bucketChunkLen; i++ {
+		tab.intern(OpVar, TupleAnnot(fmt.Sprintf("collision-%d", i)), nil, h)
+	}
+	for i := 0; i < 2*bucketChunkLen; i++ {
+		a := TupleAnnot(fmt.Sprintf("collision-%d", i))
+		n := tab.intern(OpVar, a, nil, h)
+		if n.ann != a {
+			t.Fatalf("chunked bucket lost node %d", i)
+		}
 	}
 }
 

@@ -35,12 +35,32 @@ func (in *Instance) Each(f func(t Tuple)) {
 }
 
 // Tuples returns the tuples sorted by key (a deterministic order for
-// display and tests).
+// display and tests). Keys are built once per tuple, not per comparison:
+// engines seed their row order from this and sort 2n·log n fresh key
+// strings would dominate whole-benchmark allocation.
 func (in *Instance) Tuples() []Tuple {
 	out := make([]Tuple, len(in.list))
 	copy(out, in.list)
-	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	keys := make([]string, len(out))
+	for i := range out {
+		keys[i] = out[i].Key()
+	}
+	// Keys are unique (set semantics), so this unstable sort yields the
+	// same total order the previous by-key sort.Slice did.
+	sort.Sort(&tuplesByKey{tuples: out, keys: keys})
 	return out
+}
+
+type tuplesByKey struct {
+	tuples []Tuple
+	keys   []string
+}
+
+func (s *tuplesByKey) Len() int           { return len(s.tuples) }
+func (s *tuplesByKey) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *tuplesByKey) Swap(i, j int) {
+	s.tuples[i], s.tuples[j] = s.tuples[j], s.tuples[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
 }
 
 // put inserts or overwrites a tuple.

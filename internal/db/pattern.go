@@ -105,7 +105,6 @@ func (p Pattern) Validate(r *RelationSchema) error {
 	if len(p) != len(r.Attrs) {
 		return fmt.Errorf("db: pattern on %s has arity %d, want %d", r.Name, len(p), len(r.Attrs))
 	}
-	vars := make(map[string]struct{})
 	for i, term := range p {
 		attr := r.Attrs[i]
 		if term.isConst {
@@ -116,10 +115,14 @@ func (p Pattern) Validate(r *RelationSchema) error {
 			continue
 		}
 		if term.varName != "" && term.varName != "_" {
-			if _, dup := vars[term.varName]; dup {
-				return fmt.Errorf("db: pattern on %s repeats variable %s (outside the hyperplane fragment)", r.Name, term.varName)
+			// Quadratic over earlier terms instead of a map: patterns are
+			// relation-arity-sized, and Validate sits on the zero-allocation
+			// read path (Select/SelectEach validate per call).
+			for j := 0; j < i; j++ {
+				if !p[j].isConst && p[j].varName == term.varName {
+					return fmt.Errorf("db: pattern on %s repeats variable %s (outside the hyperplane fragment)", r.Name, term.varName)
+				}
 			}
-			vars[term.varName] = struct{}{}
 		}
 		for _, ne := range term.notEq {
 			if ne.Kind() != attr.Kind {

@@ -31,6 +31,25 @@ func ShardOf(key string, shards int) int {
 	return int(h % uint64(shards))
 }
 
+// ShardOfTuple maps a tuple to a shard in [0, shards) by folding its
+// Fingerprint. It is the allocation-free routing twin of ShardOf: the
+// sharded engine partitions rows by fingerprint, so routing never
+// materializes Key() strings. The partition differs from ShardOf's, but
+// engine output is independent of row placement (global sequence-order
+// merge), so any consistent partition yields byte-identical results.
+func ShardOfTuple(t Tuple, shards int) int {
+	return ShardOfFingerprint(t.Fingerprint(), shards)
+}
+
+// ShardOfFingerprint maps an already-computed tuple fingerprint to its
+// shard — callers that cached Fingerprint() route without rehashing.
+func ShardOfFingerprint(fp uint64, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	return int((fp ^ fp>>32) % uint64(shards))
+}
+
 // PinnedTuple reports whether the pattern pins every attribute to an
 // =-constant, and if so returns the single tuple it can match. Variable
 // terms — even ones restricted by disequalities — leave the pattern
@@ -53,21 +72,36 @@ func (p Pattern) PinnedTuple() (Tuple, bool) {
 // selection leaves attributes free and the update must be evaluated
 // against every shard.
 func (u Update) RouteKeys() (keys []string, ok bool) {
+	tuples, ok := u.RouteTuples()
+	if !ok {
+		return nil, false
+	}
+	keys = make([]string, len(tuples))
+	for i, t := range tuples {
+		keys[i] = t.Key()
+	}
+	return keys, true
+}
+
+// RouteTuples is the tuple-valued form of RouteKeys: the rows the update
+// can touch, when constraint analysis pins them, without building key
+// strings. The sharded engine routes by fingerprinting these tuples.
+func (u Update) RouteTuples() (tuples []Tuple, ok bool) {
 	switch u.Kind {
 	case OpInsert:
-		return []string{u.Row.Key()}, true
+		return []Tuple{u.Row}, true
 	case OpDelete:
 		t, pinned := u.Sel.PinnedTuple()
 		if !pinned {
 			return nil, false
 		}
-		return []string{t.Key()}, true
+		return []Tuple{t}, true
 	case OpModify:
 		t, pinned := u.Sel.PinnedTuple()
 		if !pinned {
 			return nil, false
 		}
-		return []string{t.Key(), u.Target(t).Key()}, true
+		return []Tuple{t, u.Target(t)}, true
 	default:
 		return nil, false
 	}

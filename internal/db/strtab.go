@@ -1,0 +1,122 @@
+package db
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// String interning. Every distinct string payload is stored once in a
+// global, sharded, append-only table and referred to by a dense uint32
+// id, so a Value carries one machine word instead of a string header and
+// two string Values compare with a single integer comparison. Ids are
+// process-local: they never reach snapshots or the WAL (the codecs write
+// payloads via Str()), so restart or replication re-interning is
+// invisible on disk.
+//
+// Layout: id = localIndex<<strShardBits | shard. Each shard owns a
+// payload->id map guarded by an RWMutex (interning is off the read hot
+// path) and an id->payload slice published through an atomic pointer in
+// the copy-on-grow style of the engine's row lists, so Str() is a
+// lock-free two-load lookup. Id 0 is reserved for "" in shard 0, which
+// keeps the zero Value equal to S("").
+
+const (
+	strShardBits  = 4
+	strShardCount = 1 << strShardBits
+	strShardMask  = strShardCount - 1
+)
+
+type strShard struct {
+	mu  sync.Mutex
+	ids map[string]uint32
+	// strs is the published id->payload table for this shard. Writers
+	// copy, append and re-publish under mu; readers only load.
+	strs atomic.Pointer[[]string]
+}
+
+var strShards = func() *[strShardCount]strShard {
+	var tab [strShardCount]strShard
+	for i := range tab {
+		tab[i].ids = make(map[string]uint32)
+		s := make([]string, 0, 16)
+		if i == 0 {
+			s = append(s, "") // id 0
+		}
+		tab[i].strs.Store(&s)
+	}
+	tab[0].ids[""] = 0
+	return &tab
+}()
+
+// internStrCount counts distinct interned strings (for stats).
+var internStrCount atomic.Int64
+
+// strShardFor hashes the payload (FNV-1a) and folds to a shard index.
+func strShardFor(s string) uint64 {
+	h := fnvOffset64
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return (h ^ h>>32) & strShardMask
+}
+
+// internString returns the id of s, assigning one on first sight.
+func internString(s string) uint32 {
+	if s == "" {
+		return 0
+	}
+	shard := strShardFor(s)
+	sh := &strShards[shard]
+	sh.mu.Lock()
+	id, ok := sh.ids[s]
+	if !ok {
+		old := *sh.strs.Load()
+		local := uint64(len(old))
+		if local >= 1<<(32-strShardBits) {
+			sh.mu.Unlock()
+			panic("db: string intern table overflow")
+		}
+		id = uint32(local)<<strShardBits | uint32(shard)
+		// Re-publish a grown copy rather than appending in place: a
+		// published header is never mutated, so concurrent Str() calls
+		// index a stable array.
+		grown := make([]string, len(old)+1, cap2(len(old)+1))
+		copy(grown, old)
+		grown[len(old)] = s
+		sh.strs.Store(&grown)
+		sh.ids[s] = id
+		internStrCount.Add(1)
+	}
+	sh.mu.Unlock()
+	return id
+}
+
+func cap2(n int) int {
+	c := 16
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// lookupString resolves an interned id back to its payload. Lock-free.
+func lookupString(id uint32) string {
+	strs := *strShards[id&strShardMask].strs.Load()
+	idx := id >> strShardBits
+	if uint64(idx) >= uint64(len(strs)) {
+		panic(fmt.Sprintf("db: unknown string id %d", id))
+	}
+	return strs[idx]
+}
+
+// StringInternStats reports the size of the global string intern table.
+type StringInternStats struct {
+	Strings int64 `json:"strings"` // distinct payloads interned (excluding the reserved "")
+}
+
+// InternedStrings returns counters for the global string table.
+func InternedStrings() StringInternStats {
+	return StringInternStats{Strings: internStrCount.Load()}
+}

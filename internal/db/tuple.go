@@ -25,6 +25,28 @@ func (t Tuple) Key() string {
 	return b.String()
 }
 
+// Fingerprint returns a 64-bit FNV-1a hash of the tuple's kind tags and
+// payload words. It identifies the tuple for shard routing and row-map
+// lookup without building the Key() string, so the apply/read hot path
+// stays allocation-free; probe sites disambiguate hash collisions with
+// Equal. Fingerprints hash interned string ids, so they are process-
+// local and must never be persisted — Key() remains the durable
+// encoding.
+func (t Tuple) Fingerprint() uint64 {
+	h := fnvOffset64
+	for _, v := range t {
+		h ^= uint64(v.kind)
+		h *= fnvPrime64
+		b := v.bits
+		for i := 0; i < 8; i++ {
+			h ^= b & 0xff
+			h *= fnvPrime64
+			b >>= 8
+		}
+	}
+	return h
+}
+
 // Equal reports value equality of two tuples.
 func (t Tuple) Equal(o Tuple) bool {
 	if len(t) != len(o) {

@@ -2,6 +2,7 @@ package db
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -46,46 +47,67 @@ func ParseKind(s string) (Kind, error) {
 	}
 }
 
-// Value is a typed attribute value. Values are comparable with == (two
-// values are the same iff they have the same kind and payload), which
-// makes hyperplane equality and disequality tests direct.
+// Value is a typed attribute value: a kind tag plus one payload word.
+// Strings are interned into the global string table and carry their
+// uint32 id; ints carry the two's-complement bits; floats carry their
+// IEEE-754 bits. Values are comparable with == (two values are the same
+// iff they have the same kind and payload word), which makes hyperplane
+// equality and disequality tests a single integer comparison and keeps
+// tuples flat comparable words.
+//
+// Float equality is bitwise: distinct NaN payloads differ, and -0 != 0.
+// This matches the Key() encoding (which already rendered -0 and 0
+// differently) rather than IEEE == semantics.
 type Value struct {
 	kind Kind
-	s    string
-	i    int64
-	f    float64
+	bits uint64
 }
 
-// S returns a string value.
-func S(v string) Value { return Value{kind: KindString, s: v} }
+// S returns a string value, interning the payload.
+func S(v string) Value { return Value{kind: KindString, bits: uint64(internString(v))} }
 
 // I returns an integer value.
-func I(v int64) Value { return Value{kind: KindInt, i: v} }
+func I(v int64) Value { return Value{kind: KindInt, bits: uint64(v)} }
 
 // F returns a float value.
-func F(v float64) Value { return Value{kind: KindFloat, f: v} }
+func F(v float64) Value { return Value{kind: KindFloat, bits: math.Float64bits(v)} }
 
 // Kind reports the value's kind.
 func (v Value) Kind() Kind { return v.kind }
 
-// Str returns the payload of a string value.
-func (v Value) Str() string { return v.s }
+// Str returns the payload of a string value ("" for other kinds).
+func (v Value) Str() string {
+	if v.kind != KindString {
+		return ""
+	}
+	return lookupString(uint32(v.bits))
+}
 
-// Int returns the payload of an integer value.
-func (v Value) Int() int64 { return v.i }
+// Int returns the payload of an integer value (0 for other kinds).
+func (v Value) Int() int64 {
+	if v.kind != KindInt {
+		return 0
+	}
+	return int64(v.bits)
+}
 
-// Float returns the payload of a float value.
-func (v Value) Float() float64 { return v.f }
+// Float returns the payload of a float value (0 for other kinds).
+func (v Value) Float() float64 {
+	if v.kind != KindFloat {
+		return 0
+	}
+	return math.Float64frombits(v.bits)
+}
 
 // String renders the value for display.
 func (v Value) String() string {
 	switch v.kind {
 	case KindString:
-		return v.s
+		return v.Str()
 	case KindInt:
-		return strconv.FormatInt(v.i, 10)
+		return strconv.FormatInt(int64(v.bits), 10)
 	case KindFloat:
-		return strconv.FormatFloat(v.f, 'g', -1, 64)
+		return strconv.FormatFloat(math.Float64frombits(v.bits), 'g', -1, 64)
 	default:
 		return "?"
 	}
@@ -115,19 +137,21 @@ func ParseValue(kind Kind, s string) (Value, error) {
 }
 
 // appendKey appends an unambiguous encoding of the value to b, used to
-// key tuples in hash maps.
+// key tuples in hash maps and in the snapshot/WAL formats. The encoding
+// is unchanged by interning: it always renders the payload itself.
 func (v Value) appendKey(b *strings.Builder) {
 	switch v.kind {
 	case KindString:
+		s := v.Str()
 		b.WriteByte('s')
-		b.WriteString(strconv.Itoa(len(v.s)))
+		b.WriteString(strconv.Itoa(len(s)))
 		b.WriteByte(':')
-		b.WriteString(v.s)
+		b.WriteString(s)
 	case KindInt:
 		b.WriteByte('i')
-		b.WriteString(strconv.FormatInt(v.i, 10))
+		b.WriteString(strconv.FormatInt(int64(v.bits), 10))
 	case KindFloat:
 		b.WriteByte('f')
-		b.WriteString(strconv.FormatFloat(v.f, 'g', -1, 64))
+		b.WriteString(strconv.FormatFloat(math.Float64frombits(v.bits), 'g', -1, 64))
 	}
 }

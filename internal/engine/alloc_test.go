@@ -1,0 +1,158 @@
+package engine_test
+
+// Allocation-regression gates for the hot read paths. The interning /
+// columnar-storage work makes a hard claim: once the engine is in
+// steady state, point lookups (Annotation, NF), indexed selections
+// (SelectEach) and streaming passes (EachRow) allocate nothing — no
+// Key() strings, no scratch slices, no boxing. testing.AllocsPerRun
+// turns that claim into a regression test; if any of these gates start
+// failing, a hot path regained an allocation.
+
+import (
+	"context"
+	"testing"
+
+	"hyperprov/internal/core"
+	"hyperprov/internal/db"
+	"hyperprov/internal/engine"
+	"hyperprov/internal/workload"
+)
+
+// Sinks defeat dead-code elimination inside AllocsPerRun bodies.
+var (
+	sinkExpr  *core.Expr
+	sinkNF    *core.NF
+	sinkCount int
+)
+
+func allocWorkload(t *testing.T) (*db.Database, []db.Transaction) {
+	t.Helper()
+	initial, txns, err := workload.Generate(workload.Config{
+		Tuples: 300, Pool: 60, Group: 4, Updates: 60,
+		QueriesPerTxn: 3, MergeRatio: 0.3, Seed: 11,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return initial, txns
+}
+
+// pickTuple returns a tuple that survives the workload (steady state:
+// it is present at the committed horizon).
+func pickTuple(t *testing.T, e *engine.Engine) db.Tuple {
+	t.Helper()
+	tuples, err := e.Select("R", db.AllPattern(5))
+	if err != nil {
+		t.Fatalf("select: %v", err)
+	}
+	if len(tuples) == 0 {
+		t.Fatal("workload left no visible tuples")
+	}
+	return tuples[len(tuples)/2]
+}
+
+func assertZeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	// Warm-up: first calls may grow pooled scratch or lazily build maps.
+	f()
+	if avg := testing.AllocsPerRun(200, f); avg != 0 {
+		t.Errorf("%s: %v allocs/op, want 0", name, avg)
+	}
+}
+
+func TestAllocFreeReads(t *testing.T) {
+	initial, txns := allocWorkload(t)
+	for _, mode := range []engine.Mode{engine.ModeNaive, engine.ModeNormalForm} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			e := engine.New(mode, initial)
+			if err := e.ApplyAll(context.Background(), txns); err != nil {
+				t.Fatalf("apply: %v", err)
+			}
+			tup := pickTuple(t, e)
+
+			assertZeroAllocs(t, "Annotation", func() {
+				sinkExpr = e.Annotation("R", tup)
+			})
+			if sinkExpr == nil {
+				t.Fatal("Annotation returned nil for a visible tuple")
+			}
+			if mode == engine.ModeNormalForm {
+				assertZeroAllocs(t, "NF", func() {
+					sinkNF = e.NF("R", tup)
+				})
+				if sinkNF == nil {
+					t.Fatal("NF returned nil for a visible tuple")
+				}
+			}
+
+			// Indexed streaming selection: =-pinned on the indexed grp
+			// column, planner resolves through the posting list.
+			if err := e.BuildIndex("R", "grp"); err != nil {
+				t.Fatalf("build index: %v", err)
+			}
+			sel := db.Pattern{
+				db.AnyVar("id"),
+				db.Const(tup[1]),
+				db.AnyVar("cat"),
+				db.AnyVar("val"),
+				db.AnyVar("pad"),
+			}
+			each := func(db.Tuple) { sinkCount++ }
+			assertZeroAllocs(t, "SelectEach/indexed", func() {
+				if err := e.SelectEach("R", sel, each); err != nil {
+					t.Fatalf("SelectEach: %v", err)
+				}
+			})
+
+			// Unindexed streaming selection still holds the gate (full
+			// list walk, no materialization).
+			selCat := db.Pattern{
+				db.AnyVar("id"),
+				db.AnyVar("grp"),
+				db.Const(tup[2]),
+				db.AnyVar("val"),
+				db.AnyVar("pad"),
+			}
+			assertZeroAllocs(t, "SelectEach/full", func() {
+				if err := e.SelectEach("R", selCat, each); err != nil {
+					t.Fatalf("SelectEach: %v", err)
+				}
+			})
+
+			rowFn := func(_ db.Tuple, ann *core.Expr) {
+				if ann != nil {
+					sinkCount++
+				}
+			}
+			assertZeroAllocs(t, "EachRow", func() {
+				e.EachRow("R", rowFn)
+			})
+		})
+	}
+}
+
+// TestAllocFreeShardedPointReads: fingerprint routing keeps the
+// sharded engine's point lookups allocation-free too (no Key() string
+// on the routing path).
+func TestAllocFreeShardedPointReads(t *testing.T) {
+	initial, txns := allocWorkload(t)
+	se := engine.NewSharded(engine.ModeNormalForm, initial, engine.WithShards(4))
+	if err := se.ApplyAll(context.Background(), txns); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	tuples, err := se.Select("R", db.AllPattern(5))
+	if err != nil || len(tuples) == 0 {
+		t.Fatalf("select: %v (%d tuples)", err, len(tuples))
+	}
+	tup := tuples[len(tuples)/2]
+	assertZeroAllocs(t, "Sharded.Annotation", func() {
+		sinkExpr = se.Annotation("R", tup)
+	})
+	if sinkExpr == nil {
+		t.Fatal("Annotation returned nil for a visible tuple")
+	}
+	assertZeroAllocs(t, "Sharded.NF", func() {
+		sinkNF = se.NF("R", tup)
+	})
+}

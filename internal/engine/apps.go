@@ -137,6 +137,10 @@ func AccessControl(e Reader, env upstruct.Env[upstruct.Set]) map[string]map[stri
 			m = make(map[string]upstruct.Set)
 			out[rel] = m
 		}
+		// The one remaining Key() construction in the engine: the API's
+		// result shape is keyed by the durable string encoding. Every
+		// lookup path (table probes, routing, Annotation/NF) runs on
+		// fingerprints and never rebuilds keys.
 		m[t.Key()] = v
 	})
 	return out

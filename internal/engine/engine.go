@@ -42,7 +42,13 @@ func (m Mode) String() string {
 // through head.
 type row struct {
 	tuple db.Tuple
-	txn   int // last transaction that touched the row (freeze tracking)
+	// fp is the tuple's db.Tuple.Fingerprint, cached at insertion: the
+	// rowMap probes compare it before tuple equality, and shard routing
+	// reuses it, so the hot path never rebuilds Key() strings (keys
+	// survive only in snapshots and the WAL, where byte-compatibility
+	// matters).
+	fp  uint64
+	txn int // last transaction that touched the row (freeze tracking)
 	// seq is the row's global creation sequence number,
 	// epoch<<32|counter: the epoch is the transaction (or restore, or
 	// minimization pass) that created the row and the counter its
@@ -64,29 +70,36 @@ type row struct {
 
 type table struct {
 	rel *db.RelationSchema
-	// rows maps tuple keys to rows. Keys are never deleted (tombstones
-	// persist), which is exactly the access pattern sync.Map is fast
-	// for; readers look keys up lock-free while the (serialized) writer
-	// stores new rows.
-	rows sync.Map // string -> *row
+	// rows indexes rows by tuple fingerprint (see storage.go). Entries
+	// are never deleted (tombstones persist), so readers probe lock-free
+	// while the serialized writer stores new rows; no Key() string is
+	// built on either side.
+	rows rowMap
 	// list holds the rows in insertion order; rows are never removed,
 	// and scans iterate it for determinism: the order of Σ summands
 	// must not depend on map iteration. The rowList publication order
 	// (element before length) makes concurrent lock-free reads safe.
 	list rowList
+	// cols mirrors the tuples column-major (struct-of-arrays) with a
+	// parallel sequence vector; planner full scans and visibility
+	// counting read contiguous vectors instead of chasing row pointers.
+	cols colStore
 }
 
-func (t *table) get(key string) *row {
-	v, ok := t.rows.Load(key)
-	if !ok {
-		return nil
-	}
-	return v.(*row)
+// get returns the row stored for the tuple (fp must be the tuple's
+// fingerprint), or nil. Lock-free and allocation-free.
+func (t *table) get(fp uint64, tu db.Tuple) *row {
+	return t.rows.get(fp, tu)
 }
 
-func (t *table) add(key string, r *row) {
-	r.pos = t.list.len()
-	t.rows.Store(key, r)
+// add stores a new row (writer-only): fingerprint map, columnar mirror,
+// then the list append that publishes the row to ordered readers.
+func (t *table) add(r *row) {
+	r.fp = r.tuple.Fingerprint()
+	n := t.list.len()
+	r.pos = n
+	t.rows.add(r)
+	t.cols.append(r.tuple, r.seq, n)
 	t.list.append(r)
 }
 
@@ -253,6 +266,11 @@ type Engine struct {
 	// idx is the secondary-index manager: per-column hash indexes, the
 	// adaptive advisor and the planner counters (see index.go).
 	idx *indexManager
+
+	// scanBufs is the writer-owned free-list recycling scan result
+	// buffers (see storage.go); guarded by the write lock like every
+	// other scan-path structure.
+	scanBufs [][]*row
 }
 
 // New builds an engine in the given mode from an initial database. Each
@@ -270,7 +288,7 @@ func New(mode Mode, initial *db.Database, opts ...Option) *Engine {
 			r := newRow(mode, t, core.Var(a), seq)
 			seq++
 			e.versions.Add(1)
-			tbl.add(t.Key(), r)
+			tbl.add(r)
 		}
 	}
 	return e
@@ -291,7 +309,9 @@ func newShell(mode Mode, schema *db.Schema, cfg *config) *Engine {
 	}
 	e.visibleSeq.Store(EpochSeq(0))
 	for _, name := range schema.Names() {
-		e.tables[name] = &table{rel: schema.Relation(name)}
+		tbl := &table{rel: schema.Relation(name)}
+		tbl.cols.init(len(tbl.rel.Attrs))
+		e.tables[name] = tbl
 	}
 	return e
 }
@@ -398,8 +418,7 @@ func (e *Engine) restoreRowLocked(rel string, t db.Tuple, ann *core.Expr) error 
 	if err := t.Conforms(tbl.rel); err != nil {
 		return fmt.Errorf("engine: %w: %v", ErrBadTuple, err)
 	}
-	key := t.Key()
-	r := tbl.get(key)
+	r := tbl.get(t.Fingerprint(), t)
 	fresh := r == nil
 	wasMatchable := !fresh && e.matchable(r)
 	if fresh {
@@ -415,7 +434,7 @@ func (e *Engine) restoreRowLocked(rel string, t db.Tuple, ann *core.Expr) error 
 	}
 	v.live = upstruct.Eval(ann, upstruct.Bool, func(core.Annot) bool { return true })
 	if fresh {
-		tbl.add(key, r)
+		tbl.add(r)
 	}
 	switch {
 	case fresh, !wasMatchable && e.matchable(r):
@@ -578,13 +597,12 @@ func (e *Engine) Apply(u db.Update) error {
 }
 
 func (e *Engine) applyInsert(tbl *table, u db.Update) {
-	key := u.Row.Key()
-	r := tbl.get(key)
+	r := tbl.get(u.Row.Fingerprint(), u.Row)
 	fresh := r == nil
 	wasMatchable := !fresh && e.matchable(r)
 	if fresh {
 		r = e.newVersionedRow(u.Row)
-		tbl.add(key, r)
+		tbl.add(r)
 	}
 	v := e.mutable(r)
 	if e.mode == ModeNaive {
@@ -604,9 +622,11 @@ func (e *Engine) applyInsert(tbl *table, u db.Update) {
 }
 
 func (e *Engine) applyDelete(tbl *table, u db.Update) {
-	for _, r := range e.scan(tbl, u) {
+	rows := e.scan(tbl, u)
+	for _, r := range rows {
 		e.deleteRow(tbl, r)
 	}
+	e.putScanBuf(rows)
 }
 
 // deleteRow applies the current query as a deletion (−M for modify
@@ -629,10 +649,10 @@ func (e *Engine) deleteRow(tbl *table, r *row) {
 
 // lookupPinned returns the one candidate row of a selection whose
 // constraints pin every attribute (see db.Pattern.PinnedTuple): only
-// the row stored under the pinned key can match, so the full scan
-// reduces to a map lookup.
-func (e *Engine) lookupPinned(tbl *table, u db.Update, key string) *row {
-	r := tbl.get(key)
+// the row stored for the pinned tuple can match, so the full scan
+// reduces to an allocation-free fingerprint probe.
+func (e *Engine) lookupPinned(tbl *table, u db.Update, t db.Tuple) *row {
+	r := tbl.get(t.Fingerprint(), t)
 	if r == nil || !e.matchable(r) || !u.MatchesTuple(r.tuple) {
 		return nil
 	}
@@ -640,9 +660,13 @@ func (e *Engine) lookupPinned(tbl *table, u db.Update, key string) *row {
 }
 
 // modGroup accumulates, per target tuple, the provenance contributions
-// of the sources collapsing into it.
+// of the sources collapsing into it. Groups are found by target
+// fingerprint; collide chains the (vanishingly rare) distinct targets
+// sharing one fingerprint so a hash collision can never merge groups.
 type modGroup struct {
-	target db.Tuple
+	target  db.Tuple
+	fp      uint64
+	collide *modGroup
 	// naive: pre-query source annotations (copied under cow).
 	raw []*core.Expr
 	// normal form: flattened contributions and the inserted flag.
@@ -650,8 +674,25 @@ type modGroup struct {
 	inserted bool
 }
 
+// findModGroup returns the group for the target in the fingerprint-
+// keyed chain map, appending a fresh one to order on first sight.
+func findModGroup(groups map[uint64]*modGroup, order *[]*modGroup, target db.Tuple, fp uint64) *modGroup {
+	g := groups[fp]
+	for g != nil && !g.target.Equal(target) {
+		g = g.collide
+	}
+	if g == nil {
+		g = &modGroup{target: target, fp: fp, collide: groups[fp]}
+		groups[fp] = g
+		*order = append(*order, g)
+	}
+	return g
+}
+
 func (e *Engine) applyModify(tbl *table, u db.Update) {
-	e.applyModifySources(tbl, u, e.scan(tbl, u))
+	sources := e.scan(tbl, u)
+	e.applyModifySources(tbl, u, sources)
+	e.putScanBuf(sources)
 }
 
 // captureContribution records one source row's pre-query annotation in
@@ -674,13 +715,13 @@ func (e *Engine) captureContribution(g *modGroup, src *row) {
 
 // absorbModTarget applies a completed modification group to its target
 // row, creating the row if the target tuple was never stored.
-func (e *Engine) absorbModTarget(tbl *table, g *modGroup, key string, pe *core.Expr) {
-	r := tbl.get(key)
+func (e *Engine) absorbModTarget(tbl *table, g *modGroup, pe *core.Expr) {
+	r := tbl.get(g.fp, g.target)
 	fresh := r == nil
 	wasMatchable := !fresh && e.matchable(r)
 	if fresh {
 		r = e.newVersionedRow(g.target)
-		tbl.add(key, r)
+		tbl.add(r)
 	}
 	v := e.mutable(r)
 	if e.mode == ModeNaive {
@@ -704,17 +745,11 @@ func (e *Engine) applyModifySources(tbl *table, u db.Update, sources []*row) {
 		return
 	}
 	pe := core.Var(e.cur)
-	groups := make(map[string]*modGroup)
-	var order []string
+	groups := make(map[uint64]*modGroup)
+	var order []*modGroup
 	for _, src := range sources {
 		target := u.Target(src.tuple)
-		key := target.Key()
-		g := groups[key]
-		if g == nil {
-			g = &modGroup{target: target}
-			groups[key] = g
-			order = append(order, key)
-		}
+		g := findModGroup(groups, &order, target, target.Fingerprint())
 		e.captureContribution(g, src)
 	}
 	// Sources are deleted (−M p) after their pre-query annotations have
@@ -725,8 +760,8 @@ func (e *Engine) applyModifySources(tbl *table, u db.Update, sources []*row) {
 	// Targets receive old +M ((Σ sources) ·M p); a target that is itself
 	// a source (necessarily a self-map) uses its post-deletion
 	// annotation, yielding the paper's fifth normal-form shape.
-	for _, key := range order {
-		e.absorbModTarget(tbl, groups[key], key, pe)
+	for _, g := range order {
+		e.absorbModTarget(tbl, g, pe)
 	}
 }
 

@@ -493,22 +493,57 @@ func (e *Engine) scan(tbl *table, u db.Update) []*row {
 	if second != nil && len(best.rows) >= minIntersectLen &&
 		len(second.rows) <= maxIntersectRatio*len(best.rows) {
 		e.idx.intersectScans.Add(1)
-		return e.filterRows(intersectByPos(best.rows, second.rows), u)
+		cand := intersectByPosInto(e.getScanBuf(), best.rows, second.rows)
+		out := e.filterRows(cand, u)
+		e.putScanBuf(cand)
+		return out
 	}
 	e.idx.indexScans.Add(1)
 	return e.filterRows(best.rows, u)
 }
 
 // fullScan is the paper's access path: walk the whole relation in
-// insertion order.
+// insertion order. When the selection carries an =-constant term, the
+// columnar mirror prefilters it against the contiguous column vector,
+// so non-matching rows cost one 16-byte compare and no row or version
+// pointer is chased for them.
 func (e *Engine) fullScan(tbl *table, u db.Update) []*row {
-	return e.filterRows(tbl.list.snapshot(), u)
+	rows := tbl.list.snapshot()
+	if ci := firstConstTerm(u.Sel); ci >= 0 {
+		if col := tbl.cols.col(ci, len(rows)); len(col) == len(rows) {
+			want := u.Sel[ci].Value()
+			out := e.getScanBuf()
+			for i, r := range rows {
+				if col[i] != want {
+					continue
+				}
+				if e.matchable(r) && u.MatchesTuple(r.tuple) {
+					out = append(out, r)
+				}
+			}
+			return out
+		}
+	}
+	return e.filterRows(rows, u)
+}
+
+// firstConstTerm returns the index of the first =-constant term of the
+// pattern, or -1.
+func firstConstTerm(p db.Pattern) int {
+	for i := range p {
+		if p[i].IsConst() {
+			return i
+		}
+	}
+	return -1
 }
 
 // filterRows applies matchability and the full selection to candidate
-// rows, preserving their order.
+// rows, preserving their order. The result comes from the writer's
+// scan-buffer free-list; callers release it with putScanBuf when the
+// update is done with it.
 func (e *Engine) filterRows(rows []*row, u db.Update) []*row {
-	var out []*row
+	out := e.getScanBuf()
 	for _, r := range rows {
 		if e.matchable(r) && u.MatchesTuple(r.tuple) {
 			out = append(out, r)
@@ -536,6 +571,18 @@ func (e *Engine) scanAt(tbl *table, u db.Update, s uint64) []*row {
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	rows, none := e.planAt(tbl, u, s)
+	if none {
+		return nil
+	}
+	return e.filterRowsAt(rows, u, s)
+}
+
+// planAt is the pinned-horizon access-path choice shared by scanAt and
+// selectEachAt: the candidate rows still to be filtered (possibly the
+// whole list), or none=true when an index proves the selection empty.
+// The caller holds the read lock.
+func (e *Engine) planAt(tbl *table, u db.Update, s uint64) (rows []*row, none bool) {
 	if ti := e.idx.tables[tbl.rel.Name]; ti != nil {
 		var best, second *postingList
 		usable := true
@@ -557,7 +604,7 @@ func (e *Engine) scanAt(tbl *table, u db.Update, s uint64) []*row {
 				// index was live, so the selection matches nothing at any
 				// covered horizon.
 				e.idx.indexScans.Add(1)
-				return nil
+				return nil, true
 			}
 			switch {
 			case best == nil || len(pl.rows) < len(best.rows):
@@ -570,14 +617,14 @@ func (e *Engine) scanAt(tbl *table, u db.Update, s uint64) []*row {
 			if second != nil && len(best.rows) >= minIntersectLen &&
 				len(second.rows) <= maxIntersectRatio*len(best.rows) {
 				e.idx.intersectScans.Add(1)
-				return e.filterRowsAt(intersectByPos(best.rows, second.rows), u, s)
+				return intersectByPos(best.rows, second.rows), false
 			}
 			e.idx.indexScans.Add(1)
-			return e.filterRowsAt(best.rows, u, s)
+			return best.rows, false
 		}
 	}
 	e.idx.fullScans.Add(1)
-	return e.filterRowsAt(tbl.list.snapshot(), u, s)
+	return tbl.list.snapshot(), false
 }
 
 // Select implements Reader: the tuples the selection pattern matches
@@ -628,14 +675,54 @@ func (e *Engine) filterRowsAt(rows []*row, u db.Update, s uint64) []*row {
 	return out
 }
 
+// SelectEach streams the tuples matching the selection at the
+// committed horizon to f, in insertion order, through the planner —
+// Select without materializing the result slice. With an indexed
+// =-constrained column the steady-state pass allocates nothing
+// (enforced by TestAllocFreeReads); f must not retain the tuples
+// across engine mutations it triggers itself.
+func (e *Engine) SelectEach(rel string, sel db.Pattern, f func(db.Tuple)) error {
+	return e.selectEachAt(rel, sel, e.Horizon(), f)
+}
+
+func (e *Engine) selectEachAt(rel string, sel db.Pattern, s uint64, f func(db.Tuple)) error {
+	tbl := e.tables[rel]
+	if tbl == nil {
+		return fmt.Errorf("engine: %w %s", ErrUnknownRelation, rel)
+	}
+	u := db.Delete(rel, sel)
+	if err := u.Validate(e.schema); err != nil {
+		return fmt.Errorf("engine: %w: %v", ErrBadTuple, err)
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	rows, none := e.planAt(tbl, u, s)
+	if none {
+		return nil
+	}
+	for _, r := range rows {
+		v := r.at(s)
+		if v == nil || !e.matchableV(v) || !u.MatchesTuple(r.tuple) {
+			continue
+		}
+		f(r.tuple)
+	}
+	return nil
+}
+
 // intersectByPos merges two position-ordered row lists into their
 // intersection, still position-ordered. Positions are unique per table,
 // so pointer identity and position identity coincide.
 func intersectByPos(a, b []*row) []*row {
+	return intersectByPosInto(nil, a, b)
+}
+
+// intersectByPosInto is intersectByPos appending into a caller-supplied
+// buffer (the write path passes a recycled scan buffer).
+func intersectByPosInto(out []*row, a, b []*row) []*row {
 	if len(b) < len(a) {
 		a, b = b, a
 	}
-	var out []*row
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {

@@ -404,11 +404,11 @@ func (v *shardedView) Relations() []string { return v.se.schema.Names() }
 func (v *shardedView) AsOf() uint64 { return v.s }
 
 func (v *shardedView) Annotation(rel string, t db.Tuple) *core.Expr {
-	return v.se.shardForKey(t.Key()).annotationAt(rel, t, v.s)
+	return v.se.shardFor(t).annotationAt(rel, t, v.s)
 }
 
 func (v *shardedView) NF(rel string, t db.Tuple) *core.NF {
-	return v.se.shardForKey(t.Key()).nfAt(rel, t, v.s)
+	return v.se.shardFor(t).nfAt(rel, t, v.s)
 }
 
 func (v *shardedView) EachRow(rel string, f func(t db.Tuple, ann *core.Expr)) {
@@ -442,7 +442,9 @@ func (e *Engine) annotationAt(rel string, t db.Tuple, s uint64) *core.Expr {
 	if tbl == nil {
 		return nil
 	}
-	r := tbl.get(t.Key())
+	// Fingerprint probe: the steady-state point lookup allocates nothing
+	// (enforced by TestAllocFreeReads), and no Key() string is built.
+	r := tbl.get(t.Fingerprint(), t)
 	if r == nil {
 		return nil
 	}
@@ -461,7 +463,7 @@ func (e *Engine) nfAt(rel string, t db.Tuple, s uint64) *core.NF {
 	if tbl == nil {
 		return nil
 	}
-	r := tbl.get(t.Key())
+	r := tbl.get(t.Fingerprint(), t)
 	if r == nil {
 		return nil
 	}
@@ -503,8 +505,11 @@ func (e *Engine) rowsAt(s uint64, f func(rel string, t db.Tuple, ann *core.Expr)
 func (e *Engine) numRowsAt(s uint64) int {
 	n := 0
 	for _, name := range e.schema.Names() {
-		for _, r := range e.tables[name].list.snapshot() {
-			if r.seq <= s {
+		tbl := e.tables[name]
+		// Visibility counting walks the contiguous sequence vector; no
+		// row pointer is touched.
+		for _, q := range tbl.cols.seqPrefix(tbl.list.len()) {
+			if q <= s {
 				n++
 			}
 		}

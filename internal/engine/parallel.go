@@ -18,20 +18,53 @@ type rowChunk struct {
 	rows []*row
 }
 
+// chunkPool recycles the chunk descriptor slices of the parallel
+// passes. Unlike the writer-owned scan-buffer free-list, parallel
+// passes run concurrently on the reader side, so this scratch really
+// needs sync.Pool. Descriptors are cleared on put so the pool never
+// pins row snapshots.
+var chunkPool = sync.Pool{
+	New: func() any {
+		s := make([]rowChunk, 0, 16)
+		return &s
+	},
+}
+
+func getChunkBuf() []rowChunk {
+	return (*chunkPool.Get().(*[]rowChunk))[:0]
+}
+
+func putChunkBuf(chunks []rowChunk) {
+	chunks = chunks[:cap(chunks)]
+	for i := range chunks {
+		chunks[i] = rowChunk{}
+	}
+	chunks = chunks[:0]
+	chunkPool.Put(&chunks)
+}
+
 // chunksAt splits every relation's visible rows at horizon s into up to
 // workers pieces, in deterministic order (schema order, then row order
-// within the relation). Lock-free: the lists are snapshotted and rows
-// beyond the horizon excluded up front, so workers only resolve
-// versions.
-func (e *Engine) chunksAt(workers int, s uint64) []rowChunk {
-	var chunks []rowChunk
+// within the relation), appending into buf. Lock-free: the lists are
+// snapshotted and rows beyond the horizon excluded up front, so workers
+// only resolve versions.
+func (e *Engine) chunksAt(buf []rowChunk, workers int, s uint64) []rowChunk {
+	chunks := buf
 	for _, rel := range e.schema.Names() {
-		rows := e.tables[rel].list.snapshot()
+		tbl := e.tables[rel]
+		rows := tbl.list.snapshot()
 		// Visible rows form a prefix (plain-engine lists are
-		// sequence-ordered).
+		// sequence-ordered); the trim walks the contiguous sequence
+		// vector instead of chasing row pointers.
 		n := len(rows)
-		for n > 0 && rows[n-1].seq > s {
-			n--
+		if seqs := tbl.cols.seqPrefix(n); len(seqs) == n {
+			for n > 0 && seqs[n-1] > s {
+				n--
+			}
+		} else {
+			for n > 0 && rows[n-1].seq > s {
+				n--
+			}
 		}
 		rows = rows[:n]
 		per := (len(rows) + workers - 1) / workers
@@ -48,8 +81,8 @@ func (e *Engine) chunksAt(workers int, s uint64) []rowChunk {
 
 // chunksAt splits the shard-merged visible rows (global insertion
 // order at horizon s) into up to workers pieces per relation.
-func (se *ShardedEngine) chunksAt(workers int, s uint64) []rowChunk {
-	var chunks []rowChunk
+func (se *ShardedEngine) chunksAt(buf []rowChunk, workers int, s uint64) []rowChunk {
+	chunks := buf
 	for _, rel := range se.schema.Names() {
 		rows := se.mergedRowsAt(rel, s)
 		per := (len(rows) + workers - 1) / workers
@@ -64,19 +97,19 @@ func (se *ShardedEngine) chunksAt(workers int, s uint64) []rowChunk {
 	return chunks
 }
 
-// readerChunks resolves a Reader to its chunk list and mode, or
-// ok=false for foreign implementations that must use the generic
-// fallback.
+// readerChunks resolves a Reader to its chunk list (built in a pooled
+// buffer the caller must return via putChunkBuf) and mode, or ok=false
+// for foreign implementations that must use the generic fallback.
 func readerChunks(e Reader, workers int) (chunks []rowChunk, mode Mode, ok bool) {
 	switch v := e.(type) {
 	case *Engine:
-		return v.chunksAt(workers, v.Horizon()), v.mode, true
+		return v.chunksAt(getChunkBuf(), workers, v.Horizon()), v.mode, true
 	case *ShardedEngine:
-		return v.chunksAt(workers, v.Horizon()), v.mode, true
+		return v.chunksAt(getChunkBuf(), workers, v.Horizon()), v.mode, true
 	case *engineView:
-		return v.e.chunksAt(workers, v.s), v.e.mode, true
+		return v.e.chunksAt(getChunkBuf(), workers, v.s), v.e.mode, true
 	case *shardedView:
-		return v.se.chunksAt(workers, v.s), v.se.mode, true
+		return v.se.chunksAt(getChunkBuf(), workers, v.s), v.se.mode, true
 	default:
 		return nil, 0, false
 	}
@@ -102,14 +135,22 @@ func SpecializeParallel[T any](ctx context.Context, e Reader, s upstruct.Structu
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	chunks, mode, ok := readerChunks(e, workers)
-	if !ok || workers == 1 {
+	if workers == 1 {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		Specialize(e, s, env, f)
 		return nil
 	}
+	chunks, mode, ok := readerChunks(e, workers)
+	if !ok {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		Specialize(e, s, env, f)
+		return nil
+	}
+	defer putChunkBuf(chunks)
 	return specializeChunks(ctx, chunks, mode, s, env, f)
 }
 
@@ -158,6 +199,7 @@ func BoolRestrictParallel(ctx context.Context, e Reader, env upstruct.Env[bool],
 		}
 		return BoolRestrict(e, env), nil
 	}
+	defer putChunkBuf(chunks)
 	hits := make([][]db.Tuple, len(chunks))
 	var wg sync.WaitGroup
 	for i := range chunks {

@@ -12,12 +12,13 @@ import (
 )
 
 // ShardedEngine partitions every relation's rows across N shards by
-// FNV hash of the row key (db.ShardOf over db.Tuple.Key). Each shard is
-// a full Engine — its own table maps behind its own write lock — so
-// shards are independent lock domains and transactions touching
-// disjoint shards apply concurrently.
+// tuple fingerprint (db.ShardOfTuple over db.Tuple.Fingerprint — no
+// Key() string is built on the routing path). Each shard is a full
+// Engine — its own table maps behind its own write lock — so shards
+// are independent lock domains and transactions touching disjoint
+// shards apply concurrently.
 //
-// Updates route by constraint analysis (db.Update.RouteKeys): an update
+// Updates route by constraint analysis (db.Update.RouteTuples): an update
 // whose =-constant constraints pin the key attributes goes to exactly
 // one shard, where the pinned selection degenerates to a map lookup
 // instead of the paper's relation scan; all other updates — free
@@ -101,9 +102,9 @@ func NewSharded(mode Mode, initial *db.Database, opts ...Option) *ShardedEngine 
 			a := se.shards[0].freshAnnot(name, t)
 			r := newRow(mode, t, core.Var(a), seq)
 			seq++
-			sh := se.shardForKey(t.Key())
+			sh := se.shardFor(t)
 			sh.versions.Add(1)
-			sh.tables[name].add(t.Key(), r)
+			sh.tables[name].add(r)
 		}
 	}
 	return se
@@ -121,8 +122,8 @@ func (se *ShardedEngine) Relations() []string { return se.schema.Names() }
 // NumShards reports the number of shards.
 func (se *ShardedEngine) NumShards() int { return len(se.shards) }
 
-func (se *ShardedEngine) shardForKey(key string) *Engine {
-	return se.shards[db.ShardOf(key, len(se.shards))]
+func (se *ShardedEngine) shardFor(t db.Tuple) *Engine {
+	return se.shards[db.ShardOfTuple(t, len(se.shards))]
 }
 
 // SetCommitHook installs (or, with nil, removes) the commit-event
@@ -192,12 +193,12 @@ func (se *ShardedEngine) unlockShards(shards []int) {
 func (se *ShardedEngine) analyze(t *db.Transaction) (shards []int, pinned bool) {
 	seen := make(map[int]struct{})
 	for i := range t.Updates {
-		keys, ok := t.Updates[i].RouteKeys()
+		tuples, ok := t.Updates[i].RouteTuples()
 		if !ok {
 			return se.all, false
 		}
-		for _, k := range keys {
-			seen[db.ShardOf(k, len(se.shards))] = struct{}{}
+		for _, tu := range tuples {
+			seen[db.ShardOfTuple(tu, len(se.shards))] = struct{}{}
 		}
 	}
 	if len(seen) == 0 {
@@ -278,16 +279,16 @@ func (se *ShardedEngine) applyUpdateLocked(u db.Update, shards []int) error {
 	if se.schema.Relation(u.Rel) == nil {
 		return fmt.Errorf("engine: %w %s", ErrUnknownRelation, u.Rel)
 	}
-	keys, pinned := u.RouteKeys()
+	tuples, pinned := u.RouteTuples()
 	switch u.Kind {
 	case db.OpInsert:
-		sh := se.shardForKey(keys[0])
+		sh := se.shardFor(tuples[0])
 		sh.applyInsert(sh.tables[u.Rel], u)
 		return nil
 	case db.OpDelete:
 		if pinned {
-			sh := se.shardForKey(keys[0])
-			if r := sh.lookupPinned(sh.tables[u.Rel], u, keys[0]); r != nil {
+			sh := se.shardFor(tuples[0])
+			if r := sh.lookupPinned(sh.tables[u.Rel], u, tuples[0]); r != nil {
 				sh.deleteRow(sh.tables[u.Rel], r)
 			}
 			return nil
@@ -296,8 +297,8 @@ func (se *ShardedEngine) applyUpdateLocked(u db.Update, shards []int) error {
 		return nil
 	case db.OpModify:
 		if pinned {
-			sh := se.shardForKey(keys[0])
-			if r := sh.lookupPinned(sh.tables[u.Rel], u, keys[0]); r != nil {
+			sh := se.shardFor(tuples[0])
+			if r := sh.lookupPinned(sh.tables[u.Rel], u, tuples[0]); r != nil {
 				se.modifyAcross(u, []shardSource{{sh: sh, r: r}})
 			}
 			return nil
@@ -362,6 +363,9 @@ func (se *ShardedEngine) fanModify(u db.Update, shards []int) {
 		for _, r := range per[i] {
 			sources = append(sources, shardSource{sh: sh, r: r})
 		}
+		// Scan buffers recycle to the shard that lent them (its write
+		// lock is still held by this coordinator).
+		sh.putScanBuf(per[i])
 	}
 	// Merge to the single engine's scan order: row sequence numbers are
 	// globally unique, so this order is total and deterministic.
@@ -381,25 +385,19 @@ func (se *ShardedEngine) modifyAcross(u db.Update, sources []shardSource) {
 		return
 	}
 	pe := core.Var(sources[0].sh.cur)
-	groups := make(map[string]*modGroup)
-	var order []string
+	groups := make(map[uint64]*modGroup)
+	var order []*modGroup
 	for _, s := range sources {
 		target := u.Target(s.r.tuple)
-		key := target.Key()
-		g := groups[key]
-		if g == nil {
-			g = &modGroup{target: target}
-			groups[key] = g
-			order = append(order, key)
-		}
+		g := findModGroup(groups, &order, target, target.Fingerprint())
 		s.sh.captureContribution(g, s.r)
 	}
 	for _, s := range sources {
 		s.sh.deleteRow(s.sh.tables[u.Rel], s.r)
 	}
-	for _, key := range order {
-		sh := se.shardForKey(key)
-		sh.absorbModTarget(sh.tables[u.Rel], groups[key], key, pe)
+	for _, g := range order {
+		sh := se.shards[db.ShardOfFingerprint(g.fp, len(se.shards))]
+		sh.absorbModTarget(sh.tables[u.Rel], g, pe)
 	}
 }
 
@@ -622,10 +620,10 @@ func (se *ShardedEngine) ApplyBatch(ctx context.Context, txns []db.Transaction) 
 }
 
 // RestoreRow stores a tuple with an explicit annotation on the shard
-// owning its key (see Engine.RestoreRow). Each restore is its own
-// epoch, committed to the tracker like a transaction.
+// owning it (see Engine.RestoreRow). Each restore is its own epoch,
+// committed to the tracker like a transaction.
 func (se *ShardedEngine) RestoreRow(rel string, t db.Tuple, ann *core.Expr) error {
-	sh := se.shardForKey(t.Key())
+	sh := se.shardFor(t)
 	collect := se.hook.Load() != nil
 	epoch := se.epoch.Add(1)
 	sh.mu.Lock()
@@ -693,6 +691,22 @@ func (se *ShardedEngine) selectAt(rel string, sel db.Pattern, s uint64) ([]db.Tu
 		out[i] = r.tuple
 	}
 	return out, nil
+}
+
+// SelectEach streams the tuples matching the selection at the
+// committed horizon to f in global insertion order. The sharded form
+// materializes the merged result first — the cross-shard order
+// requires the sequence sort — so the zero-allocation streaming gate
+// applies to the single engine only.
+func (se *ShardedEngine) SelectEach(rel string, sel db.Pattern, f func(db.Tuple)) error {
+	tuples, err := se.Select(rel, sel)
+	if err != nil {
+		return err
+	}
+	for _, t := range tuples {
+		f(t)
+	}
+	return nil
 }
 
 // DropIndex removes the index from every shard that has it. Because the
@@ -770,15 +784,16 @@ func (se *ShardedEngine) PlannerStats() PlannerStats {
 }
 
 // Annotation returns the provenance expression of the tuple at the
-// committed horizon, from the shard owning its key. Lock-free.
+// committed horizon, from the shard owning it. Lock-free and
+// allocation-free (fingerprint routing plus a fingerprint probe).
 func (se *ShardedEngine) Annotation(rel string, t db.Tuple) *core.Expr {
-	return se.shardForKey(t.Key()).annotationAt(rel, t, se.Horizon())
+	return se.shardFor(t).annotationAt(rel, t, se.Horizon())
 }
 
 // NF returns the normal-form value of the tuple in ModeNormalForm at
 // the committed horizon, or nil.
 func (se *ShardedEngine) NF(rel string, t db.Tuple) *core.NF {
-	return se.shardForKey(t.Key()).nfAt(rel, t, se.Horizon())
+	return se.shardFor(t).nfAt(rel, t, se.Horizon())
 }
 
 // mergedRowsAt returns every row of the relation visible at horizon s

@@ -1,0 +1,244 @@
+package engine
+
+import (
+	"sync/atomic"
+
+	"hyperprov/internal/db"
+)
+
+// Row storage. Two structures back every table, both append-only and
+// readable without locks:
+//
+//   - rowMap: an open-addressing hash table from tuple fingerprints to
+//     rows. Point lookups (pinned updates, Annotation/NF) probe a
+//     contiguous slot array by db.Tuple.Fingerprint — no Key() string
+//     is ever built on the lookup path — and disambiguate 64-bit
+//     collisions with Tuple.Equal. Rows are never deleted (tombstones
+//     persist), so probe sequences never break and the writer-only
+//     grow path can rebuild into a fresh array and publish it with a
+//     single atomic store.
+//
+//   - colStore: a struct-of-arrays mirror of the table's tuples — one
+//     value vector per attribute plus a parallel sequence vector, all
+//     published with the rowList discipline (elements land before the
+//     list's length does, and the length load is the readers'
+//     happens-before edge). Planner full scans test =-constant terms
+//     against the contiguous column before chasing any row or version
+//     pointer, and visibility counting walks the sequence vector
+//     without touching rows at all.
+//
+// Memory model: the writer is serialized by the engine write lock. It
+// stores elements with plain writes, then publishes them through an
+// atomic store (the map's slot pointer, or the table list's length);
+// readers load the atomic first and only then read the plainly-written
+// memory, which is the same release/acquire pairing rowList has always
+// used.
+
+// rowSlots is one published generation of a rowMap: a power-of-two
+// slot array probed linearly from fp & mask.
+type rowSlots struct {
+	mask  uint64
+	slots []atomic.Pointer[row]
+}
+
+// rowMap is the fingerprint-keyed row index of a table. Readers use
+// get concurrently with a writer's add; the writer is serialized by
+// the engine lock.
+type rowMap struct {
+	tab atomic.Pointer[rowSlots]
+	n   int // writer-only: rows stored
+}
+
+// get returns the row stored for the tuple, or nil. Lock-free and
+// allocation-free: the probe compares fingerprints first and confirms
+// with tuple equality, so a fingerprint collision costs an extra
+// compare, never a wrong row.
+func (m *rowMap) get(fp uint64, t db.Tuple) *row {
+	tab := m.tab.Load()
+	if tab == nil {
+		return nil
+	}
+	for i := fp & tab.mask; ; i = (i + 1) & tab.mask {
+		r := tab.slots[i].Load()
+		if r == nil {
+			return nil
+		}
+		if r.fp == fp && r.tuple.Equal(t) {
+			return r
+		}
+	}
+}
+
+// add stores a new row (writer-only, under the engine lock). The row's
+// fp must be set. Load is kept under 3/4 so reader probes always
+// terminate at an empty slot.
+func (m *rowMap) add(r *row) {
+	tab := m.tab.Load()
+	if tab == nil || 4*(m.n+1) > 3*len(tab.slots) {
+		tab = m.grow(tab)
+	}
+	m.n++
+	for i := r.fp & tab.mask; ; i = (i + 1) & tab.mask {
+		if tab.slots[i].Load() == nil {
+			tab.slots[i].Store(r)
+			return
+		}
+	}
+}
+
+// grow rebuilds into a doubled slot array and publishes it. Readers
+// holding the old generation still see every row inserted before the
+// grow; rows added after only land in the new one — the same
+// only-eventually-visible guarantee a concurrent map store has anyway.
+func (m *rowMap) grow(old *rowSlots) *rowSlots {
+	size := 16
+	if old != nil {
+		size = 2 * len(old.slots)
+	}
+	tab := &rowSlots{mask: uint64(size - 1), slots: make([]atomic.Pointer[row], size)}
+	if old != nil {
+		for i := range old.slots {
+			r := old.slots[i].Load()
+			if r == nil {
+				continue
+			}
+			for j := r.fp & tab.mask; ; j = (j + 1) & tab.mask {
+				if tab.slots[j].Load() == nil {
+					tab.slots[j].Store(r)
+					break
+				}
+			}
+		}
+	}
+	m.tab.Store(tab)
+	return tab
+}
+
+// colVec is one append-only column vector, grown copy-on-write and
+// published atomically (see the file comment for the ordering
+// argument).
+type colVec struct {
+	arr atomic.Pointer[[]db.Value]
+}
+
+// appendAt stores the value at index n (writer-only; n is the table
+// list's unpublished next length).
+func (v *colVec) appendAt(n int, val db.Value) {
+	arr := v.arr.Load()
+	if arr == nil || n == len(*arr) {
+		capacity := 16
+		if arr != nil && len(*arr) > 0 {
+			capacity = 2 * len(*arr)
+		}
+		grown := make([]db.Value, capacity)
+		if arr != nil {
+			copy(grown, *arr)
+		}
+		arr = &grown
+		v.arr.Store(arr)
+	}
+	(*arr)[n] = val
+}
+
+// prefix returns the first n elements; n must come from the table
+// list's published length (clamped defensively like rowList.snapshot).
+func (v *colVec) prefix(n int) []db.Value {
+	arr := v.arr.Load()
+	if arr == nil {
+		return nil
+	}
+	if n > len(*arr) {
+		n = len(*arr)
+	}
+	return (*arr)[:n:n]
+}
+
+// seqVec is colVec for the parallel sequence-number vector.
+type seqVec struct {
+	arr atomic.Pointer[[]uint64]
+}
+
+func (v *seqVec) appendAt(n int, seq uint64) {
+	arr := v.arr.Load()
+	if arr == nil || n == len(*arr) {
+		capacity := 16
+		if arr != nil && len(*arr) > 0 {
+			capacity = 2 * len(*arr)
+		}
+		grown := make([]uint64, capacity)
+		if arr != nil {
+			copy(grown, *arr)
+		}
+		arr = &grown
+		v.arr.Store(arr)
+	}
+	(*arr)[n] = seq
+}
+
+func (v *seqVec) prefix(n int) []uint64 {
+	arr := v.arr.Load()
+	if arr == nil {
+		return nil
+	}
+	if n > len(*arr) {
+		n = len(*arr)
+	}
+	return (*arr)[:n:n]
+}
+
+// colStore is the columnar mirror of a table: per-attribute value
+// vectors plus the parallel sequence vector, indexed by row position.
+type colStore struct {
+	cols []colVec
+	seqs seqVec
+}
+
+func (c *colStore) init(arity int) {
+	c.cols = make([]colVec, arity)
+}
+
+// append mirrors one row at position n (writer-only, before the table
+// list publishes n+1).
+func (c *colStore) append(t db.Tuple, seq uint64, n int) {
+	for i := range c.cols {
+		c.cols[i].appendAt(n, t[i])
+	}
+	c.seqs.appendAt(n, seq)
+}
+
+// col returns the first n values of one attribute's vector.
+func (c *colStore) col(i, n int) []db.Value { return c.cols[i].prefix(n) }
+
+// seqPrefix returns the first n sequence numbers.
+func (c *colStore) seqPrefix(n int) []uint64 { return c.seqs.prefix(n) }
+
+// --- writer scratch ------------------------------------------------------
+
+// getScanBuf returns an empty row buffer from the engine's free-list.
+// The free-list is writer-owned: every caller of scan/filterRows holds
+// the engine write lock (fanModify holds each shard's lock while that
+// shard scans), so no synchronization is needed. Buffers handed out by
+// scan must come back through putScanBuf once the update is done with
+// them — an unpaired buffer is merely garbage-collected, never corrupt.
+func (e *Engine) getScanBuf() []*row {
+	if n := len(e.scanBufs); n > 0 {
+		buf := e.scanBufs[n-1]
+		e.scanBufs = e.scanBufs[:n-1]
+		return buf
+	}
+	return make([]*row, 0, 64)
+}
+
+// putScanBuf recycles a buffer returned by scan. Row pointers are
+// cleared so the free-list never retains rows. Accepts nil (the
+// absent-posting-list shortcut returns nil, not a buffer).
+func (e *Engine) putScanBuf(buf []*row) {
+	if cap(buf) == 0 {
+		return
+	}
+	buf = buf[:cap(buf)]
+	for i := range buf {
+		buf[i] = nil
+	}
+	e.scanBufs = append(e.scanBufs, buf[:0])
+}

@@ -102,6 +102,7 @@ func New(eng engine.DB, opts ...Option) *Server {
 		}
 		return nil
 	}))
+	s.metrics.m.Set("memory", expvar.Func(func() any { return ReadMemoryStats() }))
 	// methodsByPath records every registered route so the fallback can
 	// distinguish a wrong method on a known path (405 + Allow) from an
 	// unknown path (404), both through the typed error envelope.

@@ -32,6 +32,7 @@ var statsSections = []statsSection{
 	{"replication", collectReplicationStats},
 	{"sharding", collectShardingStats},
 	{"subscriptions", collectSubscriptionStats},
+	{"memory", collectMemoryStats},
 }
 
 // collectEngineStats reports the size measures: provSize is the
