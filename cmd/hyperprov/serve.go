@@ -13,6 +13,7 @@ import (
 	"syscall"
 	"time"
 
+	"hyperprov/internal/admission"
 	"hyperprov/internal/engine"
 	"hyperprov/internal/provstore"
 	"hyperprov/internal/server"
@@ -42,6 +43,16 @@ func runServe(args []string) error {
 	ckptEvery := fs.Int("checkpoint-every", 0, "checkpoint after N logged records, 0 = only via POST /v1/checkpoint and shutdown (with -data-dir)")
 	follow := fs.String("follow", "", "run as a read replica of the leader at this base URL (e.g. http://leader:8080); requires -data-dir, refuses writes")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (heap and allocs profiles verify the zero-allocation read path)")
+	maxInflight := fs.Int("max-inflight", 0, "concurrent expensive requests (db dumps, what-ifs, snapshot saves); 0 = unlimited")
+	maxInflightReads := fs.Int("max-inflight-reads", 0, "concurrent cheap point reads (annotation, schema, index listings); 0 = unlimited")
+	maxInflightWrites := fs.Int("max-inflight-writes", 0, "concurrent writes (ingest, index DDL, checkpoints, snapshot loads); 0 = unlimited")
+	maxStreams := fs.Int("max-streams", 0, "concurrent replication/subscription streams (no queue; excess sheds immediately); 0 = unlimited")
+	queueDepth := fs.Int("queue-depth", 16, "per-class wait queue depth once a class is at its limit (0 = shed immediately)")
+	queueWait := fs.Duration("queue-wait", time.Second, "longest a request may wait in a class queue before it is shed")
+	minService := fs.Duration("min-service", 0, "shed a queued request immediately if its deadline leaves less than this to actually serve it")
+	maxBody := fs.Int64("max-body-bytes", 64<<20, "largest accepted request body (ingest logs, snapshot uploads); oversize answers 413")
+	reconnectBudget := fs.Int("reconnect-budget", 0, "consecutive failed redials before the follower's circuit breaker opens for a cooldown (with -follow; 0 disables)")
+	stallTimeout := fs.Duration("stall-timeout", 10*time.Second, "silence on the replication stream before the follower declares it dead and redials (with -follow; 0 waits forever)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,7 +71,30 @@ func runServe(args []string) error {
 
 	logger := log.New(os.Stderr, "hyperprov: ", log.LstdFlags)
 	engOpts := []engine.Option{engine.WithShards(*shards), engine.WithAutoIndex(*autoIndex)}
-	srvOpts := []server.Option{server.WithTimeout(*timeout), server.WithLogf(logger.Printf)}
+	admCfg := admission.Unlimited()
+	admCfg.MinService = *minService
+	for class, limit := range map[admission.Class]int{
+		admission.ClassRead:      *maxInflightReads,
+		admission.ClassExpensive: *maxInflight,
+		admission.ClassWrite:     *maxInflightWrites,
+	} {
+		if limit > 0 {
+			admCfg.Classes[class] = admission.ClassConfig{
+				MaxInFlight: limit, QueueDepth: *queueDepth, QueueWait: *queueWait,
+			}
+		}
+	}
+	if *maxStreams > 0 {
+		// Streams hold their slot for the connection's lifetime; a queue
+		// would just park handshakes, so excess sheds immediately.
+		admCfg.Classes[admission.ClassStream] = admission.ClassConfig{MaxInFlight: *maxStreams}
+	}
+	srvOpts := []server.Option{
+		server.WithTimeout(*timeout),
+		server.WithLogf(logger.Printf),
+		server.WithAdmission(admCfg),
+		server.WithMaxBodyBytes(*maxBody),
+	}
 	var srv *server.Server
 	var store *wal.Store
 	var follower *wal.Follower
@@ -74,6 +108,8 @@ func runServe(args []string) error {
 			wal.WithSync(sp),
 			wal.WithCheckpointEvery(uint64(*ckptEvery)),
 			wal.WithEngineOptions(engOpts...),
+			wal.WithReconnectBudget(*reconnectBudget, 0),
+			wal.WithStreamStallTimeout(*stallTimeout),
 		}
 		// Bound only the initial bootstrap wait; once the local engine
 		// exists the follower reconnects forever on its own.

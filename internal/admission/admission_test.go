@@ -1,0 +1,305 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func cfgWith(class Class, cc ClassConfig) Config {
+	var cfg Config
+	cfg.Classes[class] = cc
+	return cfg
+}
+
+// TestAdmitFastPath: below the limit every request admits immediately
+// and release frees the slot.
+func TestAdmitFastPath(t *testing.T) {
+	c := NewController(cfgWith(ClassRead, ClassConfig{MaxInFlight: 2, QueueDepth: 1}))
+	r1, err := c.Admit(context.Background(), ClassRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Admit(context.Background(), ClassRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.StatsSnapshot().Classes["read"]
+	if st.InFlight != 2 || st.Admitted != 2 {
+		t.Fatalf("in-flight %d admitted %d, want 2/2", st.InFlight, st.Admitted)
+	}
+	r1()
+	r1() // double release must be a no-op
+	r2()
+	if st := c.StatsSnapshot().Classes["read"]; st.InFlight != 0 {
+		t.Fatalf("in-flight %d after release, want 0", st.InFlight)
+	}
+}
+
+// TestAdmitUnlimited: a zero MaxInFlight never queues or sheds.
+func TestAdmitUnlimited(t *testing.T) {
+	c := NewController(Unlimited())
+	var rels []func()
+	for i := 0; i < 100; i++ {
+		r, err := c.Admit(context.Background(), ClassExpensive)
+		if err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		rels = append(rels, r)
+	}
+	if st := c.State(); st != StateOK {
+		t.Fatalf("state %v under unlimited config, want ok", st)
+	}
+	for _, r := range rels {
+		r()
+	}
+}
+
+// TestQueueFullSheds: with the limit and queue both full, the next
+// request sheds queue_full and the controller reports overloaded.
+func TestQueueFullSheds(t *testing.T) {
+	c := NewController(cfgWith(ClassExpensive, ClassConfig{MaxInFlight: 1, QueueDepth: 1, QueueWait: time.Minute}))
+	release, err := c.Admit(context.Background(), ClassExpensive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the queue slot with a waiter.
+	waitErr := make(chan error, 1)
+	go func() {
+		r, err := c.Admit(context.Background(), ClassExpensive)
+		if err == nil {
+			r()
+		}
+		waitErr <- err
+	}()
+	waitForQueued(t, c, ClassExpensive, 1)
+	_, err = c.Admit(context.Background(), ClassExpensive)
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != ReasonQueueFull {
+		t.Fatalf("third admit: %v, want queue_full shed", err)
+	}
+	if shed.RetryAfter <= 0 {
+		t.Fatalf("shed has no retry hint: %+v", shed)
+	}
+	if st := c.State(); st != StateOverloaded {
+		t.Fatalf("state %v after capacity shed, want overloaded", st)
+	}
+	release() // hands the slot to the waiter
+	if err := <-waitErr; err != nil {
+		t.Fatalf("queued request: %v", err)
+	}
+	st := c.StatsSnapshot().Classes["expensive"]
+	if st.ShedQueueFull != 1 || st.QueuedTotal != 1 {
+		t.Fatalf("counters %+v, want 1 shed_queue_full / 1 queued_total", st)
+	}
+}
+
+// TestDeadlineShedsImmediately: a saturated class sheds a request
+// whose remaining deadline cannot cover MinService without parking it.
+func TestDeadlineShedsImmediately(t *testing.T) {
+	cfg := cfgWith(ClassWrite, ClassConfig{MaxInFlight: 1, QueueDepth: 4, QueueWait: time.Minute})
+	cfg.MinService = 50 * time.Millisecond
+	c := NewController(cfg)
+	release, err := c.Admit(context.Background(), ClassWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.Admit(ctx, ClassWrite)
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != ReasonDeadline {
+		t.Fatalf("admit: %v, want deadline shed", err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("immediate shed took %v", el)
+	}
+	if got := c.StatsSnapshot().Classes["write"].ShedDeadline; got != 1 {
+		t.Fatalf("shed_deadline %d, want 1", got)
+	}
+}
+
+// TestQueueWaitExpires: a queued request is shed once the class queue
+// wait elapses without a slot.
+func TestQueueWaitExpires(t *testing.T) {
+	c := NewController(cfgWith(ClassWrite, ClassConfig{MaxInFlight: 1, QueueDepth: 4, QueueWait: 20 * time.Millisecond}))
+	release, err := c.Admit(context.Background(), ClassWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	_, err = c.Admit(context.Background(), ClassWrite)
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != ReasonDeadline {
+		t.Fatalf("admit: %v, want deadline shed after queue wait", err)
+	}
+}
+
+// TestFIFOHandoff: released slots go to waiters in arrival order.
+func TestFIFOHandoff(t *testing.T) {
+	c := NewController(cfgWith(ClassWrite, ClassConfig{MaxInFlight: 1, QueueDepth: 8, QueueWait: time.Minute}))
+	release, err := c.Admit(context.Background(), ClassWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	order := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := c.Admit(context.Background(), ClassWrite)
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			order <- i
+			r()
+		}()
+		waitForQueued(t, c, ClassWrite, i+1)
+	}
+	release()
+	wg.Wait()
+	close(order)
+	prev := -1
+	for got := range order {
+		if got != prev+1 {
+			t.Fatalf("handoff order broke FIFO: got %d after %d", got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestOverloadShedsExpensiveOnly: in the overloaded state, expensive
+// requests shed immediately while reads and writes still admit — reads
+// shed before writes, cheap reads never.
+func TestOverloadShedsExpensiveOnly(t *testing.T) {
+	now := time.Now()
+	cfg := cfgWith(ClassExpensive, ClassConfig{MaxInFlight: 1, QueueDepth: 0})
+	cfg.now = func() time.Time { return now }
+	c := NewController(cfg)
+	// Force a capacity shed to enter the overloaded state.
+	release, err := c.Admit(context.Background(), ClassExpensive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Admit(context.Background(), ClassExpensive); err == nil {
+		t.Fatal("second expensive admit succeeded past the limit")
+	}
+	if st := c.State(); st != StateOverloaded {
+		t.Fatalf("state %v, want overloaded", st)
+	}
+	release()
+	// Slot is free again, but the overload window still sheds expensive
+	// work outright...
+	_, err = c.Admit(context.Background(), ClassExpensive)
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != ReasonOverload {
+		t.Fatalf("expensive admit under overload: %v, want overloaded shed", err)
+	}
+	// ...while the other classes are untouched.
+	for _, cl := range []Class{ClassRead, ClassWrite, ClassStream} {
+		r, err := c.Admit(context.Background(), cl)
+		if err != nil {
+			t.Fatalf("%v admit under overload: %v", cl, err)
+		}
+		r()
+	}
+	// Past the window the state recovers and expensive flows again.
+	now = now.Add(2 * defaultWindow)
+	if st := c.State(); st != StateOK {
+		t.Fatalf("state %v after window, want ok", st)
+	}
+	r, err := c.Admit(context.Background(), ClassExpensive)
+	if err != nil {
+		t.Fatalf("expensive admit after recovery: %v", err)
+	}
+	r()
+	if got := c.StatsSnapshot().Classes["expensive"].ShedOverload; got != 1 {
+		t.Fatalf("shed_overload %d, want 1", got)
+	}
+}
+
+// TestDegradedOnQueuePressure: queueing without shedding reports
+// degraded, then recovers.
+func TestDegradedOnQueuePressure(t *testing.T) {
+	now := time.Now()
+	cfg := cfgWith(ClassWrite, ClassConfig{MaxInFlight: 1, QueueDepth: 2, QueueWait: time.Minute})
+	cfg.now = func() time.Time { return now }
+	c := NewController(cfg)
+	release, err := c.Admit(context.Background(), ClassWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		r, err := c.Admit(context.Background(), ClassWrite)
+		if err == nil {
+			r()
+		}
+		close(done)
+	}()
+	waitForQueued(t, c, ClassWrite, 1)
+	if st := c.State(); st != StateDegraded {
+		t.Fatalf("state %v with a queued waiter, want degraded", st)
+	}
+	release()
+	<-done
+	now = now.Add(2 * defaultWindow)
+	if st := c.State(); st != StateOK {
+		t.Fatalf("state %v after drain, want ok", st)
+	}
+}
+
+// TestAdmitConcurrentStress hammers one tight class from many
+// goroutines; run under -race it proves the limiter's accounting.
+func TestAdmitConcurrentStress(t *testing.T) {
+	c := NewController(cfgWith(ClassWrite, ClassConfig{MaxInFlight: 4, QueueDepth: 16, QueueWait: 50 * time.Millisecond}))
+	var wg sync.WaitGroup
+	var admitted, shed sync.Map
+	for g := 0; g < 32; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				r, err := c.Admit(context.Background(), ClassWrite)
+				if err != nil {
+					var se *ShedError
+					if !errors.As(err, &se) {
+						t.Errorf("non-shed error: %v", err)
+						return
+					}
+					shed.Store([2]int{g, i}, true)
+					continue
+				}
+				admitted.Store([2]int{g, i}, true)
+				time.Sleep(time.Microsecond)
+				r()
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.StatsSnapshot().Classes["write"]
+	if st.InFlight != 0 || st.Queued != 0 {
+		t.Fatalf("leaked slots: %+v", st)
+	}
+}
+
+func waitForQueued(t *testing.T, c *Controller, class Class, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.classes[class].queuedNow() >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("queue never reached %d waiters", n)
+}

@@ -1,0 +1,84 @@
+package admission
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff is a full-jitter exponential backoff schedule (AWS style):
+// the nth delay is uniform in [0, min(Cap, Base·2ⁿ)), floored at a
+// millisecond so a zero draw cannot hot-loop. Full jitter decorrelates
+// clients that fail together — N replicas losing their leader at the
+// same instant redial spread across the whole window instead of in
+// lockstep.
+//
+// Not safe for concurrent use; each retry loop owns its schedule.
+type Backoff struct {
+	Base time.Duration // first ceiling; 0 defaults to 50ms
+	Cap  time.Duration // ceiling growth stops here; 0 defaults to 2s
+	// Rand returns a uniform draw in [0, 1); nil uses the shared
+	// process source. Tests inject a deterministic sequence.
+	Rand func() float64
+
+	attempt int
+}
+
+// DefaultBackoff mirrors the follower's historical schedule bounds.
+const (
+	DefaultBackoffBase = 50 * time.Millisecond
+	DefaultBackoffCap  = 2 * time.Second
+)
+
+// backoffFloor keeps a zero jitter draw from redialing instantly.
+const backoffFloor = time.Millisecond
+
+var (
+	globalRandMu sync.Mutex
+	globalRand   = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+func globalFloat64() float64 {
+	globalRandMu.Lock()
+	defer globalRandMu.Unlock()
+	return globalRand.Float64()
+}
+
+// Next returns the next delay and advances the schedule.
+func (b *Backoff) Next() time.Duration {
+	base, cap := b.Base, b.Cap
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	if cap <= 0 {
+		cap = DefaultBackoffCap
+	}
+	ceil := base
+	for i := 0; i < b.attempt && ceil < cap; i++ {
+		ceil *= 2
+	}
+	if ceil > cap {
+		ceil = cap
+	}
+	b.attempt++
+	draw := b.Rand
+	if draw == nil {
+		draw = globalFloat64
+	}
+	d := time.Duration(draw() * float64(ceil))
+	if d < backoffFloor {
+		d = backoffFloor
+	}
+	if d > ceil {
+		d = ceil
+	}
+	return d
+}
+
+// Reset rewinds the schedule to the first attempt; call it whenever a
+// session makes progress.
+func (b *Backoff) Reset() { b.attempt = 0 }
+
+// Attempt reports how many delays have been handed out since the last
+// Reset.
+func (b *Backoff) Attempt() int { return b.attempt }

@@ -1,0 +1,131 @@
+package admission
+
+import (
+	"testing"
+	"time"
+)
+
+// seqRand returns the given draws in order, cycling.
+func seqRand(draws ...float64) func() float64 {
+	i := 0
+	return func() float64 {
+		d := draws[i%len(draws)]
+		i++
+		return d
+	}
+}
+
+// TestBackoffFullJitterBounds: with the maximum draw the schedule
+// doubles up to the cap; with a zero draw it floors at a millisecond.
+func TestBackoffFullJitterBounds(t *testing.T) {
+	b := Backoff{Base: 50 * time.Millisecond, Cap: 400 * time.Millisecond, Rand: seqRand(0.999999)}
+	want := []time.Duration{50, 100, 200, 400, 400} // ms ceilings
+	for i, w := range want {
+		got := b.Next()
+		ceil := w * time.Millisecond
+		if got > ceil || got < ceil-time.Millisecond {
+			t.Fatalf("attempt %d: %v, want ≈%v", i, got, ceil)
+		}
+	}
+	b.Rand = seqRand(0)
+	if got := b.Next(); got != backoffFloor {
+		t.Fatalf("zero draw: %v, want the %v floor", got, backoffFloor)
+	}
+}
+
+// TestBackoffReset rewinds to the first ceiling.
+func TestBackoffReset(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Cap: time.Second, Rand: seqRand(0.5)}
+	b.Next()
+	b.Next()
+	b.Next()
+	if b.Attempt() != 3 {
+		t.Fatalf("attempt %d, want 3", b.Attempt())
+	}
+	b.Reset()
+	if got := b.Next(); got != 5*time.Millisecond {
+		t.Fatalf("first delay after reset: %v, want 5ms (0.5 × 10ms)", got)
+	}
+}
+
+// TestBackoffDecorrelates: two schedules with different draws produce
+// different delays at the same attempt — the lockstep-redial fix.
+func TestBackoffDecorrelates(t *testing.T) {
+	a := Backoff{Base: 50 * time.Millisecond, Cap: 2 * time.Second, Rand: seqRand(0.2)}
+	b := Backoff{Base: 50 * time.Millisecond, Cap: 2 * time.Second, Rand: seqRand(0.9)}
+	for i := 0; i < 5; i++ {
+		if da, db := a.Next(), b.Next(); da == db {
+			t.Fatalf("attempt %d: both schedules drew %v", i, da)
+		}
+	}
+}
+
+// TestBackoffDefaults: zero Base/Cap fall back to the documented
+// defaults and the result never exceeds the cap.
+func TestBackoffDefaults(t *testing.T) {
+	b := Backoff{Rand: seqRand(0.999999)}
+	var last time.Duration
+	for i := 0; i < 12; i++ {
+		last = b.Next()
+		if last > DefaultBackoffCap {
+			t.Fatalf("attempt %d exceeded the cap: %v", i, last)
+		}
+	}
+	if last < DefaultBackoffCap-time.Millisecond {
+		t.Fatalf("cap never reached: %v", last)
+	}
+}
+
+// TestBreakerLifecycle: closed → open after the budget, refuses during
+// cooldown, half-opens for one probe, closes on success and reopens on
+// a failed probe.
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := Breaker{Budget: 3, Cooldown: time.Second, Now: func() time.Time { return now }}
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if _, ok := b.Allow(); !ok {
+			t.Fatalf("breaker opened after %d failures, budget is 3", i+1)
+		}
+	}
+	b.Failure() // third: opens
+	if st := b.Snapshot(); st.State != "open" || st.Opens != 1 || st.ConsecutiveFailures != 3 {
+		t.Fatalf("after budget: %+v", st)
+	}
+	if rem, ok := b.Allow(); ok || rem <= 0 {
+		t.Fatalf("open breaker allowed an attempt (rem %v ok %v)", rem, ok)
+	}
+	now = now.Add(1500 * time.Millisecond)
+	if _, ok := b.Allow(); !ok {
+		t.Fatal("cooldown elapsed but breaker still refuses")
+	}
+	if st := b.Snapshot(); st.State != "half_open" {
+		t.Fatalf("state %q, want half_open", st.State)
+	}
+	b.Failure() // failed probe reopens immediately
+	if st := b.Snapshot(); st.State != "open" || st.Opens != 2 {
+		t.Fatalf("after failed probe: %+v", st)
+	}
+	now = now.Add(2 * time.Second)
+	if _, ok := b.Allow(); !ok {
+		t.Fatal("second cooldown elapsed but breaker refuses")
+	}
+	b.Success()
+	if st := b.Snapshot(); st.State != "closed" || st.ConsecutiveFailures != 0 {
+		t.Fatalf("after successful probe: %+v", st)
+	}
+}
+
+// TestBreakerDisabled: a zero budget never opens.
+func TestBreakerDisabled(t *testing.T) {
+	var b Breaker
+	for i := 0; i < 100; i++ {
+		b.Failure()
+	}
+	if _, ok := b.Allow(); !ok {
+		t.Fatal("disabled breaker refused")
+	}
+	if st := b.Snapshot(); st.State != "closed" {
+		t.Fatalf("state %q, want closed", st.State)
+	}
+}

@@ -1,0 +1,136 @@
+package admission
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: requests flow.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the reconnect budget is spent; attempts are refused
+	// until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed; exactly one probe attempt
+	// is in flight. Success closes the breaker, failure reopens it.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "half_open"
+	}
+}
+
+// Breaker is a consecutive-failure circuit breaker for retry loops: it
+// spends a budget of consecutive failures, then opens for a cooldown
+// so a peer that is down stays undisturbed (and the retry loop stops
+// burning connections), then half-opens for a single probe. The
+// follower's redial loop runs one; its state is exported in
+// replication stats.
+//
+// A zero Budget disables the breaker: Allow always consents.
+type Breaker struct {
+	Budget   int           // consecutive failures before opening
+	Cooldown time.Duration // how long Open refuses; 0 defaults to 5s
+	// Now is injectable for tests; nil uses time.Now.
+	Now func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int
+	opens    uint64
+	openedAt time.Time
+}
+
+const defaultBreakerCooldown = 5 * time.Second
+
+func (b *Breaker) now() time.Time {
+	if b.Now != nil {
+		return b.Now()
+	}
+	return time.Now()
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown > 0 {
+		return b.Cooldown
+	}
+	return defaultBreakerCooldown
+}
+
+// Allow reports whether an attempt may proceed. While open it returns
+// (remaining cooldown, false); when the cooldown has elapsed it
+// half-opens and consents to one probe.
+func (b *Breaker) Allow() (time.Duration, bool) {
+	if b.Budget <= 0 {
+		return 0, true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		return 0, true
+	}
+	if rem := b.cooldown() - b.now().Sub(b.openedAt); rem > 0 {
+		return rem, false
+	}
+	b.state = BreakerHalfOpen
+	return 0, true
+}
+
+// Success records a working attempt: the breaker closes and the
+// failure run resets.
+func (b *Breaker) Success() {
+	if b.Budget <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.mu.Unlock()
+}
+
+// Failure records a failed attempt: a half-open probe reopens
+// immediately, and a closed breaker opens once the consecutive run
+// reaches the budget.
+func (b *Breaker) Failure() {
+	if b.Budget <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.state == BreakerHalfOpen || b.fails >= b.Budget {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.opens++
+	}
+}
+
+// BreakerStats is the exported snapshot.
+type BreakerStats struct {
+	State               string `json:"state"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	Opens               uint64 `json:"opens"`
+	Budget              int    `json:"budget"`
+}
+
+// Snapshot reports the breaker's position and counters.
+func (b *Breaker) Snapshot() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		State:               b.state.String(),
+		ConsecutiveFailures: b.fails,
+		Opens:               b.opens,
+		Budget:              b.Budget,
+	}
+}

@@ -1,0 +1,17 @@
+// Package netfault is internal/iofault's sibling for the network: an
+// in-process TCP proxy that sits between a client and a server and
+// injects the failure modes real networks produce — partitions
+// (existing connections blackhole, new ones are refused), added
+// latency with jitter, bandwidth caps, mid-stream connection resets,
+// and connection flaps. Where iofault proved that every disk failure
+// yields a typed error or clean degradation, netfault proves the same
+// for the wire: the chaos battery runs the leader/follower replication
+// stream and /v1/subscribe clients through a proxy while a fault
+// schedule fires, then asserts the follower and subscribers reconverge
+// to state byte-identical to the leader.
+//
+// The proxy is deliberately simple: one goroutine pair per connection,
+// per-chunk delay and throttle (an approximation of per-packet
+// shaping that is entirely adequate for convergence testing), and a
+// deterministic jitter source so a failing schedule replays exactly.
+package netfault

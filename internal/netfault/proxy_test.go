@@ -1,0 +1,187 @@
+package netfault
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes lines back.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				sc := bufio.NewScanner(c)
+				for sc.Scan() {
+					fmt.Fprintf(c, "%s\n", sc.Text())
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func newTestProxy(t *testing.T, target string) *Proxy {
+	t.Helper()
+	p, err := New(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func roundTrip(t *testing.T, conn net.Conn, msg string) (string, error) {
+	t.Helper()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := fmt.Fprintf(conn, "%s\n", msg); err != nil {
+		return "", err
+	}
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	return strings.TrimSpace(line), err
+}
+
+// TestProxyForwards: the healthy proxy is transparent.
+func TestProxyForwards(t *testing.T) {
+	p := newTestProxy(t, echoServer(t))
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	got, err := roundTrip(t, conn, "hello")
+	if err != nil || got != "hello" {
+		t.Fatalf("round trip: %q, %v", got, err)
+	}
+	st := p.StatsSnapshot()
+	if st.Accepted != 1 || st.Bytes == 0 {
+		t.Fatalf("stats %+v, want 1 accepted and bytes > 0", st)
+	}
+}
+
+// TestProxyLatency: configured delay shows up in the round trip.
+func TestProxyLatency(t *testing.T) {
+	p := newTestProxy(t, echoServer(t))
+	p.SetLatency(60*time.Millisecond, 0)
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	if _, err := roundTrip(t, conn, "ping"); err != nil {
+		t.Fatal(err)
+	}
+	// Request and reply each cross the proxy once: ≥ 2×60ms.
+	if el := time.Since(start); el < 120*time.Millisecond {
+		t.Fatalf("round trip took %v, want ≥ 120ms with 60ms per-direction latency", el)
+	}
+}
+
+// TestProxyPartition: live connections blackhole (no FIN, just
+// silence), new connections are refused, and Heal restores both.
+func TestProxyPartition(t *testing.T) {
+	p := newTestProxy(t, echoServer(t))
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := roundTrip(t, conn, "before"); err != nil {
+		t.Fatal(err)
+	}
+	p.Partition()
+	// The live connection stalls rather than erroring.
+	conn.SetDeadline(time.Now().Add(150 * time.Millisecond))
+	fmt.Fprintf(conn, "lost\n")
+	if _, err := bufio.NewReader(conn).ReadString('\n'); err == nil {
+		t.Fatal("read succeeded through a partition")
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("partitioned read failed with %v, want a timeout (silence, not a close)", err)
+	}
+	// New connections fail fast (accepted then reset).
+	c2, err := net.Dial("tcp", p.Addr())
+	if err == nil {
+		c2.SetDeadline(time.Now().Add(2 * time.Second))
+		if _, rerr := bufio.NewReader(c2).ReadString('\n'); rerr == nil {
+			t.Fatal("new connection served through a partition")
+		}
+		c2.Close()
+	}
+	if got := p.StatsSnapshot().Refused; got == 0 {
+		t.Fatalf("refused counter %d, want > 0", got)
+	}
+	p.Heal()
+	// The blackholed write was held, not dropped: after heal the echo
+	// arrives and the connection keeps working.
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil || strings.TrimSpace(line) != "lost" {
+		t.Fatalf("post-heal read: %q, %v (want the held line)", line, err)
+	}
+}
+
+// TestProxyResetAll: a mid-stream reset errors the client promptly.
+func TestProxyResetAll(t *testing.T) {
+	p := newTestProxy(t, echoServer(t))
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := roundTrip(t, conn, "up"); err != nil {
+		t.Fatal(err)
+	}
+	p.ResetAll()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	fmt.Fprintf(conn, "after\n")
+	if _, err := bufio.NewReader(conn).ReadString('\n'); err == nil {
+		t.Fatal("read succeeded after ResetAll")
+	}
+	if got := p.StatsSnapshot().Resets; got == 0 {
+		t.Fatalf("resets counter %d, want > 0", got)
+	}
+	// The proxy still serves fresh connections.
+	c2, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if got, err := roundTrip(t, c2, "fresh"); err != nil || got != "fresh" {
+		t.Fatalf("post-reset round trip: %q, %v", got, err)
+	}
+}
+
+// TestProxyBandwidth: a tight cap stretches a bulk transfer.
+func TestProxyBandwidth(t *testing.T) {
+	p := newTestProxy(t, echoServer(t))
+	p.SetBandwidth(64 << 10) // 64 KiB/s
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	payload := strings.Repeat("x", 32<<10) // 32 KiB each way
+	start := time.Now()
+	if got, err := roundTrip(t, conn, payload); err != nil || got != payload {
+		t.Fatalf("bulk round trip failed: %v (got %d bytes)", err, len(got))
+	}
+	// 64 KiB total at 64 KiB/s ≈ 1s; allow generous slack downward.
+	if el := time.Since(start); el < 500*time.Millisecond {
+		t.Fatalf("bulk transfer took %v, want ≥ 500ms under the cap", el)
+	}
+}

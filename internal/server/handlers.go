@@ -2,10 +2,13 @@ package server
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"time"
 
+	"hyperprov/internal/admission"
 	"hyperprov/internal/core"
 	"hyperprov/internal/db"
 	"hyperprov/internal/engine"
@@ -19,37 +22,55 @@ func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
-// handleReadyz is the readiness probe: 200 while the served engine can
-// accept writes, 503 read_only once a persistent store has degraded
-// (reads keep answering on the other endpoints either way, so load
-// balancers can drain writes without killing the process). A follower
-// answers 503 syncing — with its current lag — until its first full
-// checkpoint replay and catch-up complete, so a balancer never routes
-// reads to a replica that has not yet reached the leader's state.
+// handleReadyz is the readiness probe, now a three-state health
+// machine (ok → degraded → overloaded):
+//
+//   - overloaded — the admission controller shed for capacity within
+//     its window: 503 overloaded with Retry-After, drain this node.
+//   - degraded — queue pressure, a read-only persistent store, or a
+//     follower that has not finished its initial sync. The WAL and
+//     follower causes keep their historical responses (503 read_only /
+//     503 syncing) so balancer configs and clients keep working; pure
+//     queue pressure answers 200 with state "degraded" (the node still
+//     serves, it is just busy).
+//   - ok — 200.
+//
+// Reads keep answering on the other endpoints in every state, so load
+// balancers can drain writes without killing the process.
 func (s *Server) handleReadyz(w http.ResponseWriter, req *http.Request) {
-	switch e := s.Engine().(type) {
+	e := s.Engine()
+	if s.adm.State() == admission.StateOverloaded {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.adm.Window()))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"ok": false, "state": admission.StateOverloaded.String(),
+			"error": errorBody{Code: codeOverloaded, Message: "server is shedding load"},
+		})
+		return
+	}
+	state := s.health(e).String()
+	switch e := e.(type) {
 	case *wal.Store:
 		if e.ReadOnly() {
 			writeError(w, http.StatusServiceUnavailable, codeReadOnly, "persistent store is read-only: %v", e.Stats().ReadOnlyCause)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "persistent": true})
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "persistent": true, "state": state})
 	case *wal.Follower:
 		rs := e.ReplicaStats()
 		if !rs.Ready {
 			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-				"ok": false, "follower": true,
+				"ok": false, "follower": true, "state": state,
 				"error": errorBody{Code: codeSyncing, Message: "follower has not finished its initial sync"},
 				"lag":   map[string]uint64{"records": rs.LagRecords, "epochs": rs.LagEpochs},
 			})
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{
-			"ok": true, "persistent": true, "follower": true,
+			"ok": true, "persistent": true, "follower": true, "state": state,
 			"lag": map[string]uint64{"records": rs.LagRecords, "epochs": rs.LagEpochs},
 		})
 	default:
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "persistent": false})
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "persistent": false, "state": state})
 	}
 }
 
@@ -152,8 +173,8 @@ type indexRequest struct {
 // and attributes answer 404 through the error envelope.
 func (s *Server) handleIndexBuild(w http.ResponseWriter, req *http.Request) {
 	var ir indexRequest
-	if err := readBody(w, req, &ir); err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
+	if err := s.readBody(w, req, &ir); err != nil {
+		writeBodyError(w, err)
 		return
 	}
 	if ir.Rel == "" || ir.Attr == "" {
@@ -265,8 +286,8 @@ type annotationResponse struct {
 // database as of epoch N — "why was this tuple here then?".
 func (s *Server) handleAnnotation(w http.ResponseWriter, req *http.Request) {
 	var ar annotationRequest
-	if err := readBody(w, req, &ar); err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
+	if err := s.readBody(w, req, &ar); err != nil {
+		writeBodyError(w, err)
 		return
 	}
 	e, ok := s.asOfReader(w, req)
@@ -356,8 +377,8 @@ type deletionRequest struct {
 // hypothetical against the database as of epoch N.
 func (s *Server) handleDeletion(w http.ResponseWriter, req *http.Request) {
 	var dr deletionRequest
-	if err := readBody(w, req, &dr); err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
+	if err := s.readBody(w, req, &dr); err != nil {
+		writeBodyError(w, err)
 		return
 	}
 	if len(dr.Tuples) == 0 {
@@ -388,8 +409,8 @@ type abortRequest struct {
 // hypothetical against the database as of epoch N.
 func (s *Server) handleAbort(w http.ResponseWriter, req *http.Request) {
 	var ar abortRequest
-	if err := readBody(w, req, &ar); err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
+	if err := s.readBody(w, req, &ar); err != nil {
+		writeBodyError(w, err)
 		return
 	}
 	if len(ar.Labels) == 0 {
@@ -419,10 +440,10 @@ func (s *Server) handleAbort(w http.ResponseWriter, req *http.Request) {
 // disconnection, the error envelope) reports how many transactions
 // were durably applied — the caller may safely resubmit the rest.
 func (s *Server) handleIngest(w http.ResponseWriter, req *http.Request) {
-	req.Body = http.MaxBytesReader(w, req.Body, maxBodyBytes)
+	req.Body = http.MaxBytesReader(w, req.Body, s.maxBody)
 	src, err := io.ReadAll(req.Body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, "reading log: %v", err)
+		writeBodyError(w, fmt.Errorf("reading log: %w", err))
 		return
 	}
 	e := s.Engine()
@@ -488,6 +509,22 @@ func (c ctxReader) Read(p []byte) (int, error) {
 	return c.r.Read(p)
 }
 
+// limitReader records whether an http.MaxBytesReader underneath it hit
+// its cap, for callers whose downstream decoder hides the error chain.
+type limitReader struct {
+	r   io.Reader
+	hit bool
+}
+
+func (l *limitReader) Read(p []byte) (int, error) {
+	n, err := l.r.Read(p)
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		l.hit = true
+	}
+	return n, err
+}
+
 // handleSnapshotLoad restores a snapshot and atomically swaps it in as
 // the served engine; in-flight requests finish against the old one.
 // ?shards=N restores into a hash-sharded engine (default: the single
@@ -512,9 +549,17 @@ func (s *Server) handleSnapshotLoad(w http.ResponseWriter, req *http.Request) {
 	} else if present {
 		opts = append(opts, engine.WithShards(n))
 	}
-	req.Body = http.MaxBytesReader(w, req.Body, maxBodyBytes)
-	e, err := provstore.LoadSnapshot(ctxReader{ctx: req.Context(), r: req.Body}, opts...)
+	// The snapshot decoder wraps reader errors in its own context, so a
+	// limit hit is recorded by the tracking reader rather than recovered
+	// from the error chain.
+	lr := &limitReader{r: http.MaxBytesReader(w, req.Body, s.maxBody)}
+	e, err := provstore.LoadSnapshot(ctxReader{ctx: req.Context(), r: lr}, opts...)
 	if err != nil {
+		if lr.hit {
+			writeError(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
+				"snapshot exceeds the %d-byte limit", s.maxBody)
+			return
+		}
 		if req.Context().Err() != nil {
 			writeError(w, http.StatusServiceUnavailable, codeCanceled, "loading snapshot: %v", err)
 			return

@@ -43,6 +43,10 @@ const (
 	codeReplicaLagging   = "replica_lagging"
 	codeMethodNotAllowed = "method_not_allowed"
 	codeUnknownRoute     = "unknown_route"
+	codeBodyTooLarge     = "body_too_large"
+	codeQueueFull        = "queue_full"
+	codeOverloaded       = "overloaded"
+	codeShedDeadline     = "shed_deadline"
 )
 
 // timeoutBody is the body http.TimeoutHandler serves on deadline; it
@@ -215,13 +219,27 @@ func dbJSON(d *db.Database) databaseJSON {
 	return out
 }
 
-// readBody decodes a JSON request body into dst with a size cap.
-func readBody(w http.ResponseWriter, req *http.Request, dst any) error {
-	req.Body = http.MaxBytesReader(w, req.Body, maxBodyBytes)
+// readBody decodes a JSON request body into dst with the server's size
+// cap. An oversized body surfaces as *http.MaxBytesError in the chain,
+// which writeBodyError maps to 413 body_too_large.
+func (s *Server) readBody(w http.ResponseWriter, req *http.Request, dst any) error {
+	req.Body = http.MaxBytesReader(w, req.Body, s.maxBody)
 	dec := json.NewDecoder(req.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		return fmt.Errorf("bad request body: %v", err)
+		return fmt.Errorf("bad request body: %w", err)
 	}
 	return nil
+}
+
+// writeBodyError renders a body read/decode failure: a typed 413 when
+// the size cap was the cause, 400 bad_request otherwise.
+func writeBodyError(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		writeError(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
+			"request body exceeds the %d-byte limit", mbe.Limit)
+		return
+	}
+	writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 }

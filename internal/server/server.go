@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hyperprov/internal/admission"
 	"hyperprov/internal/engine"
 	"hyperprov/internal/subscribe"
 	"hyperprov/internal/wal"
@@ -45,6 +46,13 @@ type Server struct {
 	handler http.Handler
 	logf    func(format string, args ...any)
 
+	// adm admits requests class by class (reads / expensive reads /
+	// writes / streams) and sheds with typed 429/503 envelopes when a
+	// class saturates. Defaults to unlimited; see WithAdmission.
+	adm *admission.Controller
+	// maxBody caps request bodies; see WithMaxBodyBytes.
+	maxBody int64
+
 	// subs maintains the live provenance subscriptions served at
 	// /v1/subscribe, fed by the engine's commit-event bus. Snapshot
 	// loads rebind it to the new engine (see setEngine).
@@ -74,7 +82,13 @@ func WithLogf(f func(format string, args ...any)) Option {
 
 // New builds a server around the engine.
 func New(eng engine.DB, opts ...Option) *Server {
-	s := &Server{metrics: newMetrics(), timeout: DefaultTimeout, logf: log.Printf}
+	s := &Server{
+		metrics: newMetrics(),
+		timeout: DefaultTimeout,
+		logf:    log.Printf,
+		adm:     admission.NewController(admission.Unlimited()),
+		maxBody: maxBodyBytes,
+	}
 	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
 	s.eng.Store(&engineRef{db: eng, gen: 1})
 	s.subs = subscribe.NewManager(eng)
@@ -103,6 +117,7 @@ func New(eng engine.DB, opts ...Option) *Server {
 		return nil
 	}))
 	s.metrics.m.Set("memory", expvar.Func(func() any { return ReadMemoryStats() }))
+	s.metrics.m.Set("admission", expvar.Func(func() any { return s.adm.StatsSnapshot() }))
 	// methodsByPath records every registered route so the fallback can
 	// distinguish a wrong method on a known path (405 + Allow) from an
 	// unknown path (404), both through the typed error envelope.
@@ -117,21 +132,27 @@ func New(eng engine.DB, opts ...Option) *Server {
 		register(pattern)
 		mux.Handle(pattern, s.metrics.instrument(name, h))
 	}
+	// Route classification for admission: health and observability
+	// endpoints mount bare (never shed — a load balancer probing an
+	// overloaded node must still get an answer); cheap point reads,
+	// materializing reads, and writes each draw from their own class so
+	// saturation in one cannot starve another, and under overload the
+	// expensive reads shed first.
 	route("healthz", "GET /healthz", s.handleHealthz)
 	route("readyz", "GET /readyz", s.handleReadyz)
-	route("schema", "GET /v1/schema", s.handleSchema)
 	route("stats", "GET /v1/stats", s.handleStats)
-	route("annotation", "POST /v1/annotation", s.handleAnnotation)
-	route("db", "GET /v1/db", s.handleDB)
-	route("whatif_deletion", "POST /v1/whatif/deletion", s.handleDeletion)
-	route("whatif_abort", "POST /v1/whatif/abort", s.handleAbort)
-	route("ingest", "POST /v1/ingest", s.handleIngest)
-	route("indexes_list", "GET /v1/indexes", s.handleIndexList)
-	route("indexes_build", "POST /v1/indexes", s.handleIndexBuild)
-	route("indexes_drop", "DELETE /v1/indexes", s.handleIndexDrop)
-	route("snapshot_save", "GET /v1/snapshot", s.handleSnapshotSave)
-	route("snapshot_load", "POST /v1/snapshot", s.handleSnapshotLoad)
-	route("checkpoint", "POST /v1/checkpoint", s.handleCheckpoint)
+	route("schema", "GET /v1/schema", s.admit(admission.ClassRead, s.handleSchema))
+	route("annotation", "POST /v1/annotation", s.admit(admission.ClassRead, s.handleAnnotation))
+	route("indexes_list", "GET /v1/indexes", s.admit(admission.ClassRead, s.handleIndexList))
+	route("db", "GET /v1/db", s.admit(admission.ClassExpensive, s.handleDB))
+	route("whatif_deletion", "POST /v1/whatif/deletion", s.admit(admission.ClassExpensive, s.handleDeletion))
+	route("whatif_abort", "POST /v1/whatif/abort", s.admit(admission.ClassExpensive, s.handleAbort))
+	route("snapshot_save", "GET /v1/snapshot", s.admit(admission.ClassExpensive, s.handleSnapshotSave))
+	route("ingest", "POST /v1/ingest", s.admit(admission.ClassWrite, s.handleIngest))
+	route("indexes_build", "POST /v1/indexes", s.admit(admission.ClassWrite, s.handleIndexBuild))
+	route("indexes_drop", "DELETE /v1/indexes", s.admit(admission.ClassWrite, s.handleIndexDrop))
+	route("snapshot_load", "POST /v1/snapshot", s.admit(admission.ClassWrite, s.handleSnapshotLoad))
+	route("checkpoint", "POST /v1/checkpoint", s.admit(admission.ClassWrite, s.handleCheckpoint))
 	register("GET /v1/metrics")
 	mux.HandleFunc("GET /v1/metrics", s.metrics.serveHTTP)
 	register("GET /debug/vars")
@@ -149,13 +170,16 @@ func New(eng engine.DB, opts ...Option) *Server {
 	// at the deadline). They get their own panic recovery and a plain
 	// request counter; the statusRecorder wrapper is skipped because it
 	// hides http.Flusher.
+	// Streams admit under ClassStream and hold their slot for the
+	// connection's lifetime — past the cap a reconnect storm sheds
+	// immediately (no queue) instead of piling up handshakes.
 	root := http.NewServeMux()
 	register("GET /v1/replication/stream")
-	root.Handle("GET /v1/replication/stream", s.recoverPanics(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+	root.Handle("GET /v1/replication/stream", s.recoverPanics(s.admit(admission.ClassStream, func(w http.ResponseWriter, req *http.Request) {
 		s.metrics.m.Add("replication_stream.requests", 1)
 		s.handleReplicationStream(w, req)
 	})))
-	subscribeHandler := s.recoverPanics(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+	subscribeHandler := s.recoverPanics(s.admit(admission.ClassStream, func(w http.ResponseWriter, req *http.Request) {
 		s.metrics.m.Add("subscribe.requests", 1)
 		s.handleSubscribe(w, req)
 	}))

@@ -32,6 +32,7 @@ var statsSections = []statsSection{
 	{"replication", collectReplicationStats},
 	{"sharding", collectShardingStats},
 	{"subscriptions", collectSubscriptionStats},
+	{"admission", collectAdmissionStats},
 	{"memory", collectMemoryStats},
 }
 
@@ -123,6 +124,14 @@ func collectShardingStats(s *Server, e engine.DB, out map[string]any) {
 // fanout and lag counters (see subscribe.Stats for field docs).
 func collectSubscriptionStats(s *Server, e engine.DB, out map[string]any) {
 	out["subscriptions"] = s.subs.StatsSnapshot()
+}
+
+// collectAdmissionStats reports the load-shedding controller's
+// per-class counters plus the folded health state (the same three
+// states /readyz answers with: ok, degraded, overloaded).
+func collectAdmissionStats(s *Server, e engine.DB, out map[string]any) {
+	out["admission"] = s.adm.StatsSnapshot()
+	out["health"] = s.health(e).String()
 }
 
 // handleStats serves /v1/stats by running every registered section

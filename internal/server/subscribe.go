@@ -52,8 +52,8 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, req *http.Request) {
 		buffer = n
 	} else {
 		var sr subscribeRequest
-		if err := readBody(w, req, &sr); err != nil {
-			writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
+		if err := s.readBody(w, req, &sr); err != nil {
+			writeBodyError(w, err)
 			return
 		}
 		specs = sr.Subscriptions

@@ -1,0 +1,81 @@
+package wal
+
+import (
+	"testing"
+	"time"
+)
+
+// seq returns the draws in order, cycling — the injected jitter source.
+func seq(draws ...float64) func() float64 {
+	i := 0
+	return func() float64 {
+		d := draws[i%len(draws)]
+		i++
+		return d
+	}
+}
+
+// TestFollowerRedialSchedule unit-tests the redial schedule with an
+// injected jitter source: full-jitter draws stay inside the doubling
+// ceilings, cap at the configured maximum, and restart after a
+// progress reset — so a fleet of replicas restarting together spreads
+// its redials instead of hammering the leader in lockstep.
+func TestFollowerRedialSchedule(t *testing.T) {
+	f := &Follower{o: options{
+		redialBase: 10 * time.Millisecond,
+		redialCap:  80 * time.Millisecond,
+		redialRand: seq(0.999999),
+	}}
+	bo := f.redialSchedule()
+	ceilings := []time.Duration{10, 20, 40, 80, 80, 80} // ms, doubling then capped
+	for i, c := range ceilings {
+		got := bo.Next()
+		ceil := c * time.Millisecond
+		if got > ceil || got < ceil-time.Millisecond {
+			t.Fatalf("attempt %d: delay %v, want ≈%v", i, got, ceil)
+		}
+	}
+	// Progress resets the schedule to the first ceiling.
+	bo.Reset()
+	if got := bo.Next(); got > 10*time.Millisecond {
+		t.Fatalf("post-reset delay %v, want ≤ 10ms", got)
+	}
+}
+
+// TestFollowerRedialJitterDecorrelates: two followers with different
+// draws never sleep the same duration at the same attempt.
+func TestFollowerRedialJitterDecorrelates(t *testing.T) {
+	mk := func(r func() float64) *Follower {
+		return &Follower{o: options{redialBase: 50 * time.Millisecond, redialCap: 2 * time.Second, redialRand: r}}
+	}
+	a := mk(seq(0.11)).redialSchedule()
+	b := mk(seq(0.83)).redialSchedule()
+	for i := 0; i < 6; i++ {
+		if da, db := a.Next(), b.Next(); da == db {
+			t.Fatalf("attempt %d: both replicas slept %v — lockstep redial", i, da)
+		}
+	}
+}
+
+// TestWithRedialBackoffPlumbs: the exported options reach the redial
+// schedule and the breaker.
+func TestWithRedialBackoffPlumbs(t *testing.T) {
+	var o options
+	WithRedialBackoff(7*time.Millisecond, 70*time.Millisecond)(&o)
+	WithReconnectBudget(3, time.Second)(&o)
+	WithStreamStallTimeout(250 * time.Millisecond)(&o)
+	if o.redialBase != 7*time.Millisecond || o.redialCap != 70*time.Millisecond {
+		t.Fatalf("redial options did not plumb: %+v", o)
+	}
+	if o.breakerBudget != 3 || o.breakerCooldown != time.Second {
+		t.Fatalf("breaker options did not plumb: %+v", o)
+	}
+	if o.stallTimeout != 250*time.Millisecond {
+		t.Fatalf("stall option did not plumb: %+v", o)
+	}
+	f := &Follower{o: o}
+	bo := f.redialSchedule()
+	if d := bo.Next(); d > 7*time.Millisecond {
+		t.Fatalf("first delay %v exceeds the configured 7ms base ceiling", d)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hyperprov/internal/admission"
 	"hyperprov/internal/core"
 	"hyperprov/internal/db"
 	"hyperprov/internal/engine"
@@ -20,6 +21,12 @@ import (
 // ErrFollower reports a write attempted on a replication follower.
 // Followers serve the full read surface; writes go to the leader.
 var ErrFollower = errors.New("wal: store is a replication follower (read-only; write to the leader)")
+
+// ErrStreamStalled reports a replication session that went silent past
+// the stall timeout: no records and no heartbeats, the signature of a
+// network partition that blackholes the connection without closing it.
+// Followers treat it like a dropped connection and redial.
+var ErrStreamStalled = errors.New("wal: replication stream stalled (no frames within the stall timeout)")
 
 // Follower is a read replica: it tails a leader's replication stream,
 // persists every record into a local WAL directory laid out exactly
@@ -64,26 +71,34 @@ type Follower struct {
 	reconnects  atomic.Uint64
 	resyncs     atomic.Uint64
 	records     atomic.Uint64
+	stalls      atomic.Uint64
 	lastErr     atomic.Value // string
 	releaseOnly func()       // dir lock before a core exists
+
+	// breaker guards the redial loop: after WithReconnectBudget
+	// consecutive no-progress sessions it opens for the cooldown. Its
+	// state is exported in ReplicaStats.
+	breaker admission.Breaker
 }
 
 var _ engine.DB = (*Follower)(nil)
 
 // FollowerStats is the replication lag summary a follower exposes.
 type FollowerStats struct {
-	Ready          bool   `json:"ready"`
-	AppliedLSN     uint64 `json:"applied_lsn"`
-	LeaderLSN      uint64 `json:"leader_lsn"`
-	LagRecords     uint64 `json:"lag_records"`
-	Epoch          uint64 `json:"epoch"`
-	LeaderEpoch    uint64 `json:"leader_epoch"`
-	LagEpochs      uint64 `json:"lag_epochs"`
-	SyncTarget     uint64 `json:"sync_target"`
-	Reconnects     uint64 `json:"reconnects"`
-	Resyncs        uint64 `json:"resyncs"`
-	RecordsApplied uint64 `json:"records_applied"`
-	LastError      string `json:"last_error,omitempty"`
+	Ready          bool                   `json:"ready"`
+	AppliedLSN     uint64                 `json:"applied_lsn"`
+	LeaderLSN      uint64                 `json:"leader_lsn"`
+	LagRecords     uint64                 `json:"lag_records"`
+	Epoch          uint64                 `json:"epoch"`
+	LeaderEpoch    uint64                 `json:"leader_epoch"`
+	LagEpochs      uint64                 `json:"lag_epochs"`
+	SyncTarget     uint64                 `json:"sync_target"`
+	Reconnects     uint64                 `json:"reconnects"`
+	Resyncs        uint64                 `json:"resyncs"`
+	RecordsApplied uint64                 `json:"records_applied"`
+	Stalls         uint64                 `json:"stalls"`
+	Breaker        admission.BreakerStats `json:"breaker"`
+	LastError      string                 `json:"last_error,omitempty"`
 }
 
 // OpenFollower opens dir as a replica of the leader behind src and
@@ -99,12 +114,15 @@ type FollowerStats struct {
 // leader.
 func OpenFollower(ctx context.Context, dir string, src StreamSource, opts ...Option) (*Follower, error) {
 	o := options{
-		mode:      engine.ModeNormalForm,
-		sync:      SyncAlways,
-		interval:  50 * time.Millisecond,
-		segSize:   16 << 20,
-		heartbeat: 500 * time.Millisecond,
-		fs:        OSFS{},
+		mode:         engine.ModeNormalForm,
+		sync:         SyncAlways,
+		interval:     50 * time.Millisecond,
+		segSize:      16 << 20,
+		heartbeat:    500 * time.Millisecond,
+		fs:           OSFS{},
+		redialBase:   admission.DefaultBackoffBase,
+		redialCap:    admission.DefaultBackoffCap,
+		stallTimeout: 10 * time.Second,
 	}
 	for _, opt := range opts {
 		opt(&o)
@@ -120,6 +138,7 @@ func OpenFollower(ctx context.Context, dir string, src StreamSource, opts ...Opt
 		return nil, err
 	}
 	f := &Follower{dir: dir, src: src, o: o, bootCh: make(chan struct{})}
+	f.breaker = admission.Breaker{Budget: o.breakerBudget, Cooldown: o.breakerCooldown}
 	meta, err := readMeta(o.fs, dir)
 	switch {
 	case errors.Is(err, errNoMeta):
@@ -151,12 +170,29 @@ func OpenFollower(ctx context.Context, dir string, src StreamSource, opts ...Opt
 	}
 }
 
-// run redials the leader until the follower closes, with capped
-// exponential backoff that resets whenever a session makes progress.
+// redialSchedule builds the follower's full-jitter backoff from its
+// options; factored out so the schedule is unit-testable with an
+// injected jitter source.
+func (f *Follower) redialSchedule() admission.Backoff {
+	return admission.Backoff{Base: f.o.redialBase, Cap: f.o.redialCap, Rand: f.o.redialRand}
+}
+
+// run redials the leader until the follower closes. Delays follow a
+// full-jitter exponential schedule (so restarting replica fleets don't
+// redial in lockstep) that resets whenever a session makes progress,
+// and the reconnect-budget circuit breaker — when armed — turns a run
+// of hopeless sessions into a quiet cooldown instead of a connection
+// grind.
 func (f *Follower) run(ctx context.Context) {
 	defer f.wg.Done()
-	backoff := 50 * time.Millisecond
+	backoff := f.redialSchedule()
 	for ctx.Err() == nil {
+		if wait, ok := f.breaker.Allow(); !ok {
+			if !sleepCtx(ctx, wait) {
+				return
+			}
+			continue
+		}
 		progressed, err := f.streamOnce(ctx)
 		if ctx.Err() != nil {
 			return
@@ -166,16 +202,29 @@ func (f *Follower) run(ctx context.Context) {
 		}
 		f.reconnects.Add(1)
 		if progressed {
-			backoff = 50 * time.Millisecond
+			backoff.Reset()
+			f.breaker.Success()
+		} else {
+			f.breaker.Failure()
 		}
-		select {
-		case <-ctx.Done():
+		if !sleepCtx(ctx, backoff.Next()) {
 			return
-		case <-time.After(backoff):
 		}
-		if backoff *= 2; backoff > 2*time.Second {
-			backoff = 2 * time.Second
-		}
+	}
+}
+
+// sleepCtx sleeps d or until ctx cancels; false means canceled.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-timer.C:
+		return true
 	}
 }
 
@@ -226,12 +275,38 @@ func (f *Follower) streamOnce(ctx context.Context) (progressed bool, err error) 
 	defer rwg.Wait()
 	defer close(done)
 
+	// The stall timer bounds the silence between frames: heartbeats
+	// flow every heartbeat interval even on an idle leader, so a
+	// silent link past the timeout is partitioned, not just quiet. A
+	// nil timer (timeout disabled) leaves stallC nil, which never
+	// fires. On stall the transport is closed before returning so the
+	// reader goroutine unblocks and the session tears down cleanly.
+	var stall *time.Timer
+	if f.o.stallTimeout > 0 {
+		stall = time.NewTimer(f.o.stallTimeout)
+		defer stall.Stop()
+	}
 	next := func() ([]byte, error) {
+		var stallC <-chan time.Time
+		if stall != nil {
+			if !stall.Stop() {
+				select {
+				case <-stall.C:
+				default:
+				}
+			}
+			stall.Reset(f.o.stallTimeout)
+			stallC = stall.C
+		}
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		case m := <-msgs:
 			return m.payload, m.err
+		case <-stallC:
+			f.stalls.Add(1)
+			rc.Close()
+			return nil, ErrStreamStalled
 		}
 	}
 
@@ -432,6 +507,8 @@ func (f *Follower) ReplicaStats() FollowerStats {
 		Reconnects:     f.reconnects.Load(),
 		Resyncs:        f.resyncs.Load(),
 		RecordsApplied: f.records.Load(),
+		Stalls:         f.stalls.Load(),
+		Breaker:        f.breaker.Snapshot(),
 	}
 	f.targetMu.Lock()
 	st.SyncTarget = f.syncTarget

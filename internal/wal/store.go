@@ -89,6 +89,14 @@ type options struct {
 	ckptEach  uint64
 	heartbeat time.Duration
 	fs        FS
+
+	// Follower resilience knobs (ignored by leader stores).
+	redialBase      time.Duration
+	redialCap       time.Duration
+	redialRand      func() float64 // injectable jitter source for tests
+	breakerBudget   int
+	breakerCooldown time.Duration
+	stallTimeout    time.Duration
 }
 
 // Option configures Open.
@@ -134,6 +142,41 @@ func WithHeartbeatEvery(d time.Duration) Option { return func(o *options) { o.he
 
 // WithFS substitutes the filesystem — the fault-injection hook.
 func WithFS(fs FS) Option { return func(o *options) { o.fs = fs } }
+
+// WithRedialBackoff bounds a follower's redial schedule: delays are
+// full-jitter exponential, uniform in [0, min(cap, base·2ⁿ)), so N
+// replicas that lose their leader together spread their reconnects
+// across the window instead of redialing in lockstep. Defaults: 50ms
+// base, 2s cap. Ignored by leader stores.
+func WithRedialBackoff(base, cap time.Duration) Option {
+	return func(o *options) {
+		o.redialBase = base
+		o.redialCap = cap
+	}
+}
+
+// WithReconnectBudget arms a follower's redial circuit breaker: after
+// budget consecutive sessions that made no progress the follower stops
+// dialing for cooldown (then probes once, half-open). Zero budget (the
+// default) disables the breaker — the follower redials forever on
+// backoff alone. Ignored by leader stores.
+func WithReconnectBudget(budget int, cooldown time.Duration) Option {
+	return func(o *options) {
+		o.breakerBudget = budget
+		o.breakerCooldown = cooldown
+	}
+}
+
+// WithStreamStallTimeout bounds how long a follower session waits for
+// the next frame before declaring the link dead and redialing. Idle
+// leaders heartbeat every WithHeartbeatEvery (default 500ms), so a
+// healthy stream is never silent for long — the timeout catches
+// network partitions that blackhole the connection without closing it.
+// Default 10s; 0 or negative waits forever (the pre-partition-aware
+// behavior). Ignored by leader stores.
+func WithStreamStallTimeout(d time.Duration) Option {
+	return func(o *options) { o.stallTimeout = d }
+}
 
 // Store is a durable provenance engine: an engine.DB whose write
 // methods append to a write-ahead log before (transactions) or after
